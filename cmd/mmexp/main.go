@@ -1,0 +1,46 @@
+// Command mmexp regenerates the paper's tables and figures. Run with no
+// arguments to list the experiments, with ids to run a subset, or with
+// "all" to run everything.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Println("usage: mmexp <id>... | all")
+		fmt.Println("experiments:")
+		for _, e := range expt.All() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	var run []expt.Experiment
+	if len(args) == 1 && args[0] == "all" {
+		run = expt.All()
+	} else {
+		for _, id := range args {
+			e, ok := expt.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (run mmexp with no arguments for the list)\n", id)
+				os.Exit(1)
+			}
+			run = append(run, e)
+		}
+	}
+	for i, e := range run {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

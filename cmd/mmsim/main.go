@@ -1,0 +1,77 @@
+// Command mmsim simulates one scheduling algorithm on one platform and
+// problem, and optionally renders the Gantt chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/platform"
+	"repro/internal/steady"
+	"repro/internal/trace"
+)
+
+func main() {
+	alg := flag.String("alg", "HoLM", "HoLM | ORROML | OMMOML | ODDOML | DDOML | BMM | OBMM | global | local | two-step")
+	nA := flag.Int("na", 8000, "rows of A and C")
+	nAB := flag.Int("nab", 8000, "columns of A / rows of B")
+	nB := flag.Int("nb", 64000, "columns of B and C")
+	q := flag.Int("q", 80, "block size")
+	workers := flag.Int("p", 8, "number of workers")
+	memMB := flag.Int("mem", 512, "worker memory in MiB")
+	gantt := flag.Bool("gantt", false, "render an ASCII Gantt chart")
+	svgPath := flag.String("svg", "", "write the Gantt chart as SVG to this file")
+	hetC := flag.Float64("het", 1, "heterogeneity factor for the random platform (1 = homogeneous)")
+	seed := flag.Int64("seed", 1, "random platform seed")
+	flag.Parse()
+
+	pr, err := core.NewProblem(*nA, *nAB, *nB, *q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, w := platform.UTKCalibration().BlockCosts(*q)
+	m := platform.MemoryBlocks(int64(*memMB)<<20, *q)
+
+	var tr *trace.Trace
+	if *gantt || *svgPath != "" {
+		tr = &trace.Trace{}
+	}
+
+	var res core.Result
+	switch *alg {
+	case "global", "local", "two-step":
+		rule := map[string]hetero.Rule{"global": hetero.Global, "local": hetero.Local, "two-step": hetero.TwoStep}[*alg]
+		pl := platform.RandomHeterogeneous(randSource(*seed), *workers, c, w, m, *hetC, *hetC, *hetC)
+		fmt.Println(pl)
+		if rho, err := steady.Solve(pl); err == nil {
+			fmt.Printf("steady-state upper bound: %.4f updates/s\n", rho.Throughput)
+		}
+		res, _, err = hetero.Run(pl, pr, rule, hetero.ExecOptions{IncludeCIO: true, Trace: tr})
+	default:
+		pl := platform.Homogeneous(*workers, c, w, m)
+		res, err = algorithms.Run(algorithms.Name(*alg), pl, pr, algorithms.Options{Trace: tr})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("problem:  %s\n", pr)
+	fmt.Printf("result:   %s\n", res)
+	fmt.Printf("flops:    %.3g, effective %.2f Gflop/s (modelled)\n", pr.Flops(), pr.Flops()/res.Makespan/1e9)
+	if *gantt {
+		fmt.Println(tr.ASCII(110))
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(tr.SVG(trace.SVGOptions{})), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

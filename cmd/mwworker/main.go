@@ -1,0 +1,28 @@
+// Command mwworker runs one distributed matrix-product worker: it connects
+// to an mwmaster, serves chunks with the demand-driven protocol, and exits
+// when the master says goodbye.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/netmw"
+	"repro/internal/platform"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "master address")
+	memMB := flag.Int("mem", 64, "memory budget in MiB to advertise")
+	q := flag.Int("q", 64, "block size used to convert the budget to blocks")
+	stage := flag.Int("stage", 2, "staging update sets (1 = no overlap, 2 = double buffering)")
+	flag.Parse()
+
+	m := platform.MemoryBlocks(int64(*memMB)<<20, *q)
+	rep, err := netmw.RunWorker(netmw.WorkerConfig{Addr: *addr, Memory: m, StageCap: *stage})
+	if err != nil {
+		log.Fatalf("worker: %v", err)
+	}
+	fmt.Printf("mwworker: processed %d chunks, %d block updates\n", rep.Chunks, rep.Updates)
+}

@@ -1,0 +1,51 @@
+// Quickstart: simulate the paper's homogeneous algorithm (HoLM) on the
+// platform of its experimental section and print the schedule summary
+// next to the §4 communication bounds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/matmul"
+)
+
+func main() {
+	// The §8.1 testbed: 8 workers, 100 Mb/s links, 3.2 GHz Xeons, 512 MiB
+	// of usable worker memory, q = 80 blocks.
+	const q = 80
+	cal := matmul.UTKCalibration()
+	c, w := cal.BlockCosts(q)
+	m := matmul.MemoryBlocks(512<<20, q)
+	pl := matmul.HomogeneousPlatform(8, c, w, m)
+
+	// C(8000x64000) += A(8000x8000) · B(8000x64000)
+	pr, err := matmul.NewProblem(8000, 8000, 64000, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("platform:", pl)
+	fmt.Println("problem: ", pr)
+
+	b := matmul.Bounds(m)
+	fmt.Printf("memory m=%d blocks → µ=%d; CCR(max-reuse)=%.5f vs lower bound %.5f\n",
+		m, b.Mu, b.MaxReuseCCR, b.LoomisWhitney)
+
+	res, err := matmul.Simulate(matmul.HoLM, pl, pr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("HoLM:    ", res)
+	fmt.Printf("HoLM enrolled %d of %d workers (resource selection P = ⌈µw/2c⌉)\n",
+		res.Enrolled, pl.P())
+
+	all, err := matmul.SimulateAll(pl, pr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall seven §8 algorithms, fastest first:")
+	for _, r := range all {
+		fmt.Println(" ", r)
+	}
+}

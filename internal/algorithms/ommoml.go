@@ -1,0 +1,94 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/homog"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// buildOMMOMLPlan builds the static schedule of the Overlapped Min-Min
+// algorithm of §8.2: "a static scheduling heuristic, which sends the next
+// block to the first worker that will be available to compute it".
+//
+// The plan is computed offline with the min-min estimation model of §3
+// (commitment of communications on the one-port link, per-worker ready
+// times, no staging-buffer limits — that is what makes it *static*): for
+// every successive update set, the estimated time at which the delivered
+// work could start computing is minimized over workers, ties going to the
+// lowest index. Because a worker that is being fed looks "available" until
+// its estimated backlog exceeds the cost of bootstrapping a fresh worker
+// (one C chunk), the heuristic enrolls only a couple of workers — the
+// behavior the paper observes. At execution time the sequence is replayed
+// under the real staging constraints.
+func buildOMMOMLPlan(pl *platform.Platform, pr core.Problem) ([][]*sim.Chunk, []sim.SeqOp) {
+	w0 := pl.Workers[0]
+	mu := platform.MuOverlap(w0.M)
+	_, pool := homog.ChunkGrid(pr, mu)
+
+	p := pl.P()
+	type est struct {
+		ready    float64    // estimated end of assigned compute
+		active   *sim.Chunk // chunk in progress
+		nextStep int
+	}
+	ws := make([]*est, p)
+	for i := range ws {
+		ws[i] = &est{}
+	}
+	queues := make([][]*sim.Chunk, p)
+	var ops []sim.SeqOp
+	commEnd := 0.0
+	remaining := len(pool)
+
+	for remaining > 0 {
+		// Choose the worker minimizing the estimated start time of its
+		// next update set.
+		best, bestKey := -1, math.Inf(1)
+		for i, st := range ws {
+			var deliver float64 // when the next update set would arrive
+			var stepDur float64
+			if st.active != nil {
+				step := st.active.Steps[st.nextStep]
+				deliver = commEnd + float64(step.Blocks)*w0.C
+			} else {
+				if len(pool) == 0 {
+					continue // nothing new to start
+				}
+				next := pool[0]
+				deliver = commEnd + float64(next.Blocks)*w0.C + float64(next.Steps[0].Blocks)*w0.C
+			}
+			_ = stepDur
+			key := math.Max(deliver, st.ready)
+			if key < bestKey {
+				best, bestKey = i, key
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st := ws[best]
+		if st.active == nil {
+			st.active = pool[0]
+			pool = pool[1:]
+			queues[best] = append(queues[best], st.active)
+			st.nextStep = 0
+			commEnd += float64(st.active.Blocks) * w0.C
+			ops = append(ops, sim.SeqOp{Worker: best, Kind: sim.SendC})
+		}
+		step := st.active.Steps[st.nextStep]
+		commEnd += float64(step.Blocks) * w0.C
+		st.ready = math.Max(st.ready, commEnd) + float64(step.Updates)*w0.W
+		ops = append(ops, sim.SeqOp{Worker: best, Kind: sim.SendAB})
+		st.nextStep++
+		if st.nextStep == len(st.active.Steps) {
+			commEnd = math.Max(commEnd, st.ready) + float64(st.active.Blocks)*w0.C
+			ops = append(ops, sim.SeqOp{Worker: best, Kind: sim.RecvC})
+			st.active = nil
+			remaining--
+		}
+	}
+	return queues, ops
+}

@@ -1,0 +1,181 @@
+// Package blas provides the pure-Go compute kernels that stand in for the
+// ATLAS-generated Level-3 BLAS routines the paper relies on (§2.1: "the
+// atomic elements that we manipulate are ... square blocks of size q×q.
+// This is to harness the power of Level 3 BLAS routines").
+//
+// The kernels operate on row-major float64 slices. Gemm is written with the
+// i-k-j loop order so the innermost loop streams both B and C rows, which is
+// the standard cache-friendly ordering for row-major data; on top of it,
+// GemmBlocked adds one level of register/L1 tiling. These are not meant to
+// compete with vendor BLAS — only the cubic-compute versus quadratic-
+// communication asymmetry matters to the scheduling results — but they are
+// exact and reasonably fast.
+package blas
+
+import "fmt"
+
+// Gemm computes C ← C + A·B where A is m×k, B is k×n and C is m×n, all
+// row-major with the given leading dimensions (lda ≥ k, ldb ≥ n, ldc ≥ n).
+func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if lda < k || ldb < n || ldc < n {
+		panic(fmt.Sprintf("blas: Gemm bad leading dims lda=%d k=%d ldb=%d n=%d ldc=%d", lda, k, ldb, n, ldc))
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*lda : i*lda+k]
+		crow := c[i*ldc : i*ldc+n]
+		for p := 0; p < k; p++ {
+			aip := arow[p]
+			if aip == 0 {
+				continue
+			}
+			brow := b[p*ldb : p*ldb+n]
+			axpy(aip, brow, crow)
+		}
+	}
+}
+
+// axpy computes y ← y + alpha·x with manual 4-way unrolling; gc compiles
+// this to tight FP code without bounds checks inside the unrolled body.
+func axpy(alpha float64, x, y []float64) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// tile is the L1 tile edge used by GemmBlocked. 64 keeps three 64×64 float64
+// tiles (96 KiB) near the L2 size of typical cores while letting the inner
+// Gemm run long unrolled spans.
+const tile = 64
+
+// GemmBlocked computes C ← C + A·B like Gemm but tiles the three loops so
+// large panels stay cache-resident. It is the kernel the runtimes use for
+// q×q block updates (q = 80 or 100 in the paper).
+func GemmBlocked(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i0 := 0; i0 < m; i0 += tile {
+		mi := min(tile, m-i0)
+		for k0 := 0; k0 < k; k0 += tile {
+			kk := min(tile, k-k0)
+			for j0 := 0; j0 < n; j0 += tile {
+				nj := min(tile, n-j0)
+				Gemm(mi, nj, kk,
+					a[i0*lda+k0:], lda,
+					b[k0*ldb+j0:], ldb,
+					c[i0*ldc+j0:], ldc)
+			}
+		}
+	}
+}
+
+// BlockUpdate computes Cij ← Cij + Aik·Bkj for three q×q blocks, the unit
+// of computation of the whole paper (cost w = q³·τ_a).
+func BlockUpdate(cij, aik, bkj []float64, q int) {
+	if len(cij) < q*q || len(aik) < q*q || len(bkj) < q*q {
+		panic("blas: BlockUpdate undersized operand")
+	}
+	GemmBlocked(q, q, q, aik, q, bkj, q, cij, q)
+}
+
+// Getf2 factors the n×n row-major matrix a in place as A = L·U with unit
+// lower-triangular L and upper-triangular U, without pivoting. The paper's
+// LU study (§7) works on diagonally dominant pivot blocks where unpivoted
+// elimination is stable; callers that need robustness should pre-condition
+// (tests use diagonally dominant inputs).
+//
+// It returns the index of the first (near-)zero pivot, or -1 on success.
+func Getf2(a []float64, n, lda int) int {
+	for j := 0; j < n; j++ {
+		p := a[j*lda+j]
+		if p == 0 {
+			return j
+		}
+		inv := 1 / p
+		for i := j + 1; i < n; i++ {
+			lij := a[i*lda+j] * inv
+			a[i*lda+j] = lij
+			if lij == 0 {
+				continue
+			}
+			arow := a[i*lda : i*lda+n]
+			jrow := a[j*lda : j*lda+n]
+			for k := j + 1; k < n; k++ {
+				arow[k] -= lij * jrow[k]
+			}
+		}
+	}
+	return -1
+}
+
+// TrsmLowerLeft solves L·X = B in place, where L is the unit lower triangle
+// stored in l (n×n, row-major, lda) and B is n×m stored in b (ldb). On
+// return b holds X = L⁻¹·B. This is the horizontal-panel update of §7.1
+// step 3 ("a column y ... replaced by L⁻¹y").
+func TrsmLowerLeft(n, m int, l []float64, lda int, b []float64, ldb int) {
+	for i := 0; i < n; i++ {
+		bi := b[i*ldb : i*ldb+m]
+		for k := 0; k < i; k++ {
+			lik := l[i*lda+k]
+			if lik == 0 {
+				continue
+			}
+			bk := b[k*ldb : k*ldb+m]
+			for j := 0; j < m; j++ {
+				bi[j] -= lik * bk[j]
+			}
+		}
+		// unit diagonal: no division
+	}
+}
+
+// TrsmUpperRight solves X·U = B in place, where U is the upper triangle of
+// u (n×n, row-major, lda) and B is m×n stored in b (ldb). On return b holds
+// X = B·U⁻¹. This is the vertical-panel update of §7.1 step 2 ("a row x ...
+// replaced by xU⁻¹").
+func TrsmUpperRight(m, n int, u []float64, lda int, b []float64, ldb int) {
+	for i := 0; i < m; i++ {
+		bi := b[i*ldb : i*ldb+n]
+		for j := 0; j < n; j++ {
+			s := bi[j]
+			for k := 0; k < j; k++ {
+				s -= bi[k] * u[k*lda+j]
+			}
+			bi[j] = s / u[j*lda+j]
+		}
+	}
+}
+
+// LUCombine multiplies the unit-lower and upper factors packed in lu (as
+// produced by Getf2) and writes L·U into out, both n×n with the given
+// leading dimensions. Used by tests to verify factorizations.
+func LUCombine(lu []float64, n, lda int, out []float64, ldo int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			kmax := min(i, j+1) // L(i,k) nonzero for k<=i; treat k==i via unit diag
+			for k := 0; k < kmax; k++ {
+				s += lu[i*lda+k] * lu[k*lda+j]
+			}
+			if i <= j {
+				s += lu[i*lda+j] // unit diagonal of L times U(i,j)
+			}
+			out[i*ldo+j] = s
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

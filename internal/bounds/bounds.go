@@ -1,0 +1,288 @@
+// Package bounds implements §4 of the paper: the communication-volume
+// analysis of the matrix product under a memory limit of m block buffers.
+//
+// It provides
+//
+//   - the maximum re-use algorithm of §4.1 (one A buffer, µ B buffers, µ²
+//     C buffers with 1 + µ + µ² ≤ m), both as an exact communication
+//     counter and as a real executor over block matrices;
+//   - its communication-to-computation ratio CCR = 2/t + 2/µ and the
+//     asymptotic value 2/√m;
+//   - the lower bound CCR_opt = √(27/(8m)) obtained from the
+//     Loomis–Whitney inequality, the weaker √(27/(32m)) obtained from
+//     Toledo's lemma, and the earlier √(1/(8m)) constant of
+//     Irony–Toledo–Tiskin for comparison.
+package bounds
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+)
+
+// Mu returns the µ of the maximum re-use layout for m buffers (largest µ
+// with 1 + µ + µ² ≤ m).
+func Mu(m int) int { return platform.MuSingle(m) }
+
+// CCRMaxReuse returns the block-level communication-to-computation ratio of
+// the maximum re-use algorithm, CCR = 2/t + 2/µ (§4.2), for a memory of m
+// buffers and inner dimension t.
+func CCRMaxReuse(m, t int) float64 {
+	mu := Mu(m)
+	if mu == 0 || t == 0 {
+		return math.Inf(1)
+	}
+	return 2/float64(t) + 2/float64(mu)
+}
+
+// CCRMaxReuseAsymptotic returns the t → ∞ limit 2/µ ≈ 2/√m = √(32/(8m)).
+func CCRMaxReuseAsymptotic(m int) float64 {
+	mu := Mu(m)
+	if mu == 0 {
+		return math.Inf(1)
+	}
+	return 2 / float64(mu)
+}
+
+// LowerBoundLoomisWhitney returns the paper's new lower bound
+// CCR_opt = √(27/(8m)) on the communication-to-computation ratio of any
+// standard (non-Strassen) matrix-product algorithm with m buffers (§4.2).
+func LowerBoundLoomisWhitney(m int) float64 {
+	return math.Sqrt(27 / (8 * float64(m)))
+}
+
+// LowerBoundToledoLemma returns the weaker bound √(27/(32m)) derived from
+// the access lemma of Toledo's survey, which the paper refines.
+func LowerBoundToledoLemma(m int) float64 {
+	return math.Sqrt(27 / (32 * float64(m)))
+}
+
+// LowerBoundIronyToledoTiskin returns the previously best-known value
+// √(1/(8m)) from Irony, Toledo and Tiskin, which the paper improves upon.
+func LowerBoundIronyToledoTiskin(m int) float64 {
+	return math.Sqrt(1 / (8 * float64(m)))
+}
+
+// MaxComputeToledoLemma bounds the number of block updates K feasible when
+// NA, NB and NC distinct elements of A, B and C are accessed, per Toledo's
+// lemma: K = min{(NA+NB)√NC, (NA+NC)√NB, (NB+NC)√NA}.
+func MaxComputeToledoLemma(na, nb, nc float64) float64 {
+	return math.Min(
+		(na+nb)*math.Sqrt(nc),
+		math.Min((na+nc)*math.Sqrt(nb), (nb+nc)*math.Sqrt(na)))
+}
+
+// MaxComputeLoomisWhitney bounds the same quantity with the Loomis–Whitney
+// inequality: K = √(NA·NB·NC).
+func MaxComputeLoomisWhitney(na, nb, nc float64) float64 {
+	return math.Sqrt(na * nb * nc)
+}
+
+// OptimizeK numerically solves the small optimization program of §4.2:
+// maximize k subject to the given per-window compute bound and
+// α + β + γ ≤ 2. It grid-searches the simplex at the given resolution and
+// returns the best (α, β, γ, k). Tests verify it converges to
+// α = β = γ = 2/3 with k = √(32/27) (Toledo lemma) or k = √(8/27)
+// (Loomis–Whitney).
+func OptimizeK(bound func(a, b, g float64) float64, steps int) (alpha, beta, gamma, k float64) {
+	if steps < 2 {
+		steps = 2
+	}
+	h := 2.0 / float64(steps)
+	for ia := 0; ia <= steps; ia++ {
+		a := float64(ia) * h
+		for ib := 0; ia+ib <= steps; ib++ {
+			b := float64(ib) * h
+			g := 2.0 - a - b
+			if g < 0 {
+				continue
+			}
+			if v := bound(a, b, g); v > k {
+				alpha, beta, gamma, k = a, b, g, v
+			}
+		}
+	}
+	return alpha, beta, gamma, k
+}
+
+// ToledoK is the objective min{(α+β)√γ, (β+γ)√α, (γ+α)√β} of the
+// Toledo-lemma version of the optimization.
+func ToledoK(a, b, g float64) float64 {
+	return math.Min((a+b)*math.Sqrt(g), math.Min((b+g)*math.Sqrt(a), (g+a)*math.Sqrt(b)))
+}
+
+// LoomisWhitneyK is the objective √(αβγ) of the refined optimization.
+func LoomisWhitneyK(a, b, g float64) float64 {
+	return math.Sqrt(a * b * g)
+}
+
+// Stats reports the exact communication accounting of one maximum re-use
+// execution.
+type Stats struct {
+	Mu        int
+	Chunks    int   // number of µ×µ (or ragged) C chunks processed
+	SentA     int64 // A blocks master → worker
+	SentB     int64 // B blocks master → worker
+	SentC     int64 // C blocks master → worker
+	RecvC     int64 // C blocks worker → master
+	Updates   int64 // block updates performed
+	PeakStore int   // maximum blocks resident on the worker at any instant
+}
+
+// TotalComm returns all master-side transfers in blocks.
+func (s Stats) TotalComm() int64 { return s.SentA + s.SentB + s.SentC + s.RecvC }
+
+// CCR returns the measured block-level communication-to-computation ratio.
+func (s Stats) CCR() float64 {
+	if s.Updates == 0 {
+		return math.Inf(1)
+	}
+	return float64(s.TotalComm()) / float64(s.Updates)
+}
+
+// CountMaxReuse computes the exact communication counts of the maximum
+// re-use algorithm on an r×s×t problem with m buffers without touching any
+// data. Ragged chunks (when µ does not divide r or s) are handled by
+// clamping the chunk to the matrix border, exactly as ExecMaxReuse does.
+func CountMaxReuse(pr core.Problem, m int) (Stats, error) {
+	mu := Mu(m)
+	if mu < 1 {
+		return Stats{}, fmt.Errorf("bounds: memory m=%d too small (need 1+µ+µ² ≤ m with µ ≥ 1)", m)
+	}
+	var st Stats
+	st.Mu = mu
+	for i0 := 0; i0 < pr.R; i0 += mu {
+		mi := minInt(mu, pr.R-i0)
+		for j0 := 0; j0 < pr.S; j0 += mu {
+			mj := minInt(mu, pr.S-j0)
+			st.Chunks++
+			st.SentC += int64(mi * mj)
+			st.RecvC += int64(mi * mj)
+			st.SentB += int64(pr.T * mj)
+			st.SentA += int64(pr.T * mi)
+			st.Updates += int64(pr.T * mi * mj)
+			if peak := mi*mj + mj + 1; peak > st.PeakStore {
+				st.PeakStore = peak
+			}
+		}
+	}
+	return st, nil
+}
+
+// ExecMaxReuse runs the maximum re-use algorithm for real on block
+// matrices: a is r×t, b is t×s and c is r×s blocks of size q. It simulates
+// the master/worker split of §4 on a single worker with m buffers — the
+// "worker memory" is an explicit buffer pool and the algorithm faults if it
+// ever exceeds m resident blocks — and returns the same Stats as
+// CountMaxReuse. On return c holds C + A·B.
+func ExecMaxReuse(c, a, b *matrix.Blocked, m int) (Stats, error) {
+	if a.BR != c.BR || b.BC != c.BC || a.BC != b.BR || a.Q != b.Q || a.Q != c.Q {
+		return Stats{}, fmt.Errorf("bounds: shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.BR, c.BC, a.BR, a.BC, b.BR, b.BC)
+	}
+	pr := core.Problem{R: c.BR, S: c.BC, T: a.BC, Q: a.Q}
+	mu := Mu(m)
+	if mu < 1 {
+		return Stats{}, fmt.Errorf("bounds: memory m=%d too small", m)
+	}
+	var st Stats
+	st.Mu = mu
+	q := a.Q
+
+	// Worker-resident storage. Residency is tracked exactly so the memory
+	// invariant (resident ≤ m) can be asserted by tests.
+	resident := 0
+	bump := func(n int) error {
+		resident += n
+		if resident > st.PeakStore {
+			st.PeakStore = resident
+		}
+		if resident > m {
+			return fmt.Errorf("bounds: memory overflow, %d resident > m=%d", resident, m)
+		}
+		return nil
+	}
+
+	for i0 := 0; i0 < pr.R; i0 += mu {
+		mi := minInt(mu, pr.R-i0)
+		for j0 := 0; j0 < pr.S; j0 += mu {
+			mj := minInt(mu, pr.S-j0)
+			st.Chunks++
+
+			// Outer loop: load the µ×µ chunk of C onto the worker.
+			cChunk := make([][]float64, mi*mj)
+			for i := 0; i < mi; i++ {
+				for j := 0; j < mj; j++ {
+					blk := c.Block(i0+i, j0+j)
+					buf := make([]float64, q*q) // worker-side copy: data travels
+					copy(buf, blk.Data)
+					cChunk[i*mj+j] = buf
+					st.SentC++
+					if err := bump(1); err != nil {
+						return st, err
+					}
+				}
+			}
+
+			// Inner loop over k: a row of µ B blocks, then µ A blocks in
+			// sequence, each combined with the B row (Figure 6).
+			bRow := make([][]float64, mj)
+			for k := 0; k < pr.T; k++ {
+				for j := 0; j < mj; j++ {
+					if bRow[j] == nil {
+						if err := bump(1); err != nil {
+							return st, err
+						}
+						bRow[j] = make([]float64, q*q)
+					}
+					copy(bRow[j], b.Block(k, j0+j).Data)
+					st.SentB++
+				}
+				aBuf := make([]float64, q*q)
+				aHeld := false
+				for i := 0; i < mi; i++ {
+					copy(aBuf, a.Block(i0+i, k).Data)
+					st.SentA++
+					if !aHeld {
+						aHeld = true
+						if err := bump(1); err != nil {
+							return st, err
+						}
+					}
+					for j := 0; j < mj; j++ {
+						blas.BlockUpdate(cChunk[i*mj+j], aBuf, bRow[j], q)
+						st.Updates++
+					}
+				}
+				if aHeld {
+					resident-- // A buffer reused across k; count once per k
+				}
+			}
+			resident -= mj // release B row buffers
+
+			// Return the chunk to the master.
+			for i := 0; i < mi; i++ {
+				for j := 0; j < mj; j++ {
+					copy(c.Block(i0+i, j0+j).Data, cChunk[i*mj+j])
+					st.RecvC++
+					resident--
+				}
+			}
+		}
+	}
+	if resident != 0 {
+		return st, fmt.Errorf("bounds: internal accounting error, %d blocks leaked", resident)
+	}
+	return st, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

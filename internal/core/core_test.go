@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewProblem(t *testing.T) {
+	p, err := NewProblem(8000, 8000, 64000, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.R != 100 || p.T != 100 || p.S != 800 || p.Q != 80 {
+		t.Fatalf("got %+v", p)
+	}
+}
+
+func TestNewProblemErrors(t *testing.T) {
+	if _, err := NewProblem(100, 100, 100, 0); err == nil {
+		t.Fatal("q=0 accepted")
+	}
+	if _, err := NewProblem(101, 100, 100, 10); err == nil {
+		t.Fatal("indivisible nA accepted")
+	}
+	if _, err := NewProblem(100, 100, 105, 10); err == nil {
+		t.Fatal("indivisible nB accepted")
+	}
+}
+
+func TestMustProblemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustProblem did not panic")
+		}
+	}()
+	MustProblem(3, 3, 3, 2)
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Problem{R: 1, S: 1, T: 1, Q: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Problem{R: 0, S: 1, T: 1, Q: 1}).Validate(); err == nil {
+		t.Fatal("R=0 accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := Problem{R: 3, S: 4, T: 5, Q: 2}
+	if p.Updates() != 60 {
+		t.Fatalf("Updates = %d", p.Updates())
+	}
+	if p.CBlocks() != 12 || p.ABlocks() != 15 || p.BBlocks() != 20 {
+		t.Fatalf("block counts wrong: %d %d %d", p.CBlocks(), p.ABlocks(), p.BBlocks())
+	}
+	if got := p.Flops(); got != 2*8*60 {
+		t.Fatalf("Flops = %v", got)
+	}
+	nA, nAB, nB := p.ElementDims()
+	if nA != 6 || nAB != 10 || nB != 8 {
+		t.Fatalf("dims %d %d %d", nA, nAB, nB)
+	}
+}
+
+func TestResultCCR(t *testing.T) {
+	r := Result{Blocks: 50, Updates: 100}
+	if r.CCR() != 0.5 {
+		t.Fatalf("CCR = %v", r.CCR())
+	}
+	if (Result{}).CCR() != 0 {
+		t.Fatal("empty result CCR should be 0")
+	}
+	if r.CommVolume() != 50 {
+		t.Fatal("CommVolume mismatch")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	p := Problem{R: 2, S: 3, T: 4, Q: 5}
+	if s := p.String(); !strings.Contains(s, "q=5") {
+		t.Fatalf("Problem.String() = %q", s)
+	}
+	r := Result{Algorithm: "x", Makespan: 1, Enrolled: 2, Blocks: 3, Updates: 4}
+	if s := r.String(); !strings.Contains(s, "x") || !strings.Contains(s, "enrolled= 2") {
+		t.Fatalf("Result.String() = %q", s)
+	}
+}

@@ -1,0 +1,243 @@
+// Package greedy implements §3 of the paper: the simplest variant of the
+// scheduling problem, used there to demonstrate its intrinsic combinatorial
+// difficulty. The simplifications are
+//
+//   - fully homogeneous platform (identical workers, identical links),
+//   - rank-one block updates (t = 1): task (i, j) needs stripe A_i and
+//     stripe B_j and costs w,
+//   - results are not returned to the master,
+//   - workers have unlimited memory and re-use received stripes.
+//
+// The master obeys the one-port model: it sends one file (an A or B stripe)
+// at a time, each taking c time units. A file may be duplicated (sent to
+// several workers). The package provides the alternating greedy algorithm
+// (optimal for one worker — Proposition 1), the Thrifty and Min-min
+// heuristics, an exact schedule evaluator and a brute-force optimum for
+// small instances, reproducing the counterexamples of Figure 4.
+package greedy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Instance describes one simplified-problem instance.
+type Instance struct {
+	R, S int     // number of A stripes and B stripes (tasks form an R×S grid)
+	P    int     // number of workers
+	C, W float64 // per-file communication cost, per-task computation cost
+}
+
+// Validate reports malformed instances.
+func (in Instance) Validate() error {
+	if in.R <= 0 || in.S <= 0 || in.P <= 0 || in.C <= 0 || in.W <= 0 {
+		return fmt.Errorf("greedy: invalid instance %+v", in)
+	}
+	return nil
+}
+
+// Send is one master communication: file index Idx of the given kind goes
+// to worker Worker (0-based).
+type Send struct {
+	Worker int
+	IsA    bool
+	Idx    int
+}
+
+func (s Send) String() string {
+	k := "b"
+	if s.IsA {
+		k = "a"
+	}
+	return fmt.Sprintf("%s%d→P%d", k, s.Idx+1, s.Worker+1)
+}
+
+// Schedule is an ordered sequence of sends plus an explicit assignment of
+// every task to a worker.
+type Schedule struct {
+	Sends []Send
+	// Assign[i*S+j] is the worker computing task (i, j).
+	Assign []int
+}
+
+// TaskTrace records the computed timing of one task for Gantt rendering.
+type TaskTrace struct {
+	I, J   int
+	Worker int
+	Start  float64
+	End    float64
+}
+
+// Evaluation is the exact timing of a schedule under the §3 model.
+type Evaluation struct {
+	Makespan float64
+	Tasks    []TaskTrace
+	CommEnd  float64 // time the master finishes its last send
+}
+
+// Evaluate computes the makespan of a schedule. Sends occur back-to-back on
+// the one-port master (send k completes at (k+1)·c). Each worker processes
+// its assigned tasks greedily: a task is ready when both of its files have
+// arrived at that worker, and the worker runs ready tasks back-to-back in
+// ready-time order (ties by row then column, matching the paper's Gantts).
+func Evaluate(in Instance, sch Schedule) (Evaluation, error) {
+	if err := in.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	if len(sch.Assign) != in.R*in.S {
+		return Evaluation{}, fmt.Errorf("greedy: assignment covers %d tasks, want %d", len(sch.Assign), in.R*in.S)
+	}
+	// arrival[w][kind][idx]
+	arrA := make([][]float64, in.P)
+	arrB := make([][]float64, in.P)
+	for w := 0; w < in.P; w++ {
+		arrA[w] = inf(in.R)
+		arrB[w] = inf(in.S)
+	}
+	for k, s := range sch.Sends {
+		if s.Worker < 0 || s.Worker >= in.P {
+			return Evaluation{}, fmt.Errorf("greedy: send %d to invalid worker %d", k, s.Worker)
+		}
+		at := float64(k+1) * in.C
+		if s.IsA {
+			if s.Idx < 0 || s.Idx >= in.R {
+				return Evaluation{}, fmt.Errorf("greedy: send %d has invalid A index %d", k, s.Idx)
+			}
+			if at < arrA[s.Worker][s.Idx] {
+				arrA[s.Worker][s.Idx] = at
+			}
+		} else {
+			if s.Idx < 0 || s.Idx >= in.S {
+				return Evaluation{}, fmt.Errorf("greedy: send %d has invalid B index %d", k, s.Idx)
+			}
+			if at < arrB[s.Worker][s.Idx] {
+				arrB[s.Worker][s.Idx] = at
+			}
+		}
+	}
+
+	type task struct {
+		i, j  int
+		ready float64
+	}
+	perWorker := make([][]task, in.P)
+	for i := 0; i < in.R; i++ {
+		for j := 0; j < in.S; j++ {
+			w := sch.Assign[i*in.S+j]
+			if w < 0 || w >= in.P {
+				return Evaluation{}, fmt.Errorf("greedy: task (%d,%d) assigned to invalid worker %d", i, j, w)
+			}
+			ready := math.Max(arrA[w][i], arrB[w][j])
+			if math.IsInf(ready, 1) {
+				return Evaluation{}, fmt.Errorf("greedy: task (%d,%d) on P%d never receives its files", i+1, j+1, w+1)
+			}
+			perWorker[w] = append(perWorker[w], task{i, j, ready})
+		}
+	}
+
+	ev := Evaluation{CommEnd: float64(len(sch.Sends)) * in.C}
+	for w := 0; w < in.P; w++ {
+		ts := perWorker[w]
+		sort.Slice(ts, func(a, b int) bool {
+			if ts[a].ready != ts[b].ready {
+				return ts[a].ready < ts[b].ready
+			}
+			if ts[a].i != ts[b].i {
+				return ts[a].i < ts[b].i
+			}
+			return ts[a].j < ts[b].j
+		})
+		var busy float64
+		for _, t := range ts {
+			start := math.Max(busy, t.ready)
+			busy = start + in.W
+			ev.Tasks = append(ev.Tasks, TaskTrace{I: t.i, J: t.j, Worker: w, Start: start, End: busy})
+		}
+		if busy > ev.Makespan {
+			ev.Makespan = busy
+		}
+	}
+	return ev, nil
+}
+
+func inf(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Inf(1)
+	}
+	return v
+}
+
+// AlternatingGreedy builds the single-worker schedule of Proposition 1: the
+// master sends files as soon as possible, alternating one B and one A (and
+// streams the remaining kind once one pool is exhausted). With one worker
+// this maximizes, after every communication step, the number of tasks that
+// can be processed, and is optimal.
+func AlternatingGreedy(in Instance) Schedule {
+	var sends []Send
+	na, nb := 0, 0
+	for na < in.R || nb < in.S {
+		// B first on ties, matching the Gantt of Figure 4.
+		if nb < in.S && (nb <= na || na >= in.R) {
+			sends = append(sends, Send{Worker: 0, IsA: false, Idx: nb})
+			nb++
+		} else {
+			sends = append(sends, Send{Worker: 0, IsA: true, Idx: na})
+			na++
+		}
+	}
+	assign := make([]int, in.R*in.S) // all zero: worker 0
+	return Schedule{Sends: sends, Assign: assign}
+}
+
+// SequenceSchedule builds a single-worker schedule from an explicit A/B
+// pattern (true = next A stripe, false = next B stripe). Used by the
+// brute-force optimum and by property tests.
+func SequenceSchedule(in Instance, pattern []bool) Schedule {
+	var sends []Send
+	na, nb := 0, 0
+	for _, isA := range pattern {
+		if isA {
+			sends = append(sends, Send{Worker: 0, IsA: true, Idx: na})
+			na++
+		} else {
+			sends = append(sends, Send{Worker: 0, IsA: false, Idx: nb})
+			nb++
+		}
+	}
+	return Schedule{Sends: sends, Assign: make([]int, in.R*in.S)}
+}
+
+// BruteForceSingleWorker tries every order of the r+s file sends to a
+// single worker and returns the best makespan. Only the A/B pattern
+// matters (stripe identities are symmetric), so the search space is
+// C(r+s, r).
+func BruteForceSingleWorker(in Instance) (float64, Schedule) {
+	n := in.R + in.S
+	best := math.Inf(1)
+	var bestSch Schedule
+	pattern := make([]bool, n)
+	var rec func(pos, usedA int)
+	rec = func(pos, usedA int) {
+		if pos == n {
+			sch := SequenceSchedule(in, pattern)
+			ev, err := Evaluate(in, sch)
+			if err == nil && ev.Makespan < best {
+				best = ev.Makespan
+				bestSch = sch
+			}
+			return
+		}
+		if usedA < in.R {
+			pattern[pos] = true
+			rec(pos+1, usedA+1)
+		}
+		if pos-usedA < in.S {
+			pattern[pos] = false
+			rec(pos+1, usedA)
+		}
+	}
+	rec(0, 0)
+	return best, bestSch
+}

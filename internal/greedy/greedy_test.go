@@ -1,0 +1,232 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustEval(t *testing.T, in Instance, sch Schedule) Evaluation {
+	t.Helper()
+	ev, err := Evaluate(in, sch)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return ev
+}
+
+func TestEvaluateSingleTask(t *testing.T) {
+	in := Instance{R: 1, S: 1, P: 1, C: 2, W: 5}
+	sch := AlternatingGreedy(in)
+	ev := mustEval(t, in, sch)
+	// b1 arrives at 2, a1 at 4, task runs 4..9
+	if ev.Makespan != 9 {
+		t.Fatalf("makespan %v, want 9", ev.Makespan)
+	}
+	if len(ev.Tasks) != 1 || ev.Tasks[0].Start != 4 {
+		t.Fatalf("task trace wrong: %+v", ev.Tasks)
+	}
+}
+
+func TestEvaluateRejectsBadSchedules(t *testing.T) {
+	in := Instance{R: 2, S: 2, P: 1, C: 1, W: 1}
+	if _, err := Evaluate(in, Schedule{Assign: make([]int, 3)}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+	// task assigned but its files never sent
+	sch := Schedule{Assign: make([]int, 4)}
+	if _, err := Evaluate(in, sch); err == nil {
+		t.Fatal("missing files accepted")
+	}
+	// invalid worker in send
+	sch2 := AlternatingGreedy(in)
+	sch2.Sends[0].Worker = 5
+	if _, err := Evaluate(in, sch2); err == nil {
+		t.Fatal("invalid send worker accepted")
+	}
+}
+
+func TestEvaluateInvalidInstance(t *testing.T) {
+	if _, err := Evaluate(Instance{R: 0, S: 1, P: 1, C: 1, W: 1}, Schedule{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+}
+
+func TestAlternatingGreedyPattern(t *testing.T) {
+	in := Instance{R: 3, S: 2, P: 1, C: 1, W: 1}
+	sch := AlternatingGreedy(in)
+	// B first on ties: b1 a1 b2 a2 a3
+	want := []Send{
+		{0, false, 0}, {0, true, 0}, {0, false, 1}, {0, true, 1}, {0, true, 2},
+	}
+	if len(sch.Sends) != len(want) {
+		t.Fatalf("sends: %v", sch.Sends)
+	}
+	for i := range want {
+		if sch.Sends[i] != want[i] {
+			t.Fatalf("send %d = %v, want %v", i, sch.Sends[i], want[i])
+		}
+	}
+}
+
+// Proposition 1: with a single worker the alternating greedy algorithm is
+// optimal. Verified against exhaustive search over all send orders.
+func TestAlternatingGreedyOptimalProposition1(t *testing.T) {
+	for r := 1; r <= 4; r++ {
+		for s := 1; s <= 4; s++ {
+			for _, cw := range []struct{ c, w float64 }{
+				{1, 1}, {1, 3}, {3, 1}, {2, 5}, {5, 2},
+			} {
+				in := Instance{R: r, S: s, P: 1, C: cw.c, W: cw.w}
+				best, _ := BruteForceSingleWorker(in)
+				ev := mustEval(t, in, AlternatingGreedy(in))
+				if ev.Makespan > best+1e-9 {
+					t.Fatalf("r=%d s=%d c=%v w=%v: greedy %v > optimal %v",
+						r, s, cw.c, cw.w, ev.Makespan, best)
+				}
+			}
+		}
+	}
+}
+
+// Property version of Proposition 1 with random costs.
+func TestQuickProposition1(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(rRaw, sRaw uint8) bool {
+		r := int(rRaw%3) + 1
+		s := int(sRaw%3) + 1
+		in := Instance{
+			R: r, S: s, P: 1,
+			C: 0.5 + 4*rng.Float64(),
+			W: 0.5 + 4*rng.Float64(),
+		}
+		best, _ := BruteForceSingleWorker(in)
+		ev, err := Evaluate(in, AlternatingGreedy(in))
+		return err == nil && ev.Makespan <= best+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 4(a): p = 2, c = 4, w = 7, r = s = 3 — Min-min beats Thrifty.
+// Our Thrifty reproduces the paper's Gantt chart exactly: makespan 50.
+func TestFigure4a(t *testing.T) {
+	in := Instance{R: 3, S: 3, P: 2, C: 4, W: 7}
+	evT := mustEval(t, in, Thrifty(in))
+	evM := mustEval(t, in, MinMin(in))
+	if evT.Makespan != 50 {
+		t.Fatalf("Thrifty makespan %v, want 50 (the paper's Gantt)", evT.Makespan)
+	}
+	if !(evM.Makespan < evT.Makespan) {
+		t.Fatalf("Min-min (%v) should beat Thrifty (%v) on Figure 4(a)", evM.Makespan, evT.Makespan)
+	}
+}
+
+// Figure 4(b): p = 2, c = 8, w = 9, r = 6, s = 3 — Thrifty beats Min-min.
+func TestFigure4b(t *testing.T) {
+	in := Instance{R: 6, S: 3, P: 2, C: 8, W: 9}
+	evT := mustEval(t, in, Thrifty(in))
+	evM := mustEval(t, in, MinMin(in))
+	if !(evT.Makespan < evM.Makespan) {
+		t.Fatalf("Thrifty (%v) should beat Min-min (%v) on Figure 4(b)", evT.Makespan, evM.Makespan)
+	}
+}
+
+// Neither heuristic dominates: both counterexamples must flip the order.
+func TestNeitherHeuristicDominates(t *testing.T) {
+	a := Instance{R: 3, S: 3, P: 2, C: 4, W: 7}
+	b := Instance{R: 6, S: 3, P: 2, C: 8, W: 9}
+	ta := mustEval(t, a, Thrifty(a)).Makespan
+	ma := mustEval(t, a, MinMin(a)).Makespan
+	tb := mustEval(t, b, Thrifty(b)).Makespan
+	mb := mustEval(t, b, MinMin(b)).Makespan
+	if !(ma < ta && tb < mb) {
+		t.Fatalf("dominance not flipped: fig4a T=%v M=%v, fig4b T=%v M=%v", ta, ma, tb, mb)
+	}
+}
+
+// Both heuristics must produce complete, valid schedules on assorted
+// instances, and never beat a trivial lower bound.
+func TestHeuristicsValidAndBounded(t *testing.T) {
+	cases := []Instance{
+		{R: 1, S: 1, P: 1, C: 1, W: 1},
+		{R: 5, S: 5, P: 3, C: 2, W: 3},
+		{R: 2, S: 7, P: 4, C: 1, W: 10},
+		{R: 7, S: 2, P: 2, C: 10, W: 1},
+		{R: 4, S: 4, P: 8, C: 3, W: 3},
+	}
+	for _, in := range cases {
+		for name, sch := range map[string]Schedule{
+			"thrifty": Thrifty(in),
+			"minmin":  MinMin(in),
+		} {
+			ev, err := Evaluate(in, sch)
+			if err != nil {
+				t.Fatalf("%s on %+v: %v", name, in, err)
+			}
+			// lower bounds: all tasks' compute on p workers; minimum files
+			// through the one-port link (r A-stripes + s B-stripes at least).
+			lbCompute := in.W * float64(in.R*in.S) / float64(in.P)
+			lbComm := in.C * float64(in.R+in.S)
+			if ev.Makespan+1e-9 < math.Max(lbCompute, lbComm) {
+				t.Fatalf("%s on %+v: makespan %v below lower bound %v",
+					name, in, ev.Makespan, math.Max(lbCompute, lbComm))
+			}
+			if len(ev.Tasks) != in.R*in.S {
+				t.Fatalf("%s on %+v: %d tasks computed, want %d", name, in, len(ev.Tasks), in.R*in.S)
+			}
+		}
+	}
+}
+
+// Property: Thrifty and MinMin always yield evaluable schedules computing
+// every task, with makespan no better than the compute lower bound.
+func TestQuickHeuristicsAlwaysValid(t *testing.T) {
+	f := func(rRaw, sRaw, pRaw, cRaw, wRaw uint8) bool {
+		in := Instance{
+			R: int(rRaw%6) + 1,
+			S: int(sRaw%6) + 1,
+			P: int(pRaw%4) + 1,
+			C: float64(cRaw%9) + 1,
+			W: float64(wRaw%9) + 1,
+		}
+		for _, sch := range []Schedule{Thrifty(in), MinMin(in)} {
+			ev, err := Evaluate(in, sch)
+			if err != nil {
+				return false
+			}
+			if len(ev.Tasks) != in.R*in.S {
+				return false
+			}
+			if ev.Makespan+1e-9 < in.W*float64(in.R*in.S)/float64(in.P) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendString(t *testing.T) {
+	s := Send{Worker: 1, IsA: true, Idx: 2}
+	if s.String() != "a3→P2" {
+		t.Fatalf("String() = %q", s.String())
+	}
+	b := Send{Worker: 0, IsA: false, Idx: 0}
+	if b.String() != "b1→P1" {
+		t.Fatalf("String() = %q", b.String())
+	}
+}
+
+func TestBruteForceMatchesSequence(t *testing.T) {
+	in := Instance{R: 2, S: 2, P: 1, C: 1, W: 1}
+	best, sch := BruteForceSingleWorker(in)
+	ev := mustEval(t, in, sch)
+	if ev.Makespan != best {
+		t.Fatalf("returned schedule achieves %v, reported %v", ev.Makespan, best)
+	}
+}

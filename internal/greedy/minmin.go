@@ -1,0 +1,108 @@
+package greedy
+
+import "math"
+
+// MinMin implements the min-min heuristic of §3, after Maheswaran et al.:
+//
+//	"At each step, all tasks are considered. For each of them, we compute
+//	 their possible starting date on each worker, given the files that
+//	 have already been sent to this worker and all decisions taken
+//	 previously; we select the best worker, hence the first min in the
+//	 heuristic. We take the minimum of starting dates over all tasks,
+//	 hence the second min."
+//
+// The possible starting date of task (i, j) on worker P is computed by
+// appending the task's missing files (A_i and/or B_j on that worker) to the
+// master's one-port communication queue and intersecting with the worker's
+// compute availability. Committing a task commits those sends. Ties are
+// broken toward the worker that needs fewer new files, then by worker
+// index, then by task row-major order, which keeps the heuristic
+// deterministic.
+func MinMin(in Instance) Schedule {
+	type wstate struct {
+		arrA, arrB []float64 // arrival times; +Inf if not sent
+		busy       float64   // end of the worker's committed compute queue
+	}
+	ws := make([]*wstate, in.P)
+	for i := range ws {
+		ws[i] = &wstate{arrA: inf(in.R), arrB: inf(in.S)}
+	}
+	var sends []Send
+	assign := make([]int, in.R*in.S)
+	for i := range assign {
+		assign[i] = -1
+	}
+	commEnd := 0.0 // one-port master: next send starts here
+
+	type cand struct {
+		i, j, w int
+		missing int
+		start   float64
+		needA   bool
+		needB   bool
+	}
+
+	remaining := in.R * in.S
+	for remaining > 0 {
+		best := cand{start: math.Inf(1), missing: 1 << 30}
+		for i := 0; i < in.R; i++ {
+			for j := 0; j < in.S; j++ {
+				if assign[i*in.S+j] >= 0 {
+					continue
+				}
+				// first min: best worker for this task
+				taskBest := cand{start: math.Inf(1), missing: 1 << 30}
+				for w, st := range ws {
+					c := cand{i: i, j: j, w: w}
+					ready := 0.0
+					t := commEnd
+					if math.IsInf(st.arrA[i], 1) {
+						c.needA = true
+						c.missing++
+						t += in.C
+						ready = math.Max(ready, t)
+					} else {
+						ready = math.Max(ready, st.arrA[i])
+					}
+					if math.IsInf(st.arrB[j], 1) {
+						c.needB = true
+						c.missing++
+						t += in.C
+						ready = math.Max(ready, t)
+					} else {
+						ready = math.Max(ready, st.arrB[j])
+					}
+					c.start = math.Max(ready, st.busy)
+					if c.start < taskBest.start ||
+						(c.start == taskBest.start && (c.missing < taskBest.missing ||
+							(c.missing == taskBest.missing && c.w < taskBest.w))) {
+						taskBest = c
+					}
+				}
+				// second min: best task overall
+				if taskBest.start < best.start ||
+					(taskBest.start == best.start && (taskBest.missing < best.missing ||
+						(taskBest.missing == best.missing &&
+							(taskBest.i < best.i || (taskBest.i == best.i && taskBest.j < best.j))))) {
+					best = taskBest
+				}
+			}
+		}
+
+		st := ws[best.w]
+		if best.needA {
+			commEnd += in.C
+			st.arrA[best.i] = commEnd
+			sends = append(sends, Send{Worker: best.w, IsA: true, Idx: best.i})
+		}
+		if best.needB {
+			commEnd += in.C
+			st.arrB[best.j] = commEnd
+			sends = append(sends, Send{Worker: best.w, IsA: false, Idx: best.j})
+		}
+		st.busy = best.start + in.W
+		assign[best.i*in.S+best.j] = best.w
+		remaining--
+	}
+	return Schedule{Sends: sends, Assign: assign}
+}

@@ -1,0 +1,181 @@
+package greedy
+
+import "math"
+
+// Thrifty implements the resource-sparing heuristic of §3:
+//
+//	"Send enough blocks to the first worker so that it is never idle,
+//	 send blocks to a second worker during spare communication slots, and
+//	 enroll a new worker (and send blocks to it) only if this does not
+//	 delay previously enrolled workers."
+//
+// The paper specifies Thrifty only informally; this implementation makes it
+// operational as follows (the constants reproduce the Gantt chart of
+// Figure 4(a) exactly). The master runs a clock tm over its one-port link
+// and at each slot picks a recipient by priority:
+//
+//  1. the lowest-index enrolled worker that is hungry — its compute
+//     backlog would not survive the file being deferred behind one spare
+//     communication (backlog end < tm + 3c); it receives the next file of
+//     its alternating-greedy stream (B first on ties; a fresh A stripe
+//     when its B count has caught up and unassigned stripes remain);
+//  2. the lowest-index enrolled worker still missing B stripes for the A
+//     stripes it already owns (completing an enrolled worker is cheaper
+//     than enrolling a new one);
+//  3. otherwise the slot is spare: a new worker is enrolled if unassigned
+//     A stripes remain and the platform has idle workers; failing that the
+//     remaining stripes go to the lowest-index worker that can take them.
+//
+// A stripes are partitioned across workers (each row of tasks is computed
+// where its stripe landed); B stripes are duplicated to every worker that
+// owns at least one A stripe.
+func Thrifty(in Instance) Schedule {
+	type wstate struct {
+		nA, nB  int // files received (drives the alternation)
+		rows    []int
+		backlog float64
+		arrA    map[int]float64
+		arrB    []float64
+	}
+
+	var sends []Send
+	assign := make([]int, in.R*in.S)
+	for i := range assign {
+		assign[i] = -1
+	}
+	nextRow := 0
+	var ws []*wstate
+	newWorker := func() {
+		ws = append(ws, &wstate{arrA: make(map[int]float64), arrB: inf(in.S)})
+	}
+	newWorker()
+
+	recompute := func(w *wstate) {
+		type task struct {
+			i, j  int
+			ready float64
+		}
+		var ts []task
+		for _, i := range w.rows {
+			ai := w.arrA[i]
+			for j := 0; j < in.S; j++ {
+				if math.IsInf(w.arrB[j], 1) {
+					continue
+				}
+				ts = append(ts, task{i, j, math.Max(ai, w.arrB[j])})
+			}
+		}
+		less := func(a, b int) bool {
+			if ts[a].ready != ts[b].ready {
+				return ts[a].ready < ts[b].ready
+			}
+			if ts[a].i != ts[b].i {
+				return ts[a].i < ts[b].i
+			}
+			return ts[a].j < ts[b].j
+		}
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && less(j, j-1); j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+		var busy float64
+		for _, t := range ts {
+			busy = math.Max(busy, t.ready) + in.W
+		}
+		w.backlog = busy
+	}
+
+	// nextFile is the alternating-greedy choice for worker w: B first on
+	// ties, A stripes only while the global pool lasts.
+	nextFile := func(w *wstate) (isA bool, idx int, ok bool) {
+		wantsA := nextRow < in.R
+		wantsB := w.nB < in.S && (len(w.rows) > 0 || wantsA)
+		switch {
+		case wantsB && (w.nB <= w.nA || !wantsA):
+			return false, w.nB, true
+		case wantsA:
+			return true, nextRow, true
+		default:
+			return false, 0, false
+		}
+	}
+
+	deliver := func(target int, isA bool, idx int, tm float64) float64 {
+		w := ws[target]
+		at := tm + in.C
+		if isA {
+			w.arrA[idx] = at
+			w.rows = append(w.rows, idx)
+			w.nA++
+			for j := 0; j < in.S; j++ {
+				assign[idx*in.S+j] = target
+			}
+			nextRow++
+		} else {
+			w.arrB[idx] = at
+			w.nB++
+		}
+		sends = append(sends, Send{Worker: target, IsA: isA, Idx: idx})
+		recompute(w)
+		return at
+	}
+
+	tm := 0.0
+	for {
+		done := nextRow >= in.R
+		if done {
+			for _, w := range ws {
+				if len(w.rows) > 0 && w.nB < in.S {
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			break
+		}
+
+		// Priority 1: hungry enrolled workers.
+		served := false
+		for i, w := range ws {
+			if w.backlog >= tm+3*in.C {
+				continue
+			}
+			if isA, idx, ok := nextFile(w); ok {
+				tm = deliver(i, isA, idx, tm)
+				served = true
+				break
+			}
+		}
+		if served {
+			continue
+		}
+		// Priority 2: complete the B needs of enrolled workers.
+		for i, w := range ws {
+			if len(w.rows) > 0 && w.nB < in.S {
+				tm = deliver(i, false, w.nB, tm)
+				served = true
+				break
+			}
+		}
+		if served {
+			continue
+		}
+		// Priority 3: spare slot — enroll a new worker for remaining rows.
+		if nextRow < in.R {
+			if len(ws) < in.P {
+				newWorker()
+			}
+			// The freshly enrolled (or last) worker ramps up with its
+			// alternating stream, starting from B.
+			i := len(ws) - 1
+			if isA, idx, ok := nextFile(ws[i]); ok {
+				tm = deliver(i, isA, idx, tm)
+				continue
+			}
+		}
+		break // nothing sendable: should not happen before done
+	}
+	return Schedule{Sends: sends, Assign: assign}
+}

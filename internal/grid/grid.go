@@ -1,0 +1,216 @@
+// Package grid implements the two classical 2D-grid matrix-product
+// baselines that the paper's introduction contrasts with: Cannon's
+// algorithm and the ScaLAPACK outer-product algorithm (SUMMA-style). Both
+// assume the operands are *pre-distributed* across a g×g processor grid —
+// exactly the hypothesis the paper drops — so the package also provides
+// the cost accounting needed to compare them fairly against the
+// centralized master-worker algorithms: the O(n²) scatter/gather through
+// the master's one-port link that grid algorithms usually ignore (§1:
+// "These input/output operations have always been neglected in the
+// analysis of the conventional algorithms").
+//
+// The executors are real: each grid processor is a goroutine owning its
+// local tiles, neighbors exchange actual blocks over channels, and the
+// result is exact.
+package grid
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// check validates the square-grid preconditions shared by both
+// algorithms: square n×n operands with n divisible by the grid side g.
+func check(c, a, b *matrix.Dense, g int) (tile int, err error) {
+	if g < 1 {
+		return 0, fmt.Errorf("grid: grid side %d < 1", g)
+	}
+	n := a.Rows
+	if a.Cols != n || b.Rows != n || b.Cols != n || c.Rows != n || c.Cols != n {
+		return 0, fmt.Errorf("grid: operands must all be n×n (got A %dx%d, B %dx%d, C %dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	if n%g != 0 {
+		return 0, fmt.Errorf("grid: n=%d not divisible by grid side g=%d", n, g)
+	}
+	return n / g, nil
+}
+
+// extract copies the (i, j) tile of side `tile` out of d.
+func extract(d *matrix.Dense, i, j, tile int) []float64 {
+	out := make([]float64, tile*tile)
+	for r := 0; r < tile; r++ {
+		copy(out[r*tile:(r+1)*tile], d.Data[(i*tile+r)*d.Cols+j*tile:(i*tile+r)*d.Cols+j*tile+tile])
+	}
+	return out
+}
+
+// inject writes a tile back into d at tile coordinates (i, j).
+func inject(d *matrix.Dense, buf []float64, i, j, tile int) {
+	for r := 0; r < tile; r++ {
+		copy(d.Data[(i*tile+r)*d.Cols+j*tile:(i*tile+r)*d.Cols+j*tile+tile], buf[r*tile:(r+1)*tile])
+	}
+}
+
+// Cannon computes C ← C + A·B on a g×g goroutine grid with Cannon's
+// algorithm: after the initial skew (processor (i,j) holds A(i, j+i) and
+// B(i+j, j)), each of the g rounds performs a local tile product and
+// shifts A one step left and B one step up.
+func Cannon(c, a, b *matrix.Dense, g int) error {
+	tile, err := check(c, a, b, g)
+	if err != nil {
+		return err
+	}
+
+	// channels: aCh[i][j] receives the A tile for processor (i,j) for
+	// the next round (sent by its right neighbor); bCh likewise from the
+	// neighbor below.
+	aCh := make([][]chan []float64, g)
+	bCh := make([][]chan []float64, g)
+	for i := 0; i < g; i++ {
+		aCh[i] = make([]chan []float64, g)
+		bCh[i] = make([]chan []float64, g)
+		for j := 0; j < g; j++ {
+			aCh[i][j] = make(chan []float64, 1)
+			bCh[i][j] = make(chan []float64, 1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				// initial skew (the pre-distribution step)
+				at := extract(a, i, (j+i)%g, tile)
+				bt := extract(b, (i+j)%g, j, tile)
+				ct := extract(c, i, j, tile)
+				for round := 0; round < g; round++ {
+					blas.GemmBlocked(tile, tile, tile, at, tile, bt, tile, ct, tile)
+					if round == g-1 {
+						break
+					}
+					// shift A left, B up
+					aCh[i][(j+g-1)%g] <- at
+					bCh[(i+g-1)%g][j] <- bt
+					at = <-aCh[i][j]
+					bt = <-bCh[i][j]
+				}
+				inject(c, ct, i, j, tile)
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// OuterProduct computes C ← C + A·B on a g×g goroutine grid with the
+// ScaLAPACK outer-product algorithm: in round k the owners of column k of
+// A broadcast along their row, the owners of row k of B broadcast along
+// their column, and every processor accumulates a rank-tile update.
+func OuterProduct(c, a, b *matrix.Dense, g int) error {
+	tile, err := check(c, a, b, g)
+	if err != nil {
+		return err
+	}
+	// Per-round broadcast inboxes, one per (round, processor): broadcasts
+	// of different rounds come from different owners, so a single channel
+	// per processor would interleave them out of order when processors
+	// drift apart.
+	aIn := make([][][]chan []float64, g)
+	bIn := make([][][]chan []float64, g)
+	for k := 0; k < g; k++ {
+		aIn[k] = make([][]chan []float64, g)
+		bIn[k] = make([][]chan []float64, g)
+		for i := 0; i < g; i++ {
+			aIn[k][i] = make([]chan []float64, g)
+			bIn[k][i] = make([]chan []float64, g)
+			for j := 0; j < g; j++ {
+				aIn[k][i][j] = make(chan []float64, 1)
+				bIn[k][i][j] = make(chan []float64, 1)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				aLocal := extract(a, i, j, tile)
+				bLocal := extract(b, i, j, tile)
+				ct := extract(c, i, j, tile)
+				for k := 0; k < g; k++ {
+					// row broadcast of A(i,k) by its owner (i,k)
+					if j == k {
+						for jj := 0; jj < g; jj++ {
+							if jj != j {
+								aIn[k][i][jj] <- aLocal
+							}
+						}
+					}
+					// column broadcast of B(k,j) by its owner (k,j)
+					if i == k {
+						for ii := 0; ii < g; ii++ {
+							if ii != i {
+								bIn[k][ii][j] <- bLocal
+							}
+						}
+					}
+					at := aLocal
+					if j != k {
+						at = <-aIn[k][i][j]
+					}
+					bt := bLocal
+					if i != k {
+						bt = <-bIn[k][i][j]
+					}
+					blas.GemmBlocked(tile, tile, tile, at, tile, bt, tile, ct, tile)
+				}
+				inject(c, ct, i, j, tile)
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// CostModel is the simple per-link model used to compare the grid
+// baselines against the master-worker algorithms: tileComm is the time to
+// move one tile between neighbors, tileWork the time of one tile product.
+type CostModel struct {
+	TileComm float64
+	TileWork float64
+}
+
+// CannonCost returns the modelled parallel time of Cannon's algorithm on
+// a g×g grid (g rounds, each a tile product plus two neighbor shifts that
+// overlap across the grid), and the total communication volume in tiles.
+func CannonCost(g int, m CostModel) (makespan float64, volumeTiles int64) {
+	rounds := float64(g)
+	// per round each processor computes one tile product and forwards two
+	// tiles; with wormhole-free neighbor links the shifts pipeline with
+	// compute, so a round costs max(work, 2·comm) plus the skew.
+	per := m.TileWork
+	if 2*m.TileComm > per {
+		per = 2 * m.TileComm
+	}
+	makespan = rounds*per + 2*m.TileComm // initial skew (amortized) + drain
+	volumeTiles = int64(g) * int64(g) * int64(2*(g-1))
+	return makespan, volumeTiles
+}
+
+// ScatterGatherBlocks returns the number of q×q blocks the centralized
+// master must push out and pull back if the operands start at, and the
+// result must return to, the master: the O(n²) term the grid analyses
+// neglect. For an n×n problem in q-blocks with r = s = t = n/q:
+// A (r·t) + B (t·s) out, C (r·s) out and back.
+func ScatterGatherBlocks(rBlocks int) int64 {
+	n := int64(rBlocks)
+	return 2*n*n /* A, B out */ + 2*n*n /* C out and back */
+}

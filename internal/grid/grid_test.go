@@ -1,0 +1,139 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func build(t *testing.T, n int) (a, b, c, want *matrix.Dense) {
+	t.Helper()
+	a = matrix.NewDense(n, n)
+	b = matrix.NewDense(n, n)
+	c = matrix.NewDense(n, n)
+	matrix.DeterministicFill(a, 1)
+	matrix.DeterministicFill(b, 2)
+	matrix.DeterministicFill(c, 3)
+	want = c.Clone()
+	matrix.MulNaive(want, a, b)
+	return a, b, c, want
+}
+
+func TestCannonCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, g int }{
+		{4, 1}, {4, 2}, {8, 2}, {12, 3}, {16, 4}, {20, 5}, {24, 4},
+	} {
+		a, b, c, want := build(t, tc.n)
+		if err := Cannon(c, a, b, tc.g); err != nil {
+			t.Fatalf("n=%d g=%d: %v", tc.n, tc.g, err)
+		}
+		if d := c.MaxDiff(want); d > 1e-10 {
+			t.Fatalf("n=%d g=%d: off by %g", tc.n, tc.g, d)
+		}
+	}
+}
+
+func TestOuterProductCorrect(t *testing.T) {
+	for _, tc := range []struct{ n, g int }{
+		{4, 1}, {4, 2}, {8, 2}, {12, 3}, {16, 4}, {20, 5},
+	} {
+		a, b, c, want := build(t, tc.n)
+		if err := OuterProduct(c, a, b, tc.g); err != nil {
+			t.Fatalf("n=%d g=%d: %v", tc.n, tc.g, err)
+		}
+		if d := c.MaxDiff(want); d > 1e-10 {
+			t.Fatalf("n=%d g=%d: off by %g", tc.n, tc.g, d)
+		}
+	}
+}
+
+func TestBothAgree(t *testing.T) {
+	a, b, c1, _ := build(t, 12)
+	c2 := c1.Clone()
+	if err := Cannon(c1, a, b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := OuterProduct(c2, a, b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d := c1.MaxDiff(c2); d > 1e-10 {
+		t.Fatalf("algorithms disagree by %g", d)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	a, b, c, _ := build(t, 6)
+	if err := Cannon(c, a, b, 4); err == nil {
+		t.Fatal("n=6 g=4 accepted")
+	}
+	if err := Cannon(c, a, b, 0); err == nil {
+		t.Fatal("g=0 accepted")
+	}
+	rect := matrix.NewDense(6, 8)
+	if err := OuterProduct(c, rect, b, 2); err == nil {
+		t.Fatal("rectangular A accepted")
+	}
+}
+
+func TestOperandsPreserved(t *testing.T) {
+	a, b, c, _ := build(t, 8)
+	asum, bsum := a.Checksum(), b.Checksum()
+	if err := Cannon(c, a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum() != asum || b.Checksum() != bsum {
+		t.Fatal("operands modified")
+	}
+}
+
+func TestCannonCost(t *testing.T) {
+	// compute-bound grid: round cost = work
+	ms, vol := CannonCost(4, CostModel{TileComm: 1, TileWork: 10})
+	if ms != 4*10+2 {
+		t.Fatalf("makespan %v, want 42", ms)
+	}
+	// 16 processors each forwarding 2 tiles per shift round (g-1 rounds)
+	if vol != 16*2*3 {
+		t.Fatalf("volume %d, want 96", vol)
+	}
+	// comm-bound grid: round cost = 2·comm
+	ms, _ = CannonCost(4, CostModel{TileComm: 10, TileWork: 1})
+	if ms != 4*20+20 {
+		t.Fatalf("comm-bound makespan %v, want 100", ms)
+	}
+}
+
+func TestScatterGatherBlocks(t *testing.T) {
+	// r = 10: A and B are 100 blocks each out, C 100 out + 100 back.
+	if got := ScatterGatherBlocks(10); got != 400 {
+		t.Fatalf("ScatterGatherBlocks(10) = %d, want 400", got)
+	}
+}
+
+// Property: Cannon and the outer product both match the oracle for random
+// seeds and any compatible (n, g).
+func TestQuickGridAlgorithms(t *testing.T) {
+	f := func(gRaw, mulRaw uint8, seed int64, useCannon bool) bool {
+		g := int(gRaw%4) + 1
+		n := g * (int(mulRaw%3) + 1) * 2
+		a := matrix.NewDense(n, n)
+		b := matrix.NewDense(n, n)
+		c := matrix.NewDense(n, n)
+		matrix.DeterministicFill(a, seed)
+		matrix.DeterministicFill(b, seed+1)
+		matrix.DeterministicFill(c, seed+2)
+		want := c.Clone()
+		matrix.MulNaive(want, a, b)
+		var err error
+		if useCannon {
+			err = Cannon(c, a, b, g)
+		} else {
+			err = OuterProduct(c, a, b, g)
+		}
+		return err == nil && c.MaxDiff(want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package hetalg provides a dynamic (demand-driven) scheduler for fully
+// heterogeneous platforms, the natural baseline for the incremental static
+// algorithms of §6.2: instead of pre-allocating column panels through a
+// selection simulation, the master hands each idle worker the next
+// available panel of µ_i block columns, sized to that worker's memory, and
+// serves update sets first-come first-served.
+//
+// The paper's related-work section classifies such schedulers as the
+// "dynamic strategies [that] are outside the scope of this paper"; this
+// package implements one faithfully under the same one-port star model so
+// the announced heterogeneous comparison (§8) can include it.
+package hetalg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Options mirrors hetero.ExecOptions.
+type Options struct {
+	IncludeCIO bool
+	Trace      *trace.Trace
+}
+
+// chunkState tracks one worker's active chunk.
+type chunkState struct {
+	rows, cols int
+	stepsLeft  int
+	rowCursor  int // next row chunk within the current column panel
+	panelCols  int // columns of the current panel
+	hasPanel   bool
+}
+
+// Run executes the matrix product demand-driven: idle workers grab the
+// next µ_i-column panel, cut it into µ_i-row chunks, and stream update
+// sets through the one-port master with the Algorithm-3 blocking rule
+// (an update-set transfer completes no earlier than the worker's previous
+// compute, modelling single staging).
+func Run(pl *platform.Platform, pr core.Problem, opt Options) (core.Result, error) {
+	if err := pl.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	if err := pr.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	mus := pl.Mus()
+	usable := false
+	for _, mu := range mus {
+		if mu >= 1 {
+			usable = true
+		}
+	}
+	if !usable {
+		return core.Result{}, fmt.Errorf("hetalg: no worker has memory for µ ≥ 1")
+	}
+
+	var (
+		port      float64
+		ready     = make([]float64, pl.P()) // compute completion
+		idleSince = make([]float64, pl.P())
+		st        = make([]chunkState, pl.P())
+		colCursor int
+		blocks    int64
+		updates   int64
+		enrolled  = make([]bool, pl.P())
+	)
+	lane := func(w int) string { return fmt.Sprintf("P%d", w+1) }
+
+	// nextChunk advances worker w to its next chunk, pulling a fresh
+	// column panel when the current one is exhausted. Returns false when
+	// no work remains for w.
+	nextChunk := func(w int) bool {
+		mu := mus[w]
+		if mu < 1 {
+			return false
+		}
+		if !st[w].hasPanel || st[w].rowCursor >= pr.R {
+			if colCursor >= pr.S {
+				st[w].hasPanel = false
+				return false
+			}
+			st[w].panelCols = min(mu, pr.S-colCursor)
+			colCursor += st[w].panelCols
+			st[w].rowCursor = 0
+			st[w].hasPanel = true
+		}
+		rows := min(mu, pr.R-st[w].rowCursor)
+		st[w].rowCursor += rows
+		st[w].rows, st[w].cols = rows, st[w].panelCols
+		st[w].stepsLeft = pr.T
+		return true
+	}
+
+	type cand struct {
+		w     int
+		kind  int // 0 = start chunk, 1 = update set, 2 = retrieve
+		since float64
+	}
+	active := make([]bool, pl.P())
+
+	for {
+		// Gather demand candidates, FIFO by readiness.
+		best := cand{w: -1, since: math.Inf(1)}
+		for w := range pl.Workers {
+			if mus[w] < 1 {
+				continue
+			}
+			switch {
+			case !active[w]:
+				// worker idle: can it start a chunk?
+				if st[w].hasPanel && st[w].rowCursor < pr.R || colCursor < pr.S {
+					if idleSince[w] < best.since {
+						best = cand{w, 0, idleSince[w]}
+					}
+				}
+			case st[w].stepsLeft > 0:
+				// next update set became wanted when the previous step's
+				// compute finished (single staging buffer)
+				if ready[w] < best.since {
+					best = cand{w, 1, ready[w]}
+				}
+			default:
+				if ready[w] < best.since {
+					best = cand{w, 2, ready[w]}
+				}
+			}
+		}
+		if best.w < 0 {
+			break
+		}
+		w := best.w
+		wk := pl.Workers[w]
+		switch best.kind {
+		case 0: // start chunk: ship C down
+			if !nextChunk(w) {
+				// another worker drained the columns since the scan
+				active[w] = false
+				idleSince[w] = math.Inf(1)
+				continue
+			}
+			active[w] = true
+			enrolled[w] = true
+			if opt.IncludeCIO {
+				dur := float64(st[w].rows*st[w].cols) * wk.C
+				opt.Trace.Add("M", trace.Comm, port, port+dur, "C→"+lane(w))
+				port += dur
+				blocks += int64(st[w].rows * st[w].cols)
+			}
+		case 1: // one update set
+			nb := int64(st[w].rows + st[w].cols)
+			end := port + float64(nb)*wk.C
+			if ready[w] > end {
+				end = ready[w] // Algorithm-3 blocking rule
+			}
+			opt.Trace.Add("M", trace.Comm, port, end, "AB→"+lane(w))
+			port = end
+			blocks += nb
+			u := int64(st[w].rows * st[w].cols)
+			cstart := math.Max(end, ready[w])
+			ready[w] = cstart + float64(u)*wk.W
+			opt.Trace.Add(lane(w), trace.Compute, cstart, ready[w], "upd")
+			updates += u
+			st[w].stepsLeft--
+		case 2: // retrieve C
+			if opt.IncludeCIO {
+				start := math.Max(port, ready[w])
+				dur := float64(st[w].rows*st[w].cols) * wk.C
+				opt.Trace.Add("M", trace.Comm, start, start+dur, "C←"+lane(w))
+				port = start + dur
+				blocks += int64(st[w].rows * st[w].cols)
+			}
+			active[w] = false
+			idleSince[w] = math.Max(port, ready[w])
+		}
+	}
+
+	makespan := port
+	for _, r := range ready {
+		if r > makespan {
+			makespan = r
+		}
+	}
+	n := 0
+	for _, e := range enrolled {
+		if e {
+			n++
+		}
+	}
+	if updates != pr.Updates() {
+		return core.Result{}, fmt.Errorf("hetalg: performed %d updates, want %d", updates, pr.Updates())
+	}
+	return core.Result{
+		Algorithm: "hetero-demand",
+		Makespan:  makespan,
+		Enrolled:  n,
+		Blocks:    blocks,
+		Updates:   updates,
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

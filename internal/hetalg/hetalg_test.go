@@ -1,0 +1,150 @@
+package hetalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func mem(mu int) int { return mu*mu + 4*mu }
+
+func table2() *platform.Platform {
+	return platform.New(
+		platform.Worker{C: 2, W: 2, M: mem(6)},
+		platform.Worker{C: 3, W: 3, M: mem(18)},
+		platform.Worker{C: 5, W: 1, M: mem(10)},
+	)
+}
+
+func TestRunConservation(t *testing.T) {
+	pl := table2()
+	pr := core.Problem{R: 36, S: 36, T: 10, Q: 80}
+	res, err := Run(pl, pr, Options{IncludeCIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != pr.Updates() {
+		t.Fatalf("updates %d, want %d", res.Updates, pr.Updates())
+	}
+	if res.Enrolled < 1 || res.Enrolled > 3 {
+		t.Fatalf("enrolled %d", res.Enrolled)
+	}
+	// compute lower bound
+	var rate float64
+	for _, wk := range pl.Workers {
+		rate += 1 / wk.W
+	}
+	if res.Makespan < float64(pr.Updates())/rate {
+		t.Fatalf("makespan %v below aggregate compute bound", res.Makespan)
+	}
+}
+
+func TestSingleWorkerExactMakespan(t *testing.T) {
+	// one worker, µ=2, r=s=2, t=2, no C I/O: two update sets of 4 blocks
+	// each (2 rows + 2 cols), each enabling 4 updates.
+	pl := platform.New(platform.Worker{C: 1, W: 3, M: mem(2)})
+	pr := core.Problem{R: 2, S: 2, T: 2, Q: 8}
+	res, err := Run(pl, pr, Options{IncludeCIO: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AB1 [0,4], compute [4,16]; AB2 ends max(8,16)=16, compute [16,28].
+	if res.Makespan != 28 {
+		t.Fatalf("makespan %v, want 28", res.Makespan)
+	}
+	if res.Blocks != 8 {
+		t.Fatalf("blocks %d, want 8", res.Blocks)
+	}
+}
+
+func TestCIOAddsTraffic(t *testing.T) {
+	pl := table2()
+	pr := core.Problem{R: 18, S: 18, T: 4, Q: 80}
+	with, err := Run(pl, pr, Options{IncludeCIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(pl, pr, Options{IncludeCIO: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(without.Blocks < with.Blocks && without.Makespan <= with.Makespan) {
+		t.Fatalf("C I/O accounting wrong: %v vs %v", without, with)
+	}
+}
+
+func TestTraceConsistent(t *testing.T) {
+	tr := &trace.Trace{}
+	pl := table2()
+	pr := core.Problem{R: 12, S: 12, T: 3, Q: 80}
+	res, err := Run(pl, pr, Options{IncludeCIO: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Makespan()-res.Makespan) > 1e-9 {
+		t.Fatalf("trace makespan %v vs result %v", tr.Makespan(), res.Makespan)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Run(platform.New(), core.Problem{R: 1, S: 1, T: 1, Q: 1}, Options{}); err == nil {
+		t.Fatal("empty platform accepted")
+	}
+	pl := platform.New(platform.Worker{C: 1, W: 1, M: 4})
+	if _, err := Run(pl, core.Problem{R: 1, S: 1, T: 1, Q: 1}, Options{}); err == nil {
+		t.Fatal("µ=0 platform accepted")
+	}
+	if _, err := Run(table2(), core.Problem{}, Options{}); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}
+
+// Property: the dynamic scheduler conserves work on random platforms and
+// problems, and is never faster than the aggregate compute lower bound.
+func TestQuickDemandInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(pRaw, rRaw, sRaw, tRaw uint8) bool {
+		p := int(pRaw%4) + 1
+		pl := platform.RandomHeterogeneous(rng, p, 1, 1, 80, 3, 3, 2)
+		pr := core.Problem{
+			R: int(rRaw%15) + 1, S: int(sRaw%15) + 1, T: int(tRaw%4) + 1, Q: 8,
+		}
+		res, err := Run(pl, pr, Options{IncludeCIO: true})
+		if err != nil {
+			return false
+		}
+		var rate float64
+		for _, wk := range pl.Workers {
+			rate += 1 / wk.W
+		}
+		return res.Updates == pr.Updates() && res.Makespan >= float64(pr.Updates())/rate-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dynamic baseline should be in the same ballpark as the static
+// incremental algorithms on the Table 2 platform (neither pathologically
+// slow nor impossibly fast).
+func TestComparableToStatic(t *testing.T) {
+	pl := table2()
+	pr := core.Problem{R: 36, S: 36, T: 10, Q: 80}
+	dyn, err := Run(pl, pr, Options{IncludeCIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, _, err := hetero.Run(pl, pr, hetero.Global, hetero.ExecOptions{IncludeCIO: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Makespan > 3*stat.Makespan || stat.Makespan > 3*dyn.Makespan {
+		t.Fatalf("dynamic %v and static %v are not comparable", dyn.Makespan, stat.Makespan)
+	}
+}

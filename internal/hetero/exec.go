@@ -1,0 +1,197 @@
+package hetero
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// ExecOptions tunes the execution-phase replay.
+type ExecOptions struct {
+	// IncludeCIO adds the C-chunk distribution and retrieval
+	// communications that the allocation-phase ratio analysis neglects
+	// ("Once again, we neglect I/O for C blocks", §6.1). The real
+	// execution of §6.2 does pay them, so the default is true.
+	IncludeCIO bool
+	// Trace, when non-nil, receives the Gantt spans of the execution
+	// (Figures 7 and 8 of the paper).
+	Trace *trace.Trace
+}
+
+// Execute replays an allocation's selection sequence as the second phase of
+// §6.2: the first selection of a chunk ships the µ_i×µ_i C chunk to P_i,
+// each following selection ships one update set (µ_i A blocks + µ_i B
+// blocks, 2µ_i·c_i), and after the t-th update set of a chunk the chunk is
+// returned to the master. The master is a strict one-port: operations are
+// serialized in selection order, and an update-set communication to a
+// worker whose staging buffers are still busy completes only when the
+// worker becomes ready (the timing rule of Algorithm 3).
+func Execute(pl *platform.Platform, pr core.Problem, alloc *Allocation, opt ExecOptions) (core.Result, error) {
+	if alloc == nil {
+		return core.Result{}, fmt.Errorf("hetero: nil allocation")
+	}
+	mus := pl.Mus()
+
+	// Enumerate each worker's chunks from its columns: panels of µ_i
+	// columns, each cut into ⌈r/µ_i⌉ chunks of µ_i (or ragged) rows.
+	type chunk struct{ rows, cols int }
+	chunkQueue := make([][]chunk, pl.P())
+	for w := 0; w < pl.P(); w++ {
+		cols := alloc.Panels[w].Columns
+		mu := mus[w]
+		if cols == 0 || mu == 0 {
+			continue
+		}
+		for c0 := 0; c0 < cols; c0 += mu {
+			cw := minInt(mu, cols-c0)
+			for r0 := 0; r0 < pr.R; r0 += mu {
+				rw := minInt(mu, pr.R-r0)
+				chunkQueue[w] = append(chunkQueue[w], chunk{rows: rw, cols: cw})
+			}
+		}
+	}
+
+	// Build the effective selection sequence: the allocation's sequence
+	// with surplus selections dropped and any per-worker deficit appended
+	// round-robin (the allocation phase stops on a column-count rounding
+	// boundary, so the raw sequence can be a few update sets short).
+	needed := make([]int, pl.P())
+	for w := range chunkQueue {
+		needed[w] = len(chunkQueue[w]) * pr.T
+	}
+	var seq []int
+	taken := make([]int, pl.P())
+	for _, w := range alloc.Selections {
+		if taken[w] < needed[w] {
+			seq = append(seq, w)
+			taken[w]++
+		}
+	}
+	for {
+		appended := false
+		for w := 0; w < pl.P(); w++ {
+			if taken[w] < needed[w] {
+				seq = append(seq, w)
+				taken[w]++
+				appended = true
+			}
+		}
+		if !appended {
+			break
+		}
+	}
+
+	var (
+		port    float64 // one-port link availability
+		ready   = make([]float64, pl.P())
+		kDone   = make([]int, pl.P()) // update sets delivered in current chunk
+		curIdx  = make([]int, pl.P()) // current chunk index
+		blocks  int64
+		updates int64
+		res     core.Result
+	)
+	enrolled := make([]bool, pl.P())
+
+	lane := func(w int) string { return fmt.Sprintf("P%d", w+1) }
+
+	for _, w := range seq {
+		if curIdx[w] >= len(chunkQueue[w]) {
+			continue // defensive; seq construction should prevent this
+		}
+		ck := chunkQueue[w][curIdx[w]]
+		wk := pl.Workers[w]
+		enrolled[w] = true
+
+		if kDone[w] == 0 && opt.IncludeCIO {
+			// Ship the C chunk down.
+			dur := float64(ck.rows*ck.cols) * wk.C
+			start := port
+			port = start + dur
+			blocks += int64(ck.rows * ck.cols)
+			opt.Trace.Add("M", trace.Comm, start, port, fmt.Sprintf("C→%s", lane(w)))
+		}
+
+		// One update set: µ_i B blocks + µ_i A blocks (clamped to the
+		// ragged chunk dimensions).
+		nb := int64(ck.cols + ck.rows)
+		dur := float64(nb) * wk.C
+		start := port
+		end := start + dur
+		if ready[w] > end {
+			// Staging buffers still in use: the transfer cannot complete
+			// before the worker drains them (Algorithm 3 timing rule).
+			end = ready[w]
+		}
+		opt.Trace.Add("M", trace.Comm, start, end, fmt.Sprintf("AB→%s", lane(w)))
+		port = end
+		blocks += nb
+
+		u := int64(ck.rows * ck.cols)
+		cstart := end
+		if ready[w] > cstart {
+			cstart = ready[w]
+		}
+		ready[w] = cstart + float64(u)*wk.W
+		updates += u
+		opt.Trace.Add(lane(w), trace.Compute, cstart, ready[w], fmt.Sprintf("upd k=%d", kDone[w]+1))
+
+		kDone[w]++
+		if kDone[w] == pr.T {
+			// Chunk complete: retrieve C.
+			if opt.IncludeCIO {
+				dur := float64(ck.rows*ck.cols) * wk.C
+				start := port
+				if ready[w] > start {
+					start = ready[w]
+				}
+				port = start + dur
+				blocks += int64(ck.rows * ck.cols)
+				opt.Trace.Add("M", trace.Comm, start, port, fmt.Sprintf("C←%s", lane(w)))
+			}
+			kDone[w] = 0
+			curIdx[w]++
+		}
+	}
+
+	// Drain: all chunks must have been fully processed.
+	var makespan float64
+	for w := range ready {
+		if curIdx[w] < len(chunkQueue[w]) || kDone[w] != 0 {
+			return core.Result{}, fmt.Errorf("hetero: worker P%d has %d unfinished chunks (selection sequence too short)",
+				w+1, len(chunkQueue[w])-curIdx[w])
+		}
+		if ready[w] > makespan {
+			makespan = ready[w]
+		}
+	}
+	if port > makespan {
+		makespan = port
+	}
+
+	nEnrolled := 0
+	for _, e := range enrolled {
+		if e {
+			nEnrolled++
+		}
+	}
+	res = core.Result{
+		Algorithm: "hetero-" + alloc.Rule.String(),
+		Makespan:  makespan,
+		Enrolled:  nEnrolled,
+		Blocks:    blocks,
+		Updates:   updates,
+	}
+	return res, nil
+}
+
+// Run is the one-call driver: allocate then execute.
+func Run(pl *platform.Platform, pr core.Problem, rule Rule, opt ExecOptions) (core.Result, *Allocation, error) {
+	alloc, err := Allocate(pl, pr, rule)
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	res, err := Execute(pl, pr, alloc, opt)
+	return res, alloc, err
+}

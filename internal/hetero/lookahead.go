@@ -1,0 +1,52 @@
+package hetero
+
+import (
+	"math"
+
+	"repro/internal/platform"
+)
+
+// StepLookahead generalizes the two-step-ahead refinement of §6.2.1 to an
+// arbitrary horizon k ≥ 1: it searches every length-k sequence of worker
+// selections, finds the sequence maximizing the resulting ratio, commits
+// only its first selection, and returns the chosen worker. The horizon
+// k = 2 reproduces the TwoStep rule exactly; larger horizons approach the
+// steady-state ratio at cost p^k per decision (the paper: "the only price
+// to pay is an increase in the cost of the selection algorithm").
+func (s *State) StepLookahead(pl *platform.Platform, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for i := range pl.Workers {
+		if s.Mus[i] < 1 {
+			continue
+		}
+		trial := s.shallowClone()
+		trial.apply(pl, i)
+		if sc := trial.bestTail(pl, k-1); sc > bestScore {
+			best, bestScore = i, sc
+		}
+	}
+	s.apply(pl, best)
+	return best
+}
+
+// bestTail returns the best ratio achievable with k further selections.
+func (s *State) bestTail(pl *platform.Platform, k int) float64 {
+	if k == 0 {
+		return s.Ratio()
+	}
+	best := math.Inf(-1)
+	for i := range pl.Workers {
+		if s.Mus[i] < 1 {
+			continue
+		}
+		trial := s.shallowClone()
+		trial.apply(pl, i)
+		if r := trial.bestTail(pl, k-1); r > best {
+			best = r
+		}
+	}
+	return best
+}

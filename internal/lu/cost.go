@@ -1,0 +1,220 @@
+// Package lu implements §7 of the paper: the extension of the
+// master-worker techniques to right-looking block LU factorization.
+//
+// The matrix is r×r blocks of q×q coefficients with a second blocking
+// level µ (the largest integer with µ² + 4µ ≤ m). Step k of the
+// factorization (k = 1..r/µ):
+//
+//  1. factors the µ×µ pivot matrix          (2µ²c comm, µ³w compute),
+//  2. updates the vertical panel rows x←xU⁻¹ (2µ(r−kµ)c, ½µ²(r−kµ)w),
+//  3. updates the horizontal panel cols y←L⁻¹y (2µ(r−kµ)c, ½µ²(r−kµ)w),
+//  4. rank-µ updates the (r−kµ)² core, keeping a µ×µ chunk of the
+//     horizontal panel in worker memory and streaming vertical-panel rows
+//     and core rows ((r/µ−k)(µ²+3(r−kµ)µ)c, (r/µ−k)(r−kµ)µ²w).
+//
+// Summing over k, the paper states the closed forms
+//
+//	comm  = (r³/µ − r² + 2µr)·c
+//	work  = ⅓(r³ + 2µ²r)·w
+//
+// The work formula matches the per-step accounting exactly. For the
+// communication formula the exact sum of the paper's own per-step costs is
+// (r³/µ + r²)·c — the pivot and panel terms contribute +2r² − 2µr + 2µr
+// rather than the stated −r² + 2µr; the two expressions agree in the
+// dominant r³/µ term (relative gap 2µ/r → 0), and tests pin down both.
+//
+// The package provides the exact per-step accounting, the closed forms,
+// the homogeneous resource selection P = ⌈µw/(3c)⌉, the heterogeneous
+// chunk-shape policy of §7.3 and a real block-LU executor validated
+// against a dense reference factorization.
+package lu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// StepCost is the communication and computation cost of one elimination
+// step, broken down by phase (in blocks and block operations; multiply by
+// c and w for time).
+type StepCost struct {
+	K          int
+	PivotComm  float64
+	PivotWork  float64
+	VPanelComm float64
+	VPanelWork float64
+	HPanelComm float64
+	HPanelWork float64
+	CoreComm   float64
+	CoreWork   float64
+}
+
+// Comm sums the step's communication blocks.
+func (s StepCost) Comm() float64 {
+	return s.PivotComm + s.VPanelComm + s.HPanelComm + s.CoreComm
+}
+
+// Work sums the step's block operations.
+func (s StepCost) Work() float64 {
+	return s.PivotWork + s.VPanelWork + s.HPanelWork + s.CoreWork
+}
+
+// Steps returns the per-step costs of factoring an r×r block matrix with
+// pivot size µ on a single worker (§7.1). r must be divisible by µ.
+func Steps(r, mu int) ([]StepCost, error) {
+	if r <= 0 || mu <= 0 {
+		return nil, fmt.Errorf("lu: invalid r=%d µ=%d", r, mu)
+	}
+	if r%mu != 0 {
+		return nil, fmt.Errorf("lu: r=%d not divisible by µ=%d", r, mu)
+	}
+	n := r / mu
+	out := make([]StepCost, 0, n)
+	fm, fr := float64(mu), float64(r)
+	for k := 1; k <= n; k++ {
+		fk := float64(k)
+		rem := fr - fk*fm // rows/cols below/right of the pivot
+		groups := fr/fm - fk
+		out = append(out, StepCost{
+			K:          k,
+			PivotComm:  2 * fm * fm,
+			PivotWork:  fm * fm * fm,
+			VPanelComm: 2 * fm * rem,
+			VPanelWork: 0.5 * fm * fm * rem,
+			HPanelComm: 2 * fm * rem,
+			HPanelWork: 0.5 * fm * fm * rem,
+			CoreComm:   groups * (fm*fm + 3*rem*fm),
+			CoreWork:   groups * rem * fm * fm,
+		})
+	}
+	return out, nil
+}
+
+// TotalComm returns the exact total communication volume in blocks, which
+// the paper reports in closed form as (r³/µ − r² + 2µr).
+func TotalComm(r, mu int) (float64, error) {
+	steps, err := Steps(r, mu)
+	if err != nil {
+		return 0, err
+	}
+	var c float64
+	for _, s := range steps {
+		c += s.Comm()
+	}
+	return c, nil
+}
+
+// TotalWork returns the exact total computation in block operations, which
+// the paper reports in closed form as ⅓(r³ + 2µ²r).
+func TotalWork(r, mu int) (float64, error) {
+	steps, err := Steps(r, mu)
+	if err != nil {
+		return 0, err
+	}
+	var w float64
+	for _, s := range steps {
+		w += s.Work()
+	}
+	return w, nil
+}
+
+// ClosedFormCommPaper is the closed form as printed in the paper,
+// (r³/µ − r² + 2µr); see the package comment for how it relates to the
+// exact sum.
+func ClosedFormCommPaper(r, mu int) float64 {
+	fr, fm := float64(r), float64(mu)
+	return fr*fr*fr/fm - fr*fr + 2*fm*fr
+}
+
+// ClosedFormCommExact is the exact sum of the paper's per-step costs,
+// (r³/µ + r²).
+func ClosedFormCommExact(r, mu int) float64 {
+	fr, fm := float64(r), float64(mu)
+	return fr*fr*fr/fm + fr*fr
+}
+
+// ClosedFormWork is the paper's closed form ⅓(r³ + 2µ²r).
+func ClosedFormWork(r, mu int) float64 {
+	fr, fm := float64(r), float64(mu)
+	return (fr*fr*fr + 2*fm*fm*fr) / 3
+}
+
+// SelectP returns the homogeneous resource selection of §7.2,
+// P = ⌈µw/(3c)⌉ capped by the platform size: the smallest worker count
+// saturating the master port during the core update.
+func SelectP(p int, mu int, c, w float64) int {
+	sel := int(math.Ceil(float64(mu) * w / (3 * c)))
+	if sel < 1 {
+		sel = 1
+	}
+	if sel > p {
+		sel = p
+	}
+	return sel
+}
+
+// ChunkShape is the memory layout a heterogeneous worker uses for its
+// share of the horizontal panel (§7.3).
+type ChunkShape int
+
+const (
+	// SquareChunk keeps a µ_i×µ_i square of the horizontal panel.
+	SquareChunk ChunkShape = iota
+	// ColumnChunk keeps µ_i²/µ whole columns of the horizontal panel.
+	ColumnChunk
+)
+
+func (s ChunkShape) String() string {
+	if s == SquareChunk {
+		return "square"
+	}
+	return "columns"
+}
+
+// ShapeEfficiency returns the computation-to-communication ratio (in w/c
+// units) of each chunk shape for a worker with chunk parameter µi when the
+// pivot size is µ:
+//
+//	square : µi²w / (3µi c)            = (µi/3)(w/c)
+//	columns: µi²w / ((µ + 2µi²/µ) c)
+func ShapeEfficiency(shape ChunkShape, mui, mu int, c, w float64) float64 {
+	fi, fm := float64(mui), float64(mu)
+	switch shape {
+	case SquareChunk:
+		return fi * fi * w / (3 * fi * c)
+	case ColumnChunk:
+		return fi * fi * w / ((fm + 2*fi*fi/fm) * c)
+	default:
+		panic("lu: unknown chunk shape")
+	}
+}
+
+// ChooseShape picks the better chunk shape for worker chunk µi against
+// pivot size µ. The paper shows (by expanding the efficiency comparison
+// into (2µi/µ − 1)(µi/µ − 1) < 0) that the square chunk is more efficient
+// if and only if µi ≤ µ/2; the efficiencies tie at both µi = µ/2 and
+// µi = µ, and the paper assigns the boundary to the square shape.
+func ChooseShape(mui, mu int, c, w float64) ChunkShape {
+	_ = c
+	_ = w // the crossover is independent of the platform costs
+	if 2*mui <= mu {
+		return SquareChunk
+	}
+	return ColumnChunk
+}
+
+// VirtualWorkers splits a worker with µi > µ into ⌊µi²/µ²⌋ virtual
+// workers of chunk parameter µ (§7.3 case 2); workers with µi ≤ µ stay
+// single.
+func VirtualWorkers(mui, mu int) int {
+	if mui <= mu {
+		return 1
+	}
+	return (mui * mui) / (mu * mu)
+}
+
+// MuForWorker returns the per-worker chunk parameter for LU, identical to
+// the matrix-product overlapped layout.
+func MuForWorker(w platform.Worker) int { return platform.MuOverlap(w.M) }

@@ -1,0 +1,320 @@
+package lu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func TestStepsClosedForms(t *testing.T) {
+	for _, tc := range []struct{ r, mu int }{
+		{4, 2}, {8, 2}, {12, 3}, {16, 4}, {100, 10}, {60, 5},
+	} {
+		work, err := TotalWork(tc.r, tc.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := ClosedFormWork(tc.r, tc.mu); math.Abs(work-w) > 1e-6*w {
+			t.Fatalf("r=%d µ=%d: work %v, closed form %v", tc.r, tc.mu, work, w)
+		}
+		comm, err := TotalComm(tc.r, tc.mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := ClosedFormCommExact(tc.r, tc.mu); math.Abs(comm-c) > 1e-6*c {
+			t.Fatalf("r=%d µ=%d: comm %v, exact closed form %v", tc.r, tc.mu, comm, c)
+		}
+	}
+}
+
+func TestPaperCommFormConvergence(t *testing.T) {
+	// The paper's printed closed form agrees with the exact sum in the
+	// dominant term: relative gap → 0 as r/µ grows.
+	mu := 4
+	prev := math.Inf(1)
+	for _, r := range []int{16, 64, 256, 1024} {
+		exact := ClosedFormCommExact(r, mu)
+		paper := ClosedFormCommPaper(r, mu)
+		rel := math.Abs(exact-paper) / exact
+		if rel >= prev {
+			t.Fatalf("relative gap not shrinking at r=%d: %v >= %v", r, rel, prev)
+		}
+		prev = rel
+	}
+	if prev > 0.01 {
+		t.Fatalf("gap at r=1024 still %v", prev)
+	}
+}
+
+func TestStepsErrors(t *testing.T) {
+	if _, err := Steps(10, 3); err == nil {
+		t.Fatal("r not divisible by µ accepted")
+	}
+	if _, err := Steps(0, 1); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+}
+
+func TestStepBreakdownFirstStep(t *testing.T) {
+	steps, err := Steps(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := steps[0] // k=1, rem = 6, groups = 3
+	if s.PivotComm != 8 || s.PivotWork != 8 {
+		t.Fatalf("pivot: %+v", s)
+	}
+	if s.VPanelComm != 24 || s.VPanelWork != 12 {
+		t.Fatalf("vpanel: %+v", s)
+	}
+	if s.HPanelComm != 24 || s.HPanelWork != 12 {
+		t.Fatalf("hpanel: %+v", s)
+	}
+	if s.CoreComm != 3*(4+36) || s.CoreWork != 3*24 {
+		t.Fatalf("core: %+v", s)
+	}
+	// last step has no panels or core
+	last := steps[len(steps)-1]
+	if last.VPanelComm != 0 || last.CoreWork != 0 {
+		t.Fatalf("last step: %+v", last)
+	}
+}
+
+func TestFactorReconstructs(t *testing.T) {
+	for _, tc := range []struct{ n, panel int }{
+		{4, 2}, {8, 4}, {12, 3}, {16, 16}, {20, 5}, {24, 4},
+	} {
+		a := matrix.NewDense(tc.n, tc.n)
+		DiagonallyDominant(a, int64(tc.n))
+		orig := a.Clone()
+		if err := Factor(a, tc.panel); err != nil {
+			t.Fatalf("n=%d panel=%d: %v", tc.n, tc.panel, err)
+		}
+		if res := Residual(orig, a); res > 1e-8 {
+			t.Fatalf("n=%d panel=%d: residual %g", tc.n, tc.panel, res)
+		}
+	}
+}
+
+func TestFactorMatchesUnblocked(t *testing.T) {
+	// blocked LU must produce identical factors to panel = n (which is
+	// the plain Getf2 path) for any panel width.
+	n := 12
+	ref := matrix.NewDense(n, n)
+	DiagonallyDominant(ref, 5)
+	whole := ref.Clone()
+	if err := Factor(whole, n); err != nil {
+		t.Fatal(err)
+	}
+	for _, panel := range []int{2, 3, 4, 6} {
+		blk := ref.Clone()
+		if err := Factor(blk, panel); err != nil {
+			t.Fatal(err)
+		}
+		if d := whole.MaxDiff(blk); d > 1e-9 {
+			t.Fatalf("panel=%d: factors differ from unblocked by %g", panel, d)
+		}
+	}
+}
+
+func TestFactorErrors(t *testing.T) {
+	if err := Factor(matrix.NewDense(4, 6), 2); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if err := Factor(matrix.NewDense(4, 4), 3); err == nil {
+		t.Fatal("panel not dividing n accepted")
+	}
+	z := matrix.NewDense(4, 4) // all zero: zero pivot
+	if err := Factor(z, 2); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestSelectP(t *testing.T) {
+	// §7.2: P = ⌈µw/3c⌉. µ=98, w/c=0.0625 ⇒ ⌈2.04⌉ = 3.
+	if got := SelectP(8, 98, 1, 0.0625); got != 3 {
+		t.Fatalf("SelectP = %d, want 3", got)
+	}
+	if got := SelectP(2, 98, 1, 0.0625); got != 2 {
+		t.Fatalf("SelectP capped = %d, want 2", got)
+	}
+	if got := SelectP(8, 1, 100, 0.001); got != 1 {
+		t.Fatalf("SelectP floor = %d, want 1", got)
+	}
+}
+
+func TestChooseShapeCrossover(t *testing.T) {
+	// §7.3: square chunk wins iff µ_i ≤ µ/2.
+	mu := 20
+	c, w := 1.0, 1.0
+	for mui := 1; mui <= mu; mui++ {
+		got := ChooseShape(mui, mu, c, w)
+		want := ColumnChunk
+		if 2*mui <= mu {
+			want = SquareChunk
+		}
+		if got != want {
+			t.Fatalf("µi=%d µ=%d: shape %v, want %v", mui, mu, got, want)
+		}
+	}
+}
+
+func TestShapeEfficiencyFormulas(t *testing.T) {
+	// square: µi w/(3c); columns: µi² w/((µ + 2µi²/µ)c)
+	if got, want := ShapeEfficiency(SquareChunk, 6, 12, 2, 3), 6.0*3/(3*2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("square eff = %v, want %v", got, want)
+	}
+	if got, want := ShapeEfficiency(ColumnChunk, 6, 12, 2, 3), 36.0*3/((12+2*36.0/12)*2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("column eff = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualWorkers(t *testing.T) {
+	if VirtualWorkers(10, 20) != 1 {
+		t.Fatal("small worker split")
+	}
+	if VirtualWorkers(20, 10) != 4 {
+		t.Fatalf("VirtualWorkers(20,10) = %d, want 4", VirtualWorkers(20, 10))
+	}
+	if VirtualWorkers(25, 10) != 6 {
+		t.Fatalf("VirtualWorkers(25,10) = %d, want 6", VirtualWorkers(25, 10))
+	}
+}
+
+func TestSimulateHomogeneous(t *testing.T) {
+	// µ = 49 gives P = ⌈49·0.0625/3⌉ = 2 enrolled workers, so the core
+	// update genuinely parallelizes (µ = 8 would select P = 1 and
+	// degenerate to the serial schedule).
+	c, w := platform.UTKCalibration().BlockCosts(80)
+	pl := platform.Homogeneous(8, c, w, 10000)
+	tr := &trace.Trace{}
+	const r, mu = 490, 49
+	res, err := SimulateHomogeneous(pl, r, mu, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+	wantWork, _ := TotalWork(r, mu)
+	if math.Abs(res.Work-wantWork) > 1e-6*wantWork {
+		t.Fatalf("work %v, want %v", res.Work, wantWork)
+	}
+	wantComm, _ := TotalComm(r, mu)
+	if math.Abs(res.Blocks-wantComm) > 1e-6*wantComm {
+		t.Fatalf("blocks %v, want %v", res.Blocks, wantComm)
+	}
+	if res.Enrolled != SelectP(8, mu, c, w) || res.Enrolled < 2 {
+		t.Fatalf("enrolled %d", res.Enrolled)
+	}
+	if tr.Makespan() <= 0 {
+		t.Fatal("no trace")
+	}
+	// the parallel run beats a single worker processing everything
+	serial := wantComm*c + wantWork*w
+	if res.Makespan >= serial {
+		t.Fatalf("parallel %v not below serial %v", res.Makespan, serial)
+	}
+}
+
+func TestSimulateHomogeneousErrors(t *testing.T) {
+	pl := platform.Homogeneous(2, 1, 1, 100)
+	if _, err := SimulateHomogeneous(pl, 10, 3, nil); err == nil {
+		t.Fatal("r%µ != 0 accepted")
+	}
+	het := platform.New(platform.Worker{C: 1, W: 1, M: 100}, platform.Worker{C: 2, W: 2, M: 100})
+	if _, err := SimulateHomogeneous(het, 9, 3, nil); err == nil {
+		t.Fatal("heterogeneous platform accepted")
+	}
+}
+
+func TestPlanHeterogeneous(t *testing.T) {
+	pl := platform.New(
+		platform.Worker{C: 1, W: 1, M: 60},   // µ = 6
+		platform.Worker{C: 2, W: 0.5, M: 32}, // µ = 4
+		platform.Worker{C: 0.5, W: 2, M: 12}, // µ = 2
+	)
+	plan, err := PlanHeterogeneous(pl, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mu < 1 || 24%plan.Mu != 0 {
+		t.Fatalf("plan µ = %d", plan.Mu)
+	}
+	if math.IsInf(plan.Estimated, 1) || plan.Estimated <= 0 {
+		t.Fatalf("estimate %v", plan.Estimated)
+	}
+	if plan.Seq < 0 || plan.Seq >= pl.P() {
+		t.Fatalf("prologue worker %d", plan.Seq)
+	}
+	// the chosen µ must be at least as good as any other feasible µ
+	for mu := 1; mu <= 6; mu++ {
+		if 24%mu != 0 {
+			continue
+		}
+		if alt := planForMu(pl, 24, mu); alt.Estimated+1e-9 < plan.Estimated {
+			t.Fatalf("µ=%d estimate %v beats chosen µ=%d (%v)", mu, alt.Estimated, plan.Mu, plan.Estimated)
+		}
+	}
+}
+
+func TestPlanHeterogeneousErrors(t *testing.T) {
+	pl := platform.New(platform.Worker{C: 1, W: 1, M: 4}) // µ = 0
+	if _, err := PlanHeterogeneous(pl, 8); err == nil {
+		t.Fatal("µ=0-only platform accepted")
+	}
+}
+
+func TestParallelResultConversion(t *testing.T) {
+	r := ParallelResult{Makespan: 2, Enrolled: 3, Blocks: 4.4, Work: 5.6}
+	cr := r.Result("lu")
+	if cr.Algorithm != "lu" || cr.Makespan != 2 || cr.Enrolled != 3 || cr.Blocks != 4 || cr.Updates != 5 {
+		t.Fatalf("conversion: %+v", cr)
+	}
+}
+
+// Property: blocked LU reconstructs diagonally dominant matrices for
+// every divisor panel width.
+func TestQuickFactor(t *testing.T) {
+	f := func(nRaw, pRaw uint8, seed int64) bool {
+		// n in {4, 8, 12, 16}; panel a divisor of n
+		n := (int(nRaw%4) + 1) * 4
+		divs := []int{1, 2, 4, n}
+		panel := divs[int(pRaw)%len(divs)]
+		a := matrix.NewDense(n, n)
+		DiagonallyDominant(a, seed)
+		orig := a.Clone()
+		if err := Factor(a, panel); err != nil {
+			return false
+		}
+		return Residual(orig, a) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the exact per-step sums match the closed forms for all (r, µ).
+func TestQuickClosedForms(t *testing.T) {
+	f := func(muRaw, nRaw uint8) bool {
+		mu := int(muRaw%8) + 1
+		r := mu * (int(nRaw%10) + 1)
+		work, err := TotalWork(r, mu)
+		if err != nil {
+			return false
+		}
+		comm, err := TotalComm(r, mu)
+		if err != nil {
+			return false
+		}
+		return math.Abs(work-ClosedFormWork(r, mu)) < 1e-6*(work+1) &&
+			math.Abs(comm-ClosedFormCommExact(r, mu)) < 1e-6*(comm+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+package lu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// ParallelResult reports a simulated parallel LU factorization.
+type ParallelResult struct {
+	Makespan   float64
+	Enrolled   int
+	Blocks     float64 // communication volume in blocks
+	Work       float64 // block operations
+	PrologTime float64 // time spent in pivot/panel phases (sequential part)
+}
+
+// SimulateHomogeneous simulates the homogeneous parallel LU of §7.2 on a
+// one-port star: at each step k a single worker factors the pivot matrix
+// and updates both panels, then P = min{p, ⌈µw/3c⌉} workers update the
+// core in parallel, each receiving whole groups of µ core columns
+// (µ² horizontal-panel blocks, then 3µ blocks exchanged per core row).
+//
+// r must be divisible by µ. The returned makespan uses list scheduling of
+// the column groups on the enrolled workers under one-port serialization
+// of all transfers.
+func SimulateHomogeneous(pl *platform.Platform, r, mu int, tr *trace.Trace) (ParallelResult, error) {
+	if err := pl.Validate(); err != nil {
+		return ParallelResult{}, err
+	}
+	if !pl.IsHomogeneous() {
+		return ParallelResult{}, fmt.Errorf("lu: SimulateHomogeneous needs a homogeneous platform")
+	}
+	if r%mu != 0 {
+		return ParallelResult{}, fmt.Errorf("lu: r=%d not divisible by µ=%d", r, mu)
+	}
+	w0 := pl.Workers[0]
+	enroll := SelectP(pl.P(), mu, w0.C, w0.W)
+	steps, err := Steps(r, mu)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+
+	var res ParallelResult
+	res.Enrolled = enroll
+	now := 0.0
+	fm := float64(mu)
+	for _, st := range steps {
+		// Sequential prologue on worker 1: pivot + panels. The transfers
+		// and the compute are serialized (the paper's simple scheme).
+		prolog := (st.PivotComm+st.VPanelComm+st.HPanelComm)*w0.C +
+			(st.PivotWork+st.VPanelWork+st.HPanelWork)*w0.W
+		tr.Add("M", trace.Comm, now, now+(st.PivotComm+st.VPanelComm+st.HPanelComm)*w0.C,
+			fmt.Sprintf("k=%d pivot+panels", st.K))
+		tr.Add("P1", trace.Compute, now+(st.PivotComm+st.VPanelComm+st.HPanelComm)*w0.C, now+prolog,
+			fmt.Sprintf("k=%d pivot+panels", st.K))
+		now += prolog
+		res.PrologTime += prolog
+		res.Blocks += st.PivotComm + st.VPanelComm + st.HPanelComm
+		res.Work += st.PivotWork + st.VPanelWork + st.HPanelWork
+
+		// Core update: distribute the column groups.
+		groups := int(math.Round(st.CoreComm / (fm*fm + 3*(float64(r)-float64(st.K)*fm)*fm)))
+		if groups == 0 {
+			continue
+		}
+		rem := float64(r) - float64(st.K)*fm
+		commPerGroup := (fm*fm + 3*rem*fm) * w0.C
+		workPerGroup := rem * fm * fm * w0.W
+		port := now
+		free := make([]float64, enroll)
+		for i := range free {
+			free[i] = now
+		}
+		var stepEnd float64
+		for g := 0; g < groups; g++ {
+			w := g % enroll
+			// transfer serialized on the port; compute after transfer and
+			// after the worker's previous group
+			start := math.Max(port, free[w])
+			end := start + commPerGroup
+			tr.Add("M", trace.Comm, start, end, fmt.Sprintf("k=%d grp%d→P%d", st.K, g, w+1))
+			port = end
+			cend := end + workPerGroup
+			tr.Add(fmt.Sprintf("P%d", w+1), trace.Compute, end, cend, fmt.Sprintf("k=%d grp%d", st.K, g))
+			free[w] = cend
+			if cend > stepEnd {
+				stepEnd = cend
+			}
+		}
+		now = math.Max(stepEnd, port)
+		res.Blocks += st.CoreComm
+		res.Work += st.CoreWork
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+// HeteroPlan is the outcome of the heterogeneous µ search of §7.3.
+type HeteroPlan struct {
+	Mu        int
+	Shapes    []ChunkShape // per physical worker
+	Virtual   []int        // virtual worker count per physical worker
+	Seq       int          // physical worker index chosen for the prologue
+	Estimated float64
+}
+
+// PlanHeterogeneous performs the overall process of §7.3: for each
+// candidate pivot size µ it picks the fastest worker for the sequential
+// phases, assigns chunk shapes (square iff µ_i ≤ µ/2, splitting workers
+// with µ_i > µ into virtual ones), estimates the makespan with list
+// scheduling, and retains the best µ.
+func PlanHeterogeneous(pl *platform.Platform, r int) (*HeteroPlan, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	maxMu := 0
+	for _, wk := range pl.Workers {
+		if mu := MuForWorker(wk); mu > maxMu {
+			maxMu = mu
+		}
+	}
+	if maxMu < 1 {
+		return nil, fmt.Errorf("lu: no worker can hold µ ≥ 1")
+	}
+	var best *HeteroPlan
+	for mu := 1; mu <= maxMu; mu++ {
+		if r%mu != 0 {
+			continue
+		}
+		plan := planForMu(pl, r, mu)
+		if best == nil || plan.Estimated < best.Estimated {
+			best = plan
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("lu: no feasible µ divides r=%d", r)
+	}
+	return best, nil
+}
+
+// planForMu estimates the makespan for a fixed pivot size µ.
+func planForMu(pl *platform.Platform, r, mu int) *HeteroPlan {
+	plan := &HeteroPlan{Mu: mu}
+	plan.Shapes = make([]ChunkShape, pl.P())
+	plan.Virtual = make([]int, pl.P())
+	fm := float64(mu)
+
+	// Fastest worker for the sequential phases (pivot + panels): minimize
+	// its combined comm+compute cost for one step of average size.
+	bestSeq, bestSeqCost := 0, math.Inf(1)
+	for i, wk := range pl.Workers {
+		cost := 2*fm*fm*wk.C + fm*fm*fm*wk.W // pivot ferry + factor
+		if cost < bestSeqCost {
+			bestSeq, bestSeqCost = i, cost
+		}
+	}
+	plan.Seq = bestSeq
+
+	// Chunk shapes and virtual worker counts.
+	type vworker struct {
+		phys int
+		rate float64 // block operations per time unit during core update
+		comm float64 // port time consumed per unit of work it performs
+	}
+	var vs []vworker
+	for i, wk := range pl.Workers {
+		mui := MuForWorker(wk)
+		if mui < 1 {
+			plan.Virtual[i] = 0
+			continue
+		}
+		if mui > mu {
+			mui = mu
+		}
+		plan.Shapes[i] = ChooseShape(mui, mu, wk.C, wk.W)
+		plan.Virtual[i] = VirtualWorkers(MuForWorker(wk), mu)
+		// port time consumed per block operation under the chosen shape
+		var commPerWork float64
+		switch plan.Shapes[i] {
+		case SquareChunk:
+			commPerWork = 3 * wk.C / (float64(mui) * 1)
+		case ColumnChunk:
+			commPerWork = (fm + 2*float64(mui)*float64(mui)/fm) * wk.C / (float64(mui) * float64(mui))
+		}
+		for v := 0; v < plan.Virtual[i]; v++ {
+			vs = append(vs, vworker{phys: i, rate: 1 / wk.W, comm: commPerWork})
+		}
+	}
+	sort.Slice(vs, func(a, b int) bool { return vs[a].comm < vs[b].comm })
+
+	// Estimate: per step k, sequential prologue + core update where each
+	// virtual worker computes at rate 1/w while consuming port bandwidth;
+	// enroll virtual workers until the port saturates (Σ comm·rate ≤ 1),
+	// then the step time is coreWork / aggregate-rate (or port-bound).
+	steps, _ := Steps(r, mu)
+	seqW := pl.Workers[plan.Seq]
+	total := 0.0
+	for _, st := range steps {
+		prolog := (st.PivotComm+st.VPanelComm+st.HPanelComm)*seqW.C +
+			(st.PivotWork+st.VPanelWork+st.HPanelWork)*seqW.W
+		total += prolog
+		if st.CoreWork == 0 {
+			continue
+		}
+		var rate, portLoad float64
+		for _, v := range vs {
+			extra := v.comm * v.rate
+			if portLoad+extra > 1 {
+				// fractional enrollment up to port saturation
+				frac := (1 - portLoad) / extra
+				rate += frac * v.rate
+				portLoad = 1
+				break
+			}
+			portLoad += extra
+			rate += v.rate
+		}
+		if rate == 0 {
+			return &HeteroPlan{Mu: mu, Estimated: math.Inf(1), Shapes: plan.Shapes, Virtual: plan.Virtual, Seq: plan.Seq}
+		}
+		total += st.CoreWork / rate
+	}
+	plan.Estimated = total
+	return plan
+}
+
+// Result converts a ParallelResult into the repository-wide result type.
+func (r ParallelResult) Result(name string) core.Result {
+	return core.Result{
+		Algorithm: name,
+		Makespan:  r.Makespan,
+		Enrolled:  r.Enrolled,
+		Blocks:    int64(r.Blocks),
+		Updates:   int64(r.Work),
+	}
+}

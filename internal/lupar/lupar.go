@@ -1,0 +1,190 @@
+// Package lupar executes the §7 parallel LU factorization for real on the
+// in-process master-worker runtime: the master owns the matrix; at every
+// elimination step one worker factors the pivot block and updates the two
+// panels, then the enrolled workers update the trailing core in parallel,
+// one column group each, with all transfers serialized through the
+// single-goroutine master (the one-port model holds by construction, as
+// in package mw).
+//
+// Compared with the communication-minimal streaming policy that §7.1 uses
+// for *accounting* (row-by-row ferrying), the runtime moves each column
+// group's operands as whole panels; the arithmetic and the data ownership
+// are identical, only the message granularity is coarser. The result is
+// the exact packed L\U factorization of the sequential algorithm.
+package lupar
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/blas"
+	"repro/internal/lu"
+	"repro/internal/matrix"
+)
+
+// Config drives a parallel factorization.
+type Config struct {
+	Workers int
+	Panel   int // elimination panel width (the paper's µ·q coefficients)
+}
+
+// Report summarizes the run.
+type Report struct {
+	Steps      int
+	CoreGroups int   // column groups distributed over all steps
+	Bytes      int64 // payload bytes moved through the master
+}
+
+// coreJob is one core column-group update: core ← core − a21·a12.
+type coreJob struct {
+	rem, panel, cols int
+	a21              []float64 // rem×panel (shared, read-only)
+	a12              []float64 // panel×cols
+	core             []float64 // rem×cols, updated in place by the worker
+	done             chan<- int
+	id               int
+}
+
+// Factor factors a in place (packed L\U, no pivoting; diagonally dominant
+// inputs are the stability contract, as in package lu). It is
+// deterministic and bit-identical to lu.Factor.
+func Factor(a *matrix.Dense, cfg Config) (Report, error) {
+	if a.Rows != a.Cols {
+		return Report{}, fmt.Errorf("lupar: matrix is %dx%d, want square", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if cfg.Panel <= 0 || n%cfg.Panel != 0 {
+		return Report{}, fmt.Errorf("lupar: panel %d must divide n=%d", cfg.Panel, n)
+	}
+	if cfg.Workers < 1 {
+		return Report{}, fmt.Errorf("lupar: need at least one worker")
+	}
+
+	jobs := make(chan *coreJob)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				negGemm(job.rem, job.cols, job.panel, job.a21, job.panel, job.a12, job.cols, job.core, job.cols)
+				job.done <- job.id
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+
+	var rep Report
+	pb := cfg.Panel
+	for k0 := 0; k0 < n; k0 += pb {
+		rep.Steps++
+		// --- sequential prologue (conceptually on worker 1) ---
+		// pivot factorization: ferry the pivot block out and back.
+		piv := extract(a, k0, k0, pb, pb)
+		rep.Bytes += int64(8 * len(piv) * 2)
+		if bad := blas.Getf2(piv, pb, pb); bad >= 0 {
+			return rep, fmt.Errorf("lupar: zero pivot at column %d", k0+bad)
+		}
+		inject(a, piv, k0, k0, pb, pb)
+		rem := n - k0 - pb
+		if rem == 0 {
+			break
+		}
+		// vertical panel: A21 ← A21·U11⁻¹
+		a21 := extract(a, k0+pb, k0, rem, pb)
+		rep.Bytes += int64(8 * len(a21) * 2)
+		blas.TrsmUpperRight(rem, pb, piv, pb, a21, pb)
+		inject(a, a21, k0+pb, k0, rem, pb)
+		// horizontal panel: A12 ← L11⁻¹·A12
+		a12 := extract(a, k0, k0+pb, pb, rem)
+		rep.Bytes += int64(8 * len(a12) * 2)
+		blas.TrsmLowerLeft(pb, rem, piv, pb, a12, rem)
+		inject(a, a12, k0, k0+pb, pb, rem)
+
+		// --- parallel core update: one column group of width pb per job ---
+		groups := (rem + pb - 1) / pb
+		done := make(chan int, groups)
+		pending := make([]*coreJob, 0, groups)
+		for g := 0; g < groups; g++ {
+			c0 := k0 + pb + g*pb
+			cols := pb
+			if n-c0 < cols {
+				cols = n - c0
+			}
+			job := &coreJob{
+				rem: rem, panel: pb, cols: cols,
+				a21:  a21,
+				a12:  extract(a, k0, c0, pb, cols),
+				core: extract(a, k0+pb, c0, rem, cols),
+				done: done, id: g,
+			}
+			// master-side transfer accounting: a21 is shared per step but
+			// each worker must receive it once per group under the §7
+			// policy; plus the a12 group and the core group both ways.
+			rep.Bytes += int64(8 * (len(job.a21) + len(job.a12) + 2*len(job.core)))
+			pending = append(pending, job)
+			jobs <- job
+			rep.CoreGroups++
+		}
+		// gather results (the one-port master receives them one by one)
+		for range pending {
+			id := <-done
+			job := pending[id]
+			c0 := k0 + pb + id*pb
+			inject(a, job.core, k0+pb, c0, job.rem, job.cols)
+		}
+	}
+	return rep, nil
+}
+
+func extract(d *matrix.Dense, i0, j0, rows, cols int) []float64 {
+	out := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		copy(out[r*cols:(r+1)*cols], d.Data[(i0+r)*d.Cols+j0:(i0+r)*d.Cols+j0+cols])
+	}
+	return out
+}
+
+func inject(d *matrix.Dense, buf []float64, i0, j0, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		copy(d.Data[(i0+r)*d.Cols+j0:(i0+r)*d.Cols+j0+cols], buf[r*cols:(r+1)*cols])
+	}
+}
+
+// negGemm computes C ← C − A·B (same kernel as the sequential blocked LU).
+func negGemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	const strip = 64
+	buf := make([]float64, strip*k)
+	for i0 := 0; i0 < m; i0 += strip {
+		mi := strip
+		if m-i0 < mi {
+			mi = m - i0
+		}
+		for i := 0; i < mi; i++ {
+			src := a[(i0+i)*lda : (i0+i)*lda+k]
+			dst := buf[i*k : (i+1)*k]
+			for j, v := range src {
+				dst[j] = -v
+			}
+		}
+		blas.GemmBlocked(mi, n, k, buf, k, b, ldb, c[i0*ldc:], ldc)
+	}
+}
+
+// Verify factors a copy of orig with both the sequential and the parallel
+// algorithm and returns the max elementwise difference of the packed
+// factors (0 means bit-identical ordering of the floating-point work).
+func Verify(orig *matrix.Dense, cfg Config) (float64, error) {
+	seq := orig.Clone()
+	if err := lu.Factor(seq, cfg.Panel); err != nil {
+		return 0, err
+	}
+	par := orig.Clone()
+	if _, err := Factor(par, cfg); err != nil {
+		return 0, err
+	}
+	return seq.MaxDiff(par), nil
+}

@@ -1,0 +1,103 @@
+package lupar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+)
+
+func dominant(n int, seed int64) *matrix.Dense {
+	a := matrix.NewDense(n, n)
+	lu.DiagonallyDominant(a, seed)
+	return a
+}
+
+func TestFactorMatchesSequential(t *testing.T) {
+	for _, tc := range []struct{ n, panel, workers int }{
+		{8, 4, 1}, {8, 4, 2}, {16, 4, 4}, {24, 8, 3}, {32, 8, 8}, {20, 4, 2}, {12, 12, 2},
+	} {
+		a := dominant(tc.n, int64(tc.n))
+		diff, err := Verify(a, Config{Workers: tc.workers, Panel: tc.panel})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if diff != 0 {
+			t.Fatalf("%+v: parallel factors differ from sequential by %g", tc, diff)
+		}
+	}
+}
+
+func TestFactorResidual(t *testing.T) {
+	a := dominant(32, 5)
+	orig := a.Clone()
+	rep, err := Factor(a, Config{Workers: 4, Panel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := lu.Residual(orig, a); res > 1e-8 {
+		t.Fatalf("residual %g", res)
+	}
+	if rep.Steps != 4 {
+		t.Fatalf("%d steps, want 4", rep.Steps)
+	}
+	// core groups: step k has (r/µ − k) groups: 3 + 2 + 1 + 0 = 6.
+	if rep.CoreGroups != 6 {
+		t.Fatalf("%d core groups, want 6", rep.CoreGroups)
+	}
+	if rep.Bytes <= 0 {
+		t.Fatal("no transfer accounting")
+	}
+}
+
+func TestFactorErrors(t *testing.T) {
+	if _, err := Factor(matrix.NewDense(4, 6), Config{Workers: 1, Panel: 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := Factor(matrix.NewDense(4, 4), Config{Workers: 1, Panel: 3}); err == nil {
+		t.Fatal("panel not dividing accepted")
+	}
+	if _, err := Factor(dominant(4, 1), Config{Workers: 0, Panel: 2}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := Factor(matrix.NewDense(4, 4), Config{Workers: 1, Panel: 2}); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The parallel schedule must not change the floating-point result:
+	// every worker count produces the same packed factors.
+	base := dominant(24, 9)
+	ref := base.Clone()
+	if _, err := Factor(ref, Config{Workers: 1, Panel: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 7} {
+		got := base.Clone()
+		if _, err := Factor(got, Config{Workers: w, Panel: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if d := ref.MaxDiff(got); d != 0 {
+			t.Fatalf("workers=%d: factors differ by %g", w, d)
+		}
+	}
+}
+
+// Property: parallel LU equals sequential LU for random sizes, panels and
+// worker counts.
+func TestQuickParallelLU(t *testing.T) {
+	f := func(nRaw, pRaw, wRaw uint8, seed int64) bool {
+		n := (int(nRaw%5) + 1) * 8 // 8..40
+		panels := []int{2, 4, 8}
+		panel := panels[int(pRaw)%len(panels)]
+		workers := int(wRaw%4) + 1
+		a := dominant(n, seed)
+		diff, err := Verify(a, Config{Workers: workers, Panel: panel})
+		return err == nil && diff == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

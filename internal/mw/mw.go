@@ -1,0 +1,420 @@
+// Package mw is the in-process master-worker runtime: it executes the
+// paper's schedules on real block matrices, with the master and each
+// worker running as goroutines and every transfer moving actual q×q
+// blocks.
+//
+// The runtime is the stand-in for the paper's MPI deployment (§8): the
+// master goroutine owns the three matrices and performs every
+// communication itself, one at a time — the one-port model holds by
+// construction because the master is a single sequential goroutine whose
+// channel operations block when a worker's staging area is full. Worker
+// memory is bounded by the channel capacities plus one resident C chunk,
+// which mirrors the µ² + 4µ ≤ m layout.
+//
+// Two driving modes are provided:
+//
+//   - Static: the master replays the communication order of a homog.Plan
+//     (Algorithm 1, or any other static order such as the OMMOML plan).
+//   - Demand: workers post requests (chunk, update set, result pickup) to
+//     a shared FIFO the moment they can accept the corresponding
+//     transfer, and the master serves them in arrival order — the ODDOML
+//     discipline of §8.2.
+//
+// Both modes are verified to compute C ← C + A·B exactly.
+package mw
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/homog"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Mode selects the master's driving discipline.
+type Mode int
+
+const (
+	// Static replays a fixed communication order.
+	Static Mode = iota
+	// Demand serves worker requests first-come first-served.
+	Demand
+)
+
+// Config configures a run.
+type Config struct {
+	Workers  int
+	Mu       int // chunk side in blocks
+	StageCap int // staging update sets per worker (1 or 2)
+	Mode     Mode
+	// Plan supplies the static order; required for Static mode. If nil in
+	// Static mode, an Algorithm 1 plan over all workers is built.
+	Plan *homog.Plan
+	// SpinPerUpdate, when positive, adds artificial per-block-update spin
+	// time so tests can emulate slower processors deterministically.
+	SpinPerUpdate time.Duration
+}
+
+// Report summarizes a real execution.
+type Report struct {
+	Result    core.Result
+	Elapsed   time.Duration
+	PerWorker []int64 // block updates performed by each worker
+}
+
+// chunkJob carries one C chunk to a worker and back.
+type chunkJob struct {
+	chunk *sim.Chunk
+	data  [][]float64 // rows*cols block payloads, row-major
+}
+
+// abset carries the operand blocks of one inner step k: the B row then
+// the A column of the maximum re-use layout.
+type abset struct {
+	k     int
+	aBlks [][]float64 // rows blocks of A(·,k)
+	bBlks [][]float64 // cols blocks of B(k,·)
+}
+
+type workerChans struct {
+	jobs    chan *chunkJob
+	sets    chan *abset
+	results chan *chunkJob
+}
+
+type request struct {
+	worker int
+	kind   sim.OpKind
+}
+
+// Multiply computes C ← C + A·B on the runtime. A is r×t, B t×s, C r×s
+// blocks of identical q. It returns a report with the wall-clock time and
+// the per-worker update counts.
+func Multiply(c, a, b *matrix.Blocked, cfg Config) (Report, error) {
+	if a.BR != c.BR || b.BC != c.BC || a.BC != b.BR || a.Q != b.Q || a.Q != c.Q {
+		return Report{}, fmt.Errorf("mw: shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.BR, c.BC, a.BR, a.BC, b.BR, b.BC)
+	}
+	if cfg.Workers < 1 {
+		return Report{}, fmt.Errorf("mw: need at least one worker")
+	}
+	if cfg.Mu < 1 {
+		return Report{}, fmt.Errorf("mw: µ must be ≥ 1")
+	}
+	if cfg.StageCap < 1 {
+		cfg.StageCap = 1
+	}
+	pr := core.Problem{R: c.BR, S: c.BC, T: a.BC, Q: a.Q}
+
+	start := time.Now()
+	var rep Report
+	var err error
+	switch cfg.Mode {
+	case Static:
+		rep, err = runStatic(c, a, b, pr, cfg)
+	case Demand:
+		rep, err = runDemand(c, a, b, pr, cfg)
+	default:
+		err = fmt.Errorf("mw: unknown mode %d", cfg.Mode)
+	}
+	if err != nil {
+		return rep, err
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Result.Makespan = rep.Elapsed.Seconds()
+	enrolled := 0
+	for _, u := range rep.PerWorker {
+		rep.Result.Updates += u
+		if u > 0 {
+			enrolled++
+		}
+	}
+	rep.Result.Enrolled = enrolled
+	return rep, nil
+}
+
+// staticWorker is the worker program of Algorithm 2: receive a C chunk,
+// then for each k receive an update set and apply it, then return the
+// chunk.
+func staticWorker(q, t int, ch workerChans, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for job := range ch.jobs {
+		applyJob(q, t, job, ch.sets, updates, spin)
+		ch.results <- job
+	}
+}
+
+// applyJob consumes the job's t update sets and applies them.
+func applyJob(q, t int, job *chunkJob, sets <-chan *abset, updates *int64, spin time.Duration) {
+	rows, cols := job.chunk.Rows, job.chunk.Cols
+	for k := 0; k < t; k++ {
+		set := <-sets
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				blas.BlockUpdate(job.data[i*cols+j], set.aBlks[i], set.bBlks[j], q)
+				*updates++
+				if spin > 0 {
+					spinFor(spin)
+				}
+			}
+		}
+	}
+}
+
+// spinFor busy-waits to emulate extra compute cost deterministically
+// (time.Sleep granularity is too coarse at block scale).
+func spinFor(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+		runtime.Gosched()
+	}
+}
+
+// makeJob copies the chunk's C blocks out of the master matrix — the
+// "transfer" down to the worker.
+func makeJob(c *matrix.Blocked, chunk *sim.Chunk) *chunkJob {
+	data := make([][]float64, chunk.Rows*chunk.Cols)
+	for i := 0; i < chunk.Rows; i++ {
+		for j := 0; j < chunk.Cols; j++ {
+			src := c.Block(chunk.I0+i, chunk.J0+j).Data
+			buf := make([]float64, len(src))
+			copy(buf, src)
+			data[i*chunk.Cols+j] = buf
+		}
+	}
+	return &chunkJob{chunk: chunk, data: data}
+}
+
+// makeSet copies the k-th operand blocks for a chunk — the update-set
+// transfer (µ B blocks and µ A blocks).
+func makeSet(a, b *matrix.Blocked, chunk *sim.Chunk, k int) *abset {
+	set := &abset{k: k}
+	for i := 0; i < chunk.Rows; i++ {
+		src := a.Block(chunk.I0+i, k).Data
+		buf := make([]float64, len(src))
+		copy(buf, src)
+		set.aBlks = append(set.aBlks, buf)
+	}
+	for j := 0; j < chunk.Cols; j++ {
+		src := b.Block(k, chunk.J0+j).Data
+		buf := make([]float64, len(src))
+		copy(buf, src)
+		set.bBlks = append(set.bBlks, buf)
+	}
+	return set
+}
+
+// storeJob writes a returned chunk back into C — the result transfer.
+func storeJob(c *matrix.Blocked, job *chunkJob) {
+	chunk := job.chunk
+	for i := 0; i < chunk.Rows; i++ {
+		for j := 0; j < chunk.Cols; j++ {
+			copy(c.Block(chunk.I0+i, chunk.J0+j).Data, job.data[i*chunk.Cols+j])
+		}
+	}
+}
+
+// runStatic replays a static plan. The per-worker progress (current chunk
+// and step) is tracked master-side so SendAB ops know which operands to
+// ship.
+func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, error) {
+	plan := cfg.Plan
+	if plan == nil {
+		plan = homog.BuildPlan(dummyPlatform(cfg.Workers), pr, cfg.Workers, cfg.Mu)
+	}
+	chans := make([]workerChans, cfg.Workers)
+	updates := make([]int64, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		chans[w] = workerChans{
+			jobs:    make(chan *chunkJob, 1),
+			sets:    make(chan *abset, cfg.StageCap),
+			results: make(chan *chunkJob, 1),
+		}
+		wg.Add(1)
+		go staticWorker(pr.Q, pr.T, chans[w], &updates[w], cfg.SpinPerUpdate, &wg)
+	}
+	finish := func() {
+		for w := range chans {
+			close(chans[w].jobs)
+		}
+		wg.Wait()
+	}
+
+	queues := make([][]*sim.Chunk, cfg.Workers)
+	for w := range queues {
+		if w < len(plan.Queues) {
+			queues[w] = append([]*sim.Chunk(nil), plan.Queues[w]...)
+		}
+	}
+	active := make([]*sim.Chunk, cfg.Workers)
+	step := make([]int, cfg.Workers)
+	var blocks int64
+
+	for _, op := range plan.Ops {
+		w := op.Worker
+		if w < 0 || w >= cfg.Workers {
+			finish()
+			return Report{}, fmt.Errorf("mw: plan references worker %d of %d", w+1, cfg.Workers)
+		}
+		switch op.Kind {
+		case sim.SendC:
+			if active[w] != nil || len(queues[w]) == 0 {
+				finish()
+				return Report{}, fmt.Errorf("mw: invalid SendC to P%d", w+1)
+			}
+			active[w] = queues[w][0]
+			queues[w] = queues[w][1:]
+			step[w] = 0
+			chans[w].jobs <- makeJob(c, active[w])
+			blocks += int64(active[w].Blocks)
+		case sim.SendAB:
+			ch := active[w]
+			if ch == nil || step[w] >= len(ch.Steps) {
+				finish()
+				return Report{}, fmt.Errorf("mw: invalid SendAB to P%d", w+1)
+			}
+			chans[w].sets <- makeSet(a, b, ch, step[w])
+			blocks += int64(ch.Rows + ch.Cols)
+			step[w]++
+		case sim.RecvC:
+			ch := active[w]
+			if ch == nil {
+				finish()
+				return Report{}, fmt.Errorf("mw: invalid RecvC from P%d", w+1)
+			}
+			job := <-chans[w].results
+			storeJob(c, job)
+			blocks += int64(ch.Blocks)
+			active[w] = nil
+		}
+	}
+	finish()
+	return Report{
+		Result:    core.Result{Algorithm: "mw-static", Blocks: blocks},
+		PerWorker: updates,
+	}, nil
+}
+
+// demandWorker posts a request the moment it can accept each transfer:
+// a chunk request when idle, an update-set request whenever a staging
+// slot is free, and a result pickup when the chunk completes. The master
+// can therefore serve strictly first-come first-served without ever
+// blocking on a full channel.
+func demandWorker(w, q, t, stageCap int, ch workerChans, reqs chan<- request, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
+	defer wg.Done()
+	reqs <- request{w, sim.SendC}
+	for job := range ch.jobs {
+		rows, cols := job.chunk.Rows, job.chunk.Cols
+		// pre-request the staging fill
+		pre := stageCap
+		if pre > t {
+			pre = t
+		}
+		for k := 0; k < pre; k++ {
+			reqs <- request{w, sim.SendAB}
+		}
+		for k := 0; k < t; k++ {
+			set := <-ch.sets
+			// a staging slot just freed: request the next set
+			if k+pre < t {
+				reqs <- request{w, sim.SendAB}
+			}
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					blas.BlockUpdate(job.data[i*cols+j], set.aBlks[i], set.bBlks[j], q)
+					*updates++
+					if spin > 0 {
+						spinFor(spin)
+					}
+				}
+			}
+		}
+		reqs <- request{w, sim.RecvC}
+		ch.results <- job
+		reqs <- request{w, sim.SendC}
+	}
+}
+
+// runDemand serves worker requests FIFO over the shared request channel.
+func runDemand(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, error) {
+	_, pool := homog.ChunkGrid(pr, cfg.Mu)
+	chans := make([]workerChans, cfg.Workers)
+	updates := make([]int64, cfg.Workers)
+	// ample buffering: each worker has at most StageCap+2 outstanding
+	// requests, and one final chunk request after the pool drains.
+	reqs := make(chan request, cfg.Workers*(cfg.StageCap+3))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		chans[w] = workerChans{
+			jobs:    make(chan *chunkJob, 1),
+			sets:    make(chan *abset, cfg.StageCap),
+			results: make(chan *chunkJob, 1),
+		}
+		wg.Add(1)
+		go demandWorker(w, pr.Q, pr.T, cfg.StageCap, chans[w], reqs, &updates[w], cfg.SpinPerUpdate, &wg)
+	}
+
+	active := make([]*sim.Chunk, cfg.Workers)
+	step := make([]int, cfg.Workers)
+	var blocks int64
+	remaining := len(pool)
+
+	for remaining > 0 {
+		rq := <-reqs
+		w := rq.worker
+		switch rq.kind {
+		case sim.SendC:
+			if len(pool) == 0 {
+				continue // pool drained; the worker stays idle
+			}
+			ch := pool[0]
+			pool = pool[1:]
+			active[w] = ch
+			step[w] = 0
+			chans[w].jobs <- makeJob(c, ch)
+			blocks += int64(ch.Blocks)
+		case sim.SendAB:
+			ch := active[w]
+			if ch == nil || step[w] >= len(ch.Steps) {
+				closeAll(chans)
+				wg.Wait()
+				return Report{}, fmt.Errorf("mw: protocol violation, SendAB request from P%d", w+1)
+			}
+			chans[w].sets <- makeSet(a, b, ch, step[w])
+			blocks += int64(ch.Rows + ch.Cols)
+			step[w]++
+		case sim.RecvC:
+			job := <-chans[w].results
+			storeJob(c, job)
+			blocks += int64(active[w].Blocks)
+			active[w] = nil
+			remaining--
+		}
+	}
+	closeAll(chans)
+	wg.Wait()
+	return Report{
+		Result:    core.Result{Algorithm: "mw-demand", Blocks: blocks},
+		PerWorker: updates,
+	}, nil
+}
+
+func closeAll(chans []workerChans) {
+	for w := range chans {
+		close(chans[w].jobs)
+	}
+}
+
+// dummyPlatform builds a placeholder platform when only the worker count
+// matters (plan construction needs no costs in this runtime; real time is
+// measured, not modeled).
+func dummyPlatform(p int) *platform.Platform {
+	return platform.Homogeneous(p, 1, 1, 1<<20)
+}

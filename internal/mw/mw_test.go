@@ -1,0 +1,202 @@
+package mw
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/homog"
+	"repro/internal/matrix"
+	"repro/internal/platform"
+)
+
+// build creates deterministic A, B, C and the expected C + A·B.
+func build(t *testing.T, r, tt, s, q int) (a, b, c, want *matrix.Blocked) {
+	t.Helper()
+	ad := matrix.NewDense(r*q, tt*q)
+	bd := matrix.NewDense(tt*q, s*q)
+	cd := matrix.NewDense(r*q, s*q)
+	matrix.DeterministicFill(ad, 1)
+	matrix.DeterministicFill(bd, 2)
+	matrix.DeterministicFill(cd, 3)
+	ref := cd.Clone()
+	matrix.MulNaive(ref, ad, bd)
+	return matrix.Partition(ad, q), matrix.Partition(bd, q),
+		matrix.Partition(cd, q), matrix.Partition(ref, q)
+}
+
+func TestStaticCorrectness(t *testing.T) {
+	for _, tc := range []struct{ r, tt, s, q, workers, mu, cap int }{
+		{4, 4, 4, 8, 1, 2, 2},
+		{4, 4, 4, 8, 2, 2, 2},
+		{6, 3, 9, 4, 3, 2, 1},
+		{5, 2, 7, 4, 2, 3, 2}, // ragged chunks
+		{2, 2, 2, 8, 4, 1, 2}, // more workers than panels
+		{8, 5, 8, 4, 2, 8, 2}, // chunk bigger than C rows
+	} {
+		a, b, c, want := build(t, tc.r, tc.tt, tc.s, tc.q)
+		rep, err := Multiply(c, a, b, Config{
+			Workers: tc.workers, Mu: tc.mu, StageCap: tc.cap, Mode: Static,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !c.Equal(want, 1e-9) {
+			t.Fatalf("%+v: wrong product", tc)
+		}
+		if rep.Result.Updates != int64(tc.r*tc.tt*tc.s) {
+			t.Fatalf("%+v: %d updates", tc, rep.Result.Updates)
+		}
+	}
+}
+
+func TestDemandCorrectness(t *testing.T) {
+	for _, tc := range []struct{ r, tt, s, q, workers, mu, cap int }{
+		{4, 4, 4, 8, 1, 2, 1},
+		{4, 4, 4, 8, 3, 2, 2},
+		{7, 3, 5, 4, 4, 2, 2}, // ragged
+		{6, 6, 6, 4, 2, 3, 1},
+	} {
+		a, b, c, want := build(t, tc.r, tc.tt, tc.s, tc.q)
+		rep, err := Multiply(c, a, b, Config{
+			Workers: tc.workers, Mu: tc.mu, StageCap: tc.cap, Mode: Demand,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !c.Equal(want, 1e-9) {
+			t.Fatalf("%+v: wrong product", tc)
+		}
+		var sum int64
+		for _, u := range rep.PerWorker {
+			sum += u
+		}
+		if sum != int64(tc.r*tc.tt*tc.s) {
+			t.Fatalf("%+v: per-worker sum %d", tc, sum)
+		}
+	}
+}
+
+func TestStaticWithHoLMPlan(t *testing.T) {
+	// drive the runtime with the real Algorithm 1 plan including resource
+	// selection.
+	q := 8
+	a, b, c, want := build(t, 8, 4, 8, q)
+	pr := core.Problem{R: 8, S: 8, T: 4, Q: q}
+	pl := platform.Homogeneous(4, 1, 0.25, 60) // µ = 6, P = ⌈6·0.25/2⌉ = 1
+	sel, err := homog.Select(pl, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := homog.BuildPlan(pl, pr, sel.P, sel.Mu)
+	rep, err := Multiply(c, a, b, Config{
+		Workers: 4, Mu: sel.Mu, StageCap: 2, Mode: Static, Plan: plan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(want, 1e-9) {
+		t.Fatal("wrong product")
+	}
+	if rep.Result.Enrolled != sel.P {
+		t.Fatalf("enrolled %d, want %d", rep.Result.Enrolled, sel.P)
+	}
+}
+
+func TestOperandsUntouched(t *testing.T) {
+	a, b, c, _ := build(t, 4, 4, 4, 8)
+	asum, bsum := a.Assemble().Checksum(), b.Assemble().Checksum()
+	if _, err := Multiply(c, a, b, Config{Workers: 2, Mu: 2, Mode: Demand, StageCap: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Assemble().Checksum() != asum || b.Assemble().Checksum() != bsum {
+		t.Fatal("input operands were modified")
+	}
+}
+
+func TestDemandUsesAllWorkersWhenSlow(t *testing.T) {
+	// with artificial per-update cost, all workers get enrolled
+	a, b, c, want := build(t, 8, 2, 8, 4)
+	rep, err := Multiply(c, a, b, Config{
+		Workers: 4, Mu: 2, StageCap: 2, Mode: Demand,
+		SpinPerUpdate: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(want, 1e-9) {
+		t.Fatal("wrong product")
+	}
+	if rep.Result.Enrolled < 3 {
+		t.Fatalf("only %d workers enrolled with slow compute", rep.Result.Enrolled)
+	}
+}
+
+func TestMultiplyErrors(t *testing.T) {
+	a, b, c, _ := build(t, 4, 4, 4, 8)
+	if _, err := Multiply(c, a, b, Config{Workers: 0, Mu: 1}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := Multiply(c, a, b, Config{Workers: 1, Mu: 0}); err == nil {
+		t.Fatal("µ=0 accepted")
+	}
+	bad := matrix.NewBlocked(3, 4, 8)
+	if _, err := Multiply(c, bad, b, Config{Workers: 1, Mu: 1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := Multiply(c, a, b, Config{Workers: 1, Mu: 1, Mode: Mode(9)}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestBlocksAccounting(t *testing.T) {
+	// exact comm volume for divisible shapes: chunks·(2µ² + t·2µ).
+	a, b, c, _ := build(t, 4, 3, 4, 4)
+	rep, err := Multiply(c, a, b, Config{Workers: 2, Mu: 2, StageCap: 2, Mode: Static})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := int64(4) // (4/2)·(4/2)
+	want := chunks * (2*4 + 3*4)
+	if rep.Result.Blocks != want {
+		t.Fatalf("blocks %d, want %d", rep.Result.Blocks, want)
+	}
+}
+
+// Property: both modes compute the exact same C as the naive product for
+// random shapes, worker counts, µ and staging depth.
+func TestQuickBothModes(t *testing.T) {
+	f := func(rRaw, sRaw, tRaw, wRaw, muRaw, capRaw uint8, mode bool) bool {
+		r := int(rRaw%5) + 1
+		s := int(sRaw%5) + 1
+		tt := int(tRaw%4) + 1
+		workers := int(wRaw%3) + 1
+		mu := int(muRaw%3) + 1
+		cap := int(capRaw%2) + 1
+		q := 4
+		ad := matrix.NewDense(r*q, tt*q)
+		bd := matrix.NewDense(tt*q, s*q)
+		cd := matrix.NewDense(r*q, s*q)
+		matrix.DeterministicFill(ad, int64(rRaw))
+		matrix.DeterministicFill(bd, int64(sRaw)+100)
+		matrix.DeterministicFill(cd, int64(tRaw)+200)
+		ref := cd.Clone()
+		matrix.MulNaive(ref, ad, bd)
+		a := matrix.Partition(ad, q)
+		b := matrix.Partition(bd, q)
+		c := matrix.Partition(cd, q)
+		m := Static
+		if mode {
+			m = Demand
+		}
+		_, err := Multiply(c, a, b, Config{Workers: workers, Mu: mu, StageCap: cap, Mode: m})
+		if err != nil {
+			return false
+		}
+		return c.Assemble().Equal(ref, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

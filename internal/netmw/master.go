@@ -1,0 +1,270 @@
+package netmw
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/homog"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// MasterConfig configures a distributed run.
+type MasterConfig struct {
+	Addr    string // listen address, e.g. "127.0.0.1:7070" (":0" for tests)
+	Workers int    // connections to wait for
+	Mu      int    // chunk side in blocks
+	Timeout time.Duration
+}
+
+// MasterReport summarizes a distributed execution.
+type MasterReport struct {
+	Result  core.Result
+	Elapsed time.Duration
+	Addr    string // the actual listen address (useful with ":0")
+}
+
+type netWorker struct {
+	id      int
+	conn    net.Conn
+	w       *bufio.Writer
+	results chan []float64 // flattened chunk payloads returned
+	mem     int
+}
+
+// Serve runs the master: it listens, waits for cfg.Workers workers, then
+// distributes C ← C + A·B with the demand-driven protocol and shuts the
+// workers down. It mutates c in place.
+func Serve(c, a, b *matrix.Blocked, cfg MasterConfig) (MasterReport, error) {
+	if err := validate(c, a, b, cfg); err != nil {
+		return MasterReport{}, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return MasterReport{}, fmt.Errorf("netmw: listen: %w", err)
+	}
+	return ServeListener(c, a, b, cfg, ln)
+}
+
+func validate(c, a, b *matrix.Blocked, cfg MasterConfig) error {
+	if a.BR != c.BR || b.BC != c.BC || a.BC != b.BR || a.Q != b.Q || a.Q != c.Q {
+		return fmt.Errorf("netmw: shape mismatch")
+	}
+	if cfg.Workers < 1 {
+		return fmt.Errorf("netmw: need at least one worker")
+	}
+	if cfg.Mu < 1 {
+		return fmt.Errorf("netmw: µ must be ≥ 1")
+	}
+	return nil
+}
+
+// ServeListener is Serve on an already-bound listener, which lets callers
+// bind to port 0 and learn the address (ln.Addr()) before the workers
+// dial in. The listener is closed on return.
+func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (MasterReport, error) {
+	defer ln.Close()
+	if err := validate(c, a, b, cfg); err != nil {
+		return MasterReport{}, err
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	rep := MasterReport{Addr: ln.Addr().String()}
+
+	type reqMsg struct {
+		worker int
+		kind   byte
+	}
+	reqs := make(chan reqMsg, cfg.Workers*8)
+	errs := make(chan error, cfg.Workers)
+	workers := make([]*netWorker, 0, cfg.Workers)
+	var readers sync.WaitGroup
+
+	deadline := time.Now().Add(cfg.Timeout)
+	for len(workers) < cfg.Workers {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			if err := tl.SetDeadline(deadline); err != nil {
+				return rep, err
+			}
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return rep, fmt.Errorf("netmw: accept (have %d/%d workers): %w", len(workers), cfg.Workers, err)
+		}
+		nw := &netWorker{
+			id:      len(workers),
+			conn:    conn,
+			w:       bufio.NewWriterSize(conn, 1<<20),
+			results: make(chan []float64, 1),
+		}
+		workers = append(workers, nw)
+		readers.Add(1)
+		go func(nw *netWorker) {
+			defer readers.Done()
+			r := bufio.NewReaderSize(nw.conn, 1<<20)
+			for {
+				t, payload, err := readMsg(r)
+				if err != nil {
+					return // connection closed (normal after Bye)
+				}
+				switch t {
+				case MsgHello:
+					// capacity currently informational
+				case MsgReq:
+					if len(payload) != 1 {
+						errs <- fmt.Errorf("netmw: bad request from worker %d", nw.id)
+						return
+					}
+					reqs <- reqMsg{nw.id, payload[0]}
+				case MsgResult:
+					fs, _, err := getFloats(payload[4:], (len(payload)-4)/8)
+					if err != nil {
+						errs <- err
+						return
+					}
+					nw.results <- fs
+				default:
+					errs <- fmt.Errorf("netmw: unexpected message %d from worker %d", t, nw.id)
+					return
+				}
+			}
+		}(nw)
+	}
+
+	start := time.Now()
+	pr := core.Problem{R: c.BR, S: c.BC, T: a.BC, Q: a.Q}
+	_, pool := homog.ChunkGrid(pr, cfg.Mu)
+	active := make([]*sim.Chunk, cfg.Workers)
+	step := make([]int, cfg.Workers)
+	var blocks int64
+	remaining := len(pool)
+	q := pr.Q
+
+	sendJob := func(nw *netWorker, ch *sim.Chunk) error {
+		hdr := ChunkHeader{
+			ID: uint32(ch.ID), I0: uint32(ch.I0), J0: uint32(ch.J0),
+			Rows: uint32(ch.Rows), Cols: uint32(ch.Cols), T: uint32(pr.T), Q: uint32(q),
+		}
+		payload := make([]byte, chunkHeaderLen, chunkHeaderLen+8*q*q*ch.Rows*ch.Cols)
+		hdr.encode(payload)
+		for i := 0; i < ch.Rows; i++ {
+			for j := 0; j < ch.Cols; j++ {
+				payload = putFloats(payload, c.Block(ch.I0+i, ch.J0+j).Data)
+			}
+		}
+		if err := writeMsg(nw.w, MsgJob, payload); err != nil {
+			return err
+		}
+		return nw.w.Flush()
+	}
+	sendSet := func(nw *netWorker, ch *sim.Chunk, k int) error {
+		payload := make([]byte, 4, 4+8*q*q*(ch.Rows+ch.Cols))
+		payload[0] = byte(k)
+		payload[1] = byte(k >> 8)
+		payload[2] = byte(k >> 16)
+		payload[3] = byte(k >> 24)
+		for i := 0; i < ch.Rows; i++ {
+			payload = putFloats(payload, a.Block(ch.I0+i, k).Data)
+		}
+		for j := 0; j < ch.Cols; j++ {
+			payload = putFloats(payload, b.Block(k, ch.J0+j).Data)
+		}
+		if err := writeMsg(nw.w, MsgSet, payload); err != nil {
+			return err
+		}
+		return nw.w.Flush()
+	}
+
+	fail := func(err error) (MasterReport, error) {
+		for _, nw := range workers {
+			nw.conn.Close()
+		}
+		readers.Wait()
+		return rep, err
+	}
+
+	for remaining > 0 {
+		var rq reqMsg
+		select {
+		case rq = <-reqs:
+		case err := <-errs:
+			return fail(err)
+		case <-time.After(cfg.Timeout):
+			return fail(fmt.Errorf("netmw: timed out waiting for worker requests"))
+		}
+		nw := workers[rq.worker]
+		switch rq.kind {
+		case ReqChunk:
+			if len(pool) == 0 {
+				continue
+			}
+			ch := pool[0]
+			pool = pool[1:]
+			active[rq.worker] = ch
+			step[rq.worker] = 0
+			if err := sendJob(nw, ch); err != nil {
+				return fail(err)
+			}
+			blocks += int64(ch.Blocks)
+		case ReqSet:
+			ch := active[rq.worker]
+			if ch == nil || step[rq.worker] >= len(ch.Steps) {
+				return fail(fmt.Errorf("netmw: protocol violation from worker %d", rq.worker))
+			}
+			if err := sendSet(nw, ch, step[rq.worker]); err != nil {
+				return fail(err)
+			}
+			blocks += int64(ch.Rows + ch.Cols)
+			step[rq.worker]++
+		case ReqResult:
+			ch := active[rq.worker]
+			if ch == nil {
+				return fail(fmt.Errorf("netmw: unexpected result pickup from worker %d", rq.worker))
+			}
+			var fs []float64
+			select {
+			case fs = <-nw.results:
+			case err := <-errs:
+				return fail(err)
+			case <-time.After(cfg.Timeout):
+				return fail(fmt.Errorf("netmw: timed out waiting for result"))
+			}
+			want := q * q * ch.Rows * ch.Cols
+			if len(fs) != want {
+				return fail(fmt.Errorf("netmw: result size %d, want %d", len(fs), want))
+			}
+			for i := 0; i < ch.Rows; i++ {
+				for j := 0; j < ch.Cols; j++ {
+					copy(c.Block(ch.I0+i, ch.J0+j).Data, fs[(i*ch.Cols+j)*q*q:(i*ch.Cols+j+1)*q*q])
+				}
+			}
+			blocks += int64(ch.Blocks)
+			active[rq.worker] = nil
+			remaining--
+		default:
+			return fail(fmt.Errorf("netmw: unknown request kind %d", rq.kind))
+		}
+	}
+
+	for _, nw := range workers {
+		if err := writeMsg(nw.w, MsgBye, nil); err == nil {
+			nw.w.Flush()
+		}
+		nw.conn.Close()
+	}
+	readers.Wait()
+	rep.Elapsed = time.Since(start)
+	rep.Result = core.Result{
+		Algorithm: "netmw",
+		Makespan:  rep.Elapsed.Seconds(),
+		Enrolled:  cfg.Workers,
+		Blocks:    blocks,
+		Updates:   pr.Updates(),
+	}
+	return rep, nil
+}

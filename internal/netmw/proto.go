@@ -1,0 +1,147 @@
+// Package netmw is the distributed master-worker runtime: the same
+// demand-driven protocol as the in-process runtime (package mw), but with
+// workers in separate processes connected to the master over TCP. It is
+// the repository's stand-in for the paper's MPI deployment across real
+// machines.
+//
+// Wire format: every message is a 1-byte type, a 4-byte little-endian
+// payload length, and the payload. Float payloads are raw little-endian
+// IEEE-754 doubles. The master writes to all workers from a single
+// goroutine, so the one-port model holds at the application layer (§2.2;
+// the paper cites Saif & Parashar for the observation that large
+// asynchronous sends serialize anyway).
+package netmw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType tags a protocol message.
+type MsgType byte
+
+// Protocol message types.
+const (
+	// MsgHello is sent by a worker on connect: payload is its memory
+	// capacity in blocks (uint32).
+	MsgHello MsgType = iota + 1
+	// MsgJob carries a C chunk to a worker: ChunkHeader then Rows*Cols
+	// q×q blocks.
+	MsgJob
+	// MsgSet carries one update set: uint32 k, then Rows A blocks and
+	// Cols B blocks.
+	MsgSet
+	// MsgResult returns a finished chunk: uint32 chunk id, then the
+	// blocks.
+	MsgResult
+	// MsgReq is a worker request: 1 byte kind (0 = chunk, 1 = update
+	// set, 2 = result pickup).
+	MsgReq
+	// MsgBye tells a worker to shut down.
+	MsgBye
+)
+
+// Request kinds carried by MsgReq.
+const (
+	ReqChunk byte = iota
+	ReqSet
+	ReqResult
+)
+
+// ChunkHeader describes a chunk on the wire.
+type ChunkHeader struct {
+	ID     uint32
+	I0, J0 uint32
+	Rows   uint32
+	Cols   uint32
+	T      uint32
+	Q      uint32
+}
+
+const chunkHeaderLen = 7 * 4
+
+func (h *ChunkHeader) encode(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], h.ID)
+	binary.LittleEndian.PutUint32(buf[4:], h.I0)
+	binary.LittleEndian.PutUint32(buf[8:], h.J0)
+	binary.LittleEndian.PutUint32(buf[12:], h.Rows)
+	binary.LittleEndian.PutUint32(buf[16:], h.Cols)
+	binary.LittleEndian.PutUint32(buf[20:], h.T)
+	binary.LittleEndian.PutUint32(buf[24:], h.Q)
+}
+
+func (h *ChunkHeader) decode(buf []byte) error {
+	if len(buf) < chunkHeaderLen {
+		return fmt.Errorf("netmw: short chunk header (%d bytes)", len(buf))
+	}
+	h.ID = binary.LittleEndian.Uint32(buf[0:])
+	h.I0 = binary.LittleEndian.Uint32(buf[4:])
+	h.J0 = binary.LittleEndian.Uint32(buf[8:])
+	h.Rows = binary.LittleEndian.Uint32(buf[12:])
+	h.Cols = binary.LittleEndian.Uint32(buf[16:])
+	h.T = binary.LittleEndian.Uint32(buf[20:])
+	h.Q = binary.LittleEndian.Uint32(buf[24:])
+	return nil
+}
+
+// writeMsg frames and writes one message.
+func writeMsg(w io.Writer, t MsgType, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxPayload bounds a single message to keep a corrupted length prefix
+// from provoking a giant allocation (256 MiB is far above any legal
+// message: the largest is a chunk of µ² blocks).
+const maxPayload = 256 << 20
+
+// readMsg reads one framed message.
+func readMsg(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("netmw: oversized payload %d bytes", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[0]), payload, nil
+}
+
+// putFloats appends the raw little-endian encoding of fs to buf.
+func putFloats(buf []byte, fs []float64) []byte {
+	off := len(buf)
+	buf = append(buf, make([]byte, 8*len(fs))...)
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(buf[off+8*i:], math.Float64bits(f))
+	}
+	return buf
+}
+
+// getFloats decodes n doubles from buf, returning the floats and the rest.
+func getFloats(buf []byte, n int) ([]float64, []byte, error) {
+	if len(buf) < 8*n {
+		return nil, nil, fmt.Errorf("netmw: short float payload: have %d bytes, want %d", len(buf), 8*n)
+	}
+	fs := make([]float64, n)
+	for i := range fs {
+		fs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return fs, buf[8*n:], nil
+}

@@ -1,0 +1,159 @@
+package netmw
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/blas"
+)
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	Addr     string // master address
+	Memory   int    // advertised capacity in blocks
+	StageCap int    // update sets pre-requested (1 or 2)
+	Timeout  time.Duration
+}
+
+// WorkerReport summarizes one worker's session.
+type WorkerReport struct {
+	Chunks  int
+	Updates int64
+}
+
+// RunWorker connects to the master and serves until it receives Bye. It
+// implements the worker side of the demand protocol: request a chunk when
+// idle, pre-request StageCap update sets per chunk and one more as each is
+// consumed, then return the chunk and request the next.
+func RunWorker(cfg WorkerConfig) (WorkerReport, error) {
+	if cfg.StageCap < 1 {
+		cfg.StageCap = 1
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return WorkerReport{}, fmt.Errorf("netmw: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<20)
+	w := bufio.NewWriterSize(conn, 1<<20)
+
+	var rep WorkerReport
+	send := func(t MsgType, payload []byte) error {
+		if err := writeMsg(w, t, payload); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+	req := func(kind byte) error { return send(MsgReq, []byte{kind}) }
+
+	hello := make([]byte, 4)
+	hello[0] = byte(cfg.Memory)
+	hello[1] = byte(cfg.Memory >> 8)
+	hello[2] = byte(cfg.Memory >> 16)
+	hello[3] = byte(cfg.Memory >> 24)
+	if err := send(MsgHello, hello); err != nil {
+		return rep, err
+	}
+	if err := req(ReqChunk); err != nil {
+		return rep, err
+	}
+
+	for {
+		t, payload, err := readMsg(r)
+		if err != nil {
+			return rep, fmt.Errorf("netmw: worker read: %w", err)
+		}
+		switch t {
+		case MsgBye:
+			return rep, nil
+		case MsgJob:
+			var hdr ChunkHeader
+			if err := hdr.decode(payload); err != nil {
+				return rep, err
+			}
+			q := int(hdr.Q)
+			rows, cols, tt := int(hdr.Rows), int(hdr.Cols), int(hdr.T)
+			rest := payload[chunkHeaderLen:]
+			cBlocks := make([][]float64, rows*cols)
+			for i := range cBlocks {
+				cBlocks[i], rest, err = getFloats(rest, q*q)
+				if err != nil {
+					return rep, err
+				}
+			}
+
+			// pre-request the staging fill
+			pre := cfg.StageCap
+			if pre > tt {
+				pre = tt
+			}
+			for k := 0; k < pre; k++ {
+				if err := req(ReqSet); err != nil {
+					return rep, err
+				}
+			}
+			for k := 0; k < tt; k++ {
+				mt, sp, err := readMsg(r)
+				if err != nil {
+					return rep, err
+				}
+				if mt != MsgSet {
+					return rep, fmt.Errorf("netmw: worker expected set, got %d", mt)
+				}
+				if k+pre < tt {
+					if err := req(ReqSet); err != nil {
+						return rep, err
+					}
+				}
+				rest := sp[4:]
+				aBlks := make([][]float64, rows)
+				for i := range aBlks {
+					aBlks[i], rest, err = getFloats(rest, q*q)
+					if err != nil {
+						return rep, err
+					}
+				}
+				bBlks := make([][]float64, cols)
+				for j := range bBlks {
+					bBlks[j], rest, err = getFloats(rest, q*q)
+					if err != nil {
+						return rep, err
+					}
+				}
+				for i := 0; i < rows; i++ {
+					for j := 0; j < cols; j++ {
+						blas.BlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q)
+						rep.Updates++
+					}
+				}
+			}
+
+			// return the chunk, then ask for the next one
+			if err := req(ReqResult); err != nil {
+				return rep, err
+			}
+			res := make([]byte, 4, 4+8*q*q*rows*cols)
+			res[0] = byte(hdr.ID)
+			res[1] = byte(hdr.ID >> 8)
+			res[2] = byte(hdr.ID >> 16)
+			res[3] = byte(hdr.ID >> 24)
+			for _, blk := range cBlocks {
+				res = putFloats(res, blk)
+			}
+			if err := send(MsgResult, res); err != nil {
+				return rep, err
+			}
+			rep.Chunks++
+			if err := req(ReqChunk); err != nil {
+				return rep, err
+			}
+		default:
+			return rep, fmt.Errorf("netmw: worker got unexpected message %d", t)
+		}
+	}
+}

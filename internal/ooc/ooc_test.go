@@ -1,0 +1,281 @@
+package ooc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func tmp(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), name)
+}
+
+func blocked(t *testing.T, br, bc, q int, seed int64) *matrix.Blocked {
+	t.Helper()
+	d := matrix.NewDense(br*q, bc*q)
+	matrix.DeterministicFill(d, seed)
+	return matrix.Partition(d, q)
+}
+
+func TestCreateErrors(t *testing.T) {
+	if _, err := Create(tmp(t, "x"), 0, 1, 1, 1); err == nil {
+		t.Fatal("br=0 accepted")
+	}
+	if _, err := Create(tmp(t, "x"), 1, 1, 1, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := Create("/nonexistent-dir-xyz/f", 1, 1, 1, 1); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := blocked(t, 3, 4, 8, 7)
+	st, err := FromBlocked(tmp(t, "m.bin"), src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.ToBlocked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(src, 0) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestCacheBounded(t *testing.T) {
+	src := blocked(t, 4, 4, 4, 1)
+	st, err := FromBlocked(tmp(t, "m.bin"), src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	buf := make([]float64, 16)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if err := st.Read(i, j, buf); err != nil {
+				t.Fatal(err)
+			}
+			if st.Resident() > 3 {
+				t.Fatalf("cache grew to %d > capacity 3", st.Resident())
+			}
+		}
+	}
+}
+
+func TestLRUBehaviour(t *testing.T) {
+	src := blocked(t, 1, 3, 4, 2)
+	st, err := FromBlocked(tmp(t, "m.bin"), src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	buf := make([]float64, 16)
+	base := st.Stats()
+	// load 0 and 1, touch 0, load 2 (evicts 1), then 0 must still hit
+	st.Read(0, 0, buf)
+	st.Read(0, 1, buf)
+	st.Read(0, 0, buf) // hit, refreshes 0
+	st.Read(0, 2, buf) // evicts 1
+	st.Read(0, 0, buf) // must hit
+	d := st.Stats()
+	if hits := d.Hits - base.Hits; hits != 2 {
+		t.Fatalf("hits %d, want 2", hits)
+	}
+	st.Read(0, 1, buf) // was evicted: miss
+	if misses := st.Stats().Misses - base.Misses; misses != 4 {
+		t.Fatalf("misses %d, want 4 (0,1,2 then 1 again)", misses)
+	}
+}
+
+func TestDirtyWriteBack(t *testing.T) {
+	src := blocked(t, 2, 2, 4, 3)
+	st, err := FromBlocked(tmp(t, "m.bin"), src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Update(0, 0, func(blk []float64) { blk[0] = 42 }); err != nil {
+		t.Fatal(err)
+	}
+	// eviction through capacity-1 cache forces the write-back
+	buf := make([]float64, 16)
+	if err := st.Read(1, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().WriteBacks == 0 {
+		t.Fatal("no write-back recorded")
+	}
+	if err := st.Read(0, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 42 {
+		t.Fatal("update lost on eviction")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	src := blocked(t, 2, 2, 4, 4)
+	st, err := FromBlocked(tmp(t, "m.bin"), src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Read(2, 0, make([]float64, 16)); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestMultiplyMaxReuseCorrect(t *testing.T) {
+	for _, tc := range []struct{ r, tt, s, q, mC, mAB int }{
+		{4, 3, 5, 4, 7, 2},   // µ=2 in a 7-block C cache
+		{6, 2, 6, 4, 21, 3},  // µ=4
+		{3, 3, 3, 8, 3, 1},   // µ=1, minimal caches
+		{5, 4, 2, 4, 157, 5}, // C cache bigger than C
+	} {
+		a := blocked(t, tc.r, tc.tt, tc.q, 1)
+		b := blocked(t, tc.tt, tc.s, tc.q, 2)
+		c := blocked(t, tc.r, tc.s, tc.q, 3)
+		want := c.Assemble()
+		matrix.MulNaive(want, a.Assemble(), b.Assemble())
+
+		sa, err := FromBlocked(tmp(t, "a.bin"), a, tc.mAB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := FromBlocked(tmp(t, "b.bin"), b, tc.mAB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := FromBlocked(tmp(t, "c.bin"), c, tc.mC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := MultiplyMaxReuse(sc, sa, sb); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		got, err := sc.ToBlocked()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Assemble().Equal(want, 1e-9) {
+			t.Fatalf("%+v: wrong out-of-core product", tc)
+		}
+		sa.Close()
+		sb.Close()
+		sc.Close()
+	}
+}
+
+func TestMultiplyMaxReuseIOBounded(t *testing.T) {
+	// With a µ=4 C cache, each C block should be read at most once per
+	// chunk visit (misses ≤ r·s for divisible shapes) — C blocks are
+	// pinned by recency while their chunk is active.
+	q := 4
+	a := blocked(t, 8, 6, q, 1)
+	b := blocked(t, 6, 8, q, 2)
+	c := blocked(t, 8, 8, q, 3)
+	sa, _ := FromBlocked(tmp(t, "a.bin"), a, 2)
+	sb, _ := FromBlocked(tmp(t, "b.bin"), b, 8)
+	sc, _ := FromBlocked(tmp(t, "c.bin"), c, 21) // µ = 4
+	defer sa.Close()
+	defer sb.Close()
+	defer sc.Close()
+	st, err := MultiplyMaxReuse(sc, sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Misses > int64(8*8) {
+		t.Fatalf("C misses %d exceed one read per block (64)", st.Misses)
+	}
+}
+
+func TestMultiplyMaxReuseErrors(t *testing.T) {
+	a := blocked(t, 2, 2, 4, 1)
+	sa, _ := FromBlocked(tmp(t, "a.bin"), a, 2)
+	defer sa.Close()
+	b := blocked(t, 3, 2, 4, 2)
+	sb, _ := FromBlocked(tmp(t, "b.bin"), b, 2)
+	defer sb.Close()
+	c := blocked(t, 2, 2, 4, 3)
+	sc, _ := FromBlocked(tmp(t, "c.bin"), c, 2)
+	defer sc.Close()
+	if _, err := MultiplyMaxReuse(sc, sa, sb); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// Property: the out-of-core product equals the in-core oracle for random
+// shapes and tight caches.
+func TestQuickOutOfCore(t *testing.T) {
+	f := func(rRaw, sRaw, tRaw, mRaw uint8, seed int64) bool {
+		r := int(rRaw%4) + 1
+		s := int(sRaw%4) + 1
+		tt := int(tRaw%3) + 1
+		mC := int(mRaw%8) + 3
+		q := 4
+		dir := filepathJoin()
+		a := blockedQ(r, tt, q, seed)
+		b := blockedQ(tt, s, q, seed+1)
+		c := blockedQ(r, s, q, seed+2)
+		want := c.Assemble()
+		matrix.MulNaive(want, a.Assemble(), b.Assemble())
+		sa, err := FromBlocked(dir+"/a.bin", a, 2)
+		if err != nil {
+			return false
+		}
+		defer sa.Close()
+		sb, err := FromBlocked(dir+"/b.bin", b, 2)
+		if err != nil {
+			return false
+		}
+		defer sb.Close()
+		sc, err := FromBlocked(dir+"/c.bin", c, mC)
+		if err != nil {
+			return false
+		}
+		defer sc.Close()
+		if _, err := MultiplyMaxReuse(sc, sa, sb); err != nil {
+			return false
+		}
+		got, err := sc.ToBlocked()
+		if err != nil {
+			return false
+		}
+		return got.Assemble().Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// helpers for the quick test (no *testing.T available inside the
+// property function)
+func blockedQ(br, bc, q int, seed int64) *matrix.Blocked {
+	d := matrix.NewDense(br*q, bc*q)
+	matrix.DeterministicFill(d, seed)
+	return matrix.Partition(d, q)
+}
+
+var quickDir string
+
+func filepathJoin() string { return quickDir }
+
+func TestMain(m *testing.M) {
+	// one temp dir shared by the quick property test (t.TempDir is not
+	// available inside a quick.Check property function)
+	dir, err := os.MkdirTemp("", "ooc-quick-*")
+	if err != nil {
+		panic(err)
+	}
+	quickDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}

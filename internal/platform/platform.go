@@ -1,0 +1,233 @@
+// Package platform models the star-shaped master-worker platform of §2.2 of
+// the paper: a master P0 with no processing capability and p workers P1..Pp,
+// each characterized by
+//
+//   - w_i: time units to execute one block update (one q×q rank-q GEMM),
+//   - c_i: time units for the master to send or receive one q×q block,
+//   - m_i: number of q×q block buffers that fit in the worker's memory.
+//
+// Costs are linear (no start-up overhead) and the master obeys the
+// unidirectional one-port model: it is engaged in at most one communication
+// — send or receive — at any time.
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Worker describes one worker of the star platform.
+type Worker struct {
+	C float64 // per-block communication cost (time units / block)
+	W float64 // per-block-update computation cost (time units / block update)
+	M int     // memory capacity in blocks
+}
+
+// Platform is a star network of workers hanging off a single master.
+type Platform struct {
+	Workers []Worker
+}
+
+// P returns the number of workers.
+func (p *Platform) P() int { return len(p.Workers) }
+
+// Homogeneous builds a platform of p identical workers (w_i = w, c_i = c,
+// m_i = m), the setting of §5 and of all the paper's reported experiments.
+func Homogeneous(p int, c, w float64, m int) *Platform {
+	ws := make([]Worker, p)
+	for i := range ws {
+		ws[i] = Worker{C: c, W: w, M: m}
+	}
+	return &Platform{Workers: ws}
+}
+
+// New builds a fully heterogeneous platform from explicit worker
+// descriptions.
+func New(workers ...Worker) *Platform {
+	return &Platform{Workers: append([]Worker(nil), workers...)}
+}
+
+// IsHomogeneous reports whether all workers share identical parameters.
+func (p *Platform) IsHomogeneous() bool {
+	if len(p.Workers) == 0 {
+		return true
+	}
+	w0 := p.Workers[0]
+	for _, w := range p.Workers[1:] {
+		if w != w0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Platform) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "star platform, %d workers:", p.P())
+	for i, w := range p.Workers {
+		fmt.Fprintf(&b, "\n  P%-3d c=%-8.4g w=%-8.4g m=%d", i+1, w.C, w.W, w.M)
+	}
+	return b.String()
+}
+
+// Validate returns an error when any worker has non-positive costs or a
+// memory too small to hold the minimal working set (one block each of A, B
+// and C, i.e. m ≥ 3).
+func (p *Platform) Validate() error {
+	if p.P() == 0 {
+		return fmt.Errorf("platform: no workers")
+	}
+	for i, w := range p.Workers {
+		if w.C <= 0 || w.W <= 0 {
+			return fmt.Errorf("platform: worker P%d has non-positive costs c=%g w=%g", i+1, w.C, w.W)
+		}
+		if w.M < 3 {
+			return fmt.Errorf("platform: worker P%d memory m=%d < 3 blocks", i+1, w.M)
+		}
+	}
+	return nil
+}
+
+// MuSingle returns the largest µ with 1 + µ + µ² ≤ m: the maximum re-use
+// layout of §4.1 (one A buffer, µ B buffers, µ² C buffers) used when a
+// single worker processes the whole product with no overlap buffering.
+func MuSingle(m int) int {
+	if m < 3 {
+		return 0
+	}
+	// µ = floor((-1 + sqrt(4m-3)) / 2), then fix up float error.
+	mu := int((-1 + math.Sqrt(float64(4*m-3))) / 2)
+	for 1+(mu+1)+(mu+1)*(mu+1) <= m {
+		mu++
+	}
+	for mu > 0 && 1+mu+mu*mu > m {
+		mu--
+	}
+	return mu
+}
+
+// MuOverlap returns the largest µ with µ² + 4µ ≤ m: the overlapped layout
+// of §5 (µ² C buffers plus two pairs of µ A / µ B staging buffers so that
+// the next update's operands arrive while the current one computes). This
+// is the "optimized memory layout" of the experimental section.
+func MuOverlap(m int) int {
+	if m < 5 {
+		return 0
+	}
+	// µ = floor(sqrt(4+m) - 2) as in Algorithm 1.
+	mu := int(math.Sqrt(float64(4+m)) - 2)
+	for (mu+1)*(mu+1)+4*(mu+1) <= m {
+		mu++
+	}
+	for mu > 0 && mu*mu+4*mu > m {
+		mu--
+	}
+	return mu
+}
+
+// MuNoOverlap returns the largest µ with µ² + 2µ ≤ m: a single pair of
+// staging buffers, the layout used by the DDOML algorithm of §8.2, which
+// never overlaps reception with computation and therefore reclaims the two
+// prefetch buffers for a (possibly) larger µ.
+func MuNoOverlap(m int) int {
+	if m < 3 {
+		return 0
+	}
+	mu := int(math.Sqrt(float64(1+m)) - 1)
+	for (mu+1)*(mu+1)+2*(mu+1) <= m {
+		mu++
+	}
+	for mu > 0 && mu*mu+2*mu > m {
+		mu--
+	}
+	return mu
+}
+
+// NuToledo returns ν = floor(sqrt(m/3)): Toledo's blocked matrix-multiply
+// layout (§8.2 BMM) splits the worker memory equally into three square
+// chunks, one each for A, B and C.
+func NuToledo(m int) int {
+	return int(math.Sqrt(float64(m) / 3))
+}
+
+// NuToledoOverlap returns ν = floor(sqrt(m/5)): the OBMM variant adds two
+// staging chunks so reception overlaps computation (§8.2 OBMM).
+func NuToledoOverlap(m int) int {
+	return int(math.Sqrt(float64(m) / 5))
+}
+
+// Mus returns the per-worker µ_i of the overlapped layout for the whole
+// platform (§6: "We first compute all the different values of µi so that
+// µi² + 4µi ≤ mi").
+func (p *Platform) Mus() []int {
+	mus := make([]int, p.P())
+	for i, w := range p.Workers {
+		mus[i] = MuOverlap(w.M)
+	}
+	return mus
+}
+
+// Calibration converts hardware-level rates into the per-block costs used
+// by the scheduling model. With q×q blocks of float64:
+//
+//	c = q²·τ_c   where τ_c is seconds per matrix coefficient transferred,
+//	w = q³·τ_a   where τ_a is seconds per fused multiply-add.
+//
+// (§5: "In the context of matrix multiplication, we have c = q²τc and
+// w = q³τa".)
+type Calibration struct {
+	TauC float64 // s per coefficient over the link
+	TauA float64 // s per flop-pair (one multiply-add)
+}
+
+// BlockCosts returns the per-block (c, w) costs for block size q.
+func (cal Calibration) BlockCosts(q int) (c, w float64) {
+	fq := float64(q)
+	return fq * fq * cal.TauC, fq * fq * fq * cal.TauA
+}
+
+// UTKCalibration models the platform of §8.1: 3.2 GHz dual Xeon nodes on
+// switched 100 Mb/s Fast Ethernet. A float64 coefficient is 8 bytes, so at
+// 12.5 MB/s τ_c = 8/12.5e6 s; a sustained ~2 Gflop/s dgemm gives
+// τ_a = 1/2e9 s per multiply-add. These reproduce the regime of the paper
+// (communication ≈ 12× slower than computation per block at q = 80).
+func UTKCalibration() Calibration {
+	return Calibration{TauC: 8.0 / 12.5e6, TauA: 1.0 / 2.0e9}
+}
+
+// MemoryBlocks converts a worker memory budget in bytes into a number of
+// q×q float64 block buffers, the m_i of the model.
+func MemoryBlocks(bytes int64, q int) int {
+	per := int64(8 * q * q)
+	return int(bytes / per)
+}
+
+// RandomHeterogeneous draws a platform of p workers whose parameters are
+// log-uniformly spread around the given means by the given heterogeneity
+// factors (1 = homogeneous, h means values span [mean/h, mean·h]). It is
+// used by the heterogeneous sweep experiment that the paper announces for
+// its final version (§8: "we will report results obtained for heterogeneous
+// platforms, assessing the impact of the degree of heterogeneity").
+func RandomHeterogeneous(rng *rand.Rand, p int, meanC, meanW float64, meanM int, hC, hW, hM float64) *Platform {
+	if hC < 1 || hW < 1 || hM < 1 {
+		panic("platform: heterogeneity factors must be >= 1")
+	}
+	draw := func(mean, h float64) float64 {
+		if h == 1 {
+			return mean
+		}
+		u := rng.Float64()*2 - 1 // [-1, 1)
+		return mean * math.Pow(h, u)
+	}
+	ws := make([]Worker, p)
+	for i := range ws {
+		m := int(draw(float64(meanM), hM))
+		if m < 5 {
+			m = 5
+		}
+		ws[i] = Worker{C: draw(meanC, hC), W: draw(meanW, hW), M: m}
+	}
+	return &Platform{Workers: ws}
+}

@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHomogeneous(t *testing.T) {
+	pl := Homogeneous(4, 2, 3, 100)
+	if pl.P() != 4 {
+		t.Fatalf("P = %d, want 4", pl.P())
+	}
+	if !pl.IsHomogeneous() {
+		t.Fatal("homogeneous platform reported heterogeneous")
+	}
+	for i, w := range pl.Workers {
+		if w.C != 2 || w.W != 3 || w.M != 100 {
+			t.Fatalf("worker %d = %+v", i, w)
+		}
+	}
+}
+
+func TestIsHomogeneousDetectsDifference(t *testing.T) {
+	pl := New(Worker{1, 1, 10}, Worker{1, 2, 10})
+	if pl.IsHomogeneous() {
+		t.Fatal("heterogeneous platform reported homogeneous")
+	}
+	if !New().IsHomogeneous() {
+		t.Fatal("empty platform should be trivially homogeneous")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Homogeneous(2, 1, 1, 10).Validate(); err != nil {
+		t.Fatalf("valid platform rejected: %v", err)
+	}
+	cases := []*Platform{
+		New(),
+		New(Worker{C: 0, W: 1, M: 10}),
+		New(Worker{C: 1, W: -1, M: 10}),
+		New(Worker{C: 1, W: 1, M: 2}),
+	}
+	for i, pl := range cases {
+		if err := pl.Validate(); err == nil {
+			t.Fatalf("case %d: invalid platform accepted", i)
+		}
+	}
+}
+
+func TestMuSingleKnown(t *testing.T) {
+	// 1 + µ + µ² ≤ m: the paper's Figure 5 example has m = 21 ⇒ µ = 4.
+	cases := map[int]int{21: 4, 20: 3, 3: 1, 2: 0, 7: 2, 13: 3, 12: 2, 111: 10, 110: 9, 1000: 31}
+	for m, want := range cases {
+		if got := MuSingle(m); got != want {
+			t.Fatalf("MuSingle(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestMuOverlapKnown(t *testing.T) {
+	// µ² + 4µ ≤ m
+	cases := map[int]int{5: 1, 4: 0, 12: 2, 11: 1, 21: 3, 20: 2, 10000: 98}
+	for m, want := range cases {
+		if got := MuOverlap(m); got != want {
+			t.Fatalf("MuOverlap(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestMuNoOverlapKnown(t *testing.T) {
+	// µ² + 2µ ≤ m
+	cases := map[int]int{3: 1, 2: 0, 8: 2, 7: 1, 15: 3, 10000: 99}
+	for m, want := range cases {
+		if got := MuNoOverlap(m); got != want {
+			t.Fatalf("MuNoOverlap(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestNuToledo(t *testing.T) {
+	if got := NuToledo(10000); got != 57 {
+		t.Fatalf("NuToledo(10000) = %d, want 57", got)
+	}
+	if got := NuToledoOverlap(10000); got != 44 {
+		t.Fatalf("NuToledoOverlap(10000) = %d, want 44", got)
+	}
+	if got := NuToledo(2); got != 0 {
+		t.Fatalf("NuToledo(2) = %d, want 0", got)
+	}
+}
+
+// Property: each µ is maximal for its constraint.
+func TestQuickMuMaximality(t *testing.T) {
+	f := func(mRaw uint16) bool {
+		m := int(mRaw)
+		mu := MuSingle(m)
+		if mu > 0 && 1+mu+mu*mu > m {
+			return false
+		}
+		if 1+(mu+1)+(mu+1)*(mu+1) <= m {
+			return false
+		}
+		mo := MuOverlap(m)
+		if mo > 0 && mo*mo+4*mo > m {
+			return false
+		}
+		if (mo+1)*(mo+1)+4*(mo+1) <= m {
+			return false
+		}
+		mn := MuNoOverlap(m)
+		if mn > 0 && mn*mn+2*mn > m {
+			return false
+		}
+		if (mn+1)*(mn+1)+2*(mn+1) <= m {
+			return false
+		}
+		// ordering: more reserved buffers ⇒ smaller µ
+		return mo <= mn && mn <= MuSingle(m)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMus(t *testing.T) {
+	pl := New(Worker{1, 1, 12}, Worker{1, 1, 21}, Worker{1, 1, 4})
+	got := pl.Mus()
+	want := []int{2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Mus() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCalibrationBlockCosts(t *testing.T) {
+	cal := Calibration{TauC: 2, TauA: 3}
+	c, w := cal.BlockCosts(10)
+	if c != 200 || w != 3000 {
+		t.Fatalf("BlockCosts = (%v, %v), want (200, 3000)", c, w)
+	}
+}
+
+func TestUTKCalibrationRegime(t *testing.T) {
+	// The §8.1 platform at q=80 must give w/c = 0.0625: that ratio is what
+	// makes HoLM enroll 4 workers at 512 MB and 2 at 132 MB (Figure 13).
+	c, w := UTKCalibration().BlockCosts(80)
+	if r := w / c; math.Abs(r-0.0625) > 1e-9 {
+		t.Fatalf("w/c = %v, want 0.0625", r)
+	}
+}
+
+func TestMemoryBlocks(t *testing.T) {
+	// one q=80 block is 51200 bytes; 512 MiB must exceed 10000 blocks
+	m := MemoryBlocks(512<<20, 80)
+	if m < 10000 || m > 10600 {
+		t.Fatalf("MemoryBlocks(512MiB, 80) = %d, want ≈10485", m)
+	}
+	if MemoryBlocks(51200, 80) != 1 {
+		t.Fatal("one block's worth of bytes should give m=1")
+	}
+}
+
+func TestRandomHeterogeneousBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pl := RandomHeterogeneous(rng, 50, 1.0, 2.0, 100, 4, 4, 4)
+	if pl.P() != 50 {
+		t.Fatalf("P = %d", pl.P())
+	}
+	for i, w := range pl.Workers {
+		if w.C < 0.25-1e-9 || w.C > 4+1e-9 {
+			t.Fatalf("worker %d C=%v outside [0.25,4]", i, w.C)
+		}
+		if w.W < 0.5-1e-9 || w.W > 8+1e-9 {
+			t.Fatalf("worker %d W=%v outside [0.5,8]", i, w.W)
+		}
+		if w.M < 5 {
+			t.Fatalf("worker %d M=%d < 5", i, w.M)
+		}
+	}
+}
+
+func TestRandomHeterogeneousDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pl := RandomHeterogeneous(rng, 3, 1.5, 2.5, 50, 1, 1, 1)
+	for _, w := range pl.Workers {
+		if w.C != 1.5 || w.W != 2.5 || w.M != 50 {
+			t.Fatalf("h=1 should be homogeneous, got %+v", w)
+		}
+	}
+}
+
+func TestRandomHeterogeneousPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for h < 1")
+		}
+	}()
+	RandomHeterogeneous(rand.New(rand.NewSource(3)), 2, 1, 1, 10, 0.5, 1, 1)
+}
+
+func TestStringRendersWorkers(t *testing.T) {
+	s := New(Worker{1, 2, 30}).String()
+	if !strings.Contains(s, "P1") || !strings.Contains(s, "m=30") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SVGOptions tunes the vector rendering of a Gantt chart.
+type SVGOptions struct {
+	Width      int // total drawing width in px (default 900)
+	LaneHeight int // px per lane (default 26)
+	FontSize   int // px (default 11)
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 900
+	}
+	if o.LaneHeight <= 0 {
+		o.LaneHeight = 26
+	}
+	if o.FontSize <= 0 {
+		o.FontSize = 11
+	}
+	return o
+}
+
+// svgPalette cycles colors per label prefix so A/B transfers, C transfers
+// and compute spans are visually distinct without any configuration.
+func svgColor(s Span) string {
+	switch {
+	case s.Kind == Compute:
+		return "#4c9f70"
+	case strings.HasPrefix(s.Label, "C"):
+		return "#d1495b"
+	default:
+		return "#30638e"
+	}
+}
+
+// SVG renders the trace as a standalone SVG document in the style of the
+// paper's Figures 7 and 8: one lane for the master link (communications)
+// and one lane per worker (computations), with a time axis.
+func (t *Trace) SVG(opt SVGOptions) string {
+	opt = opt.withDefaults()
+	ms := t.Makespan()
+	lanes := t.Lanes()
+	var b strings.Builder
+
+	const labelW = 48
+	plotW := opt.Width - labelW - 10
+	height := (len(lanes)+1)*opt.LaneHeight + 10
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="%d">`+"\n",
+		opt.Width, height, opt.FontSize)
+	if ms == 0 || len(lanes) == 0 {
+		fmt.Fprintf(&b, `<text x="10" y="20">(empty trace)</text>`+"\n</svg>\n")
+		return b.String()
+	}
+	scale := float64(plotW) / ms
+
+	laneY := map[string]int{}
+	for i, lane := range lanes {
+		y := 5 + i*opt.LaneHeight
+		laneY[lane] = y
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", y+opt.LaneHeight*2/3, xmlEscape(lane))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			labelW, y+opt.LaneHeight-4, labelW+plotW, y+opt.LaneHeight-4)
+	}
+
+	// stable output: sort spans by (lane order, start)
+	order := map[string]int{}
+	for i, l := range lanes {
+		order[l] = i
+	}
+	spans := append([]Span(nil), t.Spans...)
+	sort.SliceStable(spans, func(a, b int) bool {
+		if order[spans[a].Lane] != order[spans[b].Lane] {
+			return order[spans[a].Lane] < order[spans[b].Lane]
+		}
+		return spans[a].Start < spans[b].Start
+	})
+	for _, s := range spans {
+		y, ok := laneY[s.Lane]
+		if !ok {
+			continue
+		}
+		x := labelW + int(s.Start*scale)
+		w := int((s.End - s.Start) * scale)
+		if w < 1 {
+			w = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s [%.4g, %.4g]</title></rect>`+"\n",
+			x, y, w, opt.LaneHeight-8, svgColor(s), xmlEscape(s.Label), s.Start, s.End)
+	}
+
+	// time axis
+	axisY := 5 + len(lanes)*opt.LaneHeight
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", labelW, axisY, labelW+plotW, axisY)
+	for i := 0; i <= 4; i++ {
+		tx := labelW + plotW*i/4
+		tv := ms * float64(i) / 4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n", tx, axisY, tx, axisY+4)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%.4g</text>`+"\n", tx-8, axisY+16, tv)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

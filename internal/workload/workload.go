@@ -1,0 +1,98 @@
+// Package workload generates the problem instances and platform suites
+// used by the experiments: the paper's matrix shapes (§8.3), memory
+// sweeps, heterogeneity sweeps, and deterministic random instance streams
+// for property-style comparisons.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Shape names one matrix-product geometry.
+type Shape struct {
+	Name        string
+	NA, NAB, NB int
+}
+
+// PaperShapes returns the three shapes of §8.3 / Figure 10:
+// 8000×8000 by 8000×64000, 16000×16000 by 16000×128000, and
+// 8000×64000 by 64000×64000.
+func PaperShapes() []Shape {
+	return []Shape{
+		{"8k x 8k x 64k", 8000, 8000, 64000},
+		{"16k x 16k x 128k", 16000, 16000, 128000},
+		{"8k x 64k x 64k", 8000, 64000, 64000},
+	}
+}
+
+// Problem converts a shape into a block problem for block size q.
+func (s Shape) Problem(q int) (core.Problem, error) {
+	return core.NewProblem(s.NA, s.NAB, s.NB, q)
+}
+
+// MemorySweep returns the Figure 13 memory budgets in MiB.
+func MemorySweep() []int { return []int{132, 192, 256, 384, 512} }
+
+// UTK builds the §8.1 platform at block size q with memMB MiB of worker
+// memory and the given worker count.
+func UTK(q, memMB, workers int) *platform.Platform {
+	c, w := platform.UTKCalibration().BlockCosts(q)
+	return platform.Homogeneous(workers, c, w, platform.MemoryBlocks(int64(memMB)<<20, q))
+}
+
+// HeterogeneityLevel describes one point of the heterogeneity sweep the
+// paper announces for its final version: independent spreads for link
+// bandwidth, compute speed and memory.
+type HeterogeneityLevel struct {
+	Name       string
+	HC, HW, HM float64
+}
+
+// HeterogeneitySweep returns the sweep grid used by the hetsweep
+// experiment.
+func HeterogeneitySweep() []HeterogeneityLevel {
+	return []HeterogeneityLevel{
+		{"homogeneous", 1, 1, 1},
+		{"links x2", 2, 1, 1},
+		{"speeds x2", 1, 2, 1},
+		{"memory x4", 1, 1, 4},
+		{"all x2", 2, 2, 2},
+		{"all x4", 4, 4, 4},
+	}
+}
+
+// Platform draws a deterministic random platform for the level.
+func (h HeterogeneityLevel) Platform(seed int64, workers int, meanC, meanW float64, meanM int) *platform.Platform {
+	rng := rand.New(rand.NewSource(seed))
+	return platform.RandomHeterogeneous(rng, workers, meanC, meanW, meanM, h.HC, h.HW, h.HM)
+}
+
+// InstanceStream yields deterministic pseudo-random problems within the
+// given block-count limits, for fuzz-style comparisons between schedulers.
+type InstanceStream struct {
+	rng              *rand.Rand
+	maxR, maxS, maxT int
+	q                int
+}
+
+// NewInstanceStream builds a stream; limits must be ≥ 1.
+func NewInstanceStream(seed int64, maxR, maxS, maxT, q int) (*InstanceStream, error) {
+	if maxR < 1 || maxS < 1 || maxT < 1 || q < 1 {
+		return nil, fmt.Errorf("workload: invalid limits r≤%d s≤%d t≤%d q=%d", maxR, maxS, maxT, q)
+	}
+	return &InstanceStream{rng: rand.New(rand.NewSource(seed)), maxR: maxR, maxS: maxS, maxT: maxT, q: q}, nil
+}
+
+// Next returns the next problem of the stream.
+func (s *InstanceStream) Next() core.Problem {
+	return core.Problem{
+		R: 1 + s.rng.Intn(s.maxR),
+		S: 1 + s.rng.Intn(s.maxS),
+		T: 1 + s.rng.Intn(s.maxT),
+		Q: s.q,
+	}
+}

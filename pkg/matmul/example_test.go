@@ -1,0 +1,70 @@
+package matmul_test
+
+import (
+	"fmt"
+
+	"repro/pkg/matmul"
+)
+
+// ExampleSimulate reproduces the paper's headline experiment: the
+// homogeneous algorithm HoLM on the §8.1 testbed enrolls only 4 of the 8
+// workers (resource selection P = ⌈µw/2c⌉) while matching the makespan of
+// algorithms that use all 8.
+func ExampleSimulate() {
+	c, w := matmul.UTKCalibration().BlockCosts(80)
+	pl := matmul.HomogeneousPlatform(8, c, w, matmul.MemoryBlocks(512<<20, 80))
+	pr, _ := matmul.NewProblem(8000, 8000, 64000, 80)
+
+	res, _ := matmul.Simulate(matmul.HoLM, pl, pr, nil)
+	fmt.Printf("HoLM enrolled %d of %d workers\n", res.Enrolled, pl.P())
+	// Output:
+	// HoLM enrolled 4 of 8 workers
+}
+
+// ExampleBounds shows the §4 communication lower bound next to the
+// maximum re-use algorithm's ratio for the paper's m = 21 illustration
+// (Figure 5: µ = 4).
+func ExampleBounds() {
+	b := matmul.Bounds(21)
+	fmt.Printf("µ=%d CCR=%.3f bound=%.3f\n", b.Mu, b.MaxReuseCCR, b.LoomisWhitney)
+	// Output:
+	// µ=4 CCR=0.500 bound=0.401
+}
+
+// ExampleSteadyStateThroughput evaluates the bandwidth-centric steady
+// state of §6.1 on the Table 2 platform: ρ ≈ 1.39, but bounded buffers
+// cannot realize it.
+func ExampleSteadyStateThroughput() {
+	pl := matmul.NewPlatform(
+		matmul.Worker{C: 2, W: 2, M: 60},
+		matmul.Worker{C: 3, W: 3, M: 396},
+		matmul.Worker{C: 5, W: 1, M: 140},
+	)
+	rho, feasible, _ := matmul.SteadyStateThroughput(pl)
+	fmt.Printf("rho=%.2f feasible=%v\n", rho, feasible)
+	// Output:
+	// rho=1.39 feasible=false
+}
+
+// ExampleMultiplyLocal runs a real product on the goroutine runtime and
+// verifies it against the reference.
+func ExampleMultiplyLocal() {
+	const q, n = 16, 64
+	ad := matmul.NewDense(n, n)
+	bd := matmul.NewDense(n, n)
+	cd := matmul.NewDense(n, n)
+	matmul.DeterministicFill(ad, 1)
+	matmul.DeterministicFill(bd, 2)
+	matmul.DeterministicFill(cd, 3)
+	ref := cd.Clone()
+	matmul.MulReference(ref, ad, bd)
+
+	a, b, c := matmul.Partition(ad, q), matmul.Partition(bd, q), matmul.Partition(cd, q)
+	if _, err := matmul.MultiplyLocal(c, a, b, matmul.LocalConfig{Workers: 2, Mu: 2}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("max error %.1g\n", c.Assemble().MaxDiff(ref))
+	// Output:
+	// max error 0
+}

@@ -1,0 +1,261 @@
+package matmul
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+)
+
+func utk8(memMB int) *Platform {
+	c, w := UTKCalibration().BlockCosts(80)
+	return HomogeneousPlatform(8, c, w, MemoryBlocks(int64(memMB)<<20, 80))
+}
+
+func TestNewProblem(t *testing.T) {
+	pr, err := NewProblem(8000, 8000, 64000, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.R != 100 || pr.S != 800 {
+		t.Fatalf("%+v", pr)
+	}
+	if _, err := NewProblem(81, 80, 80, 80); err == nil {
+		t.Fatal("indivisible accepted")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	b := Bounds(10000)
+	if b.Mu != 99 {
+		t.Fatalf("µ = %d", b.Mu)
+	}
+	if !(b.IronyToledo < b.ToledoLemma && b.ToledoLemma < b.LoomisWhitney && b.LoomisWhitney < b.MaxReuseCCR) {
+		t.Fatalf("bound ordering: %+v", b)
+	}
+}
+
+func TestMus(t *testing.T) {
+	if MuSingle(21) != 4 || MuOverlap(21) != 3 || MuNoOverlap(8) != 2 {
+		t.Fatal("µ helpers wrong")
+	}
+}
+
+func TestSimulateHoLM(t *testing.T) {
+	pr, _ := NewProblem(8000, 8000, 64000, 80)
+	tr := &Trace{}
+	res, err := Simulate(HoLM, utk8(512), pr, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Enrolled != 4 {
+		t.Fatalf("enrolled %d", res.Enrolled)
+	}
+	if tr.Makespan() <= 0 {
+		t.Fatal("no trace")
+	}
+}
+
+func TestSimulateAll(t *testing.T) {
+	pr := Problem{R: 10, S: 20, T: 5, Q: 80}
+	rs, err := SimulateAll(utk8(512), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 7 {
+		t.Fatalf("%d results", len(rs))
+	}
+	for _, r := range rs {
+		if r.Updates != pr.Updates() {
+			t.Fatalf("%s lost work", r.Algorithm)
+		}
+	}
+}
+
+func TestSimulateHeterogeneous(t *testing.T) {
+	pl := NewPlatform(
+		Worker{C: 2, W: 2, M: 60},
+		Worker{C: 3, W: 3, M: 396},
+		Worker{C: 5, W: 1, M: 140},
+	)
+	pr := Problem{R: 36, S: 36, T: 6, Q: 80}
+	for _, rule := range []HeteroRule{Global, Local, TwoStep} {
+		res, err := SimulateHeterogeneous(pl, pr, rule, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", rule, err)
+		}
+		if res.Updates != pr.Updates() {
+			t.Fatalf("%v lost work", rule)
+		}
+	}
+}
+
+func TestSteadyStateThroughput(t *testing.T) {
+	pl := NewPlatform(
+		Worker{C: 2, W: 2, M: 60},
+		Worker{C: 3, W: 3, M: 396},
+		Worker{C: 5, W: 1, M: 140},
+	)
+	rho, feasible, err := SteadyStateThroughput(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1.3889) > 0.001 {
+		t.Fatalf("ρ = %v", rho)
+	}
+	if feasible {
+		t.Fatal("Table 2 platform should be buffer-infeasible")
+	}
+}
+
+func buildBlocked(t *testing.T, r, tt, s, q int) (a, b, c, want *Blocked) {
+	t.Helper()
+	ad := NewDense(r*q, tt*q)
+	bd := NewDense(tt*q, s*q)
+	cd := NewDense(r*q, s*q)
+	DeterministicFill(ad, 1)
+	DeterministicFill(bd, 2)
+	DeterministicFill(cd, 3)
+	ref := cd.Clone()
+	MulReference(ref, ad, bd)
+	return Partition(ad, q), Partition(bd, q), Partition(cd, q), Partition(ref, q)
+}
+
+func TestMultiplyLocal(t *testing.T) {
+	a, b, c, want := buildBlocked(t, 6, 4, 6, 8)
+	res, err := MultiplyLocal(c, a, b, LocalConfig{Workers: 3, Mu: 2, Demand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(want, 1e-9) {
+		t.Fatal("wrong product")
+	}
+	if res.Updates != 6*4*6 {
+		t.Fatalf("updates %d", res.Updates)
+	}
+}
+
+func TestMultiplyLocalMemoryDerivesMu(t *testing.T) {
+	a, b, c, want := buildBlocked(t, 4, 2, 4, 8)
+	// Memory 21 blocks → µ = 3 via MuOverlap
+	if _, err := MultiplyLocal(c, a, b, LocalConfig{Workers: 2, Memory: 21}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(want, 1e-9) {
+		t.Fatal("wrong product")
+	}
+}
+
+func TestFactorLU(t *testing.T) {
+	n := 32
+	a := NewDense(n, n)
+	DeterministicFill(a, 4)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(n)+2)
+	}
+	if err := FactorLU(a, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateLU(t *testing.T) {
+	res, err := SimulateLU(utk8(512), 196, 49, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "LU" || res.Makespan <= 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b, c, want := buildBlocked(t, 4, 3, 4, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // ServeTCP rebinds; tiny race-window is fine on loopback
+
+	done := make(chan error, 1)
+	var res Result
+	go func() {
+		var err error
+		res, err = ServeTCP(c, a, b, addr, 2, 2)
+		done <- err
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for try := 0; try < 50; try++ {
+				if err := WorkTCP(addr, 100, 2); err == nil {
+					return
+				}
+			}
+			t.Error("worker never connected")
+		}()
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !c.Equal(want, 1e-9) {
+		t.Fatal("wrong product over TCP")
+	}
+	if res.Blocks == 0 {
+		t.Fatal("no transfer accounting")
+	}
+}
+
+func TestMultiplyOutOfCore(t *testing.T) {
+	a, b, c, want := buildBlocked(t, 5, 3, 6, 4)
+	got, err := MultiplyOutOfCore(c, a, b, OutOfCoreConfig{
+		Dir: t.TempDir(), CacheC: 7, CacheA: 2, CacheB: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("wrong out-of-core product")
+	}
+}
+
+func TestSimulateHeterogeneousDemand(t *testing.T) {
+	pl := NewPlatform(
+		Worker{C: 2, W: 2, M: 60},
+		Worker{C: 3, W: 3, M: 396},
+		Worker{C: 5, W: 1, M: 140},
+	)
+	pr := Problem{R: 24, S: 24, T: 5, Q: 80}
+	res, err := SimulateHeterogeneousDemand(pl, pr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != pr.Updates() {
+		t.Fatalf("lost work: %d updates", res.Updates)
+	}
+}
+
+func TestGridBaselines(t *testing.T) {
+	n := 24
+	a := NewDense(n, n)
+	b := NewDense(n, n)
+	c1 := NewDense(n, n)
+	DeterministicFill(a, 1)
+	DeterministicFill(b, 2)
+	DeterministicFill(c1, 3)
+	want := c1.Clone()
+	MulReference(want, a, b)
+	c2 := c1.Clone()
+	if err := Cannon(c1, a, b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := OuterProduct(c2, a, b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if c1.MaxDiff(want) > 1e-10 || c2.MaxDiff(want) > 1e-10 {
+		t.Fatal("grid baselines disagree with the reference")
+	}
+}

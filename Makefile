@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet fmt bench bench-all clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench records the cluster-layer performance series: it runs the cluster
+# benchmarks and writes the parsed metrics to BENCH_cluster.json so the
+# perf trajectory is tracked across PRs.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchtime 2x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_cluster.json
+	@cat BENCH_cluster.json
+
+# bench-all smoke-runs every benchmark once (the paper's tables/figures).
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 .
+
+clean:
+	rm -f BENCH_cluster.json

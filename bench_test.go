@@ -12,6 +12,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/blas"
 	"repro/internal/bounds"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/greedy"
@@ -600,4 +601,84 @@ func BenchmarkLookaheadDepth(b *testing.B) {
 			b.ReportMetric(ratio, "ratio")
 		})
 	}
+}
+
+// --- cluster service (fault-tolerant multi-job layer) --------------------------
+
+// BenchmarkClusterMatMul measures end-to-end multi-job throughput of the
+// cluster scheduler on in-process workers: 4 concurrent products per
+// iteration, scaled over the worker count.
+func BenchmarkClusterMatMul(b *testing.B) {
+	const n, q, mu, jobs = 128, 16, 2, 4
+	ad := matrix.NewDense(n, n)
+	bd := matrix.NewDense(n, n)
+	matrix.DeterministicFill(ad, 1)
+	matrix.DeterministicFill(bd, 2)
+	a := matrix.Partition(ad, q)
+	bb := matrix.Partition(bd, q)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(jobs) * int64(8*n*n) * 3)
+			for i := 0; i < b.N; i++ {
+				cl := cluster.New(cluster.Config{})
+				for w := 0; w < workers; w++ {
+					go cluster.RunLocalWorker(cl, cluster.LocalWorkerConfig{
+						ID: fmt.Sprintf("w%d", w), Mem: 64,
+					})
+				}
+				ids := make([]cluster.JobID, 0, jobs)
+				for j := 0; j < jobs; j++ {
+					c := matrix.NewBlocked(n/q, n/q, q)
+					id, err := cl.SubmitJob(cluster.JobSpec{
+						Kind: cluster.MatMul, C: c, A: a, B: bb, Mu: mu,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids = append(ids, id)
+				}
+				for _, id := range ids {
+					st, err := cl.Wait(id)
+					if err != nil || st.State != cluster.Done {
+						b.Fatalf("job %d: %v / %v", id, st.State, err)
+					}
+				}
+				cl.Close()
+			}
+			b.ReportMetric(float64(jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkClusterRecoverySim prices failure recovery in the modeled
+// engine: the makespan ratio of a run that loses one of four workers
+// mid-execution against the failure-free run.
+func BenchmarkClusterRecoverySim(b *testing.B) {
+	pl := utk(80, 512, 4)
+	pr := core.MustProblem(8000, 8000, 16000, 80)
+	mu := platform.MuOverlap(pl.Workers[0].M)
+	_, pool := homog.ChunkGrid(pr, mu)
+	configs := make([]sim.WorkerConfig, pl.P())
+	for i := range configs {
+		configs[i] = sim.WorkerConfig{StageCap: 2}
+	}
+	run := func(fails []sim.Failure) sim.Result {
+		cp := append([]*sim.Chunk(nil), pool...)
+		res, err := sim.Run(sim.Input{
+			Platform: pl, Configs: configs, Pool: cp,
+			Policy:   sim.NewDemandPolicy("fcfs", sim.FirstToReceive),
+			Failures: fails,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		clean := run(nil)
+		failed := run([]sim.Failure{{Worker: 1, At: clean.Makespan / 2}})
+		ratio = failed.Makespan / clean.Makespan
+	}
+	b.ReportMetric(ratio, "recovery-overhead")
 }

@@ -1,0 +1,75 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one record per benchmark line with every reported
+// metric, so benchmark series can be committed and diffed across changes
+// (see the Makefile's bench target).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var out []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		rec, ok := parseLine(line)
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses "BenchmarkName-8  10  123 ns/op  4.5 metric" lines.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Record{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the trailing -GOMAXPROCS suffix.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec := Record{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		rec.Metrics[fields[i+1]] = v
+	}
+	return rec, true
+}

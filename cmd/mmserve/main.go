@@ -1,0 +1,150 @@
+// Command mmserve runs the long-running fault-tolerant cluster scheduler:
+// it accepts mwworker processes (-cluster mode) over TCP, takes concurrent
+// matrix-product and LU job submissions, detects dead workers by heartbeat
+// expiry, and reschedules their lost work onto the survivors.
+//
+// It doubles as the submission client: `mmserve -submit` builds a
+// deterministic job, sends it to a running server, and verifies the
+// result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/netmw"
+)
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mmserve: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7071", "listen address (serve) or server address (submit)")
+	hbTimeout := flag.Duration("hb-timeout", 10*time.Second, "declare a worker dead after this much heartbeat silence")
+	expiryEvery := flag.Duration("expiry-every", 2*time.Second, "heartbeat-expiry sweep cadence")
+	maxAttempts := flag.Int("max-attempts", 5, "dispatch attempts per task before its job fails")
+	maxRunning := flag.Int("max-running", 0, "jobs dispatched concurrently (0 = unlimited)")
+
+	submit := flag.Bool("submit", false, "act as a client: submit one job and wait for the result")
+	kind := flag.String("kind", "matmul", "submit job kind: matmul | lu")
+	n := flag.Int("n", 512, "submit: square matrix dimension (divisible by q)")
+	q := flag.Int("q", 64, "submit: block size")
+	mu := flag.Int("mu", 4, "submit: chunk side in blocks (µ)")
+	seed := flag.Int64("seed", 1, "submit: deterministic fill seed")
+	verify := flag.Bool("verify", true, "submit: check the result against a local reference")
+	timeout := flag.Duration("timeout", 10*time.Minute, "submit: round-trip deadline")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
+	}
+	if *submit {
+		runSubmit(*addr, *kind, *n, *q, *mu, *seed, *verify, *timeout)
+		return
+	}
+	if *hbTimeout <= 0 {
+		fatalUsage("-hb-timeout must be positive, got %v", *hbTimeout)
+	}
+	if *expiryEvery <= 0 {
+		fatalUsage("-expiry-every must be positive, got %v", *expiryEvery)
+	}
+	if *maxAttempts < 1 {
+		fatalUsage("-max-attempts must be ≥ 1, got %d", *maxAttempts)
+	}
+	if *maxRunning < 0 {
+		fatalUsage("-max-running must be ≥ 0, got %d", *maxRunning)
+	}
+
+	cl := cluster.New(cluster.Config{
+		HeartbeatTimeout: *hbTimeout,
+		MaxAttempts:      *maxAttempts,
+		MaxRunning:       *maxRunning,
+	})
+	srv, err := netmw.ServeCluster(cl, netmw.ClusterServerConfig{Addr: *addr, ExpiryEvery: *expiryEvery})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmserve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mmserve: listening on %s (hb-timeout %v)\n", srv.Addr(), *hbTimeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := cl.ClusterStats()
+	cl.Close()
+	srv.Close()
+	fmt.Printf("mmserve: shutting down — %d jobs done, %d failed, %d workers lost, %d requeues\n",
+		st.JobsDone, st.JobsFailed, st.WorkersLost, st.Requeues)
+}
+
+func runSubmit(addr, kind string, n, q, mu int, seed int64, verify bool, timeout time.Duration) {
+	if q < 1 {
+		fatalUsage("-q must be ≥ 1, got %d", q)
+	}
+	if n < q || n%q != 0 {
+		fatalUsage("-n %d must be a positive multiple of -q %d", n, q)
+	}
+	if mu < 1 {
+		fatalUsage("-mu must be ≥ 1, got %d", mu)
+	}
+	if timeout <= 0 {
+		fatalUsage("-timeout must be positive, got %v", timeout)
+	}
+	start := time.Now()
+	switch kind {
+	case "matmul":
+		ad := matrix.NewDense(n, n)
+		bd := matrix.NewDense(n, n)
+		cd := matrix.NewDense(n, n)
+		matrix.DeterministicFill(ad, seed)
+		matrix.DeterministicFill(bd, seed+1)
+		matrix.DeterministicFill(cd, seed+2)
+		var ref *matrix.Dense
+		if verify {
+			ref = cd.Clone()
+			matrix.MulNaive(ref, ad, bd)
+		}
+		c := matrix.Partition(cd, q)
+		if err := netmw.SubmitMatMulTCP(addr, c, matrix.Partition(ad, q), matrix.Partition(bd, q), mu, timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "mmserve: submit: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mmserve: matmul n=%d q=%d µ=%d done in %v\n", n, q, mu, time.Since(start))
+		if verify {
+			checkDiff(c.Assemble().MaxDiff(ref))
+		}
+	case "lu":
+		orig := matrix.NewDense(n, n)
+		lu.DiagonallyDominant(orig, seed)
+		m := matrix.Partition(orig.Clone(), q)
+		if err := netmw.SubmitLUTCP(addr, m, mu, timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "mmserve: submit: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mmserve: lu n=%d q=%d µ=%d done in %v\n", n, q, mu, time.Since(start))
+		if verify {
+			checkDiff(lu.Residual(orig, m.Assemble()))
+		}
+	default:
+		fatalUsage("-kind must be matmul or lu, got %q", kind)
+	}
+}
+
+func checkDiff(diff float64) {
+	fmt.Printf("mmserve: max residual = %.3g\n", diff)
+	if diff > 1e-6 {
+		fmt.Fprintln(os.Stderr, "mmserve: verification FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("mmserve: verification OK")
+}

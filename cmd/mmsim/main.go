@@ -31,9 +31,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "random platform seed")
 	flag.Parse()
 
+	fatalUsage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mmsim: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
+	}
+	if *workers < 1 {
+		fatalUsage("-p must be ≥ 1, got %d", *workers)
+	}
+	if *memMB < 1 {
+		fatalUsage("-mem must be ≥ 1 MiB, got %d", *memMB)
+	}
+	if *hetC < 1 {
+		fatalUsage("-het must be ≥ 1, got %g", *hetC)
+	}
 	pr, err := core.NewProblem(*nA, *nAB, *nB, *q)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage("%v", err)
 	}
 	c, w := platform.UTKCalibration().BlockCosts(*q)
 	m := platform.MemoryBlocks(int64(*memMB)<<20, *q)

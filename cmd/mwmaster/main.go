@@ -8,11 +8,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/matrix"
 	"repro/internal/netmw"
 	"repro/internal/platform"
 )
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mwmaster: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
@@ -23,13 +30,25 @@ func main() {
 	verify := flag.Bool("verify", true, "check the product against a local reference")
 	flag.Parse()
 
-	if *n%*q != 0 {
-		log.Fatalf("n=%d must be divisible by q=%d", *n, *q)
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
+	}
+	if *workers < 1 {
+		fatalUsage("-workers must be ≥ 1, got %d", *workers)
+	}
+	if *q < 1 {
+		fatalUsage("-q must be ≥ 1, got %d", *q)
+	}
+	if *n < *q || *n%*q != 0 {
+		fatalUsage("-n %d must be a positive multiple of -q %d", *n, *q)
+	}
+	if *memMB < 1 {
+		fatalUsage("-mem must be ≥ 1 MiB, got %d", *memMB)
 	}
 	m := platform.MemoryBlocks(int64(*memMB)<<20, *q)
 	mu := platform.MuOverlap(m)
 	if mu < 1 {
-		log.Fatalf("memory %d MiB too small for q=%d", *memMB, *q)
+		fatalUsage("-mem %d MiB too small for q=%d (needs µ²+4µ ≤ m)", *memMB, *q)
 	}
 
 	ad := matrix.NewDense(*n, *n)

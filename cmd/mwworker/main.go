@@ -1,28 +1,99 @@
-// Command mwworker runs one distributed matrix-product worker: it connects
-// to an mwmaster, serves chunks with the demand-driven protocol, and exits
-// when the master says goodbye.
+// Command mwworker runs one distributed matrix-product worker.
+//
+// Against an mwmaster (the default, single-job mode) it serves chunks
+// with the demand-driven protocol and exits when the master says goodbye.
+// With -cluster it joins a long-running mmserve scheduler instead:
+// registering under a stable name, heartbeating, serving tasks from many
+// concurrent jobs, and reconnecting (re-registering) when the connection
+// drops.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"os"
+	"time"
 
 	"repro/internal/netmw"
 	"repro/internal/platform"
 )
 
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mwworker: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "master address")
+	addr := flag.String("addr", "127.0.0.1:7070", "master (or -cluster server) address")
 	memMB := flag.Int("mem", 64, "memory budget in MiB to advertise")
 	q := flag.Int("q", 64, "block size used to convert the budget to blocks")
 	stage := flag.Int("stage", 2, "staging update sets (1 = no overlap, 2 = double buffering)")
+	clusterMode := flag.Bool("cluster", false, "serve an mmserve cluster scheduler instead of a one-shot master")
+	name := flag.String("name", "", "cluster: stable worker name (default host:pid)")
+	hbEvery := flag.Duration("hb", 2*time.Second, "cluster: heartbeat cadence")
+	reconnect := flag.Int("reconnect", 10, "cluster: reconnect attempts after a connection loss")
+	backoff := flag.Duration("backoff", time.Second, "cluster: pause between reconnect attempts")
 	flag.Parse()
 
+	if flag.NArg() > 0 {
+		fatalUsage("unexpected arguments: %v", flag.Args())
+	}
+	if *addr == "" {
+		fatalUsage("-addr must not be empty")
+	}
+	if *memMB < 1 {
+		fatalUsage("-mem must be ≥ 1 MiB, got %d", *memMB)
+	}
+	if *q < 1 {
+		fatalUsage("-q must be ≥ 1, got %d", *q)
+	}
+	if *stage < 1 || *stage > 2 {
+		fatalUsage("-stage must be 1 or 2, got %d", *stage)
+	}
+	if *reconnect < 0 {
+		fatalUsage("-reconnect must be ≥ 0, got %d", *reconnect)
+	}
+	if *backoff < 0 {
+		fatalUsage("-backoff must be ≥ 0, got %v", *backoff)
+	}
+	if *clusterMode && *hbEvery <= 0 {
+		// A silent worker is indistinguishable from a dead one: the
+		// server's expiry sweep would declare an idle beaconless worker
+		// lost, so heartbeats are mandatory in cluster mode.
+		fatalUsage("-hb must be positive in cluster mode, got %v", *hbEvery)
+	}
 	m := platform.MemoryBlocks(int64(*memMB)<<20, *q)
+	if m < 1 {
+		fatalUsage("-mem %d MiB holds no %d×%d blocks", *memMB, *q, *q)
+	}
+
+	if *clusterMode {
+		wn := *name
+		if wn == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				host = "worker"
+			}
+			wn = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		rep, err := netmw.RunClusterWorker(netmw.ClusterWorkerConfig{
+			Addr: *addr, Name: wn, Memory: m, StageCap: *stage,
+			HeartbeatEvery: *hbEvery, Reconnect: *reconnect, Backoff: *backoff,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mwworker: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mwworker: %s served %d tasks, %d block updates over %d sessions\n",
+			wn, rep.Tasks, rep.Updates, rep.Sessions)
+		return
+	}
+
 	rep, err := netmw.RunWorker(netmw.WorkerConfig{Addr: *addr, Memory: m, StageCap: *stage})
 	if err != nil {
-		log.Fatalf("worker: %v", err)
+		fmt.Fprintf(os.Stderr, "mwworker: %v\n", err)
+		os.Exit(1)
 	}
 	fmt.Printf("mwworker: processed %d chunks, %d block updates\n", rep.Chunks, rep.Updates)
 }

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so failure detection is testable without wall-clock
+// sleeps: the service uses the real clock, deterministic tests drive a
+// ManualClock and call Cluster.CheckExpiry explicitly.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a Clock advanced explicitly by tests.
+type ManualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewManualClock starts a manual clock at t.
+func NewManualClock(t time.Time) *ManualClock {
+	return &ManualClock{now: t}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,571 @@
+// Package cluster is the fault-tolerant multi-job scheduler layered on the
+// paper's master-worker runtime: a long-running service that accepts many
+// concurrent matrix-product and LU jobs, maintains a worker registry with
+// join/leave and heartbeat-based failure detection, and reschedules the
+// work lost with a dead worker onto the survivors.
+//
+// The design exploits the paper's maximum-reuse block ordering (§4.1/§5):
+// a worker's in-flight state is exactly one µ×µ chunk of C plus its
+// staging operand sets, all of which the master can regenerate from the
+// matrices it owns. Recovery is therefore requeue-and-redispatch of at
+// most one chunk per lost worker — no checkpointing, no worker-to-worker
+// state transfer.
+//
+// Transports drive the cluster through a pull API: Join/Heartbeat/Leave
+// manage membership, NextTask blocks until work is available, TaskChunk
+// and TaskSet materialize the transfers, Complete stores a finished chunk.
+// The in-process runner (RunLocalWorker) and the TCP runtime
+// (internal/netmw) are both thin shells over this API, so recovery logic
+// is tested deterministically without sockets or wall-clock sleeps
+// (ManualClock + CheckExpiry).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sentinel errors of the transport API.
+var (
+	// ErrClosed is returned once the cluster shut down.
+	ErrClosed = errors.New("cluster: closed")
+	// ErrStaleTask marks a completion for a task no longer assigned to the
+	// reporting worker (it was requeued after the worker was declared dead).
+	ErrStaleTask = errors.New("cluster: stale task completion")
+	// ErrUnknownWorker marks a call from a worker that is not registered
+	// (or was declared dead); the transport should re-register.
+	ErrUnknownWorker = errors.New("cluster: unknown or dead worker")
+)
+
+// Config tunes a Cluster.
+type Config struct {
+	// HeartbeatTimeout is how long a worker may stay silent before
+	// CheckExpiry declares it dead. Default 10s.
+	HeartbeatTimeout time.Duration
+	// MaxAttempts bounds how many times one task may be dispatched before
+	// its job fails (each worker loss costs one attempt). Default 5.
+	MaxAttempts int
+	// MaxRunning caps the jobs dispatched concurrently; further jobs queue
+	// FIFO. 0 means unlimited.
+	MaxRunning int
+	// Clock supplies time; nil uses the real clock.
+	Clock Clock
+}
+
+// Stats is a point-in-time summary of the service.
+type Stats struct {
+	WorkersAlive int
+	WorkersLost  int // cumulative
+	Requeues     int // cumulative tasks re-dispatched after a loss
+	JobsQueued   int
+	JobsRunning  int
+	JobsDone     int
+	JobsFailed   int
+}
+
+// Cluster is the scheduler service. All methods are safe for concurrent
+// use.
+type Cluster struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cfg     Config
+	clock   Clock
+	reg     *registry
+	jobs    map[JobID]*job
+	order   []JobID // submission order
+	rr      int     // round-robin scan start, for multi-job fairness
+	running int
+	nextID  JobID
+	closed  bool
+	requeue int
+}
+
+// New builds a cluster service.
+func New(cfg Config) *Cluster {
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	cl := &Cluster{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		reg:   newRegistry(),
+		jobs:  make(map[JobID]*job),
+	}
+	cl.cond = sync.NewCond(&cl.mu)
+	return cl
+}
+
+// SubmitJob admits a job and returns its ID. The cluster owns the spec's
+// matrices until the job completes or fails.
+func (cl *Cluster) SubmitJob(spec JobSpec) (JobID, error) {
+	if err := validateSpec(spec); err != nil {
+		return 0, err
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return 0, ErrClosed
+	}
+	id := cl.nextID
+	cl.nextID++
+	j := newJob(id, spec)
+	cl.jobs[id] = j
+	cl.order = append(cl.order, id)
+	cl.promoteLocked()
+	cl.cond.Broadcast()
+	return id, nil
+}
+
+// JobStatus reports a job's current state.
+func (cl *Cluster) JobStatus(id JobID) (Status, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	j := cl.jobs[id]
+	if j == nil {
+		return Status{}, fmt.Errorf("cluster: unknown job %d", id)
+	}
+	return j.status(), nil
+}
+
+// Wait blocks until the job reaches Done or Failed and returns its final
+// status.
+func (cl *Cluster) Wait(id JobID) (Status, error) {
+	done, err := cl.Done(id)
+	if err != nil {
+		return Status{}, err
+	}
+	<-done
+	return cl.JobStatus(id)
+}
+
+// Done returns a channel closed when the job reaches Done or Failed, for
+// callers that need to select against their own shutdown.
+func (cl *Cluster) Done(id JobID) (<-chan struct{}, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	j := cl.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("cluster: unknown job %d", id)
+	}
+	return j.doneCh, nil
+}
+
+// Workers snapshots the registry.
+func (cl *Cluster) Workers() []WorkerInfo {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.reg.snapshot()
+}
+
+// ClusterStats summarizes the service.
+func (cl *Cluster) ClusterStats() Stats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	st := Stats{
+		WorkersAlive: cl.reg.alive(),
+		WorkersLost:  cl.reg.lost,
+		Requeues:     cl.requeue,
+	}
+	for _, j := range cl.jobs {
+		switch j.state {
+		case Queued:
+			st.JobsQueued++
+		case Running:
+			st.JobsRunning++
+		case Done:
+			st.JobsDone++
+		case Failed:
+			st.JobsFailed++
+		}
+	}
+	return st
+}
+
+// Close shuts the service down: unfinished jobs fail with ErrClosed and
+// every blocked NextTask returns ErrClosed.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return
+	}
+	cl.closed = true
+	for _, id := range cl.order {
+		j := cl.jobs[id]
+		if j.state == Queued || j.state == Running {
+			j.pending = nil
+			cl.finishJobLocked(j, Failed, ErrClosed)
+		}
+	}
+	cl.cond.Broadcast()
+}
+
+// --- membership (transport API) ------------------------------------------
+
+// Join registers a worker under id with mem blocks of advertised memory.
+// Re-joining an existing id replaces the old incarnation; any task the old
+// incarnation held is requeued first (the reconnect path).
+func (cl *Cluster) Join(id string, mem int) error {
+	if id == "" {
+		return fmt.Errorf("cluster: empty worker id")
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return ErrClosed
+	}
+	if old := cl.reg.workers[id]; old != nil && !old.dead {
+		cl.loseWorkerLocked(old)
+	}
+	cl.reg.join(id, mem, cl.clock.Now())
+	return nil
+}
+
+// Heartbeat refreshes a worker's liveness; transports call it whenever the
+// peer proves it is alive. It fails for unknown or dead workers so the
+// peer can be told to re-register.
+func (cl *Cluster) Heartbeat(id string) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.reg.heartbeat(id, cl.clock.Now())
+}
+
+// Leave deregisters a worker gracefully; any task it still held is
+// requeued.
+func (cl *Cluster) Leave(id string) {
+	cl.WorkerLost(id)
+}
+
+// WorkerLost declares a worker dead immediately (connection drop). Its
+// in-flight tasks are requeued onto the survivors.
+func (cl *Cluster) WorkerLost(id string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if w := cl.reg.workers[id]; w != nil && !w.dead {
+		cl.loseWorkerLocked(w)
+	}
+}
+
+// CheckExpiry declares every worker dead whose last heartbeat is older
+// than HeartbeatTimeout, requeues their tasks, and returns their ids. The
+// service calls it on a ticker; deterministic tests call it directly after
+// advancing a ManualClock.
+func (cl *Cluster) CheckExpiry() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var ids []string
+	for _, w := range cl.reg.expired(cl.clock.Now(), cl.cfg.HeartbeatTimeout) {
+		cl.loseWorkerLocked(w)
+		ids = append(ids, w.id)
+	}
+	return ids
+}
+
+func (cl *Cluster) loseWorkerLocked(w *workerState) {
+	w.dead = true
+	cl.reg.lost++
+	for k, t := range w.inflight {
+		delete(w.inflight, k)
+		cl.requeueLocked(t)
+	}
+	cl.cond.Broadcast()
+}
+
+func (cl *Cluster) requeueLocked(t *Task) {
+	j := cl.jobs[t.Job]
+	if j == nil || j.state != Running {
+		return
+	}
+	j.inflight--
+	cl.requeue++
+	j.requeues++
+	// Requeue a copy rather than mutating the shared pointer: the lost
+	// worker's transport goroutine may still be reading the old Task, and
+	// the bumped attempt also makes its late completion key stale.
+	nt := *t
+	nt.Attempt++
+	if nt.Attempt >= cl.cfg.MaxAttempts {
+		cl.failJobLocked(j, fmt.Errorf("cluster: task %d/%d exceeded %d attempts",
+			nt.Job, nt.Seq, cl.cfg.MaxAttempts))
+		return
+	}
+	j.pending = append([]*Task{&nt}, j.pending...)
+}
+
+// --- dispatch (transport API) --------------------------------------------
+
+// NextTask blocks until a task is available for the worker, the worker is
+// declared dead (ErrUnknownWorker), or the cluster closes (ErrClosed).
+// Pulling a task counts as a heartbeat.
+func (cl *Cluster) NextTask(id string) (*Task, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for {
+		if cl.closed {
+			return nil, ErrClosed
+		}
+		w := cl.reg.workers[id]
+		if w == nil || w.dead {
+			return nil, ErrUnknownWorker
+		}
+		if t := cl.takeLocked(w); t != nil {
+			w.inflight[t.key()] = t
+			w.lastSeen = cl.clock.Now()
+			return t, nil
+		}
+		cl.cond.Wait()
+	}
+}
+
+// footprint is the blocks a worker must hold to serve the task: the C
+// tile plus one staging update set — the memory contract of the paper's
+// layouts, at the minimum staging depth.
+func footprint(t *Task) int {
+	ch := t.Chunk
+	return ch.Rows*ch.Cols + ch.Rows + ch.Cols
+}
+
+// takeLocked pops the next task that fits the asking worker's advertised
+// memory, scanning running jobs round-robin from the last served position
+// so concurrent jobs share the workers fairly. A head task too big for
+// every live worker fails its job immediately rather than stalling it.
+func (cl *Cluster) takeLocked(w *workerState) *Task {
+	cl.promoteLocked()
+	n := len(cl.order)
+	for i := 0; i < n; i++ {
+		j := cl.jobs[cl.order[(cl.rr+i)%n]]
+		if j.state != Running || len(j.pending) == 0 {
+			continue
+		}
+		t := j.pending[0]
+		if w.mem > 0 && footprint(t) > w.mem {
+			if !cl.anyWorkerFitsLocked(t) {
+				cl.failJobLocked(j, fmt.Errorf(
+					"cluster: task %d/%d needs %d blocks but no live worker advertises that much memory",
+					t.Job, t.Seq, footprint(t)))
+			}
+			continue
+		}
+		j.pending = j.pending[1:]
+		j.inflight++
+		cl.rr = (cl.rr + i + 1) % n
+		return t
+	}
+	return nil
+}
+
+// anyWorkerFitsLocked reports whether some live worker's advertised
+// memory can hold the task (workers advertising 0 are unconstrained).
+func (cl *Cluster) anyWorkerFitsLocked(t *Task) bool {
+	need := footprint(t)
+	for _, w := range cl.reg.workers {
+		if !w.dead && (w.mem <= 0 || w.mem >= need) {
+			return true
+		}
+	}
+	return false
+}
+
+// Complete stores a finished task's C blocks. A completion from a worker
+// whose assignment was revoked returns ErrStaleTask; a completion for a
+// job that failed meanwhile is accepted and discarded.
+func (cl *Cluster) Complete(id string, t *Task, blocks [][]float64) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	w := cl.reg.workers[id]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	cur, ok := w.inflight[t.key()]
+	if !ok || cur != t {
+		return ErrStaleTask
+	}
+	j := cl.jobs[t.Job]
+	ch := t.Chunk
+	q := cl.taskQ(j)
+	if len(blocks) != ch.Rows*ch.Cols {
+		return fmt.Errorf("cluster: task %d/%d returned %d blocks, want %d",
+			t.Job, t.Seq, len(blocks), ch.Rows*ch.Cols)
+	}
+	for _, b := range blocks {
+		if len(b) != q*q {
+			return fmt.Errorf("cluster: task %d/%d returned a %d-element block, want %d",
+				t.Job, t.Seq, len(b), q*q)
+		}
+	}
+	delete(w.inflight, t.key())
+	w.done++
+	w.lastSeen = cl.clock.Now()
+	if j == nil || j.state != Running {
+		return nil // job failed or was closed while the task was out
+	}
+	dst := j.spec.C
+	if j.spec.Kind == LU {
+		dst = j.spec.M
+	}
+	for i := 0; i < ch.Rows; i++ {
+		for jj := 0; jj < ch.Cols; jj++ {
+			copy(dst.Block(ch.I0+i, ch.J0+jj).Data, blocks[i*ch.Cols+jj])
+		}
+	}
+	j.inflight--
+	j.done++
+	if j.spec.Kind == LU {
+		j.stageLeft--
+		if j.stageLeft == 0 && len(j.pending) == 0 && j.inflight == 0 {
+			j.stage++
+			cl.advanceLULocked(j)
+		}
+	}
+	if j.finished() {
+		cl.finishJobLocked(j, Done, nil)
+	}
+	cl.promoteLocked()
+	cl.cond.Broadcast()
+	return nil
+}
+
+// --- task data (transport API) -------------------------------------------
+
+// TaskChunk copies the task's C tile out of the job's matrix: the
+// downlink transfer. It returns the row-major block payloads and q.
+func (cl *Cluster) TaskChunk(t *Task) ([][]float64, int, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	j := cl.jobs[t.Job]
+	if j == nil {
+		return nil, 0, fmt.Errorf("cluster: unknown job %d", t.Job)
+	}
+	src := j.spec.C
+	if j.spec.Kind == LU {
+		src = j.spec.M
+	}
+	ch := t.Chunk
+	q := src.Q
+	out := make([][]float64, ch.Rows*ch.Cols)
+	for i := 0; i < ch.Rows; i++ {
+		for jj := 0; jj < ch.Cols; jj++ {
+			buf := make([]float64, q*q)
+			copy(buf, src.Block(ch.I0+i, ch.J0+jj).Data)
+			out[i*ch.Cols+jj] = buf
+		}
+	}
+	return out, q, nil
+}
+
+// TaskSet copies the k-th update set for the task: Rows A blocks and Cols
+// B blocks. For LU tasks (k is the panel stage) the A blocks are the
+// negated L panel so the worker's generic C += A·B update computes the
+// trailing subtraction.
+func (cl *Cluster) TaskSet(t *Task, k int) (aBlks, bBlks [][]float64, err error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	j := cl.jobs[t.Job]
+	if j == nil {
+		return nil, nil, fmt.Errorf("cluster: unknown job %d", t.Job)
+	}
+	ch := t.Chunk
+	cp := func(src []float64, negate bool) []float64 {
+		buf := make([]float64, len(src))
+		if negate {
+			for i, v := range src {
+				buf[i] = -v
+			}
+		} else {
+			copy(buf, src)
+		}
+		return buf
+	}
+	switch j.spec.Kind {
+	case MatMul:
+		if k < 0 || k >= j.spec.A.BC {
+			return nil, nil, fmt.Errorf("cluster: set %d out of range for job %d", k, t.Job)
+		}
+		for i := 0; i < ch.Rows; i++ {
+			aBlks = append(aBlks, cp(j.spec.A.Block(ch.I0+i, k).Data, false))
+		}
+		for jj := 0; jj < ch.Cols; jj++ {
+			bBlks = append(bBlks, cp(j.spec.B.Block(k, ch.J0+jj).Data, false))
+		}
+	case LU:
+		kk := t.K
+		for i := 0; i < ch.Rows; i++ {
+			aBlks = append(aBlks, cp(j.spec.M.Block(ch.I0+i, kk).Data, true))
+		}
+		for jj := 0; jj < ch.Cols; jj++ {
+			bBlks = append(bBlks, cp(j.spec.M.Block(kk, ch.J0+jj).Data, false))
+		}
+	}
+	return aBlks, bBlks, nil
+}
+
+func (cl *Cluster) taskQ(j *job) int {
+	if j == nil {
+		return 0
+	}
+	if j.spec.Kind == LU {
+		return j.spec.M.Q
+	}
+	return j.spec.C.Q
+}
+
+// --- internal state transitions ------------------------------------------
+
+// promoteLocked starts queued jobs while the MaxRunning gate allows.
+func (cl *Cluster) promoteLocked() {
+	for _, id := range cl.order {
+		j := cl.jobs[id]
+		if j.state != Queued {
+			continue
+		}
+		if cl.cfg.MaxRunning > 0 && cl.running >= cl.cfg.MaxRunning {
+			break
+		}
+		j.state = Running
+		cl.running++
+		if j.spec.Kind == LU {
+			cl.advanceLULocked(j)
+		}
+		if j.finished() {
+			cl.finishJobLocked(j, Done, nil)
+		}
+	}
+}
+
+// advanceLULocked factors panels until trailing tasks appear or the
+// factorization completes (the last panel trails nothing).
+func (cl *Cluster) advanceLULocked(j *job) {
+	for j.stage < j.luBlocks && j.stageLeft == 0 {
+		j.factorStage()
+		if j.stageLeft == 0 {
+			j.stage = j.luBlocks // last panel factored; nothing trails
+		}
+	}
+}
+
+func (cl *Cluster) failJobLocked(j *job, err error) {
+	j.pending = nil
+	cl.finishJobLocked(j, Failed, err)
+	cl.promoteLocked()
+	cl.cond.Broadcast()
+}
+
+func (cl *Cluster) finishJobLocked(j *job, state JobState, err error) {
+	if j.state == Done || j.state == Failed {
+		return
+	}
+	if j.state == Running {
+		cl.running--
+	}
+	j.state = state
+	j.err = err
+	close(j.doneCh)
+}

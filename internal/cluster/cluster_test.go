@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lu"
+	"repro/internal/matrix"
+)
+
+func manualCluster(cfg Config) (*Cluster, *ManualClock) {
+	clk := NewManualClock(time.Unix(0, 0))
+	cfg.Clock = clk
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = time.Minute
+	}
+	return New(cfg), clk
+}
+
+func waitStatus(t *testing.T, cl *Cluster, id JobID) Status {
+	t.Helper()
+	type res struct {
+		st  Status
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		st, err := cl.Wait(id)
+		ch <- res{st, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("Wait(%d): %v", id, r.err)
+		}
+		return r.st
+	case <-time.After(30 * time.Second):
+		t.Fatalf("Wait(%d): timed out", id)
+		return Status{}
+	}
+}
+
+func blockedInputs(t *testing.T, nA, nAB, nB, q int, seed int64) (c, a, b *matrix.Blocked, ref *matrix.Dense) {
+	t.Helper()
+	ad := matrix.NewDense(nA, nAB)
+	bd := matrix.NewDense(nAB, nB)
+	cd := matrix.NewDense(nA, nB)
+	matrix.DeterministicFill(ad, seed)
+	matrix.DeterministicFill(bd, seed+1)
+	matrix.DeterministicFill(cd, seed+2)
+	ref = cd.Clone()
+	matrix.MulNaive(ref, ad, bd)
+	return matrix.Partition(cd, q), matrix.Partition(ad, q), matrix.Partition(bd, q), ref
+}
+
+func TestRegistryHeartbeatExpiry(t *testing.T) {
+	cl, clk := manualCluster(Config{HeartbeatTimeout: 10 * time.Second})
+	defer cl.Close()
+	if err := cl.Join("w1", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Join("w2", 100); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(8 * time.Second)
+	if err := cl.Heartbeat("w1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Second) // w2 silent for 13s, w1 for 5s
+	dead := cl.CheckExpiry()
+	if len(dead) != 1 || dead[0] != "w2" {
+		t.Fatalf("CheckExpiry = %v, want [w2]", dead)
+	}
+	if err := cl.Heartbeat("w2"); err == nil {
+		t.Fatal("heartbeat from dead worker succeeded")
+	}
+	if err := cl.Heartbeat("w1"); err != nil {
+		t.Fatalf("heartbeat from live worker failed: %v", err)
+	}
+	// Re-registering resurrects the id.
+	if err := cl.Join("w2", 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.ClusterStats(); got.WorkersAlive != 2 || got.WorkersLost != 1 {
+		t.Fatalf("stats = %+v, want 2 alive / 1 lost", got)
+	}
+	if err := cl.Heartbeat("nope"); err == nil {
+		t.Fatal("heartbeat from unregistered worker succeeded")
+	}
+}
+
+func TestSingleMatMulJob(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	for _, id := range []string{"w1", "w2"} {
+		go RunLocalWorker(cl, LocalWorkerConfig{ID: id, Mem: 64})
+	}
+	c, a, b, ref := blockedInputs(t, 24, 16, 32, 4, 1)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, cl, id)
+	if st.State != Done {
+		t.Fatalf("job state = %v (err %v), want done", st.State, st.Err)
+	}
+	if d := c.Assemble().MaxDiff(ref); d > 1e-9 {
+		t.Fatalf("max |C - ref| = %g", d)
+	}
+	if st.TasksDone != st.TasksTotal || st.TasksTotal == 0 {
+		t.Fatalf("tasks %d/%d", st.TasksDone, st.TasksTotal)
+	}
+}
+
+func TestLUJobMatchesSequentialFactor(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	for _, id := range []string{"w1", "w2"} {
+		go RunLocalWorker(cl, LocalWorkerConfig{ID: id, Mem: 64})
+	}
+	const q, r = 8, 5
+	n := q * r
+	orig := matrix.NewDense(n, n)
+	lu.DiagonallyDominant(orig, 7)
+	m := matrix.Partition(orig.Clone(), q)
+
+	id, err := cl.SubmitJob(JobSpec{Kind: LU, M: m, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, cl, id)
+	if st.State != Done {
+		t.Fatalf("job state = %v (err %v), want done", st.State, st.Err)
+	}
+	packed := m.Assemble()
+	if res := lu.Residual(orig, packed); res > 1e-8 {
+		t.Fatalf("LU residual %g", res)
+	}
+	want := orig.Clone()
+	if err := lu.Factor(want, q); err != nil {
+		t.Fatal(err)
+	}
+	if d := packed.MaxDiff(want); d > 1e-8 {
+		t.Fatalf("cluster LU differs from lu.Factor by %g", d)
+	}
+}
+
+// TestConcurrentJobsSurviveWorkerCrash is the end-to-end recovery
+// scenario: three concurrent jobs (two products and one LU), four
+// workers, one of which dies holding a task of the first job. After
+// heartbeat expiry the lost task is rescheduled and every job completes
+// with reference-exact results — no wall-clock sleeps, no sockets. The
+// test itself plays the dying worker through the same transport API the
+// runners use, which pins the crash point exactly: mid-job, one task
+// assigned and never returned.
+func TestConcurrentJobsSurviveWorkerCrash(t *testing.T) {
+	cl, clk := manualCluster(Config{HeartbeatTimeout: 30 * time.Second})
+	defer cl.Close()
+
+	c1, a1, b1, ref1 := blockedInputs(t, 24, 16, 24, 4, 10)
+	c2, a2, b2, ref2 := blockedInputs(t, 16, 24, 16, 4, 20)
+	const q, r = 4, 6
+	orig := matrix.NewDense(q*r, q*r)
+	lu.DiagonallyDominant(orig, 3)
+	m := matrix.Partition(orig.Clone(), q)
+
+	j1, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c1, A: a1, B: b1, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c2, A: a2, B: b2, Mu: 3, Planner: LargestFirstPlanner{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := cl.SubmitJob(JobSpec{Kind: LU, M: m, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker grabs a task first — while it is the only worker,
+	// so the assignment is guaranteed — and then goes silent.
+	if err := cl.Join("w-doomed", 64); err != nil {
+		t.Fatal(err)
+	}
+	doomedTask, err := cl.NextTask("w-doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	survivors := []string{"w1", "w2", "w3"}
+	for _, id := range survivors {
+		j := make(chan struct{})
+		go RunLocalWorker(cl, LocalWorkerConfig{ID: id, Mem: 64, Joined: j})
+		<-j
+	}
+
+	// The dead worker holds its task until failure detection notices the
+	// silence. Survivors prove their liveness, the clock jumps past the
+	// timeout, and expiry reschedules the lost task.
+	clk.Advance(31 * time.Second)
+	for _, id := range survivors {
+		if err := cl.Heartbeat(id); err != nil {
+			t.Fatalf("heartbeat %s: %v", id, err)
+		}
+	}
+	dead := cl.CheckExpiry()
+	if len(dead) != 1 || dead[0] != "w-doomed" {
+		t.Fatalf("CheckExpiry = %v, want [w-doomed]", dead)
+	}
+	// A late result from the dead worker must be rejected, not stored.
+	if blocks, _, err := cl.TaskChunk(doomedTask); err == nil {
+		if err := cl.Complete("w-doomed", doomedTask, blocks); !errors.Is(err, ErrStaleTask) {
+			t.Fatalf("zombie Complete = %v, want ErrStaleTask", err)
+		}
+	}
+
+	for _, jid := range []JobID{j1, j2, j3} {
+		if st := waitStatus(t, cl, jid); st.State != Done {
+			t.Fatalf("job %d state = %v (err %v), want done", jid, st.State, st.Err)
+		}
+	}
+	if d := c1.Assemble().MaxDiff(ref1); d > 1e-9 {
+		t.Fatalf("job 1: max |C - ref| = %g", d)
+	}
+	if d := c2.Assemble().MaxDiff(ref2); d > 1e-9 {
+		t.Fatalf("job 2: max |C - ref| = %g", d)
+	}
+	if res := lu.Residual(orig, m.Assemble()); res > 1e-8 {
+		t.Fatalf("job 3: LU residual %g", res)
+	}
+	st := cl.ClusterStats()
+	if st.WorkersLost != 1 {
+		t.Fatalf("workers lost = %d, want 1", st.WorkersLost)
+	}
+	if st.Requeues < 1 {
+		t.Fatalf("requeues = %d, want ≥ 1", st.Requeues)
+	}
+	if st.JobsDone != 3 || st.JobsFailed != 0 {
+		t.Fatalf("jobs done/failed = %d/%d, want 3/0", st.JobsDone, st.JobsFailed)
+	}
+}
+
+func TestTaskExceedsMaxAttemptsFailsJob(t *testing.T) {
+	cl, _ := manualCluster(Config{MaxAttempts: 1})
+	defer cl.Close()
+	c, a, b, _ := blockedInputs(t, 8, 8, 8, 4, 5)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Join("w1", 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.NextTask("w1"); err != nil {
+		t.Fatal(err)
+	}
+	cl.WorkerLost("w1") // requeue burns the task's only attempt
+	st := waitStatus(t, cl, id)
+	if st.State != Failed || st.Err == nil {
+		t.Fatalf("job state = %v (err %v), want failed", st.State, st.Err)
+	}
+}
+
+func TestChunkTooBigForFleetFailsJob(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	// C is 8×8 blocks and µ=8: one 64-block chunk plus a 16-block staging
+	// set, far beyond the only worker's 10 advertised blocks.
+	c, a, b, _ := blockedInputs(t, 32, 8, 32, 4, 12)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Join("tiny", 10); err != nil {
+		t.Fatal(err)
+	}
+	go cl.NextTask("tiny") // triggers dispatch; blocks until Close
+	st := waitStatus(t, cl, id)
+	if st.State != Failed || st.Err == nil {
+		t.Fatalf("job state = %v (err %v), want failed with a memory error", st.State, st.Err)
+	}
+}
+
+func TestStaleCompletionRejected(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	c, a, b, _ := blockedInputs(t, 8, 8, 8, 4, 6)
+	if _, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Join("w1", 64); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := cl.NextTask("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, q, err := cl.TaskChunk(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q
+	cl.WorkerLost("w1")
+	if err := cl.Complete("w1", tk, blocks); !errors.Is(err, ErrStaleTask) {
+		t.Fatalf("Complete after loss = %v, want ErrStaleTask", err)
+	}
+}
+
+func TestMaxRunningQueuesJobs(t *testing.T) {
+	cl, _ := manualCluster(Config{MaxRunning: 1})
+	defer cl.Close()
+	c1, a1, b1, _ := blockedInputs(t, 8, 8, 8, 4, 7)
+	c2, a2, b2, _ := blockedInputs(t, 8, 8, 8, 4, 8)
+	j1, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c1, A: a1, B: b1, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c2, A: a2, B: b2, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := cl.JobStatus(j1); st.State != Running {
+		t.Fatalf("job 1 state = %v, want running", st.State)
+	}
+	if st, _ := cl.JobStatus(j2); st.State != Queued {
+		t.Fatalf("job 2 state = %v, want queued", st.State)
+	}
+	// Draining job 1 promotes job 2.
+	go RunLocalWorker(cl, LocalWorkerConfig{ID: "w1", Mem: 64})
+	if st := waitStatus(t, cl, j1); st.State != Done {
+		t.Fatalf("job 1 = %v", st.State)
+	}
+	if st := waitStatus(t, cl, j2); st.State != Done {
+		t.Fatalf("job 2 = %v", st.State)
+	}
+}
+
+func TestRejoinRequeuesOldTasks(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	c, a, b, ref := blockedInputs(t, 8, 8, 8, 4, 9)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Join("w1", 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.NextTask("w1"); err != nil {
+		t.Fatal(err)
+	}
+	// The worker process restarts and re-registers under the same id: the
+	// old incarnation's task must come back to the pool.
+	if err := cl.Join("w1", 64); err != nil {
+		t.Fatal(err)
+	}
+	go RunLocalWorker(cl, LocalWorkerConfig{ID: "w2", Mem: 64})
+	if st := waitStatus(t, cl, id); st.State != Done {
+		t.Fatalf("job state = %v", st.State)
+	}
+	if d := c.Assemble().MaxDiff(ref); d > 1e-9 {
+		t.Fatalf("max |C - ref| = %g", d)
+	}
+}

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// JobID names one submitted job.
+type JobID uint32
+
+// JobKind selects the numerical workload of a job.
+type JobKind int
+
+const (
+	// MatMul computes C ← C + A·B on the job's blocked operands.
+	MatMul JobKind = iota
+	// LU factors the job's square blocked matrix in place (packed L\U, no
+	// pivoting — same stability contract as internal/lu).
+	LU
+)
+
+func (k JobKind) String() string {
+	switch k {
+	case MatMul:
+		return "matmul"
+	case LU:
+		return "lu"
+	default:
+		return fmt.Sprintf("JobKind(%d)", int(k))
+	}
+}
+
+// JobState is a job's position in its lifecycle.
+type JobState int
+
+const (
+	// Queued jobs are admitted but not yet dispatched (MaxRunning gate).
+	Queued JobState = iota
+	// Running jobs have tasks eligible for dispatch.
+	Running
+	// Done jobs completed; their result is in the spec's matrices.
+	Done
+	// Failed jobs gave up (a task exceeded MaxAttempts, or the cluster
+	// closed); their matrices are in an unspecified partial state.
+	Failed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// JobSpec describes one job. The cluster owns the referenced matrices from
+// SubmitJob until the job leaves the Running state.
+type JobSpec struct {
+	Kind JobKind
+	// MatMul operands: C is updated in place.
+	C, A, B *matrix.Blocked
+	// LU operand: factored in place.
+	M *matrix.Blocked
+	// Mu is the chunk side in blocks (the paper's µ); it bounds the
+	// per-worker in-flight state to one µ×µ C chunk, which is what makes
+	// recovery cheap. Dispatch only hands a chunk to workers whose
+	// advertised memory holds it plus one staging set (µ² + 2µ ≤ m); a
+	// chunk no live worker can hold fails the job. Required ≥ 1.
+	Mu int
+	// Planner orders the chunk pool; nil uses MaxReusePlanner.
+	Planner Planner
+}
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	ID         JobID
+	Kind       JobKind
+	State      JobState
+	TasksTotal int // for LU this grows as panel stages unlock
+	TasksDone  int
+	Requeues   int // tasks re-dispatched after a worker loss
+	Err        error
+}
+
+// taskKey identifies one task attempt globally.
+type taskKey struct {
+	job     JobID
+	seq     int
+	attempt int
+}
+
+// Task is one unit of work assigned to exactly one worker: a chunk of the
+// job's C grid plus Steps update sets streamed on demand. Workers treat it
+// uniformly for both job kinds (LU tasks are 1-step updates whose A
+// operands arrive pre-negated).
+type Task struct {
+	Job     JobID
+	Seq     int // unique within the job
+	Attempt int // incremented on every requeue
+	Chunk   *sim.Chunk
+	Steps   int // update sets to stream
+	K       int // LU: panel stage this task belongs to
+}
+
+func (t *Task) key() taskKey { return taskKey{t.Job, t.Seq, t.Attempt} }
+
+// job is the dispatcher's record of one submitted job. Guarded by the
+// owning Cluster's mutex.
+type job struct {
+	id       JobID
+	spec     JobSpec
+	state    JobState
+	pending  []*Task // ready to assign (head is next)
+	inflight int
+	total    int
+	done     int
+	requeues int
+	err      error
+	doneCh   chan struct{} // closed on Done or Failed
+	nextSeq  int
+	// LU stage state
+	stage     int // current panel index k
+	stageLeft int // trailing tasks outstanding in the current stage
+	luBlocks  int // r, the block order of the LU matrix
+}
+
+func validateSpec(spec JobSpec) error {
+	if spec.Mu < 1 {
+		return fmt.Errorf("cluster: µ must be ≥ 1, got %d", spec.Mu)
+	}
+	switch spec.Kind {
+	case MatMul:
+		c, a, b := spec.C, spec.A, spec.B
+		if c == nil || a == nil || b == nil {
+			return fmt.Errorf("cluster: matmul job needs C, A and B")
+		}
+		if a.BR != c.BR || b.BC != c.BC || a.BC != b.BR || a.Q != b.Q || a.Q != c.Q {
+			return fmt.Errorf("cluster: matmul shape mismatch C %dx%d, A %dx%d, B %dx%d",
+				c.BR, c.BC, a.BR, a.BC, b.BR, b.BC)
+		}
+	case LU:
+		if spec.M == nil {
+			return fmt.Errorf("cluster: lu job needs M")
+		}
+		if spec.M.BR != spec.M.BC {
+			return fmt.Errorf("cluster: lu matrix is %dx%d blocks, want square", spec.M.BR, spec.M.BC)
+		}
+		if spec.M.BR < 1 {
+			return fmt.Errorf("cluster: lu matrix is empty")
+		}
+	default:
+		return fmt.Errorf("cluster: unknown job kind %d", spec.Kind)
+	}
+	return nil
+}
+
+// newJob builds the job record and its initial task pool.
+func newJob(id JobID, spec JobSpec) *job {
+	j := &job{id: id, spec: spec, doneCh: make(chan struct{})}
+	switch spec.Kind {
+	case MatMul:
+		pr := core.Problem{R: spec.C.BR, S: spec.C.BC, T: spec.A.BC, Q: spec.A.Q}
+		planner := spec.Planner
+		if planner == nil {
+			planner = MaxReusePlanner{}
+		}
+		for _, ch := range planner.Plan(pr, spec.Mu) {
+			j.pending = append(j.pending, &Task{
+				Job: id, Seq: j.nextSeq, Chunk: ch, Steps: pr.T,
+			})
+			j.nextSeq++
+		}
+		j.total = len(j.pending)
+	case LU:
+		j.luBlocks = spec.M.BR
+		// Stage 0 is opened by the caller (factorStage) once the job is
+		// admitted; total grows as stages unlock.
+	}
+	return j
+}
+
+// factorStage factors panel k of an LU job on the master (the paper keeps
+// pivot work at the master; §7's right-looking scheme) and opens the
+// trailing-update tasks of the stage. It returns false when the
+// factorization is complete.
+func (j *job) factorStage() bool {
+	m := j.spec.M
+	q := m.Q
+	k := j.stage
+	r := j.luBlocks
+	if k >= r {
+		return false
+	}
+	factorBlockLU(m.Block(k, k).Data, q)
+	for i := k + 1; i < r; i++ {
+		solveRightUpper(m.Block(i, k).Data, m.Block(k, k).Data, q)
+	}
+	for jj := k + 1; jj < r; jj++ {
+		solveLeftUnitLower(m.Block(k, jj).Data, m.Block(k, k).Data, q)
+	}
+	if k == r-1 {
+		return false // last diagonal block: nothing trails
+	}
+	// Chunk the (r-k-1)² trailing grid into µ×µ tiles; each tile is one
+	// 1-step task C(i,j) ← C(i,j) − L(i,k)·U(k,j).
+	side := j.spec.Mu
+	lo := k + 1
+	for i0 := lo; i0 < r; i0 += side {
+		rows := minInt(side, r-i0)
+		for j0 := lo; j0 < r; j0 += side {
+			cols := minInt(side, r-j0)
+			ch := &sim.Chunk{
+				ID: j.nextSeq, I0: i0, J0: j0,
+				Rows: rows, Cols: cols, Blocks: rows * cols,
+				Steps: []sim.Step{{Blocks: rows + cols, Updates: int64(rows) * int64(cols)}},
+			}
+			j.pending = append(j.pending, &Task{
+				Job: j.id, Seq: j.nextSeq, Chunk: ch, Steps: 1, K: k,
+			})
+			j.nextSeq++
+			j.total++
+			j.stageLeft++
+		}
+	}
+	return true
+}
+
+// finished reports whether every task completed and, for LU, every stage
+// was factored.
+func (j *job) finished() bool {
+	if len(j.pending) > 0 || j.inflight > 0 {
+		return false
+	}
+	if j.spec.Kind == LU {
+		return j.stage >= j.luBlocks
+	}
+	return true
+}
+
+func (j *job) status() Status {
+	return Status{
+		ID: j.id, Kind: j.spec.Kind, State: j.state,
+		TasksTotal: j.total, TasksDone: j.done,
+		Requeues: j.requeues, Err: j.err,
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

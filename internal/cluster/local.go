@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blas"
+)
+
+// LocalWorkerConfig configures an in-process worker.
+type LocalWorkerConfig struct {
+	ID  string
+	Mem int // advertised capacity in blocks
+	// Joined, when non-nil, is closed once registration succeeds.
+	Joined chan struct{}
+}
+
+// RunLocalWorker joins the cluster and serves tasks until the cluster
+// closes (returns nil) or the worker is declared dead (returns the
+// error). It is the in-process transport: the same pull protocol the TCP
+// runtime speaks, minus the sockets.
+func RunLocalWorker(cl *Cluster, cfg LocalWorkerConfig) error {
+	if err := cl.Join(cfg.ID, cfg.Mem); err != nil {
+		return err
+	}
+	if cfg.Joined != nil {
+		close(cfg.Joined)
+	}
+	for {
+		t, err := cl.NextTask(cfg.ID)
+		if errors.Is(err, ErrClosed) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := runTask(cl, cfg.ID, t); err != nil {
+			if errors.Is(err, ErrStaleTask) {
+				continue // our assignment was revoked mid-compute; move on
+			}
+			return err
+		}
+	}
+}
+
+// runTask executes one task through the data API: pull the C tile, stream
+// the update sets, apply the generic C += A·B block update, return the
+// tile.
+func runTask(cl *Cluster, id string, t *Task) error {
+	blocks, q, err := cl.TaskChunk(t)
+	if err != nil {
+		return err
+	}
+	rows, cols := t.Chunk.Rows, t.Chunk.Cols
+	for k := 0; k < t.Steps; k++ {
+		aBlks, bBlks, err := cl.TaskSet(t, k)
+		if err != nil {
+			return err
+		}
+		if len(aBlks) != rows || len(bBlks) != cols {
+			return fmt.Errorf("cluster: set %d has %dx%d operands, want %dx%d",
+				k, len(aBlks), len(bBlks), rows, cols)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				blas.BlockUpdate(blocks[i*cols+j], aBlks[i], bBlks[j], q)
+			}
+		}
+	}
+	return cl.Complete(id, t, blocks)
+}

@@ -1,0 +1,49 @@
+package cluster
+
+// Block-level kernels for the distributed LU job: the master factors the
+// pivot column and row itself (cheap, O(q³) per panel) and farms the
+// rank-q trailing update — which is exactly a block matrix product — out
+// to the cluster. No pivoting, matching internal/lu's stability contract.
+
+// factorBlockLU factors the q×q block a in place into packed L\U with
+// unit lower diagonal.
+func factorBlockLU(a []float64, q int) {
+	for k := 0; k < q; k++ {
+		piv := a[k*q+k]
+		for i := k + 1; i < q; i++ {
+			a[i*q+k] /= piv
+			l := a[i*q+k]
+			for j := k + 1; j < q; j++ {
+				a[i*q+j] -= l * a[k*q+j]
+			}
+		}
+	}
+}
+
+// solveRightUpper overwrites the q×q block x with x·U⁻¹, where U is the
+// upper triangle (diagonal included) of the packed block lu.
+func solveRightUpper(x, lu []float64, q int) {
+	for i := 0; i < q; i++ {
+		row := x[i*q : (i+1)*q]
+		for c := 0; c < q; c++ {
+			s := row[c]
+			for t := 0; t < c; t++ {
+				s -= row[t] * lu[t*q+c]
+			}
+			row[c] = s / lu[c*q+c]
+		}
+	}
+}
+
+// solveLeftUnitLower overwrites the q×q block y with L⁻¹·y, where L is the
+// strict lower triangle of the packed block lu with implied unit diagonal.
+func solveLeftUnitLower(y, lu []float64, q int) {
+	for r := 0; r < q; r++ {
+		for t := 0; t < r; t++ {
+			l := lu[r*q+t]
+			for c := 0; c < q; c++ {
+				y[r*q+c] -= l * y[t*q+c]
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// WorkerInfo is a snapshot of one registered worker.
+type WorkerInfo struct {
+	ID       string
+	Mem      int // advertised capacity in q×q blocks
+	LastSeen time.Time
+	Dead     bool
+	Inflight int // tasks currently assigned
+	Done     int // tasks completed over the worker's lifetime
+}
+
+// workerState is the registry's live record of one worker. All access is
+// guarded by the owning Cluster's mutex.
+type workerState struct {
+	id       string
+	mem      int
+	lastSeen time.Time
+	dead     bool
+	inflight map[taskKey]*Task
+	done     int
+}
+
+// registry is the membership table: join/leave plus heartbeat-based
+// failure detection. It does no locking of its own — every method is
+// called with the owning Cluster's mutex held.
+type registry struct {
+	workers map[string]*workerState
+	lost    int // workers ever declared dead
+}
+
+func newRegistry() *registry {
+	return &registry{workers: make(map[string]*workerState)}
+}
+
+// join registers a worker. Re-joining under a live or dead ID replaces the
+// old incarnation; the caller requeues the old incarnation's tasks first.
+func (r *registry) join(id string, mem int, now time.Time) *workerState {
+	w := &workerState{
+		id: id, mem: mem, lastSeen: now,
+		inflight: make(map[taskKey]*Task),
+	}
+	r.workers[id] = w
+	return w
+}
+
+// heartbeat refreshes a worker's liveness. It fails for unknown or dead
+// workers so transports can tell the peer to re-register.
+func (r *registry) heartbeat(id string, now time.Time) error {
+	w := r.workers[id]
+	if w == nil {
+		return fmt.Errorf("cluster: heartbeat from unknown worker %q", id)
+	}
+	if w.dead {
+		return fmt.Errorf("cluster: heartbeat from worker %q already declared dead", id)
+	}
+	w.lastSeen = now
+	return nil
+}
+
+// expired returns the live workers whose last heartbeat is older than
+// timeout at time now.
+func (r *registry) expired(now time.Time, timeout time.Duration) []*workerState {
+	var out []*workerState
+	for _, w := range r.workers {
+		if !w.dead && now.Sub(w.lastSeen) > timeout {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// alive counts the live workers.
+func (r *registry) alive() int {
+	n := 0
+	for _, w := range r.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot copies the registry for Status reporting.
+func (r *registry) snapshot() []WorkerInfo {
+	out := make([]WorkerInfo, 0, len(r.workers))
+	for _, w := range r.workers {
+		out = append(out, WorkerInfo{
+			ID: w.id, Mem: w.mem, LastSeen: w.lastSeen,
+			Dead: w.dead, Inflight: len(w.inflight), Done: w.done,
+		})
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package netmw
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+)
+
+// ClusterWorkerConfig configures one cluster worker process.
+type ClusterWorkerConfig struct {
+	Addr     string // mmserve address
+	Name     string // stable id, reused across reconnects
+	Memory   int    // advertised capacity in blocks
+	StageCap int    // update sets pre-requested per task (default 2)
+	// HeartbeatEvery is the liveness beacon cadence. 0 disables beacons,
+	// which is only safe against a server whose expiry sweeps are off or
+	// far apart (tests): a server running sweeps declares a beaconless
+	// worker dead as soon as it idles past the heartbeat timeout.
+	HeartbeatEvery time.Duration
+	// Reconnect is how many consecutive failed sessions to retry before
+	// giving up; 0 means a single session, no retries. The counter resets
+	// whenever a session completes at least one task.
+	Reconnect int
+	Backoff   time.Duration // pause between reconnect attempts
+	Timeout   time.Duration // dial timeout
+
+	// failAfterTasks is a test hook: the worker drops its connection
+	// without warning once it has completed this many tasks (0 = never) —
+	// the kill-a-worker-mid-job scenario.
+	failAfterTasks int
+}
+
+// ClusterWorkerReport summarizes a cluster worker's lifetime.
+type ClusterWorkerReport struct {
+	Tasks    int
+	Updates  int64
+	Sessions int // connections attempted (1 + reconnects)
+}
+
+// errSessionKilled reports the failAfterTasks test hook firing.
+var errSessionKilled = fmt.Errorf("netmw: cluster worker killed (test hook)")
+
+// RunClusterWorker joins an mmserve cluster, serves tasks until the
+// server says Bye, and reconnects (re-registering under the same name)
+// when the connection drops.
+func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
+	if cfg.Name == "" {
+		return ClusterWorkerReport{}, fmt.Errorf("netmw: cluster worker needs a name")
+	}
+	if cfg.StageCap < 1 {
+		cfg.StageCap = 2
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	var rep ClusterWorkerReport
+	left := cfg.Reconnect
+	for {
+		rep.Sessions++
+		tasks, clean, err := clusterSession(cfg, &rep)
+		if clean {
+			return rep, nil
+		}
+		if tasks > 0 {
+			left = cfg.Reconnect // made progress: fresh retry budget
+		}
+		if left <= 0 {
+			return rep, err
+		}
+		left--
+		if cfg.Backoff > 0 {
+			time.Sleep(cfg.Backoff)
+		}
+	}
+}
+
+// clusterSession runs one connection lifetime. clean reports a deliberate
+// Bye from the server (no reconnect wanted).
+func clusterSession(cfg ClusterWorkerConfig, rep *ClusterWorkerReport) (tasks int, clean bool, err error) {
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
+	if err != nil {
+		return 0, false, fmt.Errorf("netmw: dial %s: %w", cfg.Addr, err)
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<20)
+	w := bufio.NewWriterSize(conn, 1<<20)
+
+	// Heartbeats come from their own goroutine, so writes are serialized
+	// with a mutex; everything else is written by this goroutine.
+	var wmu sync.Mutex
+	send := func(t MsgType, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeMsg(w, t, payload); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	ri := RegisterInfo{Name: cfg.Name, Mem: uint32(cfg.Memory)}
+	if err := send(MsgRegister, ri.encode()); err != nil {
+		return 0, false, err
+	}
+
+	hbDone := make(chan struct{})
+	defer close(hbDone)
+	if cfg.HeartbeatEvery > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.HeartbeatEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbDone:
+					return
+				case <-tick.C:
+					if send(MsgHeartbeat, nil) != nil {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for {
+		t, payload, err := readMsg(r)
+		if err != nil {
+			return tasks, false, fmt.Errorf("netmw: cluster worker read: %w", err)
+		}
+		switch t {
+		case MsgBye:
+			return tasks, true, nil
+		case MsgTask:
+			if cfg.failAfterTasks > 0 && tasks >= cfg.failAfterTasks {
+				conn.Close() // vanish mid-job, holding the assignment
+				return tasks, false, errSessionKilled
+			}
+			if err := runWireTask(payload, r, send, cfg.StageCap, rep); err != nil {
+				return tasks, false, err
+			}
+			tasks++
+			rep.Tasks++
+		default:
+			return tasks, false, fmt.Errorf("netmw: cluster worker got unexpected message %d", t)
+		}
+	}
+}
+
+// runWireTask executes one MsgTask: decode the C tile, stream the update
+// sets with the staging protocol, apply the generic block update, return
+// the result.
+func runWireTask(payload []byte, r *bufio.Reader, send func(MsgType, []byte) error, stageCap int, rep *ClusterWorkerReport) error {
+	var hdr TaskHeader
+	if err := hdr.decode(payload); err != nil {
+		return err
+	}
+	q := int(hdr.Q)
+	rows, cols, steps := int(hdr.Rows), int(hdr.Cols), int(hdr.Steps)
+	rest := payload[taskHeaderLen:]
+	cBlocks := make([][]float64, rows*cols)
+	var err error
+	for i := range cBlocks {
+		cBlocks[i], rest, err = getFloats(rest, q*q)
+		if err != nil {
+			return err
+		}
+	}
+
+	reqSet := func() error { return send(MsgReq, []byte{ReqSet}) }
+	pre := minInt(stageCap, steps)
+	for k := 0; k < pre; k++ {
+		if err := reqSet(); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < steps; k++ {
+		mt, sp, err := readMsg(r)
+		if err != nil {
+			return err
+		}
+		if mt != MsgSet {
+			return fmt.Errorf("netmw: cluster worker expected set, got %d", mt)
+		}
+		if k+pre < steps {
+			if err := reqSet(); err != nil {
+				return err
+			}
+		}
+		rest := sp[4:]
+		aBlks := make([][]float64, rows)
+		for i := range aBlks {
+			aBlks[i], rest, err = getFloats(rest, q*q)
+			if err != nil {
+				return err
+			}
+		}
+		bBlks := make([][]float64, cols)
+		for j := range bBlks {
+			bBlks[j], rest, err = getFloats(rest, q*q)
+			if err != nil {
+				return err
+			}
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				blas.BlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q)
+				rep.Updates++
+			}
+		}
+	}
+
+	res := make([]byte, taskResultHeaderLen, taskResultHeaderLen+8*q*q*rows*cols)
+	(&TaskResultHeader{Job: hdr.Job, Seq: hdr.Seq, Attempt: hdr.Attempt}).encode(res)
+	for _, blk := range cBlocks {
+		res = putFloats(res, blk)
+	}
+	return send(MsgTaskResult, res)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SubmitMatMulTCP submits C ← C + A·B to an mmserve cluster and blocks
+// until the job completes, copying the result back into c.
+func SubmitMatMulTCP(addr string, c, a, b *matrix.Blocked, mu int, timeout time.Duration) error {
+	hdr := JobHeader{
+		Kind: WireMatMul, R: uint32(c.BR), T: uint32(a.BC), S: uint32(c.BC),
+		Q: uint32(c.Q), Mu: uint32(mu),
+	}
+	payload := make([]byte, jobHeaderLen)
+	hdr.encode(payload)
+	payload = encodeBlocked(payload, c)
+	payload = encodeBlocked(payload, a)
+	payload = encodeBlocked(payload, b)
+	return submit(addr, payload, c, timeout)
+}
+
+// SubmitLUTCP submits an in-place LU factorization of m to an mmserve
+// cluster and blocks until it completes.
+func SubmitLUTCP(addr string, m *matrix.Blocked, mu int, timeout time.Duration) error {
+	hdr := JobHeader{
+		Kind: WireLU, R: uint32(m.BR), T: uint32(m.BR), S: uint32(m.BC),
+		Q: uint32(m.Q), Mu: uint32(mu),
+	}
+	payload := make([]byte, jobHeaderLen)
+	hdr.encode(payload)
+	payload = encodeBlocked(payload, m)
+	return submit(addr, payload, m, timeout)
+}
+
+// submit runs one submission round trip and decodes the result into dst.
+func submit(addr string, payload []byte, dst *matrix.Blocked, timeout time.Duration) error {
+	if timeout == 0 {
+		timeout = 2 * time.Minute
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("netmw: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(conn, 1<<20)
+	if err := writeMsg(w, MsgSubmit, payload); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	t, resp, err := readMsg(bufio.NewReaderSize(conn, 1<<20))
+	if err != nil {
+		return fmt.Errorf("netmw: submit read: %w", err)
+	}
+	if t != MsgJobDone {
+		return fmt.Errorf("netmw: submit got unexpected message %d", t)
+	}
+	var hdr JobDoneHeader
+	if err := hdr.decode(resp); err != nil {
+		return err
+	}
+	body := resp[jobDoneHeaderLen:]
+	if hdr.Code != 0 {
+		return fmt.Errorf("netmw: job %d failed: %s", hdr.Job, body)
+	}
+	q := dst.Q
+	for i := 0; i < dst.BR; i++ {
+		for j := 0; j < dst.BC; j++ {
+			fs, rest, err := getFloats(body, q*q)
+			if err != nil {
+				return err
+			}
+			copy(dst.Block(i, j).Data, fs)
+			body = rest
+		}
+	}
+	return nil
+}

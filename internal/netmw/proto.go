@@ -41,6 +41,28 @@ const (
 	MsgReq
 	// MsgBye tells a worker to shut down.
 	MsgBye
+
+	// Cluster-service messages (the long-running mmserve protocol, layered
+	// on the same framing).
+
+	// MsgRegister is sent by a cluster worker on connect (and on every
+	// reconnect): RegisterInfo payload.
+	MsgRegister
+	// MsgHeartbeat is a worker liveness beacon; empty payload.
+	MsgHeartbeat
+	// MsgTask assigns one cluster task: TaskHeader then Rows*Cols C
+	// blocks. The worker streams its update sets with MsgReq(ReqSet) as
+	// in the single-job protocol.
+	MsgTask
+	// MsgTaskResult returns a finished task: TaskResultHeader then the
+	// updated C blocks.
+	MsgTaskResult
+	// MsgSubmit is a client job submission: JobHeader then the operand
+	// blocks (C, A, B for matmul; M for LU).
+	MsgSubmit
+	// MsgJobDone answers a submission: JobDoneHeader, then either the
+	// result blocks (Code 0) or an error string.
+	MsgJobDone
 )
 
 // Request kinds carried by MsgReq.
@@ -83,6 +105,164 @@ func (h *ChunkHeader) decode(buf []byte) error {
 	h.Cols = binary.LittleEndian.Uint32(buf[16:])
 	h.T = binary.LittleEndian.Uint32(buf[20:])
 	h.Q = binary.LittleEndian.Uint32(buf[24:])
+	return nil
+}
+
+// RegisterInfo is a cluster worker's registration.
+type RegisterInfo struct {
+	Name string // stable worker id, reused across reconnects
+	Mem  uint32 // advertised capacity in q×q blocks
+}
+
+func (r *RegisterInfo) encode() []byte {
+	buf := make([]byte, 6+len(r.Name))
+	binary.LittleEndian.PutUint32(buf[0:], r.Mem)
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(r.Name)))
+	copy(buf[6:], r.Name)
+	return buf
+}
+
+func (r *RegisterInfo) decode(buf []byte) error {
+	if len(buf) < 6 {
+		return fmt.Errorf("netmw: short register payload (%d bytes)", len(buf))
+	}
+	r.Mem = binary.LittleEndian.Uint32(buf[0:])
+	n := int(binary.LittleEndian.Uint16(buf[4:]))
+	if len(buf) < 6+n {
+		return fmt.Errorf("netmw: register name truncated (%d of %d bytes)", len(buf)-6, n)
+	}
+	r.Name = string(buf[6 : 6+n])
+	return nil
+}
+
+// TaskHeader describes one cluster task on the wire. Job/Seq/Attempt
+// identify the assignment (echoed back in the result so stale completions
+// are detectable); Steps is the number of update sets the worker must
+// stream; Rows/Cols/Q give the C tile geometry.
+type TaskHeader struct {
+	Job     uint32
+	Seq     uint32
+	Attempt uint32
+	Steps   uint32
+	Rows    uint32
+	Cols    uint32
+	Q       uint32
+}
+
+const taskHeaderLen = 7 * 4
+
+func (h *TaskHeader) encode(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], h.Job)
+	binary.LittleEndian.PutUint32(buf[4:], h.Seq)
+	binary.LittleEndian.PutUint32(buf[8:], h.Attempt)
+	binary.LittleEndian.PutUint32(buf[12:], h.Steps)
+	binary.LittleEndian.PutUint32(buf[16:], h.Rows)
+	binary.LittleEndian.PutUint32(buf[20:], h.Cols)
+	binary.LittleEndian.PutUint32(buf[24:], h.Q)
+}
+
+func (h *TaskHeader) decode(buf []byte) error {
+	if len(buf) < taskHeaderLen {
+		return fmt.Errorf("netmw: short task header (%d bytes)", len(buf))
+	}
+	h.Job = binary.LittleEndian.Uint32(buf[0:])
+	h.Seq = binary.LittleEndian.Uint32(buf[4:])
+	h.Attempt = binary.LittleEndian.Uint32(buf[8:])
+	h.Steps = binary.LittleEndian.Uint32(buf[12:])
+	h.Rows = binary.LittleEndian.Uint32(buf[16:])
+	h.Cols = binary.LittleEndian.Uint32(buf[20:])
+	h.Q = binary.LittleEndian.Uint32(buf[24:])
+	return nil
+}
+
+// TaskResultHeader identifies the assignment a result answers.
+type TaskResultHeader struct {
+	Job     uint32
+	Seq     uint32
+	Attempt uint32
+}
+
+const taskResultHeaderLen = 3 * 4
+
+func (h *TaskResultHeader) encode(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], h.Job)
+	binary.LittleEndian.PutUint32(buf[4:], h.Seq)
+	binary.LittleEndian.PutUint32(buf[8:], h.Attempt)
+}
+
+func (h *TaskResultHeader) decode(buf []byte) error {
+	if len(buf) < taskResultHeaderLen {
+		return fmt.Errorf("netmw: short task result header (%d bytes)", len(buf))
+	}
+	h.Job = binary.LittleEndian.Uint32(buf[0:])
+	h.Seq = binary.LittleEndian.Uint32(buf[4:])
+	h.Attempt = binary.LittleEndian.Uint32(buf[8:])
+	return nil
+}
+
+// Job kinds on the wire.
+const (
+	WireMatMul uint32 = iota
+	WireLU
+)
+
+// JobHeader describes a submitted job: for matmul the payload continues
+// with R·S C blocks, R·T A blocks and T·S B blocks; for LU, with R·R M
+// blocks (and T, S echo R).
+type JobHeader struct {
+	Kind uint32
+	R    uint32
+	T    uint32
+	S    uint32
+	Q    uint32
+	Mu   uint32
+}
+
+const jobHeaderLen = 6 * 4
+
+func (h *JobHeader) encode(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], h.Kind)
+	binary.LittleEndian.PutUint32(buf[4:], h.R)
+	binary.LittleEndian.PutUint32(buf[8:], h.T)
+	binary.LittleEndian.PutUint32(buf[12:], h.S)
+	binary.LittleEndian.PutUint32(buf[16:], h.Q)
+	binary.LittleEndian.PutUint32(buf[20:], h.Mu)
+}
+
+func (h *JobHeader) decode(buf []byte) error {
+	if len(buf) < jobHeaderLen {
+		return fmt.Errorf("netmw: short job header (%d bytes)", len(buf))
+	}
+	h.Kind = binary.LittleEndian.Uint32(buf[0:])
+	h.R = binary.LittleEndian.Uint32(buf[4:])
+	h.T = binary.LittleEndian.Uint32(buf[8:])
+	h.S = binary.LittleEndian.Uint32(buf[12:])
+	h.Q = binary.LittleEndian.Uint32(buf[16:])
+	h.Mu = binary.LittleEndian.Uint32(buf[20:])
+	return nil
+}
+
+// JobDoneHeader answers a submission. Code 0 means success and the result
+// blocks follow; any other code is an error whose message follows as
+// UTF-8 bytes.
+type JobDoneHeader struct {
+	Job  uint32
+	Code uint32
+}
+
+const jobDoneHeaderLen = 2 * 4
+
+func (h *JobDoneHeader) encode(buf []byte) {
+	binary.LittleEndian.PutUint32(buf[0:], h.Job)
+	binary.LittleEndian.PutUint32(buf[4:], h.Code)
+}
+
+func (h *JobDoneHeader) decode(buf []byte) error {
+	if len(buf) < jobDoneHeaderLen {
+		return fmt.Errorf("netmw: short job done header (%d bytes)", len(buf))
+	}
+	h.Job = binary.LittleEndian.Uint32(buf[0:])
+	h.Code = binary.LittleEndian.Uint32(buf[4:])
 	return nil
 }
 

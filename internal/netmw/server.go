@@ -1,0 +1,449 @@
+package netmw
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/matrix"
+)
+
+// ClusterServerConfig configures the TCP face of a cluster service.
+type ClusterServerConfig struct {
+	Addr string // listen address (":0" for tests)
+	// ExpiryEvery is the cadence of heartbeat-expiry sweeps; 0 disables
+	// them (connection drops still trigger immediate recovery, which is
+	// what deterministic tests rely on).
+	ExpiryEvery time.Duration
+}
+
+// ClusterServer accepts cluster workers and job submissions over TCP and
+// drives a cluster.Cluster. One connection is one role: a worker
+// (MsgRegister first) or a submitting client (MsgSubmit first).
+type ClusterServer struct {
+	cl  *cluster.Cluster
+	ln  net.Listener
+	cfg ClusterServerConfig
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeCluster starts the TCP service on cfg.Addr and returns immediately.
+func ServeCluster(cl *cluster.Cluster, cfg ClusterServerConfig) (*ClusterServer, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("netmw: cluster listen: %w", err)
+	}
+	s := &ClusterServer{
+		cl: cl, ln: ln, cfg: cfg,
+		conns: make(map[net.Conn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if cfg.ExpiryEvery > 0 {
+		s.wg.Add(1)
+		go s.expiryLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *ClusterServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and shuts the sessions down. When the underlying
+// cluster was closed first (the graceful order), worker sessions exit on
+// their own after sending Bye; Close gives them a short drain window
+// before force-closing whatever connections remain, so workers see a
+// clean goodbye instead of a reset and don't burn their reconnect budget.
+// The cluster itself is left to its owner.
+func (s *ClusterServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	err := s.ln.Close()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(500 * time.Millisecond):
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *ClusterServer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *ClusterServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *ClusterServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *ClusterServer) expiryLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.ExpiryEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.cl.CheckExpiry()
+		}
+	}
+}
+
+// handle dispatches one connection by its first message.
+func (s *ClusterServer) handle(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 1<<20)
+	w := bufio.NewWriterSize(conn, 1<<20)
+	t, payload, err := readMsg(r)
+	if err != nil {
+		return
+	}
+	switch t {
+	case MsgRegister:
+		var ri RegisterInfo
+		if err := ri.decode(payload); err != nil {
+			return
+		}
+		s.workerSession(conn, r, w, ri)
+	case MsgSubmit:
+		s.clientSession(w, payload)
+	}
+}
+
+// wevent is one worker-connection event surfaced by the reader goroutine.
+type wevent struct {
+	kind   MsgType
+	result TaskResultHeader
+	blocks [][]float64
+}
+
+// workerSession drives one registered worker: pull a task from the
+// cluster, ship it, stream its update sets on demand, store the result,
+// repeat. A connection error at any point declares the worker lost, which
+// requeues whatever it held.
+func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ri RegisterInfo) {
+	id := ri.Name
+	if err := s.cl.Join(id, int(ri.Mem)); err != nil {
+		return
+	}
+	defer s.cl.WorkerLost(id)
+
+	events := make(chan wevent, 16)
+	// On any session exit, drain until the reader closes the channel
+	// (untrack closes the conn right after, which unblocks the reader),
+	// so a peer that pipelined extra frames can't strand the reader on a
+	// full channel forever.
+	defer func() {
+		go func() {
+			for range events {
+			}
+		}()
+	}()
+	go func() {
+		defer close(events)
+		// A dead connection is a lost worker, declared immediately: this
+		// both requeues whatever the worker held and wakes the session
+		// goroutine out of a blocked NextTask.
+		defer s.cl.WorkerLost(id)
+		for {
+			t, payload, err := readMsg(r)
+			if err != nil {
+				return
+			}
+			switch t {
+			case MsgHeartbeat:
+				if err := s.cl.Heartbeat(id); err != nil {
+					// Stale incarnation (declared dead, or replaced by a
+					// reconnect): drop the connection so the peer
+					// re-registers.
+					conn.Close()
+					return
+				}
+			case MsgReq:
+				if len(payload) != 1 || payload[0] != ReqSet {
+					conn.Close()
+					return
+				}
+				events <- wevent{kind: MsgReq}
+			case MsgTaskResult:
+				var hdr TaskResultHeader
+				if err := hdr.decode(payload); err != nil {
+					conn.Close()
+					return
+				}
+				rest := payload[taskResultHeaderLen:]
+				if len(rest)%8 != 0 {
+					conn.Close()
+					return
+				}
+				fs, _, err := getFloats(rest, len(rest)/8)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				events <- wevent{kind: MsgTaskResult, result: hdr, blocks: [][]float64{fs}}
+			default:
+				conn.Close()
+				return
+			}
+		}
+	}()
+
+	send := func(t MsgType, payload []byte) error {
+		if err := writeMsg(w, t, payload); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	for {
+		task, err := s.cl.NextTask(id)
+		if errors.Is(err, cluster.ErrClosed) {
+			send(MsgBye, nil) // clean shutdown: the worker should not retry
+			return
+		}
+		if err != nil {
+			return // declared dead or replaced: drop so the peer re-registers
+		}
+		blocks, q, err := s.cl.TaskChunk(task)
+		if err != nil {
+			return
+		}
+		hdr := TaskHeader{
+			Job: uint32(task.Job), Seq: uint32(task.Seq), Attempt: uint32(task.Attempt),
+			Steps: uint32(task.Steps), Rows: uint32(task.Chunk.Rows), Cols: uint32(task.Chunk.Cols),
+			Q: uint32(q),
+		}
+		payload := make([]byte, taskHeaderLen, taskHeaderLen+8*q*q*len(blocks))
+		hdr.encode(payload)
+		for _, b := range blocks {
+			payload = putFloats(payload, b)
+		}
+		if err := send(MsgTask, payload); err != nil {
+			return
+		}
+
+		k := 0
+		done := false
+		for !done {
+			ev, ok := <-events
+			if !ok {
+				return // connection died mid-task; WorkerLost requeues it
+			}
+			switch ev.kind {
+			case MsgReq:
+				if k >= task.Steps {
+					return // protocol violation
+				}
+				aBlks, bBlks, err := s.cl.TaskSet(task, k)
+				if err != nil {
+					return
+				}
+				sp := make([]byte, 4, 4+8*q*q*(len(aBlks)+len(bBlks)))
+				sp[0] = byte(k)
+				sp[1] = byte(k >> 8)
+				sp[2] = byte(k >> 16)
+				sp[3] = byte(k >> 24)
+				for _, b := range aBlks {
+					sp = putFloats(sp, b)
+				}
+				for _, b := range bBlks {
+					sp = putFloats(sp, b)
+				}
+				if err := send(MsgSet, sp); err != nil {
+					return
+				}
+				k++
+			case MsgTaskResult:
+				if ev.result.Job != hdr.Job || ev.result.Seq != hdr.Seq || ev.result.Attempt != hdr.Attempt {
+					return // result for a different assignment
+				}
+				flat := ev.blocks[0]
+				want := q * q * task.Chunk.Rows * task.Chunk.Cols
+				if len(flat) != want {
+					return
+				}
+				out := make([][]float64, task.Chunk.Rows*task.Chunk.Cols)
+				for i := range out {
+					out[i] = flat[i*q*q : (i+1)*q*q]
+				}
+				if err := s.cl.Complete(id, task, out); err != nil && !errors.Is(err, cluster.ErrStaleTask) {
+					return
+				}
+				done = true
+			}
+		}
+	}
+}
+
+// clientSession serves one MsgSubmit: build the job, run it to
+// completion, answer with the result blocks or the error.
+func (s *ClusterServer) clientSession(w *bufio.Writer, payload []byte) {
+	reply := func(job cluster.JobID, code uint32, body []byte) {
+		out := make([]byte, jobDoneHeaderLen, jobDoneHeaderLen+len(body))
+		(&JobDoneHeader{Job: uint32(job), Code: code}).encode(out)
+		out = append(out, body...)
+		if writeMsg(w, MsgJobDone, out) == nil {
+			w.Flush()
+		}
+	}
+	spec, err := decodeJobSubmission(payload)
+	if err != nil {
+		reply(0, 1, []byte(err.Error()))
+		return
+	}
+	id, err := s.cl.SubmitJob(spec)
+	if err != nil {
+		reply(0, 1, []byte(err.Error()))
+		return
+	}
+	done, err := s.cl.Done(id)
+	if err != nil {
+		reply(id, 1, []byte(err.Error()))
+		return
+	}
+	select {
+	case <-done:
+	case <-s.stop:
+		reply(id, 1, []byte("cluster server shutting down"))
+		return
+	}
+	st, err := s.cl.JobStatus(id)
+	if err != nil {
+		reply(id, 1, []byte(err.Error()))
+		return
+	}
+	if st.State != cluster.Done {
+		msg := "job failed"
+		if st.Err != nil {
+			msg = st.Err.Error()
+		}
+		reply(id, 1, []byte(msg))
+		return
+	}
+	res := spec.C
+	if spec.Kind == cluster.LU {
+		res = spec.M
+	}
+	body := encodeBlocked(nil, res)
+	reply(id, 0, body)
+}
+
+// decodeJobSubmission parses a MsgSubmit payload into a JobSpec backed by
+// freshly allocated matrices.
+func decodeJobSubmission(payload []byte) (cluster.JobSpec, error) {
+	var hdr JobHeader
+	if err := hdr.decode(payload); err != nil {
+		return cluster.JobSpec{}, err
+	}
+	rest := payload[jobHeaderLen:]
+	r, t, sd, q := int(hdr.R), int(hdr.T), int(hdr.S), int(hdr.Q)
+	if r < 1 || t < 1 || sd < 1 || q < 1 {
+		return cluster.JobSpec{}, fmt.Errorf("netmw: bad job dimensions %dx%dx%d q=%d", r, t, sd, q)
+	}
+	switch hdr.Kind {
+	case WireMatMul:
+		var c, a, b *matrix.Blocked
+		var err error
+		if c, rest, err = decodeBlocked(rest, r, sd, q); err != nil {
+			return cluster.JobSpec{}, err
+		}
+		if a, rest, err = decodeBlocked(rest, r, t, q); err != nil {
+			return cluster.JobSpec{}, err
+		}
+		if b, _, err = decodeBlocked(rest, t, sd, q); err != nil {
+			return cluster.JobSpec{}, err
+		}
+		return cluster.JobSpec{Kind: cluster.MatMul, C: c, A: a, B: b, Mu: int(hdr.Mu)}, nil
+	case WireLU:
+		m, _, err := decodeBlocked(rest, r, r, q)
+		if err != nil {
+			return cluster.JobSpec{}, err
+		}
+		return cluster.JobSpec{Kind: cluster.LU, M: m, Mu: int(hdr.Mu)}, nil
+	default:
+		return cluster.JobSpec{}, fmt.Errorf("netmw: unknown job kind %d", hdr.Kind)
+	}
+}
+
+// encodeBlocked appends every block of m in row-major block order.
+func encodeBlocked(buf []byte, m *matrix.Blocked) []byte {
+	for i := 0; i < m.BR; i++ {
+		for j := 0; j < m.BC; j++ {
+			buf = putFloats(buf, m.Block(i, j).Data)
+		}
+	}
+	return buf
+}
+
+// decodeBlocked reads br×bc blocks of q² doubles, returning the matrix
+// and the remaining bytes.
+func decodeBlocked(buf []byte, br, bc, q int) (*matrix.Blocked, []byte, error) {
+	m := matrix.NewBlocked(br, bc, q)
+	for i := 0; i < br; i++ {
+		for j := 0; j < bc; j++ {
+			fs, rest, err := getFloats(buf, q*q)
+			if err != nil {
+				return nil, nil, err
+			}
+			copy(m.Block(i, j).Data, fs)
+			buf = rest
+		}
+	}
+	return m, buf, nil
+}

@@ -117,6 +117,17 @@ type Policy interface {
 	Pick(now float64, cands []Candidate) int
 }
 
+// Failure schedules the crash of one worker at simulated time At, for
+// the failure-injection mode: the worker accepts no further work and any
+// chunk it holds that has not been fully retrieved is lost and requeued
+// at the tail of the pool. The master notices a failure the next time its
+// port clock reaches At — or mid-transfer, when it picks a communication
+// with the failed worker that would complete after At.
+type Failure struct {
+	Worker int
+	At     float64
+}
+
 // Input bundles everything a simulation run needs.
 type Input struct {
 	Platform *platform.Platform
@@ -133,9 +144,16 @@ type Input struct {
 	// the unidirectional model; this switch exists for the ablation
 	// benchmark.
 	TwoPort bool
+	// Failures is the deterministic failure-injection schedule. It
+	// requires Pool mode: recovery reassigns lost chunks through the
+	// demand-driven pool, which a static queue cannot express.
+	Failures []Failure
 }
 
-// Result reports the outcome of one simulated execution.
+// Result reports the outcome of one simulated execution. With failure
+// injection, Blocks and Updates count all traffic and work including what
+// a crash later discarded, so comparing against the failure-free run
+// prices the recovery overhead.
 type Result struct {
 	Makespan   float64
 	Blocks     int64 // total blocks through the master port
@@ -144,6 +162,8 @@ type Result struct {
 	PortBusy   float64 // time the port spent transferring
 	WorkerBusy []float64
 	Chunks     int
+	Failures   int // workers lost to injected failures
+	Requeues   int // chunks requeued after a failure
 }
 
 type workerState struct {
@@ -194,6 +214,14 @@ func Run(in Input) (Result, error) {
 	if in.Queues != nil && in.Pool != nil {
 		return Result{}, fmt.Errorf("sim: set either Queues or Pool, not both")
 	}
+	if len(in.Failures) > 0 && in.Queues != nil {
+		return Result{}, fmt.Errorf("sim: failure injection requires Pool mode")
+	}
+	for _, f := range in.Failures {
+		if f.Worker < 0 || f.Worker >= pl.P() {
+			return Result{}, fmt.Errorf("sim: failure references worker %d of %d", f.Worker+1, pl.P())
+		}
+	}
 
 	ws := make([]*workerState, pl.P())
 	for i := range ws {
@@ -225,10 +253,50 @@ func Run(in Input) (Result, error) {
 
 	lane := func(w int) string { return fmt.Sprintf("P%d", w+1) }
 
+	fails := append([]Failure(nil), in.Failures...)
+	sort.Slice(fails, func(a, b int) bool { return fails[a].At < fails[b].At })
+	applied := make([]bool, len(fails))
+	dead := make([]bool, pl.P())
+	// applyFail kills a worker: it accepts no further communications and
+	// its unreturned chunk, if any, goes back to the pool tail.
+	applyFail := func(i int) {
+		f := fails[i]
+		applied[i] = true
+		if dead[f.Worker] {
+			return
+		}
+		dead[f.Worker] = true
+		res.Failures++
+		st := ws[f.Worker]
+		if st.active != nil {
+			pool = append(pool, st.active)
+			st.active = nil
+			res.Requeues++
+		}
+	}
+	nextFail := func() int {
+		for i := range fails {
+			if !applied[i] {
+				return i // fails is sorted by At
+			}
+		}
+		return -1
+	}
+
 	for {
+		// Failures whose time has come take effect before anything else.
+		for i := range fails {
+			if !applied[i] && fails[i].At <= port {
+				applyFail(i)
+			}
+		}
+
 		// Enumerate candidates.
 		var cands []Candidate
 		for w, st := range ws {
+			if dead[w] {
+				continue
+			}
 			c := pl.Workers[w].C
 			idle := st.chunkDoneAt()
 			if st.active != nil {
@@ -277,6 +345,16 @@ func Run(in Input) (Result, error) {
 			}
 		}
 		if len(cands) == 0 {
+			// With work outstanding and failures still scheduled, the
+			// engine idles forward to the next crash (which frees its
+			// chunk back into the pool for the survivors).
+			if nf := nextFail(); nf >= 0 && pending > 0 {
+				if fails[nf].At > port {
+					port = fails[nf].At
+				}
+				applyFail(nf)
+				continue
+			}
 			break
 		}
 		sort.Slice(cands, func(a, b int) bool {
@@ -294,6 +372,23 @@ func Run(in Input) (Result, error) {
 			return Result{}, fmt.Errorf("sim: policy %q picked invalid candidate %d of %d", in.Policy.Name(), pick, len(cands))
 		}
 		cd := cands[pick]
+		// A failure striking the transfer's worker before the transfer
+		// completes aborts it mid-flight: the port is released at the
+		// crash instant and the worker's chunk is lost.
+		aborted := false
+		for i := range fails {
+			if !applied[i] && fails[i].Worker == cd.Worker && fails[i].At < cd.End {
+				if fails[i].At > port {
+					port = fails[i].At
+				}
+				applyFail(i)
+				aborted = true
+				break // fails is sorted: this is the earliest strike
+			}
+		}
+		if aborted {
+			continue
+		}
 		st := ws[cd.Worker]
 		wk := pl.Workers[cd.Worker]
 

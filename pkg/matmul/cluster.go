@@ -1,0 +1,121 @@
+package matmul
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netmw"
+)
+
+// Cluster-service surface: the long-running fault-tolerant scheduler of
+// internal/cluster, which accepts many concurrent matrix-product and LU
+// jobs, detects worker failures by heartbeat, and reschedules lost work.
+
+// Re-exported cluster types.
+type (
+	// Cluster is the multi-job scheduler service.
+	Cluster = cluster.Cluster
+	// ClusterConfig tunes failure detection and job admission.
+	ClusterConfig = cluster.Config
+	// ClusterJobSpec describes one job (kind, operands, chunk side µ).
+	ClusterJobSpec = cluster.JobSpec
+	// ClusterJobStatus is a job snapshot (state, progress, requeues).
+	ClusterJobStatus = cluster.Status
+	// ClusterJobID names a submitted job.
+	ClusterJobID = cluster.JobID
+	// ClusterWorkerInfo is a registry snapshot entry.
+	ClusterWorkerInfo = cluster.WorkerInfo
+	// ClusterStats summarizes the service.
+	ClusterStats = cluster.Stats
+)
+
+// Job kinds and terminal states.
+const (
+	JobMatMul = cluster.MatMul
+	JobLU     = cluster.LU
+
+	JobQueued  = cluster.Queued
+	JobRunning = cluster.Running
+	JobDone    = cluster.Done
+	JobFailed  = cluster.Failed
+)
+
+// NewCluster starts a cluster scheduler. Submit work with
+// (*Cluster).SubmitJob (or the SubmitMatMul / SubmitLU helpers), poll it
+// with (*Cluster).JobStatus, and block on (*Cluster).Wait.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// SubmitMatMul submits C ← C + A·B with chunk side mu to a cluster.
+func SubmitMatMul(cl *Cluster, c, a, b *Blocked, mu int) (ClusterJobID, error) {
+	return cl.SubmitJob(ClusterJobSpec{Kind: JobMatMul, C: c, A: a, B: b, Mu: mu})
+}
+
+// SubmitLU submits an in-place block LU factorization of m (packed L\U,
+// no pivoting) with trailing-update chunk side mu to a cluster.
+func SubmitLU(cl *Cluster, m *Blocked, mu int) (ClusterJobID, error) {
+	return cl.SubmitJob(ClusterJobSpec{Kind: JobLU, M: m, Mu: mu})
+}
+
+// RunClusterWorkerLocal serves a cluster with an in-process worker until
+// the cluster closes. Run it on its own goroutine.
+func RunClusterWorkerLocal(cl *Cluster, id string, memoryBlocks int) error {
+	return cluster.RunLocalWorker(cl, cluster.LocalWorkerConfig{ID: id, Mem: memoryBlocks})
+}
+
+// ClusterService is a running TCP front end for a cluster (mmserve's
+// core): workers join with WorkClusterTCP, clients submit with
+// SubmitMatMulTCP / SubmitLUTCP.
+type ClusterService struct {
+	srv *netmw.ClusterServer
+}
+
+// ServeClusterTCP exposes a cluster over TCP on addr (":0" picks a free
+// port; see Addr). expiryEvery is the heartbeat-expiry sweep cadence
+// (0 disables sweeps; connection drops still trigger recovery).
+func ServeClusterTCP(cl *Cluster, addr string, expiryEvery time.Duration) (*ClusterService, error) {
+	srv, err := netmw.ServeCluster(cl, netmw.ClusterServerConfig{Addr: addr, ExpiryEvery: expiryEvery})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterService{srv: srv}, nil
+}
+
+// Addr returns the service's bound listen address.
+func (s *ClusterService) Addr() string { return s.srv.Addr() }
+
+// Close stops the TCP front end (the cluster itself is left to its owner).
+func (s *ClusterService) Close() error { return s.srv.Close() }
+
+// ClusterWorkerOptions configures WorkClusterTCP.
+type ClusterWorkerOptions struct {
+	Name           string        // stable worker id, reused across reconnects
+	MemoryBlocks   int           // advertised capacity
+	StageCap       int           // staged update sets (default 2)
+	HeartbeatEvery time.Duration // liveness beacon cadence (0 disables)
+	Reconnect      int           // reconnect budget after connection loss
+	Backoff        time.Duration // pause between reconnect attempts
+}
+
+// WorkClusterTCP runs one TCP cluster worker against a ServeClusterTCP
+// (or mmserve) endpoint, reconnecting and re-registering on connection
+// loss, until the server says goodbye.
+func WorkClusterTCP(addr string, opts ClusterWorkerOptions) error {
+	_, err := netmw.RunClusterWorker(netmw.ClusterWorkerConfig{
+		Addr: addr, Name: opts.Name, Memory: opts.MemoryBlocks,
+		StageCap: opts.StageCap, HeartbeatEvery: opts.HeartbeatEvery,
+		Reconnect: opts.Reconnect, Backoff: opts.Backoff,
+	})
+	return err
+}
+
+// SubmitMatMulTCP submits C ← C + A·B to a remote cluster service and
+// blocks until the result lands back in c.
+func SubmitMatMulTCP(addr string, c, a, b *Blocked, mu int, timeout time.Duration) error {
+	return netmw.SubmitMatMulTCP(addr, c, a, b, mu, timeout)
+}
+
+// SubmitLUTCP submits an in-place LU factorization of m to a remote
+// cluster service and blocks until it completes.
+func SubmitLUTCP(addr string, m *Blocked, mu int, timeout time.Duration) error {
+	return netmw.SubmitLUTCP(addr, m, mu, timeout)
+}

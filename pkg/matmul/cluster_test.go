@@ -1,0 +1,108 @@
+package matmul_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/pkg/matmul"
+)
+
+// TestClusterEndToEnd drives the public cluster surface: a service, two
+// in-process workers, concurrent matmul and LU jobs, status and stats.
+func TestClusterEndToEnd(t *testing.T) {
+	cl := matmul.NewCluster(matmul.ClusterConfig{HeartbeatTimeout: time.Hour})
+	defer cl.Close()
+	go matmul.RunClusterWorkerLocal(cl, "w1", 64)
+	go matmul.RunClusterWorkerLocal(cl, "w2", 64)
+
+	const n, q = 24, 4
+	ad := matmul.NewDense(n, n)
+	bd := matmul.NewDense(n, n)
+	cd := matmul.NewDense(n, n)
+	matmul.DeterministicFill(ad, 1)
+	matmul.DeterministicFill(bd, 2)
+	matmul.DeterministicFill(cd, 3)
+	ref := cd.Clone()
+	matmul.MulReference(ref, ad, bd)
+	c := matmul.Partition(cd, q)
+	a := matmul.Partition(ad, q)
+	b := matmul.Partition(bd, q)
+
+	id, err := matmul.SubmitMatMul(cl, c, a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ld := matmul.NewDense(n, n)
+	matmul.DeterministicFill(ld, 4)
+	// Make the LU input diagonally dominant so unpivoted elimination is
+	// stable (the library's LU contract).
+	for i := 0; i < n; i++ {
+		ld.Set(i, i, ld.At(i, i)+2*float64(n))
+	}
+	lref := ld.Clone()
+	if err := matmul.FactorLU(lref, q); err != nil {
+		t.Fatal(err)
+	}
+	m := matmul.Partition(ld, q)
+	lid, err := matmul.SubmitLU(cl, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, jid := range []matmul.ClusterJobID{id, lid} {
+		st, err := cl.Wait(jid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != matmul.JobDone {
+			t.Fatalf("job %d state = %v (err %v)", jid, st.State, st.Err)
+		}
+		if got, err := cl.JobStatus(jid); err != nil || got.State != matmul.JobDone {
+			t.Fatalf("JobStatus(%d) = %+v, %v", jid, got, err)
+		}
+	}
+	if d := c.Assemble().MaxDiff(ref); d > 1e-9 {
+		t.Fatalf("matmul: max |C - ref| = %g", d)
+	}
+	if d := m.Assemble().MaxDiff(lref); d > 1e-8 {
+		t.Fatalf("lu: max |M - ref| = %g", d)
+	}
+	// Both workers may not have joined before the small jobs drained, so
+	// only the job counters are asserted.
+	if st := cl.ClusterStats(); st.JobsDone != 2 || st.JobsFailed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestClusterTCPPublicSurface runs the TCP service end to end through
+// the public wrappers.
+func TestClusterTCPPublicSurface(t *testing.T) {
+	cl := matmul.NewCluster(matmul.ClusterConfig{HeartbeatTimeout: time.Hour})
+	defer cl.Close()
+	svc, err := matmul.ServeClusterTCP(cl, "127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	go matmul.WorkClusterTCP(svc.Addr(), matmul.ClusterWorkerOptions{
+		Name: "w1", MemoryBlocks: 64, HeartbeatEvery: 50 * time.Millisecond,
+	})
+
+	const n, q = 16, 4
+	ad := matmul.NewDense(n, n)
+	bd := matmul.NewDense(n, n)
+	cd := matmul.NewDense(n, n)
+	matmul.DeterministicFill(ad, 5)
+	matmul.DeterministicFill(bd, 6)
+	matmul.DeterministicFill(cd, 7)
+	ref := cd.Clone()
+	matmul.MulReference(ref, ad, bd)
+	c := matmul.Partition(cd, q)
+	if err := matmul.SubmitMatMulTCP(svc.Addr(), c, matmul.Partition(ad, q), matmul.Partition(bd, q), 2, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Assemble().MaxDiff(ref); d > 1e-9 {
+		t.Fatalf("max |C - ref| = %g", d)
+	}
+}

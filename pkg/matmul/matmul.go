@@ -7,7 +7,7 @@
 // workers with heterogeneous link costs c_i, compute costs w_i and memory
 // capacities m_i (in q×q blocks), under the one-port communication model.
 //
-// Three layers are exposed:
+// Four layers are exposed:
 //
 //   - Analysis: memory layouts (Mu*), communication lower bounds
 //     (Bounds), the bandwidth-centric steady state (SteadyState).
@@ -17,9 +17,12 @@
 //   - Execution: real products on the in-process goroutine runtime
 //     (MultiplyLocal) and over TCP (ServeTCP / WorkTCP), plus the real
 //     block LU factorization (FactorLU).
+//   - Service: the long-running fault-tolerant multi-job scheduler
+//     (NewCluster, SubmitJob, JobStatus) with heartbeat failure
+//     detection, served in-process or over TCP (ServeClusterTCP).
 //
-// See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
-// reproduced tables and figures.
+// See DESIGN.md for the paper-to-module map, including the cluster
+// layer, and for how the reproduced tables and figures are regenerated.
 package matmul
 
 import (

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-all clean
+.PHONY: all build test test-race vet fmt bench bench-all clean
 
 all: build vet test
 
@@ -10,22 +10,30 @@ build:
 test:
 	$(GO) test ./...
 
+# test-race is the CI race job: the pipelined runtimes and the parallel
+# kernel must stay clean under the race detector.
+test-race:
+	$(GO) test -race -short ./...
+
 vet:
 	$(GO) vet ./...
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# bench records the cluster-layer performance series: it runs the cluster
-# benchmarks and writes the parsed metrics to BENCH_cluster.json so the
-# perf trajectory is tracked across PRs.
+# bench records the performance series tracked across PRs: the cluster
+# benchmarks to BENCH_cluster.json and the kernel GFLOP/s series
+# (single-threaded vs parallel tiled GEMM) to BENCH_kernel.json, both
+# parsed by cmd/benchjson.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchtime 2x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 	@cat BENCH_cluster.json
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelKernel|BenchmarkBlockUpdate' -benchtime 1x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
+	@cat BENCH_kernel.json
 
 # bench-all smoke-runs every benchmark once (the paper's tables/figures).
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 .
 
 clean:
-	rm -f BENCH_cluster.json
+	rm -f BENCH_cluster.json BENCH_kernel.json

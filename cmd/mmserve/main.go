@@ -34,6 +34,7 @@ func main() {
 	expiryEvery := flag.Duration("expiry-every", 2*time.Second, "heartbeat-expiry sweep cadence")
 	maxAttempts := flag.Int("max-attempts", 5, "dispatch attempts per task before its job fails")
 	maxRunning := flag.Int("max-running", 0, "jobs dispatched concurrently (0 = unlimited)")
+	maxSlots := flag.Int("max-slots", 0, "clamp on the per-worker task-pipelining depth workers may advertise (0 = no clamp)")
 
 	submit := flag.Bool("submit", false, "act as a client: submit one job and wait for the result")
 	kind := flag.String("kind", "matmul", "submit job kind: matmul | lu")
@@ -64,13 +65,16 @@ func main() {
 	if *maxRunning < 0 {
 		fatalUsage("-max-running must be ≥ 0, got %d", *maxRunning)
 	}
+	if *maxSlots < 0 {
+		fatalUsage("-max-slots must be ≥ 0, got %d", *maxSlots)
+	}
 
 	cl := cluster.New(cluster.Config{
 		HeartbeatTimeout: *hbTimeout,
 		MaxAttempts:      *maxAttempts,
 		MaxRunning:       *maxRunning,
 	})
-	srv, err := netmw.ServeCluster(cl, netmw.ClusterServerConfig{Addr: *addr, ExpiryEvery: *expiryEvery})
+	srv, err := netmw.ServeCluster(cl, netmw.ClusterServerConfig{Addr: *addr, ExpiryEvery: *expiryEvery, MaxSlots: *maxSlots})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmserve: %v\n", err)
 		os.Exit(1)

@@ -29,6 +29,9 @@ func main() {
 	memMB := flag.Int("mem", 64, "memory budget in MiB to advertise")
 	q := flag.Int("q", 64, "block size used to convert the budget to blocks")
 	stage := flag.Int("stage", 2, "staging update sets (1 = no overlap, 2 = double buffering)")
+	cores := flag.Int("cores", 0, "kernel goroutines per block-update sweep (0 = one per core)")
+	prefetch := flag.Bool("prefetch", true, "receive the next chunk/task while the current one computes")
+	slots := flag.Int("slots", 2, "cluster: tasks pipelined concurrently (1 disables task prefetch)")
 	clusterMode := flag.Bool("cluster", false, "serve an mmserve cluster scheduler instead of a one-shot master")
 	name := flag.String("name", "", "cluster: stable worker name (default host:pid)")
 	hbEvery := flag.Duration("hb", 2*time.Second, "cluster: heartbeat cadence")
@@ -50,6 +53,12 @@ func main() {
 	}
 	if *stage < 1 || *stage > 2 {
 		fatalUsage("-stage must be 1 or 2, got %d", *stage)
+	}
+	if *cores < 0 {
+		fatalUsage("-cores must be ≥ 0, got %d", *cores)
+	}
+	if *slots < 1 {
+		fatalUsage("-slots must be ≥ 1, got %d", *slots)
 	}
 	if *reconnect < 0 {
 		fatalUsage("-reconnect must be ≥ 0, got %d", *reconnect)
@@ -77,8 +86,13 @@ func main() {
 			}
 			wn = fmt.Sprintf("%s:%d", host, os.Getpid())
 		}
+		ws := *slots
+		if !*prefetch {
+			ws = 1 // no task pipelining without prefetch
+		}
 		rep, err := netmw.RunClusterWorker(netmw.ClusterWorkerConfig{
 			Addr: *addr, Name: wn, Memory: m, StageCap: *stage,
+			Slots: ws, Cores: *cores,
 			HeartbeatEvery: *hbEvery, Reconnect: *reconnect, Backoff: *backoff,
 		})
 		if err != nil {
@@ -90,7 +104,10 @@ func main() {
 		return
 	}
 
-	rep, err := netmw.RunWorker(netmw.WorkerConfig{Addr: *addr, Memory: m, StageCap: *stage})
+	rep, err := netmw.RunWorker(netmw.WorkerConfig{
+		Addr: *addr, Memory: m, StageCap: *stage,
+		Prefetch: *prefetch, Cores: *cores,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mwworker: %v\n", err)
 		os.Exit(1)

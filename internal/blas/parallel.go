@@ -1,0 +1,136 @@
+// Multi-core kernels: the row-sharded parallel face of GemmBlocked.
+//
+// C row spans are disjoint, so sharding the row loop across goroutines
+// needs no reduction and no synchronization beyond the final join. Every
+// C element is accumulated in ascending-k order by Gemm, GemmBlocked and
+// any row shard alike, so the parallel kernels are bit-exact with the
+// sequential ones for finite inputs — determinism is not traded for
+// speed. This is the classic shared-memory GEMM recipe (tile, then fan
+// tiles over cores) applied to the paper's q×q block updates so a worker
+// runs "as fast as the hardware allows" (ROADMAP north star).
+package blas
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker-count argument: values ≥ 1 are taken
+// as-is, anything else means "one shard per available core"
+// (GOMAXPROCS).
+func DefaultWorkers(workers int) int {
+	if workers >= 1 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRowFlopCutoff is the flop count below which spawning
+// goroutines costs more than the sharded compute saves; such calls run
+// sequentially. A goroutine spawn+join is ~1µs; one full 64×64×64 tile
+// update (2·64³ flops, the default q×q BlockUpdate) is comfortably
+// above break-even and must parallelize, so the threshold sits strictly
+// below it.
+const parallelRowFlopCutoff = 2 * 64 * 64 * 64
+
+// ParallelGemm computes C ← C + A·B exactly like GemmBlocked but with
+// the row loop sharded across workers goroutines (≤ 0 means GOMAXPROCS).
+// Results are bit-identical to Gemm/GemmBlocked for finite inputs.
+func ParallelGemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, workers int) {
+	workers = DefaultWorkers(workers)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || 2*m*n*k < parallelRowFlopCutoff {
+		GemmBlocked(m, n, k, a, lda, b, ldb, c, ldc)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Balanced contiguous row spans: the first m%workers shards get
+		// one extra row.
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			GemmBlocked(hi-lo, n, k, a[lo*lda:], lda, b, ldb, c[lo*ldc:], ldc)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelBlockUpdate computes Cij ← Cij + Aik·Bkj for three q×q blocks
+// with the rows of Cij sharded across workers goroutines. It is the
+// multi-core form of BlockUpdate with bit-identical results.
+func ParallelBlockUpdate(cij, aik, bkj []float64, q, workers int) {
+	if len(cij) < q*q || len(aik) < q*q || len(bkj) < q*q {
+		panic("blas: ParallelBlockUpdate undersized operand")
+	}
+	ParallelGemm(q, q, q, aik, q, bkj, q, cij, q, workers)
+}
+
+// ParallelUpdateChunk applies Cij ← Cij + Ai·Bj to every block of a
+// rows×cols chunk, the per-step work of all three runtimes. The
+// independent block updates fan out across workers goroutines; when the
+// chunk has fewer blocks than workers (µ = 1 chunks), the surplus cores
+// shard rows inside each block instead. cBlocks is row-major
+// (rows*cols), aBlks has rows entries, bBlks has cols entries.
+func ParallelUpdateChunk(cBlocks, aBlks, bBlks [][]float64, rows, cols, q, workers int) {
+	workers = DefaultWorkers(workers)
+	nb := rows * cols
+	// Same break-even gate as ParallelGemm, over the whole chunk: tiny
+	// blocks (small q test/simulation workloads) must not pay a
+	// goroutine fan-out per update set.
+	if 2*nb*q*q*q < parallelRowFlopCutoff {
+		workers = 1
+	}
+	if workers <= 1 || nb == 0 {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				BlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q)
+			}
+		}
+		return
+	}
+	if nb < workers {
+		// Too few blocks to occupy every core at block granularity:
+		// split the cores across the blocks and shard rows within each.
+		per := (workers + nb - 1) / nb
+		var wg sync.WaitGroup
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				wg.Add(1)
+				go func(i, j int) {
+					defer wg.Done()
+					ParallelBlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q, per)
+				}(i, j)
+			}
+		}
+		wg.Wait()
+		return
+	}
+	// Dynamic block queue: an atomic cursor load-balances uneven shards
+	// (edge chunks are smaller) without any per-block goroutine.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= nb {
+					return
+				}
+				i, j := idx/cols, idx%cols
+				BlockUpdate(cBlocks[idx], aBlks[i], bBlks[j], q)
+			}
+		}()
+	}
+	wg.Wait()
+}

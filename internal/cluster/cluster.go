@@ -210,23 +210,38 @@ func (cl *Cluster) Close() {
 
 // --- membership (transport API) ------------------------------------------
 
-// Join registers a worker under id with mem blocks of advertised memory.
-// Re-joining an existing id replaces the old incarnation; any task the old
-// incarnation held is requeued first (the reconnect path).
+// Join registers a single-slot worker under id with mem blocks of
+// advertised memory. See JoinWorker.
 func (cl *Cluster) Join(id string, mem int) error {
+	_, err := cl.JoinWorker(id, mem, 1)
+	return err
+}
+
+// JoinWorker registers a worker under id with mem blocks of advertised
+// memory and slots concurrently held tasks (a multi-core worker that
+// pipelines its transfers asks for > 1; values < 1 mean 1). Re-joining
+// an existing id replaces the old incarnation; any tasks the old
+// incarnation held are requeued first (the reconnect path).
+//
+// The returned epoch names this incarnation: a transport session passes
+// it back to NextTaskEpoch and WorkerLostEpoch so a stale session
+// (whose worker already re-registered under the same id) can neither
+// pull tasks on behalf of the new incarnation nor kill it during its
+// own teardown.
+func (cl *Cluster) JoinWorker(id string, mem, slots int) (uint64, error) {
 	if id == "" {
-		return fmt.Errorf("cluster: empty worker id")
+		return 0, fmt.Errorf("cluster: empty worker id")
 	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if cl.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if old := cl.reg.workers[id]; old != nil && !old.dead {
 		cl.loseWorkerLocked(old)
 	}
-	cl.reg.join(id, mem, cl.clock.Now())
-	return nil
+	w := cl.reg.join(id, mem, slots, cl.clock.Now())
+	return w.epoch, nil
 }
 
 // Heartbeat refreshes a worker's liveness; transports call it whenever the
@@ -244,14 +259,31 @@ func (cl *Cluster) Leave(id string) {
 	cl.WorkerLost(id)
 }
 
-// WorkerLost declares a worker dead immediately (connection drop). Its
-// in-flight tasks are requeued onto the survivors.
+// WorkerLost declares a worker dead immediately (connection drop),
+// whatever its incarnation. Its in-flight tasks are requeued onto the
+// survivors.
 func (cl *Cluster) WorkerLost(id string) {
+	cl.workerLost(id, 0)
+}
+
+// WorkerLostEpoch declares one specific incarnation dead: it is a no-op
+// when the id has since re-registered (a stale session's teardown must
+// not kill the live incarnation that replaced it).
+func (cl *Cluster) WorkerLostEpoch(id string, epoch uint64) {
+	cl.workerLost(id, epoch)
+}
+
+func (cl *Cluster) workerLost(id string, epoch uint64) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	if w := cl.reg.workers[id]; w != nil && !w.dead {
-		cl.loseWorkerLocked(w)
+	w := cl.reg.workers[id]
+	if w == nil || w.dead {
+		return
 	}
+	if epoch != 0 && w.epoch != epoch {
+		return // superseded incarnation: the live one is not ours to kill
+	}
+	cl.loseWorkerLocked(w)
 }
 
 // CheckExpiry declares every worker dead whose last heartbeat is older
@@ -306,6 +338,17 @@ func (cl *Cluster) requeueLocked(t *Task) {
 // declared dead (ErrUnknownWorker), or the cluster closes (ErrClosed).
 // Pulling a task counts as a heartbeat.
 func (cl *Cluster) NextTask(id string) (*Task, error) {
+	return cl.nextTask(id, 0)
+}
+
+// NextTaskEpoch is NextTask pinned to one incarnation: it returns
+// ErrUnknownWorker once the id has re-registered, so a stale session
+// cannot pull (and then strand) tasks on the new incarnation's account.
+func (cl *Cluster) NextTaskEpoch(id string, epoch uint64) (*Task, error) {
+	return cl.nextTask(id, epoch)
+}
+
+func (cl *Cluster) nextTask(id string, epoch uint64) (*Task, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	for {
@@ -313,7 +356,7 @@ func (cl *Cluster) NextTask(id string) (*Task, error) {
 			return nil, ErrClosed
 		}
 		w := cl.reg.workers[id]
-		if w == nil || w.dead {
+		if w == nil || w.dead || (epoch != 0 && w.epoch != epoch) {
 			return nil, ErrUnknownWorker
 		}
 		if t := cl.takeLocked(w); t != nil {
@@ -333,12 +376,24 @@ func footprint(t *Task) int {
 	return ch.Rows*ch.Cols + ch.Rows + ch.Cols
 }
 
-// takeLocked pops the next task that fits the asking worker's advertised
-// memory, scanning running jobs round-robin from the last served position
-// so concurrent jobs share the workers fairly. A head task too big for
-// every live worker fails its job immediately rather than stalling it.
+// takeLocked pops the next task that fits the asking worker's free slots
+// and advertised memory, scanning running jobs round-robin from the last
+// served position so concurrent jobs share the workers fairly. The
+// memory budget covers everything the worker already holds: a multi-slot
+// worker's in-flight footprints are summed, so pipelining never
+// oversubscribes the advertised capacity. A head task too big for every
+// live worker fails its job immediately rather than stalling it.
 func (cl *Cluster) takeLocked(w *workerState) *Task {
 	cl.promoteLocked()
+	if len(w.inflight) >= w.slots {
+		return nil // every slot busy; Complete will wake us
+	}
+	held := 0
+	if w.mem > 0 {
+		for _, t := range w.inflight {
+			held += footprint(t)
+		}
+	}
 	n := len(cl.order)
 	for i := 0; i < n; i++ {
 		j := cl.jobs[cl.order[(cl.rr+i)%n]]
@@ -346,7 +401,7 @@ func (cl *Cluster) takeLocked(w *workerState) *Task {
 			continue
 		}
 		t := j.pending[0]
-		if w.mem > 0 && footprint(t) > w.mem {
+		if w.mem > 0 && held+footprint(t) > w.mem {
 			if !cl.anyWorkerFitsLocked(t) {
 				cl.failJobLocked(j, fmt.Errorf(
 					"cluster: task %d/%d needs %d blocks but no live worker advertises that much memory",

@@ -283,6 +283,154 @@ func TestChunkTooBigForFleetFailsJob(t *testing.T) {
 	}
 }
 
+// TestMultiSlotDispatch pins the Slots contract: a multi-slot worker can
+// pull several tasks before completing any, a single-slot worker cannot,
+// the summed footprint of held tasks respects the advertised memory, and
+// losing the worker requeues every held chunk (the extended recovery).
+func TestMultiSlotDispatch(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	// 4×4 blocks, µ=2 → four 4-block chunks; footprint 2·2+2+2 = 8 each.
+	c, a, b, ref := blockedInputs(t, 16, 16, 16, 4, 21)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory 20 holds two 8-block footprints but not three: even with 3
+	// slots the worker may hold only 2 chunks at once.
+	if _, err := cl.JoinWorker("multi", 20, 3); err != nil {
+		t.Fatal(err)
+	}
+	t1, err := cl.NextTask("multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cl.NextTask("multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Seq == t2.Seq {
+		t.Fatal("same task dispatched twice")
+	}
+	// Third pull must block on the memory budget: poll the registry.
+	got := make(chan *Task, 1)
+	go func() {
+		t3, err := cl.NextTask("multi")
+		if err == nil {
+			got <- t3
+		}
+		close(got)
+	}()
+	select {
+	case t3 := <-got:
+		t.Fatalf("third task %v dispatched past the memory budget", t3)
+	case <-time.After(50 * time.Millisecond):
+	}
+	for _, w := range cl.Workers() {
+		if w.ID == "multi" {
+			if w.Slots != 3 || w.Inflight != 2 {
+				t.Fatalf("worker snapshot %+v, want slots 3 inflight 2", w)
+			}
+		}
+	}
+	// Losing the worker requeues BOTH held chunks; the blocked NextTask
+	// wakes with an error and a fresh worker finishes the job.
+	cl.WorkerLost("multi")
+	if _, ok := <-got; ok {
+		t.Fatal("NextTask succeeded for a dead worker")
+	}
+	st := cl.ClusterStats()
+	if st.Requeues != 2 {
+		t.Fatalf("requeues = %d, want 2 (all held chunks)", st.Requeues)
+	}
+	go RunLocalWorker(cl, LocalWorkerConfig{ID: "w2", Mem: 64, Cores: 2})
+	if st := waitStatus(t, cl, id); st.State != Done {
+		t.Fatalf("job state = %v", st.State)
+	}
+	if d := c.Assemble().MaxDiff(ref); d > 1e-9 {
+		t.Fatalf("max |C - ref| = %g", d)
+	}
+}
+
+// TestSlotCapBlocksPulls: with ample memory, the slot count is the bound.
+func TestSlotCapBlocksPulls(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	c, a, b, _ := blockedInputs(t, 16, 16, 16, 4, 22)
+	if _, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.JoinWorker("solo", 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.NextTask("solo"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		cl.NextTask("solo")
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("single-slot worker pulled a second task")
+	case <-time.After(50 * time.Millisecond):
+	}
+	cl.Close() // unblock the goroutine
+	<-got
+}
+
+// TestStaleSessionCannotKillNewIncarnation pins the epoch contract: a
+// worker reconnects (same id, new incarnation) while its old transport
+// session is still tearing down; the old session's epoch-pinned calls
+// must neither pull tasks for the new incarnation nor declare it lost.
+func TestStaleSessionCannotKillNewIncarnation(t *testing.T) {
+	cl, _ := manualCluster(Config{})
+	defer cl.Close()
+	c, a, b, _ := blockedInputs(t, 16, 16, 16, 4, 23)
+	if _, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := cl.JoinWorker("w", 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.NextTaskEpoch("w", old); err != nil {
+		t.Fatal(err)
+	}
+	// The worker reconnects before the old session finished dying.
+	cur, err := cl.JoinWorker("w", 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur == old {
+		t.Fatal("re-join did not bump the epoch")
+	}
+	tk, err := cl.NextTaskEpoch("w", cur)
+	if err != nil {
+		t.Fatalf("new incarnation cannot pull: %v", err)
+	}
+	// Stale session teardown: must be a no-op against the live worker.
+	cl.WorkerLostEpoch("w", old)
+	for _, w := range cl.Workers() {
+		if w.ID == "w" && w.Dead {
+			t.Fatal("stale WorkerLostEpoch killed the new incarnation")
+		}
+	}
+	// A stale pull must be refused instead of stranding a task.
+	if _, err := cl.NextTaskEpoch("w", old); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("stale NextTaskEpoch = %v, want ErrUnknownWorker", err)
+	}
+	// The live incarnation keeps working: complete its held task.
+	blocks, _, err := cl.TaskChunk(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Complete("w", tk, blocks); err != nil {
+		t.Fatalf("live incarnation's completion rejected: %v", err)
+	}
+}
+
 func TestStaleCompletionRejected(t *testing.T) {
 	cl, _ := manualCluster(Config{})
 	defer cl.Close()

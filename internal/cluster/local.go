@@ -11,6 +11,10 @@ import (
 type LocalWorkerConfig struct {
 	ID  string
 	Mem int // advertised capacity in blocks
+	// Cores is the kernel parallelism: the number of goroutines each
+	// task's block updates are sharded across (0 or 1 = sequential).
+	// Results are bit-identical at any value.
+	Cores int
 	// Joined, when non-nil, is closed once registration succeeds.
 	Joined chan struct{}
 }
@@ -34,7 +38,7 @@ func RunLocalWorker(cl *Cluster, cfg LocalWorkerConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := runTask(cl, cfg.ID, t); err != nil {
+		if err := runTask(cl, cfg.ID, t, cfg.Cores); err != nil {
 			if errors.Is(err, ErrStaleTask) {
 				continue // our assignment was revoked mid-compute; move on
 			}
@@ -44,9 +48,9 @@ func RunLocalWorker(cl *Cluster, cfg LocalWorkerConfig) error {
 }
 
 // runTask executes one task through the data API: pull the C tile, stream
-// the update sets, apply the generic C += A·B block update, return the
-// tile.
-func runTask(cl *Cluster, id string, t *Task) error {
+// the update sets, apply the generic C += A·B block update (sharded
+// across cores goroutines when cores > 1), return the tile.
+func runTask(cl *Cluster, id string, t *Task, cores int) error {
 	blocks, q, err := cl.TaskChunk(t)
 	if err != nil {
 		return err
@@ -60,6 +64,10 @@ func runTask(cl *Cluster, id string, t *Task) error {
 		if len(aBlks) != rows || len(bBlks) != cols {
 			return fmt.Errorf("cluster: set %d has %dx%d operands, want %dx%d",
 				k, len(aBlks), len(bBlks), rows, cols)
+		}
+		if cores > 1 {
+			blas.ParallelUpdateChunk(blocks, aBlks, bBlks, rows, cols, q, cores)
+			continue
 		}
 		for i := 0; i < rows; i++ {
 			for j := 0; j < cols; j++ {

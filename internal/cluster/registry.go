@@ -9,6 +9,7 @@ import (
 type WorkerInfo struct {
 	ID       string
 	Mem      int // advertised capacity in q×q blocks
+	Slots    int // concurrent tasks the worker pipelines
 	LastSeen time.Time
 	Dead     bool
 	Inflight int // tasks currently assigned
@@ -19,7 +20,9 @@ type WorkerInfo struct {
 // guarded by the owning Cluster's mutex.
 type workerState struct {
 	id       string
+	epoch    uint64 // incarnation number; bumped on every (re)join
 	mem      int
+	slots    int // max concurrent tasks (≥ 1)
 	lastSeen time.Time
 	dead     bool
 	inflight map[taskKey]*Task
@@ -31,7 +34,8 @@ type workerState struct {
 // called with the owning Cluster's mutex held.
 type registry struct {
 	workers map[string]*workerState
-	lost    int // workers ever declared dead
+	lost    int    // workers ever declared dead
+	joins   uint64 // monotonic incarnation counter across all ids
 }
 
 func newRegistry() *registry {
@@ -40,9 +44,13 @@ func newRegistry() *registry {
 
 // join registers a worker. Re-joining under a live or dead ID replaces the
 // old incarnation; the caller requeues the old incarnation's tasks first.
-func (r *registry) join(id string, mem int, now time.Time) *workerState {
+func (r *registry) join(id string, mem, slots int, now time.Time) *workerState {
+	if slots < 1 {
+		slots = 1
+	}
+	r.joins++
 	w := &workerState{
-		id: id, mem: mem, lastSeen: now,
+		id: id, epoch: r.joins, mem: mem, slots: slots, lastSeen: now,
 		inflight: make(map[taskKey]*Task),
 	}
 	r.workers[id] = w
@@ -91,7 +99,7 @@ func (r *registry) snapshot() []WorkerInfo {
 	out := make([]WorkerInfo, 0, len(r.workers))
 	for _, w := range r.workers {
 		out = append(out, WorkerInfo{
-			ID: w.id, Mem: w.mem, LastSeen: w.lastSeen,
+			ID: w.id, Mem: w.mem, Slots: w.slots, LastSeen: w.lastSeen,
 			Dead: w.dead, Inflight: len(w.inflight), Done: w.done,
 		})
 	}

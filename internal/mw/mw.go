@@ -53,6 +53,19 @@ type Config struct {
 	Mu       int // chunk side in blocks
 	StageCap int // staging update sets per worker (1 or 2)
 	Mode     Mode
+	// Cores is the number of kernel goroutines each worker shards its
+	// block updates across (blas.ParallelUpdateChunk). 0 or 1 keeps the
+	// single-threaded kernel — the in-process runtime already runs many
+	// worker goroutines, so extra sharding is opt-in. Results are
+	// bit-identical either way.
+	Cores int
+	// Prefetch (demand mode only) double-buffers chunks: a worker
+	// requests its next C chunk before computing the current one, so the
+	// transfer overlaps the compute — the one-port model's overlap the
+	// paper assumes (§5's µ²+4µ layout reserves the staging space).
+	// Worker memory grows to two resident chunks. Ignored in Static
+	// mode, whose plan fixes the communication order.
+	Prefetch bool
 	// Plan supplies the static order; required for Static mode. If nil in
 	// Static mode, an Algorithm 1 plan over all workers is built.
 	Plan *homog.Plan
@@ -142,26 +155,39 @@ func Multiply(c, a, b *matrix.Blocked, cfg Config) (Report, error) {
 // staticWorker is the worker program of Algorithm 2: receive a C chunk,
 // then for each k receive an update set and apply it, then return the
 // chunk.
-func staticWorker(q, t int, ch workerChans, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
+func staticWorker(q, t, cores int, ch workerChans, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
 	defer wg.Done()
 	for job := range ch.jobs {
-		applyJob(q, t, job, ch.sets, updates, spin)
+		applyJob(q, t, cores, job, ch.sets, updates, spin)
 		ch.results <- job
 	}
 }
 
 // applyJob consumes the job's t update sets and applies them.
-func applyJob(q, t int, job *chunkJob, sets <-chan *abset, updates *int64, spin time.Duration) {
+func applyJob(q, t, cores int, job *chunkJob, sets <-chan *abset, updates *int64, spin time.Duration) {
 	rows, cols := job.chunk.Rows, job.chunk.Cols
 	for k := 0; k < t; k++ {
 		set := <-sets
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				blas.BlockUpdate(job.data[i*cols+j], set.aBlks[i], set.bBlks[j], q)
-				*updates++
-				if spin > 0 {
-					spinFor(spin)
-				}
+		applySet(q, rows, cols, cores, job, set, updates, spin)
+	}
+}
+
+// applySet applies one update set to the resident chunk: the sequential
+// per-block loop when spinning (the spin emulates a slower sequential
+// processor) or single-core, the sharded kernel otherwise. Both paths
+// produce bit-identical results.
+func applySet(q, rows, cols, cores int, job *chunkJob, set *abset, updates *int64, spin time.Duration) {
+	if cores > 1 && spin == 0 {
+		blas.ParallelUpdateChunk(job.data, set.aBlks, set.bBlks, rows, cols, q, cores)
+		*updates += int64(rows) * int64(cols)
+		return
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			blas.BlockUpdate(job.data[i*cols+j], set.aBlks[i], set.bBlks[j], q)
+			*updates++
+			if spin > 0 {
+				spinFor(spin)
 			}
 		}
 	}
@@ -238,7 +264,7 @@ func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 			results: make(chan *chunkJob, 1),
 		}
 		wg.Add(1)
-		go staticWorker(pr.Q, pr.T, chans[w], &updates[w], cfg.SpinPerUpdate, &wg)
+		go staticWorker(pr.Q, pr.T, cfg.Cores, chans[w], &updates[w], cfg.SpinPerUpdate, &wg)
 	}
 	finish := func() {
 		for w := range chans {
@@ -307,10 +333,21 @@ func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 // slot is free, and a result pickup when the chunk completes. The master
 // can therefore serve strictly first-come first-served without ever
 // blocking on a full channel.
-func demandWorker(w, q, t, stageCap int, ch workerChans, reqs chan<- request, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
+//
+// With prefetch on, the worker requests its next chunk right after
+// receiving the current one, so the next C tile streams down while this
+// one computes — the pipeline stage of the overlapped layout. The
+// compute order stays FIFO, so the master routes update sets to the
+// oldest incomplete chunk.
+func demandWorker(w, q, t, stageCap, cores int, prefetch bool, ch workerChans, reqs chan<- request, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
 	defer wg.Done()
 	reqs <- request{w, sim.SendC}
 	for job := range ch.jobs {
+		if prefetch {
+			// double-buffer: the next chunk's transfer overlaps this
+			// chunk's compute
+			reqs <- request{w, sim.SendC}
+		}
 		rows, cols := job.chunk.Rows, job.chunk.Cols
 		// pre-request the staging fill
 		pre := stageCap
@@ -326,20 +363,23 @@ func demandWorker(w, q, t, stageCap int, ch workerChans, reqs chan<- request, up
 			if k+pre < t {
 				reqs <- request{w, sim.SendAB}
 			}
-			for i := 0; i < rows; i++ {
-				for j := 0; j < cols; j++ {
-					blas.BlockUpdate(job.data[i*cols+j], set.aBlks[i], set.bBlks[j], q)
-					*updates++
-					if spin > 0 {
-						spinFor(spin)
-					}
-				}
-			}
+			applySet(q, rows, cols, cores, job, set, updates, spin)
 		}
 		reqs <- request{w, sim.RecvC}
 		ch.results <- job
-		reqs <- request{w, sim.SendC}
+		if !prefetch {
+			reqs <- request{w, sim.SendC}
+		}
 	}
+}
+
+// chunkState is the master's record of one chunk assigned to a worker:
+// the chunk and how many of its update sets have shipped. Workers
+// compute assigned chunks in FIFO order, so each worker's assignments
+// form a queue.
+type chunkState struct {
+	chunk *sim.Chunk
+	step  int
 }
 
 // runDemand serves worker requests FIFO over the shared request channel.
@@ -347,22 +387,29 @@ func runDemand(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 	_, pool := homog.ChunkGrid(pr, cfg.Mu)
 	chans := make([]workerChans, cfg.Workers)
 	updates := make([]int64, cfg.Workers)
-	// ample buffering: each worker has at most StageCap+2 outstanding
-	// requests, and one final chunk request after the pool drains.
-	reqs := make(chan request, cfg.Workers*(cfg.StageCap+3))
+	// ample buffering: each worker has at most StageCap+3 outstanding
+	// requests (prefetch adds one), and one final chunk request after
+	// the pool drains.
+	reqs := make(chan request, cfg.Workers*(cfg.StageCap+4))
+	jobCap := 1
+	if cfg.Prefetch {
+		jobCap = 2
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		chans[w] = workerChans{
-			jobs:    make(chan *chunkJob, 1),
+			jobs:    make(chan *chunkJob, jobCap),
 			sets:    make(chan *abset, cfg.StageCap),
 			results: make(chan *chunkJob, 1),
 		}
 		wg.Add(1)
-		go demandWorker(w, pr.Q, pr.T, cfg.StageCap, chans[w], reqs, &updates[w], cfg.SpinPerUpdate, &wg)
+		go demandWorker(w, pr.Q, pr.T, cfg.StageCap, cfg.Cores, cfg.Prefetch, chans[w], reqs, &updates[w], cfg.SpinPerUpdate, &wg)
 	}
 
-	active := make([]*sim.Chunk, cfg.Workers)
-	step := make([]int, cfg.Workers)
+	// assigned[w] is the FIFO of chunks worker w holds (at most two with
+	// prefetch): sets go to the oldest incomplete chunk, results pop the
+	// front.
+	assigned := make([][]*chunkState, cfg.Workers)
 	var blocks int64
 	remaining := len(pool)
 
@@ -376,25 +423,36 @@ func runDemand(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 			}
 			ch := pool[0]
 			pool = pool[1:]
-			active[w] = ch
-			step[w] = 0
+			assigned[w] = append(assigned[w], &chunkState{chunk: ch})
 			chans[w].jobs <- makeJob(c, ch)
 			blocks += int64(ch.Blocks)
 		case sim.SendAB:
-			ch := active[w]
-			if ch == nil || step[w] >= len(ch.Steps) {
+			var cur *chunkState
+			for _, cs := range assigned[w] {
+				if cs.step < len(cs.chunk.Steps) {
+					cur = cs
+					break
+				}
+			}
+			if cur == nil {
 				closeAll(chans)
 				wg.Wait()
 				return Report{}, fmt.Errorf("mw: protocol violation, SendAB request from P%d", w+1)
 			}
-			chans[w].sets <- makeSet(a, b, ch, step[w])
-			blocks += int64(ch.Rows + ch.Cols)
-			step[w]++
+			chans[w].sets <- makeSet(a, b, cur.chunk, cur.step)
+			blocks += int64(cur.chunk.Rows + cur.chunk.Cols)
+			cur.step++
 		case sim.RecvC:
+			if len(assigned[w]) == 0 {
+				closeAll(chans)
+				wg.Wait()
+				return Report{}, fmt.Errorf("mw: protocol violation, RecvC request from P%d", w+1)
+			}
+			front := assigned[w][0]
+			assigned[w] = assigned[w][1:]
 			job := <-chans[w].results
 			storeJob(c, job)
-			blocks += int64(active[w].Blocks)
-			active[w] = nil
+			blocks += int64(front.chunk.Blocks)
 			remaining--
 		}
 	}

@@ -78,6 +78,56 @@ func TestDemandCorrectness(t *testing.T) {
 	}
 }
 
+// TestDemandPipelined drives the prefetch pipeline (next chunk streams
+// while the current one computes) with and without multi-core kernels,
+// asserting the exact product and the exact update count are preserved.
+func TestDemandPipelined(t *testing.T) {
+	for _, tc := range []struct{ r, tt, s, q, workers, mu, cap, cores int }{
+		{4, 4, 4, 8, 1, 2, 1, 1}, // single worker drains the pool alone
+		{4, 4, 4, 8, 2, 2, 2, 2}, // multi-core kernels
+		{7, 3, 5, 4, 3, 2, 2, 4}, // ragged chunks
+		{6, 6, 6, 4, 2, 3, 1, 0}, // cores=0 keeps the sequential kernel
+		{2, 2, 2, 8, 4, 1, 2, 3}, // more workers than chunks
+		{8, 5, 8, 4, 2, 8, 2, 2}, // chunk bigger than C rows
+	} {
+		a, b, c, want := build(t, tc.r, tc.tt, tc.s, tc.q)
+		rep, err := Multiply(c, a, b, Config{
+			Workers: tc.workers, Mu: tc.mu, StageCap: tc.cap, Mode: Demand,
+			Cores: tc.cores, Prefetch: true,
+		})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !c.Equal(want, 1e-9) {
+			t.Fatalf("%+v: wrong product", tc)
+		}
+		if rep.Result.Updates != int64(tc.r*tc.tt*tc.s) {
+			t.Fatalf("%+v: %d updates, want %d", tc, rep.Result.Updates, tc.r*tc.tt*tc.s)
+		}
+	}
+}
+
+// TestPrefetchMatchesUnprefetched pins bit-exactness: the pipelined run
+// must produce the identical floats as the plain demand run.
+func TestPrefetchMatchesUnprefetched(t *testing.T) {
+	a, b, c1, _ := build(t, 6, 4, 6, 8)
+	_, _, c2, _ := build(t, 6, 4, 6, 8)
+	if _, err := Multiply(c1, a, b, Config{Workers: 3, Mu: 2, StageCap: 2, Mode: Demand}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Multiply(c2, a, b, Config{Workers: 3, Mu: 2, StageCap: 2, Mode: Demand, Prefetch: true, Cores: 4}); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := c1.Assemble(), c2.Assemble()
+	for i := 0; i < d1.Rows; i++ {
+		for j := 0; j < d1.Cols; j++ {
+			if d1.At(i, j) != d2.At(i, j) {
+				t.Fatalf("pipelined result differs at (%d,%d): %g != %g", i, j, d2.At(i, j), d1.At(i, j))
+			}
+		}
+	}
+}
+
 func TestStaticWithHoLMPlan(t *testing.T) {
 	// drive the runtime with the real Algorithm 1 plan including resource
 	// selection.

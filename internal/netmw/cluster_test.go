@@ -13,7 +13,7 @@ import (
 // --- proto round-trips ----------------------------------------------------
 
 func TestRegisterInfoRoundTrip(t *testing.T) {
-	in := RegisterInfo{Name: "worker-α-7", Mem: 123456}
+	in := RegisterInfo{Name: "worker-α-7", Mem: 123456, Slots: 4}
 	var out RegisterInfo
 	if err := out.decode(in.encode()); err != nil {
 		t.Fatal(err)
@@ -286,6 +286,63 @@ func TestClusterTCPWorkerReconnects(t *testing.T) {
 	}
 	if st := cl.ClusterStats(); st.JobsDone != 2 {
 		t.Fatalf("jobs done = %d, want 2", st.JobsDone)
+	}
+}
+
+// TestSubmissionSizeCheckNoOverflow pins the hostile-geometry guard
+// against uint64 wraparound: dimensions whose byte-size product is an
+// exact multiple of 2⁶⁴ (R=S=Q=32768, T=16384 → need wraps to 0) must be
+// rejected for an empty payload instead of provoking an 8 GiB
+// allocation.
+func TestSubmissionSizeCheckNoOverflow(t *testing.T) {
+	hdr := JobHeader{Kind: WireMatMul, R: 32768, T: 16384, S: 32768, Q: 32768, Mu: 1}
+	payload := make([]byte, jobHeaderLen)
+	hdr.encode(payload)
+	if _, err := decodeJobSubmission(payload); err == nil {
+		t.Fatal("wrapping job size accepted with an empty payload")
+	}
+	// A second wrap shape: all three operand terms individually huge.
+	hdr = JobHeader{Kind: WireLU, R: 32768, T: 32768, S: 32768, Q: 32768, Mu: 1}
+	hdr.encode(payload)
+	if _, err := decodeJobSubmission(payload); err == nil {
+		t.Fatal("huge LU size accepted with an empty payload")
+	}
+}
+
+// TestClusterTCPCloseMidTaskIsClean shuts the cluster down while a
+// pipelined worker is (likely) mid-task: the worker must still see a
+// goodbye at a task boundary and exit cleanly rather than burning its
+// reconnect budget on a reset connection.
+func TestClusterTCPCloseMidTaskIsClean(t *testing.T) {
+	cl, srv := startCluster(t)
+	addr := srv.Addr()
+	c, a, b, _ := matmulInputs(t, 32, 32, 32, 4, 41)
+	go SubmitMatMulTCP(addr, c, a, b, 2, time.Minute) // result intentionally abandoned
+	// Wait for the job so the worker has work in flight when we close.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := cl.ClusterStats()
+		if st.JobsRunning+st.JobsQueued >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wdone := make(chan error, 1)
+	go func() {
+		_, err := RunClusterWorker(ClusterWorkerConfig{
+			Addr: addr, Name: "busy", Memory: 256, Slots: 2, StageCap: 2,
+			Reconnect: 3, Backoff: 50 * time.Millisecond,
+		})
+		wdone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it get into a task
+	cl.Close()
+	srv.Close()
+	if err := <-wdone; err != nil {
+		t.Fatalf("worker did not shut down cleanly: %v", err)
 	}
 }
 

@@ -17,6 +17,16 @@ type ClusterWorkerConfig struct {
 	Name     string // stable id, reused across reconnects
 	Memory   int    // advertised capacity in blocks
 	StageCap int    // update sets pre-requested per task (default 2)
+	// Slots is how many tasks the worker pipelines: the server keeps up
+	// to Slots tasks in flight to this worker, so the next task's C tile
+	// streams down while the current one computes (default 1; 2 is the
+	// double-buffered pipeline). The server's dispatch keeps the summed
+	// footprint within the advertised Memory.
+	Slots int
+	// Cores is the kernel parallelism: goroutines sharding each update's
+	// block loop. 0 means one shard per core (GOMAXPROCS) — a worker
+	// process owns its machine. Results are bit-identical at any value.
+	Cores int
 	// HeartbeatEvery is the liveness beacon cadence. 0 disables beacons,
 	// which is only safe against a server whose expiry sweeps are off or
 	// far apart (tests): a server running sweeps declares a beaconless
@@ -55,6 +65,9 @@ func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
 	if cfg.StageCap < 1 {
 		cfg.StageCap = 2
 	}
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = 2 * time.Minute
 	}
@@ -79,8 +92,34 @@ func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
 	}
 }
 
+// wireTask is one decoded MsgTask.
+type wireTask struct {
+	hdr     TaskHeader
+	cBlocks [][]float64
+}
+
+// decodeTask parses a MsgTask payload.
+func decodeTask(payload []byte) (*wireTask, error) {
+	wt := &wireTask{}
+	if err := wt.hdr.decode(payload); err != nil {
+		return nil, err
+	}
+	var err error
+	wt.cBlocks, err = decodeBlockList(payload[taskHeaderLen:],
+		int(wt.hdr.Rows), int(wt.hdr.Cols), int(wt.hdr.Q), int(wt.hdr.Steps))
+	if err != nil {
+		return nil, err
+	}
+	return wt, nil
+}
+
 // clusterSession runs one connection lifetime. clean reports a deliberate
 // Bye from the server (no reconnect wanted).
+//
+// The session is a pipeline: a reader goroutine receives and decodes
+// frames (tasks, update sets) while this goroutine computes, so with
+// Slots > 1 the next task's C tile streams down during the current
+// task's compute, and staged update sets overlap within each task.
 func clusterSession(cfg ClusterWorkerConfig, rep *ClusterWorkerReport) (tasks int, clean bool, err error) {
 	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
 	if err != nil {
@@ -102,7 +141,7 @@ func clusterSession(cfg ClusterWorkerConfig, rep *ClusterWorkerReport) (tasks in
 		return w.Flush()
 	}
 
-	ri := RegisterInfo{Name: cfg.Name, Mem: uint32(cfg.Memory)}
+	ri := RegisterInfo{Name: cfg.Name, Mem: uint32(cfg.Memory), Slots: uint16(cfg.Slots)}
 	if err := send(MsgRegister, ri.encode()); err != nil {
 		return 0, false, err
 	}
@@ -126,96 +165,107 @@ func clusterSession(cfg ClusterWorkerConfig, rep *ClusterWorkerReport) (tasks in
 		}()
 	}
 
-	for {
-		t, payload, err := readMsg(r)
-		if err != nil {
-			return tasks, false, fmt.Errorf("netmw: cluster worker read: %w", err)
+	// Reader stage: demultiplex frames into the task queue (capacity
+	// Slots — the server never over-fills it) and the set stream.
+	tasksCh := make(chan *wireTask, cfg.Slots)
+	sets := make(chan []byte, cfg.StageCap)
+	readErr := make(chan error, 1)
+	byeCh := make(chan struct{}, 1)
+	go func() {
+		defer close(tasksCh)
+		defer close(sets)
+		for {
+			t, payload, err := readMsg(r)
+			if err != nil {
+				readErr <- fmt.Errorf("netmw: cluster worker read: %w", err)
+				return
+			}
+			switch t {
+			case MsgBye:
+				byeCh <- struct{}{}
+				return
+			case MsgTask:
+				wt, err := decodeTask(payload)
+				if err != nil {
+					readErr <- err
+					return
+				}
+				tasksCh <- wt
+			case MsgSet:
+				sets <- payload
+			default:
+				readErr <- fmt.Errorf("netmw: cluster worker got unexpected message %d", t)
+				return
+			}
 		}
-		switch t {
-		case MsgBye:
-			return tasks, true, nil
-		case MsgTask:
-			if cfg.failAfterTasks > 0 && tasks >= cfg.failAfterTasks {
-				conn.Close() // vanish mid-job, holding the assignment
-				return tasks, false, errSessionKilled
-			}
-			if err := runWireTask(payload, r, send, cfg.StageCap, rep); err != nil {
-				return tasks, false, err
-			}
-			tasks++
-			rep.Tasks++
+	}()
+
+	sessionErr := func() error {
+		select {
+		case err := <-readErr:
+			return err
 		default:
-			return tasks, false, fmt.Errorf("netmw: cluster worker got unexpected message %d", t)
+			return fmt.Errorf("netmw: cluster server hung up mid-task")
 		}
+	}
+
+	for wt := range tasksCh {
+		if cfg.failAfterTasks > 0 && tasks >= cfg.failAfterTasks {
+			conn.Close() // vanish mid-job, holding the assignment
+			return tasks, false, errSessionKilled
+		}
+		if err := runWireTask(wt, sets, send, cfg, rep); err != nil {
+			conn.Close()
+			return tasks, false, err
+		}
+		tasks++
+		rep.Tasks++
+	}
+	// tasksCh closed: clean Bye or connection error.
+	select {
+	case <-byeCh:
+		return tasks, true, nil
+	default:
+		return tasks, false, sessionErr()
 	}
 }
 
-// runWireTask executes one MsgTask: decode the C tile, stream the update
-// sets with the staging protocol, apply the generic block update, return
-// the result.
-func runWireTask(payload []byte, r *bufio.Reader, send func(MsgType, []byte) error, stageCap int, rep *ClusterWorkerReport) error {
-	var hdr TaskHeader
-	if err := hdr.decode(payload); err != nil {
-		return err
-	}
+// runWireTask executes one decoded task: stream the update sets with the
+// staging protocol, apply the generic block update across the configured
+// cores, return the result.
+func runWireTask(wt *wireTask, sets <-chan []byte, send func(MsgType, []byte) error, cfg ClusterWorkerConfig, rep *ClusterWorkerReport) error {
+	hdr := wt.hdr
 	q := int(hdr.Q)
 	rows, cols, steps := int(hdr.Rows), int(hdr.Cols), int(hdr.Steps)
-	rest := payload[taskHeaderLen:]
-	cBlocks := make([][]float64, rows*cols)
-	var err error
-	for i := range cBlocks {
-		cBlocks[i], rest, err = getFloats(rest, q*q)
-		if err != nil {
-			return err
-		}
-	}
 
 	reqSet := func() error { return send(MsgReq, []byte{ReqSet}) }
-	pre := minInt(stageCap, steps)
+	pre := minInt(cfg.StageCap, steps)
 	for k := 0; k < pre; k++ {
 		if err := reqSet(); err != nil {
 			return err
 		}
 	}
 	for k := 0; k < steps; k++ {
-		mt, sp, err := readMsg(r)
-		if err != nil {
-			return err
-		}
-		if mt != MsgSet {
-			return fmt.Errorf("netmw: cluster worker expected set, got %d", mt)
+		sp, ok := <-sets
+		if !ok {
+			return fmt.Errorf("netmw: cluster server hung up mid-task")
 		}
 		if k+pre < steps {
 			if err := reqSet(); err != nil {
 				return err
 			}
 		}
-		rest := sp[4:]
-		aBlks := make([][]float64, rows)
-		for i := range aBlks {
-			aBlks[i], rest, err = getFloats(rest, q*q)
-			if err != nil {
-				return err
-			}
+		aBlks, bBlks, err := decodeSetInto(sp, rows, cols, q)
+		if err != nil {
+			return err
 		}
-		bBlks := make([][]float64, cols)
-		for j := range bBlks {
-			bBlks[j], rest, err = getFloats(rest, q*q)
-			if err != nil {
-				return err
-			}
-		}
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				blas.BlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q)
-				rep.Updates++
-			}
-		}
+		blas.ParallelUpdateChunk(wt.cBlocks, aBlks, bBlks, rows, cols, q, blas.DefaultWorkers(cfg.Cores))
+		rep.Updates += int64(rows) * int64(cols)
 	}
 
 	res := make([]byte, taskResultHeaderLen, taskResultHeaderLen+8*q*q*rows*cols)
 	(&TaskResultHeader{Job: hdr.Job, Seq: hdr.Seq, Attempt: hdr.Attempt}).encode(res)
-	for _, blk := range cBlocks {
+	for _, blk := range wt.cBlocks {
 		res = putFloats(res, blk)
 	}
 	return send(MsgTaskResult, res)

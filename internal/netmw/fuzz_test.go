@@ -1,0 +1,160 @@
+package netmw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame throws arbitrary byte streams at the framing layer:
+// readMsg must return an error (or a message) for every input, never
+// panic, and never allocate more than the bytes that actually arrived
+// plus one read step — a corrupted length prefix is not a license for a
+// giant allocation.
+func FuzzDecodeFrame(f *testing.F) {
+	// well-formed frames
+	var ok bytes.Buffer
+	writeMsg(&ok, MsgHeartbeat, nil)
+	f.Add(ok.Bytes())
+	ok.Reset()
+	ri := RegisterInfo{Name: "w1", Mem: 64, Slots: 2}
+	writeMsg(&ok, MsgRegister, ri.encode())
+	f.Add(ok.Bytes())
+	ok.Reset()
+	writeMsg(&ok, MsgSet, putFloats([]byte{0, 0, 0, 0}, []float64{1, 2, 3, 4}))
+	f.Add(ok.Bytes())
+	// truncated header / truncated payload / hostile length prefix
+	f.Add([]byte{byte(MsgJob)})
+	f.Add([]byte{byte(MsgJob), 10, 0, 0, 0, 1, 2})
+	f.Add([]byte{byte(MsgTask), 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{byte(MsgResult), 0, 0, 0, 0x10}) // 256 MiB prefix, no data
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			_, payload, err := readMsg(r)
+			if err != nil {
+				return
+			}
+			if len(payload) > len(data) {
+				t.Fatalf("payload %d bytes from a %d-byte stream", len(payload), len(data))
+			}
+		}
+	})
+}
+
+// FuzzDecodeMsg drives every payload decoder of the wire protocol with
+// arbitrary bytes, selected by the first byte: malformed frames must
+// error, never panic and never allocate unboundedly. It covers the
+// worker-side decoders (jobs, tasks, update sets), the server-side
+// decoders (registration, results, job submissions) and the client-side
+// ones (job-done headers).
+func FuzzDecodeMsg(f *testing.F) {
+	// Seed with one well-formed payload per decoder so the corpus starts
+	// on the happy paths.
+	jobHdr := ChunkHeader{ID: 1, I0: 0, J0: 0, Rows: 1, Cols: 1, T: 2, Q: 2}
+	jp := make([]byte, chunkHeaderLen)
+	jobHdr.encode(jp)
+	jp = putFloats(jp, []float64{1, 2, 3, 4})
+	f.Add(append([]byte{0}, jp...))
+
+	taskHdr := TaskHeader{Job: 1, Seq: 2, Attempt: 0, Steps: 1, Rows: 1, Cols: 1, Q: 2}
+	tp := make([]byte, taskHeaderLen)
+	taskHdr.encode(tp)
+	tp = putFloats(tp, []float64{1, 2, 3, 4})
+	f.Add(append([]byte{1}, tp...))
+
+	ri := RegisterInfo{Name: "worker-1", Mem: 128, Slots: 4}
+	f.Add(append([]byte{2}, ri.encode()...))
+
+	sub := JobHeader{Kind: WireMatMul, R: 1, T: 1, S: 1, Q: 2, Mu: 1}
+	sp := make([]byte, jobHeaderLen)
+	sub.encode(sp)
+	for i := 0; i < 3; i++ {
+		sp = putFloats(sp, []float64{1, 2, 3, 4})
+	}
+	f.Add(append([]byte{3}, sp...))
+
+	lu := JobHeader{Kind: WireLU, R: 2, T: 2, S: 2, Q: 1, Mu: 1}
+	lp := make([]byte, jobHeaderLen)
+	lu.encode(lp)
+	lp = putFloats(lp, []float64{1, 2, 3, 4})
+	f.Add(append([]byte{3}, lp...))
+
+	set := putFloats([]byte{0, 0, 0, 0}, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(append([]byte{4}, set...))
+
+	trh := TaskResultHeader{Job: 1, Seq: 2, Attempt: 3}
+	rp := make([]byte, taskResultHeaderLen)
+	trh.encode(rp)
+	f.Add(append([]byte{5}, rp...))
+
+	jd := JobDoneHeader{Job: 7, Code: 0}
+	dp := make([]byte, jobDoneHeaderLen)
+	jd.encode(dp)
+	f.Add(append([]byte{6}, dp...))
+
+	// hostile geometry: a job header declaring a huge matrix with no data
+	evil := JobHeader{Kind: WireMatMul, R: 1 << 30, T: 1 << 30, S: 1 << 30, Q: 1 << 30, Mu: 1}
+	ep := make([]byte, jobHeaderLen)
+	evil.encode(ep)
+	f.Add(append([]byte{3}, ep...))
+	// dimensions within maxWireDim whose size product wraps uint64 to 0
+	wrap := JobHeader{Kind: WireMatMul, R: 32768, T: 16384, S: 32768, Q: 32768, Mu: 1}
+	wp := make([]byte, jobHeaderLen)
+	wrap.encode(wp)
+	f.Add(append([]byte{3}, wp...))
+	// and a chunk header doing the same
+	evilJob := ChunkHeader{Rows: 1 << 31, Cols: 1 << 31, T: 1 << 31, Q: 1 << 31}
+	ejp := make([]byte, chunkHeaderLen)
+	evilJob.encode(ejp)
+	f.Add(append([]byte{0}, ejp...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		sel, payload := data[0], data[1:]
+		switch sel % 7 {
+		case 0:
+			if job, err := decodeJob(payload); err == nil {
+				if len(job.cBlocks) != int(job.hdr.Rows)*int(job.hdr.Cols) {
+					t.Fatalf("decodeJob produced %d blocks for %dx%d", len(job.cBlocks), job.hdr.Rows, job.hdr.Cols)
+				}
+			}
+		case 1:
+			if wt, err := decodeTask(payload); err == nil {
+				if len(wt.cBlocks) != int(wt.hdr.Rows)*int(wt.hdr.Cols) {
+					t.Fatalf("decodeTask produced %d blocks for %dx%d", len(wt.cBlocks), wt.hdr.Rows, wt.hdr.Cols)
+				}
+			}
+		case 2:
+			var out RegisterInfo
+			if err := out.decode(payload); err == nil {
+				// re-encode must round-trip
+				var back RegisterInfo
+				if err := back.decode(out.encode()); err != nil || back != out {
+					t.Fatalf("register re-decode %+v != %+v (%v)", back, out, err)
+				}
+			}
+		case 3:
+			spec, err := decodeJobSubmission(payload)
+			if err == nil && spec.Kind == 0 && spec.C == nil {
+				t.Fatal("decodeJobSubmission returned an empty spec without error")
+			}
+		case 4:
+			// derive a small geometry from the payload itself
+			if len(payload) < 3 {
+				return
+			}
+			rows := int(payload[0]%4) + 1
+			cols := int(payload[1]%4) + 1
+			q := int(payload[2]%8) + 1
+			decodeSetInto(payload[3:], rows, cols, q)
+		case 5:
+			var hdr TaskResultHeader
+			hdr.decode(payload)
+		case 6:
+			var hdr JobDoneHeader
+			hdr.decode(payload)
+		}
+	})
+}

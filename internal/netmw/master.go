@@ -122,6 +122,10 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 					}
 					reqs <- reqMsg{nw.id, payload[0]}
 				case MsgResult:
+					if len(payload) < 4 {
+						errs <- fmt.Errorf("netmw: short result from worker %d (%d bytes)", nw.id, len(payload))
+						return
+					}
 					fs, _, err := getFloats(payload[4:], (len(payload)-4)/8)
 					if err != nil {
 						errs <- err
@@ -139,8 +143,14 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 	start := time.Now()
 	pr := core.Problem{R: c.BR, S: c.BC, T: a.BC, Q: a.Q}
 	_, pool := homog.ChunkGrid(pr, cfg.Mu)
-	active := make([]*sim.Chunk, cfg.Workers)
-	step := make([]int, cfg.Workers)
+	// Per-worker FIFO of assigned chunks with per-chunk set progress: a
+	// prefetching worker holds two chunks at once, computes them in
+	// order, and requests sets only for the oldest incomplete one.
+	type pendingChunk struct {
+		ch   *sim.Chunk
+		step int
+	}
+	assigned := make([][]*pendingChunk, cfg.Workers)
 	var blocks int64
 	remaining := len(pool)
 	q := pr.Q
@@ -205,27 +215,33 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 			}
 			ch := pool[0]
 			pool = pool[1:]
-			active[rq.worker] = ch
-			step[rq.worker] = 0
+			assigned[rq.worker] = append(assigned[rq.worker], &pendingChunk{ch: ch})
 			if err := sendJob(nw, ch); err != nil {
 				return fail(err)
 			}
 			blocks += int64(ch.Blocks)
 		case ReqSet:
-			ch := active[rq.worker]
-			if ch == nil || step[rq.worker] >= len(ch.Steps) {
+			var cur *pendingChunk
+			for _, pc := range assigned[rq.worker] {
+				if pc.step < len(pc.ch.Steps) {
+					cur = pc
+					break
+				}
+			}
+			if cur == nil {
 				return fail(fmt.Errorf("netmw: protocol violation from worker %d", rq.worker))
 			}
-			if err := sendSet(nw, ch, step[rq.worker]); err != nil {
+			if err := sendSet(nw, cur.ch, cur.step); err != nil {
 				return fail(err)
 			}
-			blocks += int64(ch.Rows + ch.Cols)
-			step[rq.worker]++
+			blocks += int64(cur.ch.Rows + cur.ch.Cols)
+			cur.step++
 		case ReqResult:
-			ch := active[rq.worker]
-			if ch == nil {
+			if len(assigned[rq.worker]) == 0 {
 				return fail(fmt.Errorf("netmw: unexpected result pickup from worker %d", rq.worker))
 			}
+			ch := assigned[rq.worker][0].ch
+			assigned[rq.worker] = assigned[rq.worker][1:]
 			var fs []float64
 			select {
 			case fs = <-nw.results:
@@ -244,7 +260,6 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 				}
 			}
 			blocks += int64(ch.Blocks)
-			active[rq.worker] = nil
 			remaining--
 		default:
 			return fail(fmt.Errorf("netmw: unknown request kind %d", rq.kind))

@@ -12,6 +12,10 @@ import (
 // launch runs a master and n in-process workers over loopback TCP and
 // returns the master report.
 func launch(t *testing.T, c, a, b *matrix.Blocked, n, mu, stage int) MasterReport {
+	return launchWith(t, c, a, b, n, mu, stage, false, 1)
+}
+
+func launchWith(t *testing.T, c, a, b *matrix.Blocked, n, mu, stage int, prefetch bool, cores int) MasterReport {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -32,7 +36,7 @@ func launch(t *testing.T, c, a, b *matrix.Blocked, n, mu, stage int) MasterRepor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := RunWorker(WorkerConfig{Addr: addr, Memory: 100, StageCap: stage, Timeout: 30 * time.Second}); err != nil {
+			if _, err := RunWorker(WorkerConfig{Addr: addr, Memory: 100, StageCap: stage, Prefetch: prefetch, Cores: cores, Timeout: 30 * time.Second}); err != nil {
 				t.Errorf("worker: %v", err)
 			}
 		}()
@@ -89,6 +93,27 @@ func TestDistributedRaggedNoOverlap(t *testing.T) {
 	}
 }
 
+// TestDistributedPipelined drives the prefetching, multi-core worker
+// pipeline: chunks double-buffer over the socket while the kernel shards
+// updates across goroutines. The result must equal the oracle exactly
+// (same accumulation order as the sequential kernel).
+func TestDistributedPipelined(t *testing.T) {
+	a, b, c, want := build(t, 6, 4, 9, 4)
+	rep := launchWith(t, c, a, b, 2, 2, 2, true, 4)
+	if !c.Equal(want, 1e-9) {
+		t.Fatal("wrong product")
+	}
+	if rep.Result.Blocks == 0 {
+		t.Fatal("no blocks accounted")
+	}
+	// single worker with prefetch drains the whole pool alone
+	a2, b2, c2, want2 := build(t, 5, 2, 7, 4)
+	launchWith(t, c2, a2, b2, 1, 3, 1, true, 2)
+	if !c2.Equal(want2, 1e-9) {
+		t.Fatal("wrong product (single prefetching worker)")
+	}
+}
+
 func TestServeValidation(t *testing.T) {
 	a, b, c, _ := build(t, 2, 2, 2, 4)
 	if _, err := Serve(c, a, b, MasterConfig{Addr: "127.0.0.1:0", Workers: 0, Mu: 1}); err == nil {
@@ -100,6 +125,40 @@ func TestServeValidation(t *testing.T) {
 	bad := matrix.NewBlocked(3, 3, 4)
 	if _, err := Serve(c, bad, b, MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Mu: 1}); err == nil {
 		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// TestMasterSurvivesShortResult sends a malformed (3-byte) MsgResult
+// frame from a hand-rolled peer: the master must fail the run with an
+// error, not panic on the undersized payload.
+func TestMasterSurvivesShortResult(t *testing.T) {
+	a, b, c, _ := build(t, 2, 2, 2, 4)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	done := make(chan error, 1)
+	go func() {
+		_, err := ServeListener(c, a, b, MasterConfig{Workers: 1, Mu: 1, Timeout: 10 * time.Second}, ln)
+		done <- err
+	}()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, MsgReq, []byte{ReqChunk}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(conn, MsgReq, []byte{ReqResult}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(conn, MsgResult, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("master accepted a 3-byte result payload")
 	}
 }
 

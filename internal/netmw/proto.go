@@ -110,28 +110,33 @@ func (h *ChunkHeader) decode(buf []byte) error {
 
 // RegisterInfo is a cluster worker's registration.
 type RegisterInfo struct {
-	Name string // stable worker id, reused across reconnects
-	Mem  uint32 // advertised capacity in q×q blocks
+	Name  string // stable worker id, reused across reconnects
+	Mem   uint32 // advertised capacity in q×q blocks
+	Slots uint16 // concurrent tasks the worker pipelines (0 means 1)
 }
 
+const registerFixedLen = 8 // Mem(4) + Slots(2) + name length(2)
+
 func (r *RegisterInfo) encode() []byte {
-	buf := make([]byte, 6+len(r.Name))
+	buf := make([]byte, registerFixedLen+len(r.Name))
 	binary.LittleEndian.PutUint32(buf[0:], r.Mem)
-	binary.LittleEndian.PutUint16(buf[4:], uint16(len(r.Name)))
-	copy(buf[6:], r.Name)
+	binary.LittleEndian.PutUint16(buf[4:], r.Slots)
+	binary.LittleEndian.PutUint16(buf[6:], uint16(len(r.Name)))
+	copy(buf[registerFixedLen:], r.Name)
 	return buf
 }
 
 func (r *RegisterInfo) decode(buf []byte) error {
-	if len(buf) < 6 {
+	if len(buf) < registerFixedLen {
 		return fmt.Errorf("netmw: short register payload (%d bytes)", len(buf))
 	}
 	r.Mem = binary.LittleEndian.Uint32(buf[0:])
-	n := int(binary.LittleEndian.Uint16(buf[4:]))
-	if len(buf) < 6+n {
-		return fmt.Errorf("netmw: register name truncated (%d of %d bytes)", len(buf)-6, n)
+	r.Slots = binary.LittleEndian.Uint16(buf[4:])
+	n := int(binary.LittleEndian.Uint16(buf[6:]))
+	if len(buf) < registerFixedLen+n {
+		return fmt.Errorf("netmw: register name truncated (%d of %d bytes)", len(buf)-registerFixedLen, n)
 	}
-	r.Name = string(buf[6 : 6+n])
+	r.Name = string(buf[registerFixedLen : registerFixedLen+n])
 	return nil
 }
 
@@ -287,19 +292,58 @@ func writeMsg(w io.Writer, t MsgType, payload []byte) error {
 // message: the largest is a chunk of µ² blocks).
 const maxPayload = 256 << 20
 
+// readStep bounds the per-iteration allocation of readMsg: payloads grow
+// as their bytes actually arrive, so a corrupted length prefix cannot
+// provoke a giant up-front allocation for data that never comes.
+const readStep = 1 << 20
+
 // readMsg reads one framed message.
 func readMsg(r io.Reader) (MsgType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxPayload {
-		return 0, nil, fmt.Errorf("netmw: oversized payload %d bytes", n)
+	// The length stays unsigned until it has passed the bound check, so
+	// a ≥ 2³¹ prefix cannot slip through as a negative int on 32-bit
+	// platforms.
+	n32 := binary.LittleEndian.Uint32(hdr[1:])
+	if n32 > maxPayload {
+		return 0, nil, fmt.Errorf("netmw: oversized payload %d bytes", n32)
 	}
-	payload := make([]byte, n)
+	n := int(n32)
+	first := n
+	if first > readStep {
+		first = readStep
+	}
+	payload := make([]byte, first)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
+	}
+	// Grow by doubling, reading each byte exactly once into its final
+	// position: the buffer only ever reaches ~2× the bytes the peer has
+	// actually delivered.
+	for len(payload) < n {
+		chunk := n - len(payload)
+		if chunk > readStep {
+			chunk = readStep
+		}
+		off := len(payload)
+		if cap(payload) < off+chunk {
+			newCap := 2 * cap(payload)
+			if newCap < off+chunk {
+				newCap = off + chunk
+			}
+			if newCap > n {
+				newCap = n
+			}
+			grown := make([]byte, off, newCap)
+			copy(grown, payload)
+			payload = grown
+		}
+		payload = payload[:off+chunk]
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			return 0, nil, err
+		}
 	}
 	return MsgType(hdr[0]), payload, nil
 }

@@ -2,6 +2,7 @@ package netmw
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -19,6 +20,9 @@ type ClusterServerConfig struct {
 	// them (connection drops still trigger immediate recovery, which is
 	// what deterministic tests rely on).
 	ExpiryEvery time.Duration
+	// MaxSlots clamps the per-worker pipelining depth a worker may
+	// advertise at registration; 0 means no clamp.
+	MaxSlots int
 }
 
 // ClusterServer accepts cluster workers and job submissions over TCP and
@@ -172,16 +176,41 @@ type wevent struct {
 	blocks [][]float64
 }
 
-// workerSession drives one registered worker: pull a task from the
-// cluster, ship it, stream its update sets on demand, store the result,
-// repeat. A connection error at any point declares the worker lost, which
-// requeues whatever it held.
+// outTask is one task shipped to a worker and not yet completed: the
+// dispatcher appends, the event loop streams its sets and retires it.
+type outTask struct {
+	task *cluster.Task
+	q    int
+	sent int // update sets streamed so far
+}
+
+// workerSession drives one registered worker as a pipeline: a dispatcher
+// goroutine keeps up to the worker's advertised Slots tasks in flight
+// (so the next task's C tile streams while the current one computes),
+// the reader goroutine surfaces worker frames, and this goroutine routes
+// update sets and stores results. Workers compute their tasks in FIFO
+// order and request sets only for the task they are computing, so set
+// requests route to the oldest task with sets left to stream. A
+// connection error at any point declares the worker lost, which requeues
+// every task it held.
 func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ri RegisterInfo) {
 	id := ri.Name
-	if err := s.cl.Join(id, int(ri.Mem)); err != nil {
+	slots := int(ri.Slots)
+	if slots < 1 {
+		slots = 1
+	}
+	if s.cfg.MaxSlots > 0 && slots > s.cfg.MaxSlots {
+		slots = s.cfg.MaxSlots
+	}
+	// The epoch pins every cluster call of this session to this
+	// incarnation: once the worker re-registers (reconnect), a lingering
+	// old session can neither pull tasks for the new incarnation nor
+	// declare it lost during teardown.
+	epoch, err := s.cl.JoinWorker(id, int(ri.Mem), slots)
+	if err != nil {
 		return
 	}
-	defer s.cl.WorkerLost(id)
+	defer s.cl.WorkerLostEpoch(id, epoch)
 
 	events := make(chan wevent, 16)
 	// On any session exit, drain until the reader closes the channel
@@ -197,9 +226,9 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 	go func() {
 		defer close(events)
 		// A dead connection is a lost worker, declared immediately: this
-		// both requeues whatever the worker held and wakes the session
+		// both requeues whatever the worker held and wakes the dispatcher
 		// goroutine out of a blocked NextTask.
-		defer s.cl.WorkerLost(id)
+		defer s.cl.WorkerLostEpoch(id, epoch)
 		for {
 			t, payload, err := readMsg(r)
 			if err != nil {
@@ -244,91 +273,159 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 		}
 	}()
 
+	// The dispatcher and the event loop both write frames; serialize.
+	var wmu sync.Mutex
 	send := func(t MsgType, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
 		if err := writeMsg(w, t, payload); err != nil {
 			return err
 		}
 		return w.Flush()
 	}
 
-	for {
-		task, err := s.cl.NextTask(id)
-		if errors.Is(err, cluster.ErrClosed) {
-			send(MsgBye, nil) // clean shutdown: the worker should not retry
-			return
-		}
-		if err != nil {
-			return // declared dead or replaced: drop so the peer re-registers
-		}
-		blocks, q, err := s.cl.TaskChunk(task)
-		if err != nil {
-			return
-		}
-		hdr := TaskHeader{
-			Job: uint32(task.Job), Seq: uint32(task.Seq), Attempt: uint32(task.Attempt),
-			Steps: uint32(task.Steps), Rows: uint32(task.Chunk.Rows), Cols: uint32(task.Chunk.Cols),
-			Q: uint32(q),
-		}
-		payload := make([]byte, taskHeaderLen, taskHeaderLen+8*q*q*len(blocks))
-		hdr.encode(payload)
-		for _, b := range blocks {
-			payload = putFloats(payload, b)
-		}
-		if err := send(MsgTask, payload); err != nil {
-			return
-		}
-
-		k := 0
-		done := false
-		for !done {
-			ev, ok := <-events
-			if !ok {
-				return // connection died mid-task; WorkerLost requeues it
+	// Dispatcher: fill the worker's slots. Each assignment is pushed to
+	// the assigned channel BEFORE its MsgTask frame is written, so by the
+	// time the worker reacts to the task, the event loop can learn about
+	// it by draining the channel.
+	assigned := make(chan *outTask, slots)
+	sem := make(chan struct{}, slots)
+	sessDone := make(chan struct{})
+	defer close(sessDone)
+	go func() {
+		for {
+			select {
+			case sem <- struct{}{}:
+			case <-sessDone:
+				return
 			}
-			switch ev.kind {
-			case MsgReq:
-				if k >= task.Steps {
-					return // protocol violation
+			task, err := s.cl.NextTaskEpoch(id, epoch)
+			if errors.Is(err, cluster.ErrClosed) {
+				// Clean shutdown: let the worker's in-flight tasks drain
+				// (acquire every slot; the event loop releases one per
+				// retired task) so Bye lands at a task boundary — a
+				// pipelined worker must see a goodbye, not a mid-task
+				// reset that burns its reconnect budget.
+				held := 1 // the token acquired at the top of this loop
+				for held < slots {
+					select {
+					case sem <- struct{}{}:
+						held++
+					case <-sessDone:
+						return
+					}
 				}
-				aBlks, bBlks, err := s.cl.TaskSet(task, k)
-				if err != nil {
-					return
-				}
-				sp := make([]byte, 4, 4+8*q*q*(len(aBlks)+len(bBlks)))
-				sp[0] = byte(k)
-				sp[1] = byte(k >> 8)
-				sp[2] = byte(k >> 16)
-				sp[3] = byte(k >> 24)
-				for _, b := range aBlks {
-					sp = putFloats(sp, b)
-				}
-				for _, b := range bBlks {
-					sp = putFloats(sp, b)
-				}
-				if err := send(MsgSet, sp); err != nil {
-					return
-				}
-				k++
-			case MsgTaskResult:
-				if ev.result.Job != hdr.Job || ev.result.Seq != hdr.Seq || ev.result.Attempt != hdr.Attempt {
-					return // result for a different assignment
-				}
-				flat := ev.blocks[0]
-				want := q * q * task.Chunk.Rows * task.Chunk.Cols
-				if len(flat) != want {
-					return
-				}
-				out := make([][]float64, task.Chunk.Rows*task.Chunk.Cols)
-				for i := range out {
-					out[i] = flat[i*q*q : (i+1)*q*q]
-				}
-				if err := s.cl.Complete(id, task, out); err != nil && !errors.Is(err, cluster.ErrStaleTask) {
-					return
-				}
-				done = true
+				send(MsgBye, nil) // the worker should not retry
+				conn.Close()
+				return
+			}
+			if err != nil {
+				conn.Close() // declared dead or replaced: the peer re-registers
+				return
+			}
+			blocks, q, err := s.cl.TaskChunk(task)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			hdr := TaskHeader{
+				Job: uint32(task.Job), Seq: uint32(task.Seq), Attempt: uint32(task.Attempt),
+				Steps: uint32(task.Steps), Rows: uint32(task.Chunk.Rows), Cols: uint32(task.Chunk.Cols),
+				Q: uint32(q),
+			}
+			payload := make([]byte, taskHeaderLen, taskHeaderLen+8*q*q*len(blocks))
+			hdr.encode(payload)
+			for _, b := range blocks {
+				payload = putFloats(payload, b)
+			}
+			select {
+			case assigned <- &outTask{task: task, q: q}:
+			case <-sessDone:
+				return
+			}
+			if err := send(MsgTask, payload); err != nil {
+				conn.Close()
+				return
+			}
+		}
+	}()
+
+	// Event loop: route set requests to the oldest incomplete task,
+	// retire results.
+	var outq []*outTask
+	drainAssigned := func() {
+		for {
+			select {
+			case ot := <-assigned:
+				outq = append(outq, ot)
+			default:
+				return
 			}
 		}
 	}
+	for ev := range events {
+		drainAssigned()
+		switch ev.kind {
+		case MsgReq:
+			var cur *outTask
+			for _, ot := range outq {
+				if ot.sent < ot.task.Steps {
+					cur = ot
+					break
+				}
+			}
+			if cur == nil {
+				return // protocol violation: no task has sets left
+			}
+			aBlks, bBlks, err := s.cl.TaskSet(cur.task, cur.sent)
+			if err != nil {
+				return
+			}
+			q := cur.q
+			sp := make([]byte, 4, 4+8*q*q*(len(aBlks)+len(bBlks)))
+			binary.LittleEndian.PutUint32(sp, uint32(cur.sent))
+			for _, b := range aBlks {
+				sp = putFloats(sp, b)
+			}
+			for _, b := range bBlks {
+				sp = putFloats(sp, b)
+			}
+			if err := send(MsgSet, sp); err != nil {
+				return
+			}
+			cur.sent++
+		case MsgTaskResult:
+			idx := -1
+			for i, ot := range outq {
+				if uint32(ot.task.Job) == ev.result.Job &&
+					uint32(ot.task.Seq) == ev.result.Seq &&
+					uint32(ot.task.Attempt) == ev.result.Attempt {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return // result for an assignment this session doesn't hold
+			}
+			ot := outq[idx]
+			flat := ev.blocks[0]
+			want := ot.q * ot.q * ot.task.Chunk.Rows * ot.task.Chunk.Cols
+			if len(flat) != want {
+				return
+			}
+			out := make([][]float64, ot.task.Chunk.Rows*ot.task.Chunk.Cols)
+			for i := range out {
+				out[i] = flat[i*ot.q*ot.q : (i+1)*ot.q*ot.q]
+			}
+			if err := s.cl.Complete(id, ot.task, out); err != nil && !errors.Is(err, cluster.ErrStaleTask) {
+				return
+			}
+			outq = append(outq[:idx], outq[idx+1:]...)
+			<-sem // slot freed: the dispatcher may fetch the next task
+		}
+	}
+	// events closed: the connection died; the reader already declared the
+	// worker lost, requeuing everything in outq.
 }
 
 // clientSession serves one MsgSubmit: build the job, run it to
@@ -393,8 +490,33 @@ func decodeJobSubmission(payload []byte) (cluster.JobSpec, error) {
 	}
 	rest := payload[jobHeaderLen:]
 	r, t, sd, q := int(hdr.R), int(hdr.T), int(hdr.S), int(hdr.Q)
-	if r < 1 || t < 1 || sd < 1 || q < 1 {
+	if r < 1 || t < 1 || sd < 1 || q < 1 ||
+		r > maxWireDim || t > maxWireDim || sd > maxWireDim || q > maxWireDim {
 		return cluster.JobSpec{}, fmt.Errorf("netmw: bad job dimensions %dx%dx%d q=%d", r, t, sd, q)
+	}
+	// Size the declared operands before allocating them: a hostile
+	// header must not provoke matrix allocations for bytes that never
+	// arrived. Each per-operand product is ≤ 2³⁰·2³³ = 2⁶³ (maxWireDim
+	// bounds every factor), so it cannot wrap uint64 on its own; each is
+	// checked against the payload length before entering the sum, which
+	// keeps the sum far below overflow too.
+	perBlock := uint64(q) * uint64(q) * 8
+	var operands []uint64
+	switch hdr.Kind {
+	case WireMatMul:
+		operands = []uint64{uint64(r) * uint64(sd), uint64(r) * uint64(t), uint64(t) * uint64(sd)}
+	case WireLU:
+		operands = []uint64{uint64(r) * uint64(r)}
+	default:
+		return cluster.JobSpec{}, fmt.Errorf("netmw: unknown job kind %d", hdr.Kind)
+	}
+	var need uint64
+	for _, nblocks := range operands {
+		sz := nblocks * perBlock
+		need += sz
+		if sz > uint64(len(rest)) || need > uint64(len(rest)) {
+			return cluster.JobSpec{}, fmt.Errorf("netmw: job payload %d bytes, need %d", len(rest), need)
+		}
 	}
 	switch hdr.Kind {
 	case WireMatMul:

@@ -2,6 +2,7 @@ package netmw
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"time"
@@ -14,7 +15,15 @@ type WorkerConfig struct {
 	Addr     string // master address
 	Memory   int    // advertised capacity in blocks
 	StageCap int    // update sets pre-requested (1 or 2)
-	Timeout  time.Duration
+	// Prefetch double-buffers chunks: the worker requests its next C
+	// chunk as soon as the current one arrives, so the transfer overlaps
+	// the compute. Doubles the resident-chunk memory.
+	Prefetch bool
+	// Cores is the kernel parallelism (goroutines sharding each update's
+	// block loop). 0 means one shard per core (GOMAXPROCS) — a worker
+	// process owns its machine. Results are bit-identical at any value.
+	Cores   int
+	Timeout time.Duration
 }
 
 // WorkerReport summarizes one worker's session.
@@ -23,10 +32,124 @@ type WorkerReport struct {
 	Updates int64
 }
 
+// wireJob is one decoded MsgJob.
+type wireJob struct {
+	hdr     ChunkHeader
+	cBlocks [][]float64
+}
+
+// decodeBlockList validates a wire-declared rows×cols×q geometry plus a
+// step count against the bytes actually present, then decodes the
+// rows·cols blocks of q² doubles. Shared by the job (MsgJob) and task
+// (MsgTask) decoders so validation fixes land in one place.
+func decodeBlockList(rest []byte, rows, cols, q, steps int) ([][]float64, error) {
+	if err := checkGeometry(rows, cols, q); err != nil {
+		return nil, err
+	}
+	if steps < 0 || steps > maxWireDim {
+		return nil, fmt.Errorf("netmw: implausible step count %d", steps)
+	}
+	if err := checkBlockPayload(len(rest), rows*cols, q); err != nil {
+		return nil, err
+	}
+	blocks := make([][]float64, rows*cols)
+	var err error
+	for i := range blocks {
+		blocks[i], rest, err = getFloats(rest, q*q)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return blocks, nil
+}
+
+// decodeJob parses a MsgJob payload.
+func decodeJob(payload []byte) (*wireJob, error) {
+	j := &wireJob{}
+	if err := j.hdr.decode(payload); err != nil {
+		return nil, err
+	}
+	var err error
+	j.cBlocks, err = decodeBlockList(payload[chunkHeaderLen:],
+		int(j.hdr.Rows), int(j.hdr.Cols), int(j.hdr.Q), int(j.hdr.T))
+	if err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// decodeSetInto parses a MsgSet payload into rows A blocks and cols B
+// blocks of q² doubles.
+func decodeSetInto(payload []byte, rows, cols, q int) (aBlks, bBlks [][]float64, err error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("netmw: short set payload (%d bytes)", len(payload))
+	}
+	if err := checkGeometry(rows, cols, q); err != nil {
+		return nil, nil, err
+	}
+	if err := checkBlockPayload(len(payload)-4, rows+cols, q); err != nil {
+		return nil, nil, err
+	}
+	rest := payload[4:]
+	aBlks = make([][]float64, rows)
+	for i := range aBlks {
+		aBlks[i], rest, err = getFloats(rest, q*q)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	bBlks = make([][]float64, cols)
+	for j := range bBlks {
+		bBlks[j], rest, err = getFloats(rest, q*q)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return aBlks, bBlks, nil
+}
+
+// maxWireDim caps every wire-declared dimension (blocks per chunk side,
+// block size q, step counts). Any legal message under maxPayload stays
+// far below it, and the cap keeps hostile headers from overflowing the
+// size arithmetic below or provoking geometry-sized allocations for
+// bytes that never arrive.
+const maxWireDim = 1 << 15
+
+// checkGeometry validates a wire-declared chunk geometry.
+func checkGeometry(rows, cols, q int) error {
+	if rows < 1 || cols < 1 || rows > maxWireDim || cols > maxWireDim {
+		return fmt.Errorf("netmw: bad chunk geometry %dx%d blocks", rows, cols)
+	}
+	if q < 1 || q > maxWireDim {
+		return fmt.Errorf("netmw: bad block size q=%d", q)
+	}
+	return nil
+}
+
+// checkBlockPayload rejects payloads whose declared geometry does not
+// match the bytes on the wire, before any geometry-sized allocation.
+// Callers validate the factors of nblocks via checkGeometry first, so
+// the products below cannot overflow.
+func checkBlockPayload(have, nblocks, q int) error {
+	if q < 1 || q > maxWireDim || nblocks < 0 || nblocks > maxWireDim*maxWireDim {
+		return fmt.Errorf("netmw: bad block geometry (%d blocks of q=%d)", nblocks, q)
+	}
+	need := uint64(nblocks) * uint64(q) * uint64(q) * 8
+	if uint64(have) < need {
+		return fmt.Errorf("netmw: block payload %d bytes, need %d", have, need)
+	}
+	return nil
+}
+
 // RunWorker connects to the master and serves until it receives Bye. It
 // implements the worker side of the demand protocol: request a chunk when
 // idle, pre-request StageCap update sets per chunk and one more as each is
 // consumed, then return the chunk and request the next.
+//
+// The session is a two-stage pipeline: a reader goroutine receives and
+// decodes frames (jobs and update sets) while the main goroutine
+// computes, so with Prefetch the next chunk's transfer overlaps the
+// current chunk's compute.
 func RunWorker(cfg WorkerConfig) (WorkerReport, error) {
 	if cfg.StageCap < 1 {
 		cfg.StageCap = 1
@@ -51,109 +174,117 @@ func RunWorker(cfg WorkerConfig) (WorkerReport, error) {
 	}
 	req := func(kind byte) error { return send(MsgReq, []byte{kind}) }
 
-	hello := make([]byte, 4)
-	hello[0] = byte(cfg.Memory)
-	hello[1] = byte(cfg.Memory >> 8)
-	hello[2] = byte(cfg.Memory >> 16)
-	hello[3] = byte(cfg.Memory >> 24)
-	if err := send(MsgHello, hello); err != nil {
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], uint32(cfg.Memory))
+	if err := send(MsgHello, hello[:]); err != nil {
 		return rep, err
 	}
 	if err := req(ReqChunk); err != nil {
 		return rep, err
 	}
 
-	for {
-		t, payload, err := readMsg(r)
-		if err != nil {
-			return rep, fmt.Errorf("netmw: worker read: %w", err)
+	// Reader stage: demultiplex incoming frames. jobs carries decoded
+	// chunks (buffered for the prefetched one), sets carries raw update
+	// sets (decoded by the compute stage, which knows the live
+	// geometry). The reader closes both on Bye or error; readErr holds
+	// the error, if any.
+	jobs := make(chan *wireJob, 2)
+	sets := make(chan []byte, cfg.StageCap)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(jobs)
+		defer close(sets)
+		for {
+			t, payload, err := readMsg(r)
+			if err != nil {
+				readErr <- fmt.Errorf("netmw: worker read: %w", err)
+				return
+			}
+			switch t {
+			case MsgBye:
+				return
+			case MsgJob:
+				job, err := decodeJob(payload)
+				if err != nil {
+					readErr <- err
+					return
+				}
+				jobs <- job
+			case MsgSet:
+				sets <- payload
+			default:
+				readErr <- fmt.Errorf("netmw: worker got unexpected message %d", t)
+				return
+			}
 		}
-		switch t {
-		case MsgBye:
-			return rep, nil
-		case MsgJob:
-			var hdr ChunkHeader
-			if err := hdr.decode(payload); err != nil {
-				return rep, err
-			}
-			q := int(hdr.Q)
-			rows, cols, tt := int(hdr.Rows), int(hdr.Cols), int(hdr.T)
-			rest := payload[chunkHeaderLen:]
-			cBlocks := make([][]float64, rows*cols)
-			for i := range cBlocks {
-				cBlocks[i], rest, err = getFloats(rest, q*q)
-				if err != nil {
-					return rep, err
-				}
-			}
+	}()
+	fail := func(err error) (WorkerReport, error) {
+		conn.Close() // unblock the reader
+		return rep, err
+	}
 
-			// pre-request the staging fill
-			pre := cfg.StageCap
-			if pre > tt {
-				pre = tt
-			}
-			for k := 0; k < pre; k++ {
-				if err := req(ReqSet); err != nil {
-					return rep, err
-				}
-			}
-			for k := 0; k < tt; k++ {
-				mt, sp, err := readMsg(r)
-				if err != nil {
-					return rep, err
-				}
-				if mt != MsgSet {
-					return rep, fmt.Errorf("netmw: worker expected set, got %d", mt)
-				}
-				if k+pre < tt {
-					if err := req(ReqSet); err != nil {
-						return rep, err
-					}
-				}
-				rest := sp[4:]
-				aBlks := make([][]float64, rows)
-				for i := range aBlks {
-					aBlks[i], rest, err = getFloats(rest, q*q)
-					if err != nil {
-						return rep, err
-					}
-				}
-				bBlks := make([][]float64, cols)
-				for j := range bBlks {
-					bBlks[j], rest, err = getFloats(rest, q*q)
-					if err != nil {
-						return rep, err
-					}
-				}
-				for i := 0; i < rows; i++ {
-					for j := 0; j < cols; j++ {
-						blas.BlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q)
-						rep.Updates++
-					}
-				}
-			}
-
-			// return the chunk, then ask for the next one
-			if err := req(ReqResult); err != nil {
-				return rep, err
-			}
-			res := make([]byte, 4, 4+8*q*q*rows*cols)
-			res[0] = byte(hdr.ID)
-			res[1] = byte(hdr.ID >> 8)
-			res[2] = byte(hdr.ID >> 16)
-			res[3] = byte(hdr.ID >> 24)
-			for _, blk := range cBlocks {
-				res = putFloats(res, blk)
-			}
-			if err := send(MsgResult, res); err != nil {
-				return rep, err
-			}
-			rep.Chunks++
+	for job := range jobs {
+		if cfg.Prefetch {
+			// the next chunk streams down while this one computes
 			if err := req(ReqChunk); err != nil {
-				return rep, err
+				return fail(err)
 			}
-		default:
-			return rep, fmt.Errorf("netmw: worker got unexpected message %d", t)
 		}
+		q := int(job.hdr.Q)
+		rows, cols, tt := int(job.hdr.Rows), int(job.hdr.Cols), int(job.hdr.T)
+		pre := minInt(cfg.StageCap, tt)
+		for k := 0; k < pre; k++ {
+			if err := req(ReqSet); err != nil {
+				return fail(err)
+			}
+		}
+		for k := 0; k < tt; k++ {
+			sp, ok := <-sets
+			if !ok {
+				select {
+				case err := <-readErr:
+					return rep, err
+				default:
+					return rep, fmt.Errorf("netmw: master hung up mid-chunk")
+				}
+			}
+			if k+pre < tt {
+				if err := req(ReqSet); err != nil {
+					return fail(err)
+				}
+			}
+			aBlks, bBlks, err := decodeSetInto(sp, rows, cols, q)
+			if err != nil {
+				return fail(err)
+			}
+			blas.ParallelUpdateChunk(job.cBlocks, aBlks, bBlks, rows, cols, q, blas.DefaultWorkers(cfg.Cores))
+			rep.Updates += int64(rows) * int64(cols)
+		}
+
+		// return the chunk, then ask for the next one
+		if err := req(ReqResult); err != nil {
+			return fail(err)
+		}
+		res := make([]byte, 4, 4+8*q*q*rows*cols)
+		binary.LittleEndian.PutUint32(res, job.hdr.ID)
+		for _, blk := range job.cBlocks {
+			res = putFloats(res, blk)
+		}
+		if err := send(MsgResult, res); err != nil {
+			return fail(err)
+		}
+		rep.Chunks++
+		if !cfg.Prefetch {
+			if err := req(ReqChunk); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	// jobs closed: clean Bye, or reader error.
+	select {
+	case err := <-readErr:
+		return rep, err
+	default:
+		return rep, nil
 	}
 }

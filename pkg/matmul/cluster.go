@@ -62,6 +62,12 @@ func RunClusterWorkerLocal(cl *Cluster, id string, memoryBlocks int) error {
 	return cluster.RunLocalWorker(cl, cluster.LocalWorkerConfig{ID: id, Mem: memoryBlocks})
 }
 
+// RunClusterWorkerLocalCores is RunClusterWorkerLocal with the block
+// updates sharded across cores kernel goroutines (bit-identical results).
+func RunClusterWorkerLocalCores(cl *Cluster, id string, memoryBlocks, cores int) error {
+	return cluster.RunLocalWorker(cl, cluster.LocalWorkerConfig{ID: id, Mem: memoryBlocks, Cores: cores})
+}
+
 // ClusterService is a running TCP front end for a cluster (mmserve's
 // core): workers join with WorkClusterTCP, clients submit with
 // SubmitMatMulTCP / SubmitLUTCP.
@@ -88,9 +94,16 @@ func (s *ClusterService) Close() error { return s.srv.Close() }
 
 // ClusterWorkerOptions configures WorkClusterTCP.
 type ClusterWorkerOptions struct {
-	Name           string        // stable worker id, reused across reconnects
-	MemoryBlocks   int           // advertised capacity
-	StageCap       int           // staged update sets (default 2)
+	Name         string // stable worker id, reused across reconnects
+	MemoryBlocks int    // advertised capacity
+	StageCap     int    // staged update sets (default 2)
+	// Slots is how many tasks the worker pipelines: with ≥ 2 the next
+	// task's C tile streams down while the current one computes (the
+	// server keeps the summed footprint within MemoryBlocks). Default 1.
+	Slots int
+	// Cores is the kernel parallelism (goroutines per block-update
+	// sweep); 0 means one shard per core. Results are bit-identical.
+	Cores          int
 	HeartbeatEvery time.Duration // liveness beacon cadence (0 disables)
 	Reconnect      int           // reconnect budget after connection loss
 	Backoff        time.Duration // pause between reconnect attempts
@@ -102,8 +115,9 @@ type ClusterWorkerOptions struct {
 func WorkClusterTCP(addr string, opts ClusterWorkerOptions) error {
 	_, err := netmw.RunClusterWorker(netmw.ClusterWorkerConfig{
 		Addr: addr, Name: opts.Name, Memory: opts.MemoryBlocks,
-		StageCap: opts.StageCap, HeartbeatEvery: opts.HeartbeatEvery,
-		Reconnect: opts.Reconnect, Backoff: opts.Backoff,
+		StageCap: opts.StageCap, Slots: opts.Slots, Cores: opts.Cores,
+		HeartbeatEvery: opts.HeartbeatEvery,
+		Reconnect:      opts.Reconnect, Backoff: opts.Backoff,
 	})
 	return err
 }

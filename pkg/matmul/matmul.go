@@ -26,7 +26,10 @@
 package matmul
 
 import (
+	"fmt"
+
 	"repro/internal/algorithms"
+	"repro/internal/blas"
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -175,6 +178,12 @@ type LocalConfig struct {
 	Memory   int  // per-worker blocks, used when Mu == 0
 	StageCap int  // 1 or 2 (default 2)
 	Demand   bool // demand-driven instead of the static Algorithm 1 order
+	// Cores shards each worker's block updates across this many kernel
+	// goroutines (0 or 1 = sequential). Results are bit-identical.
+	Cores int
+	// Prefetch double-buffers chunks in demand mode: the next C chunk
+	// streams to a worker while the current one computes.
+	Prefetch bool
 }
 
 // MultiplyLocal computes C ← C + A·B on the in-process goroutine runtime
@@ -194,6 +203,7 @@ func MultiplyLocal(c, a, b *Blocked, cfg LocalConfig) (Result, error) {
 	}
 	rep, err := mw.Multiply(c, a, b, mw.Config{
 		Workers: cfg.Workers, Mu: mu, StageCap: stage, Mode: mode,
+		Cores: cfg.Cores, Prefetch: cfg.Prefetch,
 	})
 	return rep.Result, err
 }
@@ -205,9 +215,29 @@ func ServeTCP(c, a, b *Blocked, addr string, workers, mu int) (Result, error) {
 	return rep.Result, err
 }
 
+// WorkerOptions configures WorkTCPWith.
+type WorkerOptions struct {
+	MemoryBlocks int // advertised capacity
+	StageCap     int // staged update sets (1 or 2)
+	// Prefetch double-buffers chunks: the next C chunk streams down
+	// while the current one computes.
+	Prefetch bool
+	// Cores is the kernel parallelism; 0 means one shard per core.
+	Cores int
+}
+
 // WorkTCP runs one distributed worker against a ServeTCP master.
 func WorkTCP(addr string, memoryBlocks, stageCap int) error {
-	_, err := netmw.RunWorker(netmw.WorkerConfig{Addr: addr, Memory: memoryBlocks, StageCap: stageCap})
+	return WorkTCPWith(addr, WorkerOptions{MemoryBlocks: memoryBlocks, StageCap: stageCap})
+}
+
+// WorkTCPWith runs one distributed worker with the full option set:
+// pipelined chunk prefetch and the multi-core tiled kernel.
+func WorkTCPWith(addr string, opts WorkerOptions) error {
+	_, err := netmw.RunWorker(netmw.WorkerConfig{
+		Addr: addr, Memory: opts.MemoryBlocks, StageCap: opts.StageCap,
+		Prefetch: opts.Prefetch, Cores: opts.Cores,
+	})
 	return err
 }
 
@@ -239,6 +269,19 @@ func DeterministicFill(d *Dense, seed int64) { matrix.DeterministicFill(d, seed)
 // MulReference computes C ← C + A·B with the naive oracle, for
 // verification.
 func MulReference(c, a, b *Dense) { matrix.MulNaive(c, a, b) }
+
+// MulParallel computes C ← C + A·B with the multi-core tiled kernel:
+// the cache-blocked Level-3 loop with its row loop sharded across cores
+// goroutines (0 = one per available core). Results are bit-identical to
+// the single-threaded tiled kernel at every core count.
+func MulParallel(c, a, b *Dense, cores int) error {
+	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows {
+		return fmt.Errorf("matmul: shape mismatch C %dx%d, A %dx%d, B %dx%d",
+			c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	blas.ParallelGemm(c.Rows, c.Cols, a.Cols, a.Data, a.Cols, b.Data, b.Cols, c.Data, c.Cols, cores)
+	return nil
+}
 
 // OutOfCoreConfig configures MultiplyOutOfCore.
 type OutOfCoreConfig struct {

@@ -1,0 +1,171 @@
+package repro
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/homog"
+	"repro/internal/matrix"
+	"repro/internal/netmw"
+	"repro/internal/sim"
+)
+
+// transportBenchInputs builds one steady-state-heavy problem: few
+// chunks, many update sets per chunk, so the per-message path dominates
+// the per-connection and per-chunk overheads.
+func transportBenchInputs(r, tt, s, q int) (a, b, c0 *matrix.Blocked, want *matrix.Dense, chunks []*sim.Chunk) {
+	ad := matrix.NewDense(r*q, tt*q)
+	bd := matrix.NewDense(tt*q, s*q)
+	cd := matrix.NewDense(r*q, s*q)
+	matrix.DeterministicFill(ad, 41)
+	matrix.DeterministicFill(bd, 42)
+	matrix.DeterministicFill(cd, 43)
+	want = cd.Clone()
+	matrix.MulNaive(want, ad, bd)
+	pr := core.Problem{R: r, S: s, T: tt, Q: q}
+	_, chunks = homog.ChunkGrid(pr, 2)
+	return matrix.Partition(ad, q), matrix.Partition(bd, q), matrix.Partition(cd, q), want, chunks
+}
+
+// copyBlocked copies src's coefficients into dst without allocating.
+func copyBlocked(dst, src *matrix.Blocked) {
+	for i := 0; i < src.BR; i++ {
+		for j := 0; j < src.BC; j++ {
+			copy(dst.Block(i, j).Data, src.Block(i, j).Data)
+		}
+	}
+}
+
+// runTransportOnce executes one full multiply over loopback TCP through
+// the engine: one master transport, one pipelined worker. It returns
+// the master-side communication volume in blocks.
+func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, chunks []*sim.Chunk, pool *engine.BlockPool) int64 {
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	wconn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer wconn.Close() // RunWorker leaves a cleanly-Byed transport open
+		wtr := netmw.NewWorkerTransport(wconn, pool)
+		engine.RunWorker(wtr, engine.WorkerConfig{
+			StageCap: 2, Slots: 2, Cores: 1,
+			PullAssigns: true, PullSets: true, PullResults: true,
+			Pool: pool,
+		})
+	}()
+	mtr := netmw.NewMasterTransport(<-accepted, c.Q, pool)
+	stats, err := engine.RunMaster(c, a, b, append([]*sim.Chunk(nil), chunks...),
+		[]engine.Transport{mtr}, engine.MasterConfig{Pool: pool})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	wg.Wait()
+	return stats.Blocks
+}
+
+// BenchmarkTransport measures the steady-state TCP path of the unified
+// engine — the demand protocol streaming update sets through the framed
+// wire format — with and without the block-buffer/message pool. The
+// pooled arm must sit an order of magnitude below the unpooled arm in
+// allocs/op (the explicit release on result-ack is what makes the
+// steady state allocation-free); MB/s tracks the moved payload volume.
+// Results are checked bit-exact against the naive oracle (the engine
+// accumulates every element in ascending-k order, exactly as the oracle
+// does).
+func BenchmarkTransport(b *testing.B) {
+	const r, tt, s, q = 4, 64, 4, 24
+	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	work := c0.Clone()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+
+	for _, arm := range []struct {
+		name string
+		pool *engine.BlockPool
+	}{
+		{"pooled", engine.NewBlockPool()},
+		{"unpooled", nil},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var blocks int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copyBlocked(work, c0)
+				b.StartTimer()
+				blocks = runTransportOnce(b, ln, work, a, bb, chunks, arm.pool)
+			}
+			b.StopTimer()
+			b.SetBytes(blocks * int64(q) * int64(q) * 8)
+			got := work.Assemble()
+			for i := 0; i < got.Rows; i++ {
+				for j := 0; j < got.Cols; j++ {
+					if got.At(i, j) != want.At(i, j) {
+						b.Fatalf("result differs from the oracle at (%d,%d): %g != %g",
+							i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransportPoolingAllocRatio pins the acceptance bar: the pooled
+// steady-state TCP path must allocate at least 10× less per run than
+// the unpooled path, with a bit-exact result. (The benchmark reports
+// the same numbers; this test makes the regression loud.)
+func TestTransportPoolingAllocRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short/race runs")
+	}
+	const r, tt, s, q = 4, 64, 4, 24
+	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	work := c0.Clone()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	measure := func(pool *engine.BlockPool) float64 {
+		// One untimed warmup run fills the pools (and the page cache).
+		copyBlocked(work, c0)
+		runTransportOnce(t, ln, work, a, bb, chunks, pool)
+		return testing.AllocsPerRun(3, func() {
+			copyBlocked(work, c0)
+			runTransportOnce(t, ln, work, a, bb, chunks, pool)
+		})
+	}
+	pooled := measure(engine.NewBlockPool())
+	unpooled := measure(nil)
+	t.Logf("allocs/run: pooled=%.0f unpooled=%.0f ratio=%.1fx", pooled, unpooled, unpooled/pooled)
+	if pooled*10 > unpooled {
+		t.Fatalf("pooling saves only %.1fx allocations (pooled %.0f, unpooled %.0f), want ≥ 10x",
+			unpooled/pooled, pooled, unpooled)
+	}
+	got := work.Assemble()
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("result differs from the oracle at (%d,%d)", i, j)
+			}
+		}
+	}
+}

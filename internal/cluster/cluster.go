@@ -25,6 +25,9 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Sentinel errors of the transport API.
@@ -80,6 +83,11 @@ type Cluster struct {
 	nextID  JobID
 	closed  bool
 	requeue int
+	// pool recycles the block buffers TaskChunk and TaskSet copy out of
+	// the job matrices; the transports release them once serialized (or
+	// once applied, on the in-process path), so steady-state dispatch
+	// stops allocating per transfer.
+	pool *engine.BlockPool
 }
 
 // New builds a cluster service.
@@ -98,6 +106,7 @@ func New(cfg Config) *Cluster {
 		clock: cfg.Clock,
 		reg:   newRegistry(),
 		jobs:  make(map[JobID]*job),
+		pool:  engine.NewBlockPool(),
 	}
 	cl.cond = sync.NewCond(&cl.mu)
 	return cl
@@ -157,6 +166,11 @@ func (cl *Cluster) Done(id JobID) (<-chan struct{}, error) {
 	}
 	return j.doneCh, nil
 }
+
+// BlockPool exposes the cluster's block-buffer pool so transports
+// release the buffers TaskChunk/TaskSet hand out back where they came
+// from (releasing into a different pool works but defeats recycling).
+func (cl *Cluster) BlockPool() *engine.BlockPool { return cl.pool }
 
 // Workers snapshots the registry.
 func (cl *Cluster) Workers() []WorkerInfo {
@@ -370,10 +384,10 @@ func (cl *Cluster) nextTask(id string, epoch uint64) (*Task, error) {
 
 // footprint is the blocks a worker must hold to serve the task: the C
 // tile plus one staging update set — the memory contract of the paper's
-// layouts, at the minimum staging depth.
+// layouts, at the minimum staging depth (core.ChunkFootprint is the one
+// place that arithmetic lives).
 func footprint(t *Task) int {
-	ch := t.Chunk
-	return ch.Rows*ch.Cols + ch.Rows + ch.Cols
+	return core.ChunkFootprint(t.Chunk.Rows, t.Chunk.Cols, 1)
 }
 
 // takeLocked pops the next task that fits the asking worker's free slots
@@ -508,9 +522,7 @@ func (cl *Cluster) TaskChunk(t *Task) ([][]float64, int, error) {
 	out := make([][]float64, ch.Rows*ch.Cols)
 	for i := 0; i < ch.Rows; i++ {
 		for jj := 0; jj < ch.Cols; jj++ {
-			buf := make([]float64, q*q)
-			copy(buf, src.Block(ch.I0+i, ch.J0+jj).Data)
-			out[i*ch.Cols+jj] = buf
+			out[i*ch.Cols+jj] = cl.pool.GetCopy(src.Block(ch.I0+i, ch.J0+jj).Data)
 		}
 	}
 	return out, q, nil
@@ -529,7 +541,7 @@ func (cl *Cluster) TaskSet(t *Task, k int) (aBlks, bBlks [][]float64, err error)
 	}
 	ch := t.Chunk
 	cp := func(src []float64, negate bool) []float64 {
-		buf := make([]float64, len(src))
+		buf := cl.pool.Get(len(src))
 		if negate {
 			for i, v := range src {
 				buf[i] = -v

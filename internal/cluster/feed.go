@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// EngineFeed adapts one worker incarnation of the scheduler to the
+// engine's Feed interface — the single bridge both cluster transports
+// share (the TCP server session and the in-process local worker): Next
+// pulls tasks pinned to the incarnation epoch, Set and Complete bridge
+// the task-data API, and Lost declares the incarnation dead, requeuing
+// whatever it held. The AssignID is the wire (Job, Seq, Attempt)
+// triple; the map back to the live *Task pointers the scheduler expects
+// is kept here.
+type EngineFeed struct {
+	cl    *Cluster
+	id    string
+	epoch uint64
+
+	mu      sync.Mutex
+	tasks   map[engine.AssignID]*Task
+	nextErr error // the non-clean error Next ended on, if any
+}
+
+// NewEngineFeed builds the Feed for one (worker, epoch) incarnation, as
+// returned by JoinWorker.
+func NewEngineFeed(cl *Cluster, id string, epoch uint64) *EngineFeed {
+	return &EngineFeed{cl: cl, id: id, epoch: epoch,
+		tasks: make(map[engine.AssignID]*Task)}
+}
+
+// TakeNextErr reports the scheduler's verdict when Next ended the
+// session uncleanly (declared dead, replaced, …), so callers can
+// surface it instead of the transport closure it caused.
+func (f *EngineFeed) TakeNextErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nextErr
+}
+
+func taskAssignID(t *Task) engine.AssignID {
+	return engine.AssignID{A: uint32(t.Job), B: uint32(t.Seq), C: uint32(t.Attempt)}
+}
+
+// Next pulls this incarnation's next task, blocking until one is
+// available; a closed cluster is the clean end of the feed.
+func (f *EngineFeed) Next() (*engine.Assign, error) {
+	task, err := f.cl.NextTaskEpoch(f.id, f.epoch)
+	if errors.Is(err, ErrClosed) {
+		return nil, engine.ErrFeedDone
+	}
+	if err != nil {
+		f.mu.Lock()
+		f.nextErr = err
+		f.mu.Unlock()
+		return nil, err
+	}
+	blocks, q, err := f.cl.TaskChunk(task)
+	if err != nil {
+		return nil, err
+	}
+	id := taskAssignID(task)
+	f.mu.Lock()
+	f.tasks[id] = task
+	f.mu.Unlock()
+	return &engine.Assign{
+		ID: id,
+		I0: task.Chunk.I0, J0: task.Chunk.J0,
+		Rows: task.Chunk.Rows, Cols: task.Chunk.Cols, Q: q, Steps: task.Steps,
+		Blocks: blocks, Owned: true,
+	}, nil
+}
+
+// Set materializes the k-th update set of a held assignment.
+func (f *EngineFeed) Set(id engine.AssignID, k int) (*engine.Set, error) {
+	f.mu.Lock()
+	task := f.tasks[id]
+	f.mu.Unlock()
+	if task == nil {
+		return nil, fmt.Errorf("cluster: set for unknown assignment %v", id)
+	}
+	aBlks, bBlks, err := f.cl.TaskSet(task, k)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Set{K: k, A: aBlks, B: bBlks, Owned: true}, nil
+}
+
+// Complete retires a held assignment with its result blocks; a task the
+// scheduler already reassigned is reported stale, not fatal.
+func (f *EngineFeed) Complete(id engine.AssignID, blocks [][]float64) error {
+	f.mu.Lock()
+	task := f.tasks[id]
+	delete(f.tasks, id)
+	f.mu.Unlock()
+	if task == nil {
+		return engine.ErrStaleResult
+	}
+	if err := f.cl.Complete(f.id, task, blocks); err != nil {
+		if errors.Is(err, ErrStaleTask) {
+			return engine.ErrStaleResult
+		}
+		return err
+	}
+	return nil
+}
+
+// Lost declares the incarnation dead immediately: this both requeues
+// whatever the worker held and wakes any blocked Next call.
+func (f *EngineFeed) Lost() {
+	f.cl.WorkerLostEpoch(f.id, f.epoch)
+}

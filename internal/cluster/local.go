@@ -1,10 +1,7 @@
 package cluster
 
 import (
-	"errors"
-	"fmt"
-
-	"repro/internal/blas"
+	"repro/internal/engine"
 )
 
 // LocalWorkerConfig configures an in-process worker.
@@ -21,59 +18,41 @@ type LocalWorkerConfig struct {
 
 // RunLocalWorker joins the cluster and serves tasks until the cluster
 // closes (returns nil) or the worker is declared dead (returns the
-// error). It is the in-process transport: the same pull protocol the TCP
-// runtime speaks, minus the sockets.
+// error). It is the in-process transport: the same engine worker the
+// TCP runtime runs, fed through an engine.Pipe by the same feeder the
+// TCP server runs — the cluster dialect (tasks pushed, sets pulled)
+// minus the sockets and the framing.
 func RunLocalWorker(cl *Cluster, cfg LocalWorkerConfig) error {
-	if err := cl.Join(cfg.ID, cfg.Mem); err != nil {
+	epoch, err := cl.JoinWorker(cfg.ID, cfg.Mem, 1)
+	if err != nil {
 		return err
 	}
 	if cfg.Joined != nil {
 		close(cfg.Joined)
 	}
-	for {
-		t, err := cl.NextTask(cfg.ID)
-		if errors.Is(err, ErrClosed) {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		if err := runTask(cl, cfg.ID, t, cfg.Cores); err != nil {
-			if errors.Is(err, ErrStaleTask) {
-				continue // our assignment was revoked mid-compute; move on
-			}
-			return err
-		}
-	}
-}
-
-// runTask executes one task through the data API: pull the C tile, stream
-// the update sets, apply the generic C += A·B block update (sharded
-// across cores goroutines when cores > 1), return the tile.
-func runTask(cl *Cluster, id string, t *Task, cores int) error {
-	blocks, q, err := cl.TaskChunk(t)
+	feed := NewEngineFeed(cl, cfg.ID, epoch)
+	defer feed.Lost()
+	master, worker := engine.Pipe()
+	feedErr := make(chan error, 1)
+	go func() {
+		feedErr <- engine.RunFeeder(master, feed, engine.FeederConfig{Slots: 1, Pool: cl.pool})
+	}()
+	_, err = engine.RunWorker(worker, engine.WorkerConfig{
+		StageCap: 1, Slots: 1, Cores: cfg.Cores,
+		PullSets: true,
+		Pool:     cl.pool,
+	})
 	if err != nil {
-		return err
-	}
-	rows, cols := t.Chunk.Rows, t.Chunk.Cols
-	for k := 0; k < t.Steps; k++ {
-		aBlks, bBlks, err := cl.TaskSet(t, k)
-		if err != nil {
-			return err
+		// Surface the scheduler's verdict (dead, replaced, a TaskSet or
+		// Complete failure, …) rather than the pipe closure it caused.
+		// The worker's exit closed the pipe, so the feeder is done or
+		// about to be — the receive cannot block for long.
+		if schedErr := feed.TakeNextErr(); schedErr != nil {
+			return schedErr
 		}
-		if len(aBlks) != rows || len(bBlks) != cols {
-			return fmt.Errorf("cluster: set %d has %dx%d operands, want %dx%d",
-				k, len(aBlks), len(bBlks), rows, cols)
-		}
-		if cores > 1 {
-			blas.ParallelUpdateChunk(blocks, aBlks, bBlks, rows, cols, q, cores)
-			continue
-		}
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				blas.BlockUpdate(blocks[i*cols+j], aBlks[i], bBlks[j], q)
-			}
+		if fe := <-feedErr; fe != nil {
+			return fe
 		}
 	}
-	return cl.Complete(id, t, blocks)
+	return err
 }

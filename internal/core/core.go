@@ -9,7 +9,10 @@
 // costs c_i time units.
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Problem describes one matrix-product instance in block units.
 type Problem struct {
@@ -79,6 +82,41 @@ func (p Problem) String() string {
 	nA, nAB, nB := p.ElementDims()
 	return fmt.Sprintf("C(%dx%d) += A(%dx%d)*B(%dx%d), q=%d (r=%d t=%d s=%d)",
 		nA, nB, nA, nAB, nAB, nB, p.Q, p.R, p.T, p.S)
+}
+
+// ChunkFootprint returns the worker-memory blocks needed to serve a
+// rows×cols chunk of C with stage staged update sets: the resident tile
+// plus stage·(rows+cols) operand buffers (each update set is rows A
+// blocks and cols B blocks). This is the one place the paper's layout
+// arithmetic lives: for a square µ-chunk it evaluates to the µ² + 2µ
+// layout of DDOML at stage 1 and the overlapped µ² + 4µ layout of §5 at
+// stage 2. Every consumer — the µ selection in internal/platform, the
+// cluster dispatcher's memory gate, the engine's staging docs — derives
+// from it rather than re-rounding its own variant.
+func ChunkFootprint(rows, cols, stage int) int {
+	return rows*cols + stage*(rows+cols)
+}
+
+// MaxChunkSide returns the largest µ ≥ 0 with
+// ChunkFootprint(µ, µ, stage) ≤ m, i.e. µ² + 2·stage·µ ≤ m. The float
+// seed is fixed up with exact integer checks so the µ/memory boundary
+// never suffers rounding drift.
+func MaxChunkSide(m, stage int) int {
+	if m < 1 || stage < 0 {
+		return 0
+	}
+	s := float64(stage)
+	mu := int(math.Sqrt(float64(m)+s*s) - s)
+	if mu < 0 {
+		mu = 0
+	}
+	for ChunkFootprint(mu+1, mu+1, stage) <= m {
+		mu++
+	}
+	for mu > 0 && ChunkFootprint(mu, mu, stage) > m {
+		mu--
+	}
+	return mu
 }
 
 // Result summarizes one scheduled/simulated/real execution. All algorithms

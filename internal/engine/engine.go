@@ -1,0 +1,161 @@
+// Package engine is the one demand-driven master/worker engine behind
+// every runtime in the repository: the in-process goroutine runtime
+// (internal/mw), the single-job TCP runtime (internal/netmw) and the
+// cluster service (internal/cluster via internal/netmw/server.go) all
+// drive the same protocol logic through a small Transport interface,
+// so the paper's one-port model (§2.2), the staging discipline and the
+// demand-driven ODDOML routing (§8.2) are implemented exactly once.
+//
+// The engine splits the protocol into three roles:
+//
+//   - RunWorker is the worker program: a reader/compute pipeline that
+//     stages incoming update sets (StageCap), pipelines whole
+//     assignments (Slots), and shards each block-update sweep across
+//     Cores goroutines. Pull* flags select the request discipline, which
+//     is what distinguishes the three runtimes' wire dialects: the
+//     single-job demand protocol pulls assignments, sets and result
+//     pickups; the cluster protocol pulls only sets (tasks are pushed);
+//     static plan replay pulls nothing.
+//   - RunMaster is the single-job demand master: it owns the matrices,
+//     serves worker requests strictly first-come first-served from a
+//     shared FIFO, keeps a per-worker queue of in-flight assignments
+//     (so prefetching workers hold two), and routes update sets to the
+//     oldest incomplete assignment.
+//   - RunFeeder is the pushed-task master of the cluster service: it
+//     keeps up to Slots assignments in flight to one worker, pulling
+//     them from a Feed (the cluster scheduler), and routes set requests
+//     and results exactly like RunMaster routes them.
+//
+// Messages carry q×q block payloads as [][]float64. Buffer ownership is
+// explicit: a message whose Owned flag is set hands its buffers to the
+// receiver, which must release them to a BlockPool when done; an
+// unowned message shares read-only references (the zero-copy in-process
+// path). Transports that serialize (TCP) rewrite the flag on each hop.
+// With pooling, steady-state runs stop allocating per message — see
+// BenchmarkTransport.
+package engine
+
+import "errors"
+
+// Sentinel errors of the engine protocol.
+var (
+	// ErrClosed is returned by transport endpoints after Close.
+	ErrClosed = errors.New("engine: transport closed")
+	// ErrKilled reports the FailAfter test hook severing a worker
+	// mid-assignment (the kill-a-worker scenario of the recovery tests).
+	ErrKilled = errors.New("engine: worker killed (test hook)")
+	// ErrFeedDone tells RunFeeder the feed has no more work ever (clean
+	// shutdown): drain the in-flight assignments, say goodbye, stop.
+	ErrFeedDone = errors.New("engine: feed finished")
+	// ErrStaleResult marks a completion the feed no longer wants (the
+	// assignment was revoked); the feeder drops it and frees the slot.
+	ErrStaleResult = errors.New("engine: stale result")
+)
+
+// ReqKind is the kind of a worker request.
+type ReqKind byte
+
+// Request kinds: the worker asks for its next assignment, for the next
+// update set of its oldest incomplete assignment, or announces a result
+// pickup. The numeric values are the single-job wire encoding.
+const (
+	ReqAssign ReqKind = iota
+	ReqSet
+	ReqResult
+)
+
+// AssignID names one assignment on the wire. The single-job runtimes use
+// only A (the chunk id); the cluster protocol uses the (Job, Seq,
+// Attempt) triple so stale completions are detectable.
+type AssignID struct {
+	A, B, C uint32
+}
+
+// Msg is one engine protocol message. Concrete types: *Assign, *Set,
+// *Request, *Result, Bye.
+type Msg interface {
+	engineMsg()
+}
+
+// Assign hands a worker one unit of work: a Rows×Cols tile of C (blocks
+// of q² coefficients, row-major) to be updated by Steps update sets.
+type Assign struct {
+	ID         AssignID
+	I0, J0     int // tile position in C's block grid (informational)
+	Rows, Cols int
+	Q          int
+	Steps      int
+	Blocks     [][]float64
+	// Owned hands the block buffers to the receiver, which mutates them
+	// in place and must eventually release them. Unowned blocks are
+	// shared references the receiver must copy before mutating (only
+	// serializing transports may consume them as-is).
+	Owned bool
+}
+
+// Set carries the operand blocks of one inner step k: Rows blocks of
+// A(·,k) then Cols blocks of B(k,·), the maximum re-use update set.
+type Set struct {
+	K    int
+	A, B [][]float64
+	// Owned hands the buffers to the receiver for release after the
+	// update is applied; unowned sets are read-only shared references.
+	Owned bool
+}
+
+// Request is a worker-to-master demand: serve me a transfer of the given
+// kind as soon as the port is free.
+type Request struct {
+	Kind ReqKind
+}
+
+// Shared immutable Request instances: requests carry nothing but their
+// kind, so every sender and every transport returns these instead of
+// allocating one per message (the demand protocol sends a request per
+// update set — on the steady-state path that is one allocation per
+// message saved).
+var (
+	RequestAssign = &Request{Kind: ReqAssign}
+	RequestSet    = &Request{Kind: ReqSet}
+	RequestResult = &Request{Kind: ReqResult}
+)
+
+// RequestOf returns the shared instance for a kind.
+func RequestOf(kind ReqKind) *Request {
+	switch kind {
+	case ReqAssign:
+		return RequestAssign
+	case ReqSet:
+		return RequestSet
+	default:
+		return RequestResult
+	}
+}
+
+// Result returns a finished assignment's C blocks.
+type Result struct {
+	ID     AssignID
+	Blocks [][]float64
+	Owned  bool
+}
+
+// Bye tells a worker to shut down cleanly.
+type Bye struct{}
+
+func (*Assign) engineMsg()  {}
+func (*Set) engineMsg()     {}
+func (*Request) engineMsg() {}
+func (*Result) engineMsg()  {}
+func (Bye) engineMsg()      {}
+
+// Transport moves engine messages between one master-side endpoint and
+// one worker-side endpoint. Send transfers ownership of the message and
+// its Owned buffers; Recv grants ownership of Owned buffers to the
+// caller. Implementations must allow Send and Recv to run concurrently
+// with each other and with Close; Close unblocks both with ErrClosed
+// (or the implementation's connection error).
+type Transport interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+}

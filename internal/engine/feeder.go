@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Feed is the scheduler behind a RunFeeder session: it produces
+// assignments for one worker, materializes their update sets, and
+// consumes their results. The cluster scheduler (internal/cluster) is
+// the production implementation; conformance tests script small fakes.
+//
+// Next blocks until an assignment is available. It returns ErrFeedDone
+// (possibly wrapped) for a clean shutdown — the feeder then drains the
+// worker's in-flight assignments and says Bye — and any other error to
+// sever the session immediately (the peer is expected to re-register).
+//
+// Complete may return ErrStaleResult (possibly wrapped) for a result
+// the feed no longer wants; the feeder drops it and frees the slot.
+//
+// Lost is called exactly once, as soon as the feeder knows the session
+// is over (connection death or drain), whatever the cause; the feed
+// uses it to requeue whatever the worker still held. Calls to Next may
+// still be blocked when Lost fires — Lost must unblock them.
+type Feed interface {
+	Next() (*Assign, error)
+	Set(id AssignID, k int) (*Set, error)
+	Complete(id AssignID, blocks [][]float64) error
+	Lost()
+}
+
+// FeederConfig configures one RunFeeder session.
+type FeederConfig struct {
+	// Slots is how many assignments are kept in flight to the worker,
+	// so the next tile streams down while the current one computes.
+	// Minimum 1.
+	Slots int
+	// Pool receives the buffers of Owned results once Complete has
+	// consumed them; nil disables pooling.
+	Pool *BlockPool
+}
+
+// outAssign is one assignment shipped to the worker and not yet
+// retired: the dispatcher appends, the event loop streams its sets in
+// oldest-incomplete-first order and retires it on its result. It copies
+// the metadata out of the Assign message because Send consumes the
+// message itself — a serializing transport (or the receiving worker, on
+// the in-process pipe) recycles it the moment it is delivered.
+type outAssign struct {
+	id         AssignID
+	steps      int
+	rows, cols int
+	q          int
+	sent       int // update sets streamed so far
+}
+
+// feederEvent is one worker message surfaced by the reader goroutine.
+type feederEvent struct {
+	req    bool
+	result *Result
+}
+
+// RunFeeder drives one worker session of the cluster dialect: a
+// dispatcher goroutine keeps up to Slots assignments in flight (pulled
+// from the feed), the reader surfaces worker frames, and the event loop
+// routes set requests to the oldest incomplete assignment and retires
+// results — the same demand-driven staging discipline RunMaster serves,
+// with the scheduler deciding what each assignment is.
+//
+// On a clean feed shutdown the worker's in-flight assignments drain
+// before Bye lands, so a pipelined worker sees a goodbye at an
+// assignment boundary, never a mid-task reset. Any transport error
+// declares the worker lost (feed.Lost requeues what it held).
+func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) error {
+	slots := cfg.Slots
+	if slots < 1 {
+		slots = 1
+	}
+
+	events := make(chan feederEvent, 16)
+	// On any session exit, drain until the reader closes the channel
+	// (Close right after unblocks it), so a peer that pipelined extra
+	// frames can't strand the reader on a full channel forever.
+	defer func() {
+		tr.Close()
+		go func() {
+			for range events {
+			}
+		}()
+	}()
+	go func() {
+		defer close(events)
+		// A dead transport is a lost worker, declared immediately: this
+		// both requeues whatever the worker held and wakes the
+		// dispatcher goroutine out of a blocked feed.Next.
+		defer feed.Lost()
+		for {
+			m, err := tr.Recv()
+			if err != nil {
+				return
+			}
+			switch m := m.(type) {
+			case *Request:
+				if m.Kind != ReqSet {
+					tr.Close()
+					return
+				}
+				events <- feederEvent{req: true}
+			case *Result:
+				events <- feederEvent{result: m}
+			default:
+				tr.Close()
+				return
+			}
+		}
+	}()
+
+	// Dispatcher: fill the worker's slots. Each assignment is pushed to
+	// the assigned channel BEFORE its frame is sent, so by the time the
+	// worker reacts to it, the event loop can learn about it by
+	// draining the channel.
+	assigned := make(chan *outAssign, slots)
+	sem := make(chan struct{}, slots)
+	sessDone := make(chan struct{})
+	defer close(sessDone)
+	go func() {
+		for {
+			select {
+			case sem <- struct{}{}:
+			case <-sessDone:
+				return
+			}
+			as, err := feed.Next()
+			if errors.Is(err, ErrFeedDone) {
+				// Clean shutdown: let the worker's in-flight assignments
+				// drain (acquire every slot; the event loop releases one
+				// per retired assignment) so Bye lands at a boundary.
+				held := 1 // the token acquired at the top of this loop
+				for held < slots {
+					select {
+					case sem <- struct{}{}:
+						held++
+					case <-sessDone:
+						return
+					}
+				}
+				tr.Send(Bye{}) // the worker should not retry
+				tr.Close()
+				return
+			}
+			if err != nil {
+				tr.Close() // declared dead or replaced: the peer re-registers
+				return
+			}
+			select {
+			case assigned <- &outAssign{id: as.ID, steps: as.Steps,
+				rows: as.Rows, cols: as.Cols, q: as.Q}:
+			case <-sessDone:
+				return
+			}
+			if err := tr.Send(as); err != nil {
+				tr.Close()
+				return
+			}
+		}
+	}()
+
+	// Event loop: route set requests to the oldest incomplete
+	// assignment, retire results.
+	var outq []*outAssign
+	drainAssigned := func() {
+		for {
+			select {
+			case oa := <-assigned:
+				outq = append(outq, oa)
+			default:
+				return
+			}
+		}
+	}
+	for ev := range events {
+		drainAssigned()
+		switch {
+		case ev.req:
+			var cur *outAssign
+			for _, oa := range outq {
+				if oa.sent < oa.steps {
+					cur = oa
+					break
+				}
+			}
+			if cur == nil {
+				return fmt.Errorf("engine: protocol violation: set request with no sets left to stream")
+			}
+			set, err := feed.Set(cur.id, cur.sent)
+			if err != nil {
+				return err
+			}
+			if err := tr.Send(set); err != nil {
+				return err
+			}
+			cur.sent++
+		case ev.result != nil:
+			res := ev.result
+			idx := -1
+			for i, oa := range outq {
+				if oa.id == res.ID {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("engine: result for an assignment this session does not hold")
+			}
+			oa := outq[idx]
+			if len(res.Blocks) != oa.rows*oa.cols {
+				return fmt.Errorf("engine: result has %d blocks, want %d",
+					len(res.Blocks), oa.rows*oa.cols)
+			}
+			for _, blk := range res.Blocks {
+				if len(blk) != oa.q*oa.q {
+					return fmt.Errorf("engine: result block has %d elements, want %d",
+						len(blk), oa.q*oa.q)
+				}
+			}
+			err := feed.Complete(res.ID, res.Blocks)
+			if err != nil && !errors.Is(err, ErrStaleResult) {
+				return err
+			}
+			if res.Owned {
+				cfg.Pool.PutAll(res.Blocks)
+			}
+			res.Blocks = nil
+			cfg.Pool.PutResult(res)
+			outq = append(outq[:idx], outq[idx+1:]...)
+			<-sem // slot freed: the dispatcher may fetch the next assignment
+		}
+	}
+	// events closed: the session ended (clean Bye drain or connection
+	// death); the reader already declared the worker lost, requeuing
+	// everything still in outq.
+	return nil
+}

@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// MasterConfig configures a single-job demand-driven master run.
+type MasterConfig struct {
+	// Timeout bounds each wait for a worker request or result; 0 waits
+	// forever (the in-process runtime, whose channels cannot stall).
+	Timeout time.Duration
+	// CopyAssigns copies each assignment's C blocks into pooled buffers
+	// before Send. In-process transports need it (the worker mutates the
+	// blocks it receives, and the master matrix must stay clean until
+	// the result lands); serializing transports can share references and
+	// skip the copy.
+	CopyAssigns bool
+	// Pool supplies the assignment copies and receives every Owned
+	// result buffer once it is stored; nil disables pooling.
+	Pool *BlockPool
+}
+
+// MasterStats summarizes a master run.
+type MasterStats struct {
+	// Blocks is the master-side communication volume: blocks sent plus
+	// received, the paper's CCR numerator.
+	Blocks int64
+}
+
+// masterReq is one worker request surfaced by a reader goroutine.
+type masterReq struct {
+	worker int
+	kind   ReqKind
+}
+
+// assignState is the master's record of one chunk assigned to a worker:
+// the chunk and how many of its update sets have shipped. Workers
+// compute their assignments in FIFO order, so each worker's assignments
+// form a queue and update sets route to the oldest incomplete one.
+type assignState struct {
+	chunk *sim.Chunk
+	step  int
+}
+
+// RunMaster distributes C ← C + A·B across the workers behind the given
+// transports with the demand-driven one-port protocol of §8.2: worker
+// requests are served strictly first-come first-served from a shared
+// FIFO, chunks are handed out from the pool in order, update sets route
+// to each worker's oldest incomplete assignment, and results retire the
+// front of its queue. On return every worker has been sent Bye (best
+// effort on failure) and every transport is closed.
+func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cfg MasterConfig) (MasterStats, error) {
+	var stats MasterStats
+
+	// Reader stage: one goroutine per worker surfaces requests into the
+	// shared FIFO and results into a per-worker queue. Requests and
+	// results stay on separate channels so waiting for one worker's
+	// result never consumes (or reorders) another worker's queued
+	// requests. The queues are deep enough that a well-behaved worker
+	// never fills them (at most StageCap+3 requests and Slots results
+	// outstanding), but every queue send also selects on quit so a peer
+	// that pipelines unsolicited frames can't strand its reader — and
+	// finish — on a full channel forever.
+	quit := make(chan struct{})
+	reqs := make(chan masterReq, len(links)*32)
+	errs := make(chan error, len(links))
+	results := make([]chan *Result, len(links))
+	readersDone := make(chan struct{}, len(links))
+	for w, tr := range links {
+		results[w] = make(chan *Result, 8)
+		go func(w int, tr Transport) {
+			defer func() { readersDone <- struct{}{} }()
+			for {
+				m, err := tr.Recv()
+				if err != nil {
+					errs <- err
+					return
+				}
+				switch m := m.(type) {
+				case *Request:
+					select {
+					case reqs <- masterReq{worker: w, kind: m.Kind}:
+					case <-quit:
+						return
+					}
+				case *Result:
+					select {
+					case results[w] <- m:
+					case <-quit:
+						return
+					}
+				default:
+					errs <- fmt.Errorf("engine: master got unexpected %T from worker %d", m, w)
+					return
+				}
+			}
+		}(w, tr)
+	}
+	finish := func() {
+		close(quit)
+		for _, tr := range links {
+			tr.Send(Bye{}) // best effort: the peer may already be gone
+			tr.Close()
+		}
+		for range links {
+			<-readersDone
+		}
+	}
+	fail := func(err error) (MasterStats, error) {
+		finish()
+		return stats, err
+	}
+
+	// One reusable timer arms a per-wait deadline without allocating per
+	// message (a nil channel when Timeout is 0 never fires).
+	var timer *time.Timer
+	arm := func() <-chan time.Time {
+		if cfg.Timeout <= 0 {
+			return nil
+		}
+		if timer == nil {
+			timer = time.NewTimer(cfg.Timeout)
+		} else {
+			timer.Reset(cfg.Timeout)
+		}
+		return timer.C
+	}
+	disarm := func() {
+		if timer != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+
+	assigned := make([][]*assignState, len(links))
+	remaining := len(pool)
+	for remaining > 0 {
+		var rq masterReq
+		select {
+		case rq = <-reqs:
+			disarm()
+		case err := <-errs:
+			return fail(err)
+		case <-arm():
+			return fail(fmt.Errorf("engine: timed out waiting for worker requests"))
+		}
+		w := rq.worker
+		switch rq.kind {
+		case ReqAssign:
+			if len(pool) == 0 {
+				continue // pool drained; the worker idles until Bye
+			}
+			ch := pool[0]
+			pool = pool[1:]
+			assigned[w] = append(assigned[w], &assignState{chunk: ch})
+			if err := links[w].Send(MakeAssign(c, ch, cfg)); err != nil {
+				return fail(err)
+			}
+			stats.Blocks += int64(ch.Blocks)
+		case ReqSet:
+			var cur *assignState
+			for _, as := range assigned[w] {
+				if as.step < len(as.chunk.Steps) {
+					cur = as
+					break
+				}
+			}
+			if cur == nil {
+				return fail(fmt.Errorf("engine: protocol violation, set request from worker %d with no open assignment", w))
+			}
+			if err := links[w].Send(MakeSet(a, b, cur.chunk, cur.step, cfg.Pool)); err != nil {
+				return fail(err)
+			}
+			stats.Blocks += int64(cur.chunk.Rows + cur.chunk.Cols)
+			cur.step++
+		case ReqResult:
+			if len(assigned[w]) == 0 {
+				return fail(fmt.Errorf("engine: protocol violation, result pickup from worker %d with nothing assigned", w))
+			}
+			front := assigned[w][0]
+			assigned[w] = assigned[w][1:]
+			var res *Result
+			select {
+			case res = <-results[w]:
+				disarm()
+			case err := <-errs:
+				return fail(err)
+			case <-arm():
+				return fail(fmt.Errorf("engine: timed out waiting for result"))
+			}
+			if err := StoreResult(c, front.chunk, res, cfg.Pool); err != nil {
+				return fail(err)
+			}
+			stats.Blocks += int64(front.chunk.Blocks)
+			remaining--
+		default:
+			return fail(fmt.Errorf("engine: unknown request kind %d", rq.kind))
+		}
+	}
+	finish()
+	return stats, nil
+}
+
+// MakeAssign builds the Assign for a chunk: pooled copies of the C tile
+// when CopyAssigns (in-process transports), shared references otherwise.
+// It is exported for the static plan-replay master (internal/mw), which
+// materializes the same transfers in a fixed order instead of on demand.
+func MakeAssign(c *matrix.Blocked, ch *sim.Chunk, cfg MasterConfig) *Assign {
+	as := cfg.Pool.GetAssign()
+	for i := 0; i < ch.Rows; i++ {
+		for j := 0; j < ch.Cols; j++ {
+			src := c.Block(ch.I0+i, ch.J0+j).Data
+			if cfg.CopyAssigns {
+				as.Blocks = append(as.Blocks, cfg.Pool.GetCopy(src))
+			} else {
+				as.Blocks = append(as.Blocks, src)
+			}
+		}
+	}
+	as.ID = AssignID{A: uint32(ch.ID)}
+	as.I0, as.J0 = ch.I0, ch.J0
+	as.Rows, as.Cols, as.Q, as.Steps = ch.Rows, ch.Cols, c.Q, len(ch.Steps)
+	as.Owned = cfg.CopyAssigns
+	return as
+}
+
+// MakeSet builds the k-th update set for a chunk as shared references:
+// the operands are read-only, so no transport needs a copy. The Set
+// itself is recycled through the pool by its consumer.
+func MakeSet(a, b *matrix.Blocked, ch *sim.Chunk, k int, pool *BlockPool) *Set {
+	set := pool.GetSet()
+	set.K = k
+	for i := 0; i < ch.Rows; i++ {
+		set.A = append(set.A, a.Block(ch.I0+i, k).Data)
+	}
+	for j := 0; j < ch.Cols; j++ {
+		set.B = append(set.B, b.Block(k, ch.J0+j).Data)
+	}
+	return set
+}
+
+// StoreResult writes a returned tile back into C and releases the
+// buffers of an owned result — the explicit release on result-ack.
+func StoreResult(c *matrix.Blocked, ch *sim.Chunk, res *Result, pool *BlockPool) error {
+	q := c.Q
+	if len(res.Blocks) != ch.Rows*ch.Cols {
+		return fmt.Errorf("engine: result has %d blocks, want %d", len(res.Blocks), ch.Rows*ch.Cols)
+	}
+	for _, blk := range res.Blocks {
+		if len(blk) != q*q {
+			return fmt.Errorf("engine: result block has %d elements, want %d", len(blk), q*q)
+		}
+	}
+	for i := 0; i < ch.Rows; i++ {
+		for j := 0; j < ch.Cols; j++ {
+			copy(c.Block(ch.I0+i, ch.J0+j).Data, res.Blocks[i*ch.Cols+j])
+		}
+	}
+	// The store consumes the result: release its buffers and recycle the
+	// message itself.
+	if res.Owned {
+		pool.PutAll(res.Blocks)
+	}
+	res.Blocks = nil
+	pool.PutResult(res)
+	return nil
+}

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/blas"
+)
+
+// WorkerConfig configures one engine worker session. The Pull* flags
+// select the request discipline and are what distinguishes the three
+// runtimes' dialects of the one protocol:
+//
+//   - demand single-job (mw demand, netmw): PullAssigns, PullSets and
+//     PullResults all true — the worker announces every transfer it can
+//     accept and the master serves strictly first-come first-served;
+//   - cluster (netmw cluster worker, cluster local worker): only
+//     PullSets — the server pushes up to Slots tasks, results return
+//     unannounced;
+//   - static plan replay (mw static): none — the master's plan fixes
+//     the whole communication order, the worker just consumes.
+type WorkerConfig struct {
+	// StageCap is how many update sets the worker stages ahead of the
+	// compute (the paper's staging buffers; 1 or 2). Minimum 1.
+	StageCap int
+	// Slots is how many assignments the worker pipelines: with ≥ 2 the
+	// next tile streams down while the current one computes (the §5
+	// overlapped layout made real). Minimum 1.
+	Slots int
+	// Cores shards each block-update sweep across this many kernel
+	// goroutines (≤ 1 = the sequential kernel). Results are
+	// bit-identical at any value.
+	Cores int
+	// Spin adds artificial per-block-update busy-wait so tests can
+	// emulate slower processors deterministically. Spinning forces the
+	// sequential kernel.
+	Spin time.Duration
+
+	PullAssigns bool // request assignments (and re-request after each)
+	PullSets    bool // request update sets as staging slots free
+	PullResults bool // announce each result pickup before sending it
+
+	// Pool receives the buffers of Owned messages once they are
+	// consumed; nil disables pooling.
+	Pool *BlockPool
+
+	// FailAfter is a test hook: the worker severs its transport without
+	// warning when assignment FailAfter+1 arrives (0 = never) — the
+	// kill-a-worker-mid-job scenario of the recovery tests.
+	FailAfter int
+}
+
+// WorkerReport summarizes one worker session.
+type WorkerReport struct {
+	Assignments int
+	Updates     int64
+}
+
+// RunWorker executes the worker side of the protocol until the master
+// says Bye (returns nil) or the transport fails (returns the error).
+//
+// The session is a two-stage pipeline: a reader goroutine stages
+// incoming messages (assignments into a Slots-deep queue, update sets
+// into a StageCap-deep queue) while this goroutine computes, so
+// transfers overlap compute exactly as the paper's µ²+4µ layout
+// reserves space for.
+func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
+	if cfg.StageCap < 1 {
+		cfg.StageCap = 1
+	}
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	var rep WorkerReport
+
+	assigns := make(chan *Assign, cfg.Slots)
+	// The reader's hand is the last staging slot: with a StageCap-1 deep
+	// channel, at most StageCap sets are resident ahead of the compute,
+	// and a pushing master (static replay over the synchronous pipe)
+	// blocks exactly when the paper's staging area is full.
+	sets := make(chan *Set, cfg.StageCap-1)
+	readErr := make(chan error, 1)
+	// Every queue send also selects on quit so a session that ends while
+	// the reader holds an undeliverable message (connection death with
+	// full staging) reaps the reader instead of leaking it; closed on
+	// every return path.
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		defer close(assigns)
+		defer close(sets)
+		// In every dialect an assignment's frame precedes its update
+		// sets, so a set arriving when the announced assignments have no
+		// steps left is a protocol violation — erroring here keeps a
+		// master that floods unsolicited sets from wedging the session
+		// on a full staging queue.
+		var stepsSeen, setsSeen int64
+		for {
+			m, err := tr.Recv()
+			if err != nil {
+				readErr <- fmt.Errorf("engine: worker read: %w", err)
+				return
+			}
+			switch m := m.(type) {
+			case Bye:
+				return
+			case *Assign:
+				stepsSeen += int64(m.Steps)
+				select {
+				case assigns <- m:
+				case <-quit:
+					return
+				}
+			case *Set:
+				if setsSeen == stepsSeen {
+					readErr <- fmt.Errorf("engine: worker got an update set with no assignment wanting one")
+					return
+				}
+				setsSeen++
+				select {
+				case sets <- m:
+				case <-quit:
+					return
+				}
+			default:
+				readErr <- fmt.Errorf("engine: worker got unexpected %T", m)
+				return
+			}
+		}
+	}()
+	fail := func(err error) (WorkerReport, error) {
+		tr.Close() // unblock the reader
+		return rep, err
+	}
+	request := func(kind ReqKind) error { return tr.Send(RequestOf(kind)) }
+
+	if cfg.PullAssigns {
+		if err := request(ReqAssign); err != nil {
+			return fail(err)
+		}
+	}
+	for as := range assigns {
+		if cfg.FailAfter > 0 && rep.Assignments >= cfg.FailAfter {
+			tr.Close() // vanish mid-job, still holding the assignment
+			return rep, ErrKilled
+		}
+		if cfg.PullAssigns && cfg.Slots > 1 {
+			// double-buffer: the next tile's transfer overlaps this
+			// tile's compute
+			if err := request(ReqAssign); err != nil {
+				return fail(err)
+			}
+		}
+		pre := 0
+		if cfg.PullSets {
+			pre = min(cfg.StageCap, as.Steps)
+			for k := 0; k < pre; k++ {
+				if err := request(ReqSet); err != nil {
+					return fail(err)
+				}
+			}
+		}
+		for k := 0; k < as.Steps; k++ {
+			set, ok := <-sets
+			if !ok {
+				select {
+				case err := <-readErr:
+					return rep, err
+				default:
+					return rep, fmt.Errorf("engine: master hung up mid-assignment")
+				}
+			}
+			if cfg.PullSets && k+pre < as.Steps {
+				// a staging slot just freed: request the next set
+				if err := request(ReqSet); err != nil {
+					return fail(err)
+				}
+			}
+			if err := applySet(as, set, cfg, &rep.Updates); err != nil {
+				return fail(err)
+			}
+			if set.Owned {
+				cfg.Pool.PutAll(set.A)
+				cfg.Pool.PutAll(set.B)
+			}
+			cfg.Pool.PutSet(set)
+		}
+
+		if cfg.PullResults {
+			if err := request(ReqResult); err != nil {
+				return fail(err)
+			}
+		}
+		// The result takes over the assignment's blocks (and their
+		// header); the emptied Assign recycles immediately.
+		res := cfg.Pool.GetResult()
+		res.ID, res.Blocks, res.Owned = as.ID, as.Blocks, as.Owned
+		as.Blocks = nil
+		cfg.Pool.PutAssign(as)
+		if err := tr.Send(res); err != nil {
+			return fail(err)
+		}
+		rep.Assignments++
+		if cfg.PullAssigns && cfg.Slots == 1 {
+			if err := request(ReqAssign); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	// assigns closed: clean Bye, or reader error.
+	select {
+	case err := <-readErr:
+		return rep, err
+	default:
+		return rep, nil
+	}
+}
+
+// applySet applies one update set to the resident tile: the sharded
+// kernel when Cores > 1, the sequential per-block loop otherwise (or
+// when spinning — the spin emulates a slower sequential processor).
+// Both paths produce bit-identical results.
+func applySet(as *Assign, set *Set, cfg WorkerConfig, updates *int64) error {
+	rows, cols, q := as.Rows, as.Cols, as.Q
+	if len(set.A) != rows || len(set.B) != cols {
+		return fmt.Errorf("engine: set %d has %dx%d operands, want %dx%d",
+			set.K, len(set.A), len(set.B), rows, cols)
+	}
+	if cfg.Cores > 1 && cfg.Spin == 0 {
+		blas.ParallelUpdateChunk(as.Blocks, set.A, set.B, rows, cols, q, cfg.Cores)
+		*updates += int64(rows) * int64(cols)
+		return nil
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			blas.BlockUpdate(as.Blocks[i*cols+j], set.A[i], set.B[j], q)
+			*updates++
+			if cfg.Spin > 0 {
+				spinFor(cfg.Spin)
+			}
+		}
+	}
+	return nil
+}
+
+// spinFor busy-waits to emulate extra compute cost deterministically
+// (time.Sleep granularity is too coarse at block scale).
+func spinFor(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d {
+		runtime.Gosched()
+	}
+}

@@ -3,34 +3,34 @@
 // worker running as goroutines and every transfer moving actual q×q
 // blocks.
 //
-// The runtime is the stand-in for the paper's MPI deployment (§8): the
-// master goroutine owns the three matrices and performs every
-// communication itself, one at a time — the one-port model holds by
-// construction because the master is a single sequential goroutine whose
-// channel operations block when a worker's staging area is full. Worker
-// memory is bounded by the channel capacities plus one resident C chunk,
-// which mirrors the µ² + 4µ ≤ m layout.
+// The runtime is a thin shell over the shared engine (internal/engine):
+// workers are engine.RunWorker goroutines behind engine.Pipe transports,
+// so the protocol logic — staging caps, demand FIFOs, chunk prefetch —
+// lives in exactly one place, shared with the TCP runtime and the
+// cluster service. The pipes are synchronous, so the one-port model
+// holds by construction: the master is a single sequential goroutine
+// whose sends block when a worker's staging area is full. Transfers are
+// zero-copy where safe (operand sets move by reference; C tiles are
+// copied through a block pool because the worker mutates them).
 //
 // Two driving modes are provided:
 //
 //   - Static: the master replays the communication order of a homog.Plan
 //     (Algorithm 1, or any other static order such as the OMMOML plan).
-//   - Demand: workers post requests (chunk, update set, result pickup) to
-//     a shared FIFO the moment they can accept the corresponding
-//     transfer, and the master serves them in arrival order — the ODDOML
-//     discipline of §8.2.
+//   - Demand: engine.RunMaster serves worker requests (chunk, update
+//     set, result pickup) in arrival order — the ODDOML discipline of
+//     §8.2.
 //
 // Both modes are verified to compute C ← C + A·B exactly.
 package mw
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
-	"repro/internal/blas"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/homog"
 	"repro/internal/matrix"
 	"repro/internal/platform"
@@ -81,31 +81,6 @@ type Report struct {
 	PerWorker []int64 // block updates performed by each worker
 }
 
-// chunkJob carries one C chunk to a worker and back.
-type chunkJob struct {
-	chunk *sim.Chunk
-	data  [][]float64 // rows*cols block payloads, row-major
-}
-
-// abset carries the operand blocks of one inner step k: the B row then
-// the A column of the maximum re-use layout.
-type abset struct {
-	k     int
-	aBlks [][]float64 // rows blocks of A(·,k)
-	bBlks [][]float64 // cols blocks of B(k,·)
-}
-
-type workerChans struct {
-	jobs    chan *chunkJob
-	sets    chan *abset
-	results chan *chunkJob
-}
-
-type request struct {
-	worker int
-	kind   sim.OpKind
-}
-
 // Multiply computes C ← C + A·B on the runtime. A is r×t, B t×s, C r×s
 // blocks of identical q. It returns a report with the wall-clock time and
 // the per-worker update counts.
@@ -152,126 +127,63 @@ func Multiply(c, a, b *matrix.Blocked, cfg Config) (Report, error) {
 	return rep, nil
 }
 
-// staticWorker is the worker program of Algorithm 2: receive a C chunk,
-// then for each k receive an update set and apply it, then return the
-// chunk.
-func staticWorker(q, t, cores int, ch workerChans, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
-	defer wg.Done()
-	for job := range ch.jobs {
-		applyJob(q, t, cores, job, ch.sets, updates, spin)
-		ch.results <- job
-	}
+// workerSet is the in-process worker fleet: engine workers behind pipe
+// transports, with their reports collected on exit.
+type workerSet struct {
+	links   []engine.Transport // master-side pipe ends
+	updates []int64
+	wg      sync.WaitGroup
 }
 
-// applyJob consumes the job's t update sets and applies them.
-func applyJob(q, t, cores int, job *chunkJob, sets <-chan *abset, updates *int64, spin time.Duration) {
-	rows, cols := job.chunk.Rows, job.chunk.Cols
-	for k := 0; k < t; k++ {
-		set := <-sets
-		applySet(q, rows, cols, cores, job, set, updates, spin)
+// startWorkers launches one engine worker goroutine per pipe pair. The
+// Pull* flags select the dialect: all three for demand mode, none for
+// static replay (the plan fixes the communication order, so the workers
+// just consume transfers and return results).
+func startWorkers(n int, cfg Config, pull bool, pool *engine.BlockPool) *workerSet {
+	ws := &workerSet{links: make([]engine.Transport, n), updates: make([]int64, n)}
+	slots := 1
+	if pull && cfg.Prefetch {
+		slots = 2
 	}
+	for w := 0; w < n; w++ {
+		master, worker := engine.Pipe()
+		ws.links[w] = master
+		ws.wg.Add(1)
+		go func(w int, tr engine.Transport) {
+			defer ws.wg.Done()
+			rep, _ := engine.RunWorker(tr, engine.WorkerConfig{
+				StageCap: cfg.StageCap, Slots: slots,
+				Cores: cfg.Cores, Spin: cfg.SpinPerUpdate,
+				PullAssigns: pull, PullSets: pull, PullResults: pull,
+				Pool: pool,
+			})
+			ws.updates[w] = rep.Updates
+		}(w, worker)
+	}
+	return ws
 }
 
-// applySet applies one update set to the resident chunk: the sequential
-// per-block loop when spinning (the spin emulates a slower sequential
-// processor) or single-core, the sharded kernel otherwise. Both paths
-// produce bit-identical results.
-func applySet(q, rows, cols, cores int, job *chunkJob, set *abset, updates *int64, spin time.Duration) {
-	if cores > 1 && spin == 0 {
-		blas.ParallelUpdateChunk(job.data, set.aBlks, set.bBlks, rows, cols, q, cores)
-		*updates += int64(rows) * int64(cols)
-		return
+// finish says goodbye on every pipe and joins the workers.
+func (ws *workerSet) finish() {
+	for _, tr := range ws.links {
+		tr.Send(engine.Bye{}) // best effort; the peer may have failed
+		tr.Close()
 	}
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			blas.BlockUpdate(job.data[i*cols+j], set.aBlks[i], set.bBlks[j], q)
-			*updates++
-			if spin > 0 {
-				spinFor(spin)
-			}
-		}
-	}
+	ws.wg.Wait()
 }
 
-// spinFor busy-waits to emulate extra compute cost deterministically
-// (time.Sleep granularity is too coarse at block scale).
-func spinFor(d time.Duration) {
-	t0 := time.Now()
-	for time.Since(t0) < d {
-		runtime.Gosched()
-	}
-}
-
-// makeJob copies the chunk's C blocks out of the master matrix — the
-// "transfer" down to the worker.
-func makeJob(c *matrix.Blocked, chunk *sim.Chunk) *chunkJob {
-	data := make([][]float64, chunk.Rows*chunk.Cols)
-	for i := 0; i < chunk.Rows; i++ {
-		for j := 0; j < chunk.Cols; j++ {
-			src := c.Block(chunk.I0+i, chunk.J0+j).Data
-			buf := make([]float64, len(src))
-			copy(buf, src)
-			data[i*chunk.Cols+j] = buf
-		}
-	}
-	return &chunkJob{chunk: chunk, data: data}
-}
-
-// makeSet copies the k-th operand blocks for a chunk — the update-set
-// transfer (µ B blocks and µ A blocks).
-func makeSet(a, b *matrix.Blocked, chunk *sim.Chunk, k int) *abset {
-	set := &abset{k: k}
-	for i := 0; i < chunk.Rows; i++ {
-		src := a.Block(chunk.I0+i, k).Data
-		buf := make([]float64, len(src))
-		copy(buf, src)
-		set.aBlks = append(set.aBlks, buf)
-	}
-	for j := 0; j < chunk.Cols; j++ {
-		src := b.Block(k, chunk.J0+j).Data
-		buf := make([]float64, len(src))
-		copy(buf, src)
-		set.bBlks = append(set.bBlks, buf)
-	}
-	return set
-}
-
-// storeJob writes a returned chunk back into C — the result transfer.
-func storeJob(c *matrix.Blocked, job *chunkJob) {
-	chunk := job.chunk
-	for i := 0; i < chunk.Rows; i++ {
-		for j := 0; j < chunk.Cols; j++ {
-			copy(c.Block(chunk.I0+i, chunk.J0+j).Data, job.data[i*chunk.Cols+j])
-		}
-	}
-}
-
-// runStatic replays a static plan. The per-worker progress (current chunk
-// and step) is tracked master-side so SendAB ops know which operands to
-// ship.
+// runStatic replays a static plan: the master walks the plan's
+// communication order, materializing each op as an engine message on the
+// worker's pipe. The per-worker progress (current chunk and step) is
+// tracked here so SendAB ops know which operands to ship; the workers
+// are ordinary engine workers that pull nothing.
 func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, error) {
 	plan := cfg.Plan
 	if plan == nil {
 		plan = homog.BuildPlan(dummyPlatform(cfg.Workers), pr, cfg.Workers, cfg.Mu)
 	}
-	chans := make([]workerChans, cfg.Workers)
-	updates := make([]int64, cfg.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		chans[w] = workerChans{
-			jobs:    make(chan *chunkJob, 1),
-			sets:    make(chan *abset, cfg.StageCap),
-			results: make(chan *chunkJob, 1),
-		}
-		wg.Add(1)
-		go staticWorker(pr.Q, pr.T, cfg.Cores, chans[w], &updates[w], cfg.SpinPerUpdate, &wg)
-	}
-	finish := func() {
-		for w := range chans {
-			close(chans[w].jobs)
-		}
-		wg.Wait()
-	}
+	pool := engine.NewBlockPool()
+	ws := startWorkers(cfg.Workers, cfg, false, pool)
 
 	queues := make([][]*sim.Chunk, cfg.Workers)
 	for w := range queues {
@@ -283,191 +195,87 @@ func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 	step := make([]int, cfg.Workers)
 	var blocks int64
 
+	mcfg := engine.MasterConfig{CopyAssigns: true, Pool: pool}
 	for _, op := range plan.Ops {
 		w := op.Worker
 		if w < 0 || w >= cfg.Workers {
-			finish()
+			ws.finish()
 			return Report{}, fmt.Errorf("mw: plan references worker %d of %d", w+1, cfg.Workers)
 		}
 		switch op.Kind {
 		case sim.SendC:
 			if active[w] != nil || len(queues[w]) == 0 {
-				finish()
+				ws.finish()
 				return Report{}, fmt.Errorf("mw: invalid SendC to P%d", w+1)
 			}
 			active[w] = queues[w][0]
 			queues[w] = queues[w][1:]
 			step[w] = 0
-			chans[w].jobs <- makeJob(c, active[w])
+			if err := ws.links[w].Send(engine.MakeAssign(c, active[w], mcfg)); err != nil {
+				ws.finish()
+				return Report{}, err
+			}
 			blocks += int64(active[w].Blocks)
 		case sim.SendAB:
 			ch := active[w]
 			if ch == nil || step[w] >= len(ch.Steps) {
-				finish()
+				ws.finish()
 				return Report{}, fmt.Errorf("mw: invalid SendAB to P%d", w+1)
 			}
-			chans[w].sets <- makeSet(a, b, ch, step[w])
+			if err := ws.links[w].Send(engine.MakeSet(a, b, ch, step[w], pool)); err != nil {
+				ws.finish()
+				return Report{}, err
+			}
 			blocks += int64(ch.Rows + ch.Cols)
 			step[w]++
 		case sim.RecvC:
 			ch := active[w]
 			if ch == nil {
-				finish()
+				ws.finish()
 				return Report{}, fmt.Errorf("mw: invalid RecvC from P%d", w+1)
 			}
-			job := <-chans[w].results
-			storeJob(c, job)
+			msg, err := ws.links[w].Recv()
+			if err != nil {
+				ws.finish()
+				return Report{}, err
+			}
+			res, ok := msg.(*engine.Result)
+			if !ok {
+				ws.finish()
+				return Report{}, fmt.Errorf("mw: worker P%d sent %T, want a result", w+1, msg)
+			}
+			if err := engine.StoreResult(c, ch, res, pool); err != nil {
+				ws.finish()
+				return Report{}, err
+			}
 			blocks += int64(ch.Blocks)
 			active[w] = nil
 		}
 	}
-	finish()
+	ws.finish()
 	return Report{
 		Result:    core.Result{Algorithm: "mw-static", Blocks: blocks},
-		PerWorker: updates,
+		PerWorker: ws.updates,
 	}, nil
 }
 
-// demandWorker posts a request the moment it can accept each transfer:
-// a chunk request when idle, an update-set request whenever a staging
-// slot is free, and a result pickup when the chunk completes. The master
-// can therefore serve strictly first-come first-served without ever
-// blocking on a full channel.
-//
-// With prefetch on, the worker requests its next chunk right after
-// receiving the current one, so the next C tile streams down while this
-// one computes — the pipeline stage of the overlapped layout. The
-// compute order stays FIFO, so the master routes update sets to the
-// oldest incomplete chunk.
-func demandWorker(w, q, t, stageCap, cores int, prefetch bool, ch workerChans, reqs chan<- request, updates *int64, spin time.Duration, wg *sync.WaitGroup) {
-	defer wg.Done()
-	reqs <- request{w, sim.SendC}
-	for job := range ch.jobs {
-		if prefetch {
-			// double-buffer: the next chunk's transfer overlaps this
-			// chunk's compute
-			reqs <- request{w, sim.SendC}
-		}
-		rows, cols := job.chunk.Rows, job.chunk.Cols
-		// pre-request the staging fill
-		pre := stageCap
-		if pre > t {
-			pre = t
-		}
-		for k := 0; k < pre; k++ {
-			reqs <- request{w, sim.SendAB}
-		}
-		for k := 0; k < t; k++ {
-			set := <-ch.sets
-			// a staging slot just freed: request the next set
-			if k+pre < t {
-				reqs <- request{w, sim.SendAB}
-			}
-			applySet(q, rows, cols, cores, job, set, updates, spin)
-		}
-		reqs <- request{w, sim.RecvC}
-		ch.results <- job
-		if !prefetch {
-			reqs <- request{w, sim.SendC}
-		}
-	}
-}
-
-// chunkState is the master's record of one chunk assigned to a worker:
-// the chunk and how many of its update sets have shipped. Workers
-// compute assigned chunks in FIFO order, so each worker's assignments
-// form a queue.
-type chunkState struct {
-	chunk *sim.Chunk
-	step  int
-}
-
-// runDemand serves worker requests FIFO over the shared request channel.
+// runDemand serves worker requests FIFO through the shared engine
+// master over pipe transports.
 func runDemand(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, error) {
-	_, pool := homog.ChunkGrid(pr, cfg.Mu)
-	chans := make([]workerChans, cfg.Workers)
-	updates := make([]int64, cfg.Workers)
-	// ample buffering: each worker has at most StageCap+3 outstanding
-	// requests (prefetch adds one), and one final chunk request after
-	// the pool drains.
-	reqs := make(chan request, cfg.Workers*(cfg.StageCap+4))
-	jobCap := 1
-	if cfg.Prefetch {
-		jobCap = 2
+	_, chunks := homog.ChunkGrid(pr, cfg.Mu)
+	pool := engine.NewBlockPool()
+	ws := startWorkers(cfg.Workers, cfg, true, pool)
+	stats, err := engine.RunMaster(c, a, b, chunks, ws.links, engine.MasterConfig{
+		CopyAssigns: true, Pool: pool,
+	})
+	ws.wg.Wait() // RunMaster already said Bye and closed the links
+	if err != nil {
+		return Report{}, err
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		chans[w] = workerChans{
-			jobs:    make(chan *chunkJob, jobCap),
-			sets:    make(chan *abset, cfg.StageCap),
-			results: make(chan *chunkJob, 1),
-		}
-		wg.Add(1)
-		go demandWorker(w, pr.Q, pr.T, cfg.StageCap, cfg.Cores, cfg.Prefetch, chans[w], reqs, &updates[w], cfg.SpinPerUpdate, &wg)
-	}
-
-	// assigned[w] is the FIFO of chunks worker w holds (at most two with
-	// prefetch): sets go to the oldest incomplete chunk, results pop the
-	// front.
-	assigned := make([][]*chunkState, cfg.Workers)
-	var blocks int64
-	remaining := len(pool)
-
-	for remaining > 0 {
-		rq := <-reqs
-		w := rq.worker
-		switch rq.kind {
-		case sim.SendC:
-			if len(pool) == 0 {
-				continue // pool drained; the worker stays idle
-			}
-			ch := pool[0]
-			pool = pool[1:]
-			assigned[w] = append(assigned[w], &chunkState{chunk: ch})
-			chans[w].jobs <- makeJob(c, ch)
-			blocks += int64(ch.Blocks)
-		case sim.SendAB:
-			var cur *chunkState
-			for _, cs := range assigned[w] {
-				if cs.step < len(cs.chunk.Steps) {
-					cur = cs
-					break
-				}
-			}
-			if cur == nil {
-				closeAll(chans)
-				wg.Wait()
-				return Report{}, fmt.Errorf("mw: protocol violation, SendAB request from P%d", w+1)
-			}
-			chans[w].sets <- makeSet(a, b, cur.chunk, cur.step)
-			blocks += int64(cur.chunk.Rows + cur.chunk.Cols)
-			cur.step++
-		case sim.RecvC:
-			if len(assigned[w]) == 0 {
-				closeAll(chans)
-				wg.Wait()
-				return Report{}, fmt.Errorf("mw: protocol violation, RecvC request from P%d", w+1)
-			}
-			front := assigned[w][0]
-			assigned[w] = assigned[w][1:]
-			job := <-chans[w].results
-			storeJob(c, job)
-			blocks += int64(front.chunk.Blocks)
-			remaining--
-		}
-	}
-	closeAll(chans)
-	wg.Wait()
 	return Report{
-		Result:    core.Result{Algorithm: "mw-demand", Blocks: blocks},
-		PerWorker: updates,
+		Result:    core.Result{Algorithm: "mw-demand", Blocks: stats.Blocks},
+		PerWorker: ws.updates,
 	}, nil
-}
-
-func closeAll(chans []workerChans) {
-	for w := range chans {
-		close(chans[w].jobs)
-	}
 }
 
 // dummyPlatform builds a placeholder platform when only the worker count

@@ -2,12 +2,13 @@ package netmw
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 )
 
@@ -57,7 +58,10 @@ var errSessionKilled = fmt.Errorf("netmw: cluster worker killed (test hook)")
 
 // RunClusterWorker joins an mmserve cluster, serves tasks until the
 // server says Bye, and reconnects (re-registering under the same name)
-// when the connection drops.
+// when the connection drops. Each session is a thin shell over the
+// engine: a TCP transport speaking the cluster dialect (tasks pushed,
+// sets pulled, results unannounced) under engine.RunWorker, plus the
+// registration handshake and the heartbeat beacon.
 func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
 	if cfg.Name == "" {
 		return ClusterWorkerReport{}, fmt.Errorf("netmw: cluster worker needs a name")
@@ -72,10 +76,11 @@ func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
 		cfg.Timeout = 2 * time.Minute
 	}
 	var rep ClusterWorkerReport
+	pool := engine.NewBlockPool()
 	left := cfg.Reconnect
 	for {
 		rep.Sessions++
-		tasks, clean, err := clusterSession(cfg, &rep)
+		tasks, clean, err := clusterSession(cfg, pool, &rep)
 		if clean {
 			return rep, nil
 		}
@@ -92,57 +97,18 @@ func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
 	}
 }
 
-// wireTask is one decoded MsgTask.
-type wireTask struct {
-	hdr     TaskHeader
-	cBlocks [][]float64
-}
-
-// decodeTask parses a MsgTask payload.
-func decodeTask(payload []byte) (*wireTask, error) {
-	wt := &wireTask{}
-	if err := wt.hdr.decode(payload); err != nil {
-		return nil, err
-	}
-	var err error
-	wt.cBlocks, err = decodeBlockList(payload[taskHeaderLen:],
-		int(wt.hdr.Rows), int(wt.hdr.Cols), int(wt.hdr.Q), int(wt.hdr.Steps))
-	if err != nil {
-		return nil, err
-	}
-	return wt, nil
-}
-
 // clusterSession runs one connection lifetime. clean reports a deliberate
 // Bye from the server (no reconnect wanted).
-//
-// The session is a pipeline: a reader goroutine receives and decodes
-// frames (tasks, update sets) while this goroutine computes, so with
-// Slots > 1 the next task's C tile streams down during the current
-// task's compute, and staged update sets overlap within each task.
-func clusterSession(cfg ClusterWorkerConfig, rep *ClusterWorkerReport) (tasks int, clean bool, err error) {
+func clusterSession(cfg ClusterWorkerConfig, pool *engine.BlockPool, rep *ClusterWorkerReport) (tasks int, clean bool, err error) {
 	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.Timeout)
 	if err != nil {
 		return 0, false, fmt.Errorf("netmw: dial %s: %w", cfg.Addr, err)
 	}
 	defer conn.Close()
-	r := bufio.NewReaderSize(conn, 1<<20)
-	w := bufio.NewWriterSize(conn, 1<<20)
-
-	// Heartbeats come from their own goroutine, so writes are serialized
-	// with a mutex; everything else is written by this goroutine.
-	var wmu sync.Mutex
-	send := func(t MsgType, payload []byte) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		if err := writeMsg(w, t, payload); err != nil {
-			return err
-		}
-		return w.Flush()
-	}
+	tr := newClusterWorkerTransport(conn, nil, nil, pool)
 
 	ri := RegisterInfo{Name: cfg.Name, Mem: uint32(cfg.Memory), Slots: uint16(cfg.Slots)}
-	if err := send(MsgRegister, ri.encode()); err != nil {
+	if err := tr.sendRegister(ri); err != nil {
 		return 0, false, err
 	}
 
@@ -157,7 +123,7 @@ func clusterSession(cfg ClusterWorkerConfig, rep *ClusterWorkerReport) (tasks in
 				case <-hbDone:
 					return
 				case <-tick.C:
-					if send(MsgHeartbeat, nil) != nil {
+					if tr.sendHeartbeat() != nil {
 						return
 					}
 				}
@@ -165,117 +131,22 @@ func clusterSession(cfg ClusterWorkerConfig, rep *ClusterWorkerReport) (tasks in
 		}()
 	}
 
-	// Reader stage: demultiplex frames into the task queue (capacity
-	// Slots — the server never over-fills it) and the set stream.
-	tasksCh := make(chan *wireTask, cfg.Slots)
-	sets := make(chan []byte, cfg.StageCap)
-	readErr := make(chan error, 1)
-	byeCh := make(chan struct{}, 1)
-	go func() {
-		defer close(tasksCh)
-		defer close(sets)
-		for {
-			t, payload, err := readMsg(r)
-			if err != nil {
-				readErr <- fmt.Errorf("netmw: cluster worker read: %w", err)
-				return
-			}
-			switch t {
-			case MsgBye:
-				byeCh <- struct{}{}
-				return
-			case MsgTask:
-				wt, err := decodeTask(payload)
-				if err != nil {
-					readErr <- err
-					return
-				}
-				tasksCh <- wt
-			case MsgSet:
-				sets <- payload
-			default:
-				readErr <- fmt.Errorf("netmw: cluster worker got unexpected message %d", t)
-				return
-			}
-		}
-	}()
-
-	sessionErr := func() error {
-		select {
-		case err := <-readErr:
-			return err
-		default:
-			return fmt.Errorf("netmw: cluster server hung up mid-task")
-		}
+	wrep, err := engine.RunWorker(tr, engine.WorkerConfig{
+		StageCap: cfg.StageCap, Slots: cfg.Slots,
+		Cores:     blas.DefaultWorkers(cfg.Cores),
+		PullSets:  true,
+		Pool:      pool,
+		FailAfter: cfg.failAfterTasks,
+	})
+	rep.Tasks += wrep.Assignments
+	rep.Updates += wrep.Updates
+	if err == nil {
+		return wrep.Assignments, true, nil
 	}
-
-	for wt := range tasksCh {
-		if cfg.failAfterTasks > 0 && tasks >= cfg.failAfterTasks {
-			conn.Close() // vanish mid-job, holding the assignment
-			return tasks, false, errSessionKilled
-		}
-		if err := runWireTask(wt, sets, send, cfg, rep); err != nil {
-			conn.Close()
-			return tasks, false, err
-		}
-		tasks++
-		rep.Tasks++
+	if errors.Is(err, engine.ErrKilled) {
+		return wrep.Assignments, false, errSessionKilled
 	}
-	// tasksCh closed: clean Bye or connection error.
-	select {
-	case <-byeCh:
-		return tasks, true, nil
-	default:
-		return tasks, false, sessionErr()
-	}
-}
-
-// runWireTask executes one decoded task: stream the update sets with the
-// staging protocol, apply the generic block update across the configured
-// cores, return the result.
-func runWireTask(wt *wireTask, sets <-chan []byte, send func(MsgType, []byte) error, cfg ClusterWorkerConfig, rep *ClusterWorkerReport) error {
-	hdr := wt.hdr
-	q := int(hdr.Q)
-	rows, cols, steps := int(hdr.Rows), int(hdr.Cols), int(hdr.Steps)
-
-	reqSet := func() error { return send(MsgReq, []byte{ReqSet}) }
-	pre := minInt(cfg.StageCap, steps)
-	for k := 0; k < pre; k++ {
-		if err := reqSet(); err != nil {
-			return err
-		}
-	}
-	for k := 0; k < steps; k++ {
-		sp, ok := <-sets
-		if !ok {
-			return fmt.Errorf("netmw: cluster server hung up mid-task")
-		}
-		if k+pre < steps {
-			if err := reqSet(); err != nil {
-				return err
-			}
-		}
-		aBlks, bBlks, err := decodeSetInto(sp, rows, cols, q)
-		if err != nil {
-			return err
-		}
-		blas.ParallelUpdateChunk(wt.cBlocks, aBlks, bBlks, rows, cols, q, blas.DefaultWorkers(cfg.Cores))
-		rep.Updates += int64(rows) * int64(cols)
-	}
-
-	res := make([]byte, taskResultHeaderLen, taskResultHeaderLen+8*q*q*rows*cols)
-	(&TaskResultHeader{Job: hdr.Job, Seq: hdr.Seq, Attempt: hdr.Attempt}).encode(res)
-	for _, blk := range wt.cBlocks {
-		res = putFloats(res, blk)
-	}
-	return send(MsgTaskResult, res)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return wrep.Assignments, false, err
 }
 
 // SubmitMatMulTCP submits C ← C + A·B to an mmserve cluster and blocks

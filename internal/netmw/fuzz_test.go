@@ -3,6 +3,8 @@ package netmw
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/engine"
 )
 
 // FuzzDecodeFrame throws arbitrary byte streams at the framing layer:
@@ -43,11 +45,13 @@ func FuzzDecodeFrame(f *testing.F) {
 
 // FuzzDecodeMsg drives every payload decoder of the wire protocol with
 // arbitrary bytes, selected by the first byte: malformed frames must
-// error, never panic and never allocate unboundedly. It covers the
-// worker-side decoders (jobs, tasks, update sets), the server-side
-// decoders (registration, results, job submissions) and the client-side
-// ones (job-done headers).
+// error, never panic and never allocate unboundedly. It covers the live
+// transport decode paths — the pooled worker-side decoders (jobs,
+// tasks, update sets via the geometry FIFO), the master-side flat
+// result and request decoders, the server-side ones (registration, job
+// submissions) and the client-side job-done headers.
 func FuzzDecodeMsg(f *testing.F) {
+	pool := engine.NewBlockPool()
 	// Seed with one well-formed payload per decoder so the corpus starts
 	// on the happy paths.
 	jobHdr := ChunkHeader{ID: 1, I0: 0, J0: 0, Rows: 1, Cols: 1, T: 2, Q: 2}
@@ -79,8 +83,14 @@ func FuzzDecodeMsg(f *testing.F) {
 	lp = putFloats(lp, []float64{1, 2, 3, 4})
 	f.Add(append([]byte{3}, lp...))
 
-	set := putFloats([]byte{0, 0, 0, 0}, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	// geometry selectors (rows 1, cols 1, q 2, steps 1), then K and the
+	// two operand blocks
+	set := putFloats([]byte{0, 0, 1, 0, 0, 0, 0, 0}, []float64{1, 2, 3, 4, 5, 6, 7, 8})
 	f.Add(append([]byte{4}, set...))
+
+	// q-selector (q 2) then one flat result block
+	flat := putFloats([]byte{1}, []float64{1, 2, 3, 4})
+	f.Add(append([]byte{7}, flat...))
 
 	trh := TaskResultHeader{Job: 1, Seq: 2, Attempt: 3}
 	rp := make([]byte, taskResultHeaderLen)
@@ -113,18 +123,28 @@ func FuzzDecodeMsg(f *testing.F) {
 			return
 		}
 		sel, payload := data[0], data[1:]
-		switch sel % 7 {
+		switch sel % 8 {
 		case 0:
-			if job, err := decodeJob(payload); err == nil {
-				if len(job.cBlocks) != int(job.hdr.Rows)*int(job.hdr.Cols) {
-					t.Fatalf("decodeJob produced %d blocks for %dx%d", len(job.cBlocks), job.hdr.Rows, job.hdr.Cols)
-				}
+			// the workerTransport MsgJob path: header + pooled block list
+			var hdr ChunkHeader
+			if err := hdr.decode(payload); err != nil {
+				return
+			}
+			blocks, err := decodeBlockListInto(nil, payload[chunkHeaderLen:],
+				int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T), pool)
+			if err == nil && len(blocks) != int(hdr.Rows)*int(hdr.Cols) {
+				t.Fatalf("MsgJob decode produced %d blocks for %dx%d", len(blocks), hdr.Rows, hdr.Cols)
 			}
 		case 1:
-			if wt, err := decodeTask(payload); err == nil {
-				if len(wt.cBlocks) != int(wt.hdr.Rows)*int(wt.hdr.Cols) {
-					t.Fatalf("decodeTask produced %d blocks for %dx%d", len(wt.cBlocks), wt.hdr.Rows, wt.hdr.Cols)
-				}
+			// the clusterWorkerTransport MsgTask path
+			var hdr TaskHeader
+			if err := hdr.decode(payload); err != nil {
+				return
+			}
+			blocks, err := decodeBlockListInto(nil, payload[taskHeaderLen:],
+				int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps), pool)
+			if err == nil && len(blocks) != int(hdr.Rows)*int(hdr.Cols) {
+				t.Fatalf("MsgTask decode produced %d blocks for %dx%d", len(blocks), hdr.Rows, hdr.Cols)
 			}
 		case 2:
 			var out RegisterInfo
@@ -141,20 +161,42 @@ func FuzzDecodeMsg(f *testing.F) {
 				t.Fatal("decodeJobSubmission returned an empty spec without error")
 			}
 		case 4:
-			// derive a small geometry from the payload itself
-			if len(payload) < 3 {
+			// the MsgSet path: decodeSetPooled against a geometry FIFO
+			// seeded from the payload itself, as the transports seed it
+			// from a validated prior assignment
+			if len(payload) < 4 {
 				return
 			}
+			var g geomFIFO
 			rows := int(payload[0]%4) + 1
 			cols := int(payload[1]%4) + 1
 			q := int(payload[2]%8) + 1
-			decodeSetInto(payload[3:], rows, cols, q)
+			steps := int(payload[3]%3) + 1
+			g.push(rows, cols, q, steps)
+			set, err := decodeSetPooled(payload[4:], &g, pool)
+			if err == nil {
+				if len(set.A) != rows || len(set.B) != cols {
+					t.Fatalf("MsgSet decode produced %dx%d operands for %dx%d", len(set.A), len(set.B), rows, cols)
+				}
+				pool.PutSet(set)
+			}
 		case 5:
 			var hdr TaskResultHeader
 			hdr.decode(payload)
 		case 6:
 			var hdr JobDoneHeader
 			hdr.decode(payload)
+		case 7:
+			// the masterTransport MsgResult path: flat blocks cut by the
+			// run's q, plus the one-byte request decoder
+			if len(payload) < 1 {
+				return
+			}
+			q := int(payload[0]%8) + 1
+			if blocks, err := decodeFlatBlocks(nil, payload[1:], q, pool); err == nil {
+				pool.PutAll(blocks)
+			}
+			decodeRequest(payload)
 		}
 	})
 }

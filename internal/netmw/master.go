@@ -1,16 +1,14 @@
 package netmw
 
 import (
-	"bufio"
 	"fmt"
 	"net"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/homog"
 	"repro/internal/matrix"
-	"repro/internal/sim"
 )
 
 // MasterConfig configures a distributed run.
@@ -26,14 +24,6 @@ type MasterReport struct {
 	Result  core.Result
 	Elapsed time.Duration
 	Addr    string // the actual listen address (useful with ":0")
-}
-
-type netWorker struct {
-	id      int
-	conn    net.Conn
-	w       *bufio.Writer
-	results chan []float64 // flattened chunk payloads returned
-	mem     int
 }
 
 // Serve runs the master: it listens, waits for cfg.Workers workers, then
@@ -66,6 +56,12 @@ func validate(c, a, b *matrix.Blocked, cfg MasterConfig) error {
 // ServeListener is Serve on an already-bound listener, which lets callers
 // bind to port 0 and learn the address (ln.Addr()) before the workers
 // dial in. The listener is closed on return.
+//
+// The master is a thin shell over the engine: one TCP transport per
+// accepted worker under engine.RunMaster, which serves the demand
+// protocol (FIFO requests, per-worker multi-chunk queues, set routing
+// to the oldest incomplete chunk) — the same engine the in-process
+// runtime drives over channels.
 func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (MasterReport, error) {
 	defer ln.Close()
 	if err := validate(c, a, b, cfg); err != nil {
@@ -76,17 +72,10 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 	}
 	rep := MasterReport{Addr: ln.Addr().String()}
 
-	type reqMsg struct {
-		worker int
-		kind   byte
-	}
-	reqs := make(chan reqMsg, cfg.Workers*8)
-	errs := make(chan error, cfg.Workers)
-	workers := make([]*netWorker, 0, cfg.Workers)
-	var readers sync.WaitGroup
-
+	pool := engine.NewBlockPool()
+	links := make([]engine.Transport, 0, cfg.Workers)
 	deadline := time.Now().Add(cfg.Timeout)
-	for len(workers) < cfg.Workers {
+	for len(links) < cfg.Workers {
 		if tl, ok := ln.(*net.TCPListener); ok {
 			if err := tl.SetDeadline(deadline); err != nil {
 				return rep, err
@@ -94,191 +83,29 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 		}
 		conn, err := ln.Accept()
 		if err != nil {
-			return rep, fmt.Errorf("netmw: accept (have %d/%d workers): %w", len(workers), cfg.Workers, err)
-		}
-		nw := &netWorker{
-			id:      len(workers),
-			conn:    conn,
-			w:       bufio.NewWriterSize(conn, 1<<20),
-			results: make(chan []float64, 1),
-		}
-		workers = append(workers, nw)
-		readers.Add(1)
-		go func(nw *netWorker) {
-			defer readers.Done()
-			r := bufio.NewReaderSize(nw.conn, 1<<20)
-			for {
-				t, payload, err := readMsg(r)
-				if err != nil {
-					return // connection closed (normal after Bye)
-				}
-				switch t {
-				case MsgHello:
-					// capacity currently informational
-				case MsgReq:
-					if len(payload) != 1 {
-						errs <- fmt.Errorf("netmw: bad request from worker %d", nw.id)
-						return
-					}
-					reqs <- reqMsg{nw.id, payload[0]}
-				case MsgResult:
-					if len(payload) < 4 {
-						errs <- fmt.Errorf("netmw: short result from worker %d (%d bytes)", nw.id, len(payload))
-						return
-					}
-					fs, _, err := getFloats(payload[4:], (len(payload)-4)/8)
-					if err != nil {
-						errs <- err
-						return
-					}
-					nw.results <- fs
-				default:
-					errs <- fmt.Errorf("netmw: unexpected message %d from worker %d", t, nw.id)
-					return
-				}
+			for _, tr := range links {
+				tr.Close()
 			}
-		}(nw)
+			return rep, fmt.Errorf("netmw: accept (have %d/%d workers): %w", len(links), cfg.Workers, err)
+		}
+		links = append(links, NewMasterTransport(conn, c.Q, pool))
 	}
 
 	start := time.Now()
 	pr := core.Problem{R: c.BR, S: c.BC, T: a.BC, Q: a.Q}
-	_, pool := homog.ChunkGrid(pr, cfg.Mu)
-	// Per-worker FIFO of assigned chunks with per-chunk set progress: a
-	// prefetching worker holds two chunks at once, computes them in
-	// order, and requests sets only for the oldest incomplete one.
-	type pendingChunk struct {
-		ch   *sim.Chunk
-		step int
-	}
-	assigned := make([][]*pendingChunk, cfg.Workers)
-	var blocks int64
-	remaining := len(pool)
-	q := pr.Q
-
-	sendJob := func(nw *netWorker, ch *sim.Chunk) error {
-		hdr := ChunkHeader{
-			ID: uint32(ch.ID), I0: uint32(ch.I0), J0: uint32(ch.J0),
-			Rows: uint32(ch.Rows), Cols: uint32(ch.Cols), T: uint32(pr.T), Q: uint32(q),
-		}
-		payload := make([]byte, chunkHeaderLen, chunkHeaderLen+8*q*q*ch.Rows*ch.Cols)
-		hdr.encode(payload)
-		for i := 0; i < ch.Rows; i++ {
-			for j := 0; j < ch.Cols; j++ {
-				payload = putFloats(payload, c.Block(ch.I0+i, ch.J0+j).Data)
-			}
-		}
-		if err := writeMsg(nw.w, MsgJob, payload); err != nil {
-			return err
-		}
-		return nw.w.Flush()
-	}
-	sendSet := func(nw *netWorker, ch *sim.Chunk, k int) error {
-		payload := make([]byte, 4, 4+8*q*q*(ch.Rows+ch.Cols))
-		payload[0] = byte(k)
-		payload[1] = byte(k >> 8)
-		payload[2] = byte(k >> 16)
-		payload[3] = byte(k >> 24)
-		for i := 0; i < ch.Rows; i++ {
-			payload = putFloats(payload, a.Block(ch.I0+i, k).Data)
-		}
-		for j := 0; j < ch.Cols; j++ {
-			payload = putFloats(payload, b.Block(k, ch.J0+j).Data)
-		}
-		if err := writeMsg(nw.w, MsgSet, payload); err != nil {
-			return err
-		}
-		return nw.w.Flush()
-	}
-
-	fail := func(err error) (MasterReport, error) {
-		for _, nw := range workers {
-			nw.conn.Close()
-		}
-		readers.Wait()
+	_, chunks := homog.ChunkGrid(pr, cfg.Mu)
+	stats, err := engine.RunMaster(c, a, b, chunks, links, engine.MasterConfig{
+		Timeout: cfg.Timeout, Pool: pool,
+	})
+	if err != nil {
 		return rep, err
 	}
-
-	for remaining > 0 {
-		var rq reqMsg
-		select {
-		case rq = <-reqs:
-		case err := <-errs:
-			return fail(err)
-		case <-time.After(cfg.Timeout):
-			return fail(fmt.Errorf("netmw: timed out waiting for worker requests"))
-		}
-		nw := workers[rq.worker]
-		switch rq.kind {
-		case ReqChunk:
-			if len(pool) == 0 {
-				continue
-			}
-			ch := pool[0]
-			pool = pool[1:]
-			assigned[rq.worker] = append(assigned[rq.worker], &pendingChunk{ch: ch})
-			if err := sendJob(nw, ch); err != nil {
-				return fail(err)
-			}
-			blocks += int64(ch.Blocks)
-		case ReqSet:
-			var cur *pendingChunk
-			for _, pc := range assigned[rq.worker] {
-				if pc.step < len(pc.ch.Steps) {
-					cur = pc
-					break
-				}
-			}
-			if cur == nil {
-				return fail(fmt.Errorf("netmw: protocol violation from worker %d", rq.worker))
-			}
-			if err := sendSet(nw, cur.ch, cur.step); err != nil {
-				return fail(err)
-			}
-			blocks += int64(cur.ch.Rows + cur.ch.Cols)
-			cur.step++
-		case ReqResult:
-			if len(assigned[rq.worker]) == 0 {
-				return fail(fmt.Errorf("netmw: unexpected result pickup from worker %d", rq.worker))
-			}
-			ch := assigned[rq.worker][0].ch
-			assigned[rq.worker] = assigned[rq.worker][1:]
-			var fs []float64
-			select {
-			case fs = <-nw.results:
-			case err := <-errs:
-				return fail(err)
-			case <-time.After(cfg.Timeout):
-				return fail(fmt.Errorf("netmw: timed out waiting for result"))
-			}
-			want := q * q * ch.Rows * ch.Cols
-			if len(fs) != want {
-				return fail(fmt.Errorf("netmw: result size %d, want %d", len(fs), want))
-			}
-			for i := 0; i < ch.Rows; i++ {
-				for j := 0; j < ch.Cols; j++ {
-					copy(c.Block(ch.I0+i, ch.J0+j).Data, fs[(i*ch.Cols+j)*q*q:(i*ch.Cols+j+1)*q*q])
-				}
-			}
-			blocks += int64(ch.Blocks)
-			remaining--
-		default:
-			return fail(fmt.Errorf("netmw: unknown request kind %d", rq.kind))
-		}
-	}
-
-	for _, nw := range workers {
-		if err := writeMsg(nw.w, MsgBye, nil); err == nil {
-			nw.w.Flush()
-		}
-		nw.conn.Close()
-	}
-	readers.Wait()
 	rep.Elapsed = time.Since(start)
 	rep.Result = core.Result{
 		Algorithm: "netmw",
 		Makespan:  rep.Elapsed.Seconds(),
 		Enrolled:  cfg.Workers,
-		Blocks:    blocks,
+		Blocks:    stats.Blocks,
 		Updates:   pr.Updates(),
 	}
 	return rep, nil

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/engine"
 )
 
 // MsgType tags a protocol message.
@@ -310,14 +312,22 @@ func readMsg(r io.Reader) (MsgType, []byte, error) {
 	if n32 > maxPayload {
 		return 0, nil, fmt.Errorf("netmw: oversized payload %d bytes", n32)
 	}
-	n := int(n32)
+	payload, err := readPayload(r, int(n32))
+	if err != nil {
+		return 0, nil, err
+	}
+	return MsgType(hdr[0]), payload, nil
+}
+
+// readPayload reads an n-byte payload with bounded-step growth.
+func readPayload(r io.Reader, n int) ([]byte, error) {
 	first := n
 	if first > readStep {
 		first = readStep
 	}
 	payload := make([]byte, first)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	// Grow by doubling, reading each byte exactly once into its final
 	// position: the buffer only ever reaches ~2× the bytes the peer has
@@ -342,10 +352,43 @@ func readMsg(r io.Reader) (MsgType, []byte, error) {
 		}
 		payload = payload[:off+chunk]
 		if _, err := io.ReadFull(r, payload[off:]); err != nil {
-			return 0, nil, err
+			return nil, err
 		}
 	}
-	return MsgType(hdr[0]), payload, nil
+	return payload, nil
+}
+
+// readMsgReuse is readMsg with a caller-owned scratch buffer: when the
+// scratch can hold the payload it is reused (the steady-state path
+// allocates nothing), otherwise the incremental-growth path of readMsg
+// runs and the grown buffer becomes the new scratch. The returned
+// payload aliases the scratch and must be fully consumed before the
+// next call.
+func readMsgReuse(r io.Reader, scratch []byte, hdr *[5]byte) (MsgType, []byte, []byte, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, scratch, err
+	}
+	n32 := binary.LittleEndian.Uint32(hdr[1:])
+	if n32 > maxPayload {
+		return 0, nil, scratch, fmt.Errorf("netmw: oversized payload %d bytes", n32)
+	}
+	n := int(n32)
+	if n <= cap(scratch) {
+		payload := scratch[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, scratch, err
+		}
+		return MsgType(hdr[0]), payload, scratch, nil
+	}
+	// Larger than anything seen on this connection so far: grow with the
+	// same bounded-step discipline as readMsg (a corrupted length prefix
+	// must not provoke a giant allocation for bytes that never come),
+	// then keep the result as the new scratch.
+	payload, err := readPayload(r, n)
+	if err != nil {
+		return 0, nil, scratch, err
+	}
+	return MsgType(hdr[0]), payload, payload, nil
 }
 
 // putFloats appends the raw little-endian encoding of fs to buf.
@@ -364,8 +407,33 @@ func getFloats(buf []byte, n int) ([]float64, []byte, error) {
 		return nil, nil, fmt.Errorf("netmw: short float payload: have %d bytes, want %d", len(buf), 8*n)
 	}
 	fs := make([]float64, n)
-	for i := range fs {
-		fs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-	}
+	getFloatsInto(fs, buf)
 	return fs, buf[8*n:], nil
+}
+
+// getFloatsInto decodes len(dst) doubles from buf into dst; the caller
+// has already checked that buf is long enough.
+func getFloatsInto(dst []float64, buf []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+}
+
+// decodeBlocksInto decodes nblocks blocks of q² doubles into pooled
+// buffers (engine.BlockPool.Get tolerates a nil pool), appending them
+// to dst — typically a recycled message's header, so the steady state
+// allocates neither the buffers nor the header. It returns the extended
+// header and the remaining bytes.
+func decodeBlocksInto(dst [][]float64, buf []byte, nblocks, q int, pool *engine.BlockPool) ([][]float64, []byte, error) {
+	n := q * q
+	if uint64(len(buf)) < uint64(nblocks)*uint64(n)*8 {
+		return nil, nil, fmt.Errorf("netmw: short block payload: have %d bytes, want %d blocks of q=%d", len(buf), nblocks, q)
+	}
+	for i := 0; i < nblocks; i++ {
+		blk := pool.Get(n)
+		getFloatsInto(blk, buf)
+		dst = append(dst, blk)
+		buf = buf[8*n:]
+	}
+	return dst, buf, nil
 }

@@ -2,14 +2,13 @@ package netmw
 
 import (
 	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 )
 
@@ -29,9 +28,10 @@ type ClusterServerConfig struct {
 // drives a cluster.Cluster. One connection is one role: a worker
 // (MsgRegister first) or a submitting client (MsgSubmit first).
 type ClusterServer struct {
-	cl  *cluster.Cluster
-	ln  net.Listener
-	cfg ClusterServerConfig
+	cl   *cluster.Cluster
+	ln   net.Listener
+	cfg  ClusterServerConfig
+	pool *engine.BlockPool // the cluster's pool, shared by all sessions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -48,6 +48,7 @@ func ServeCluster(cl *cluster.Cluster, cfg ClusterServerConfig) (*ClusterServer,
 	}
 	s := &ClusterServer{
 		cl: cl, ln: ln, cfg: cfg,
+		pool:  cl.BlockPool(),
 		conns: make(map[net.Conn]struct{}),
 		stop:  make(chan struct{}),
 	}
@@ -169,30 +170,13 @@ func (s *ClusterServer) handle(conn net.Conn) {
 	}
 }
 
-// wevent is one worker-connection event surfaced by the reader goroutine.
-type wevent struct {
-	kind   MsgType
-	result TaskResultHeader
-	blocks [][]float64
-}
-
-// outTask is one task shipped to a worker and not yet completed: the
-// dispatcher appends, the event loop streams its sets and retires it.
-type outTask struct {
-	task *cluster.Task
-	q    int
-	sent int // update sets streamed so far
-}
-
-// workerSession drives one registered worker as a pipeline: a dispatcher
-// goroutine keeps up to the worker's advertised Slots tasks in flight
-// (so the next task's C tile streams while the current one computes),
-// the reader goroutine surfaces worker frames, and this goroutine routes
-// update sets and stores results. Workers compute their tasks in FIFO
-// order and request sets only for the task they are computing, so set
-// requests route to the oldest task with sets left to stream. A
-// connection error at any point declares the worker lost, which requeues
-// every task it held.
+// workerSession drives one registered worker through the engine's
+// feeder: the transport frames tasks/sets/results and consumes
+// heartbeats, engine.RunFeeder keeps up to the worker's advertised
+// Slots tasks in flight and routes set requests to the oldest
+// incomplete task, and cluster.EngineFeed (shared with the in-process
+// local worker) bridges to the scheduler. A connection error at any
+// point declares the worker lost, which requeues every task it held.
 func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ri RegisterInfo) {
 	id := ri.Name
 	slots := int(ri.Slots)
@@ -210,222 +194,13 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 	if err != nil {
 		return
 	}
-	defer s.cl.WorkerLostEpoch(id, epoch)
-
-	events := make(chan wevent, 16)
-	// On any session exit, drain until the reader closes the channel
-	// (untrack closes the conn right after, which unblocks the reader),
-	// so a peer that pipelined extra frames can't strand the reader on a
-	// full channel forever.
-	defer func() {
-		go func() {
-			for range events {
-			}
-		}()
-	}()
-	go func() {
-		defer close(events)
-		// A dead connection is a lost worker, declared immediately: this
-		// both requeues whatever the worker held and wakes the dispatcher
-		// goroutine out of a blocked NextTask.
-		defer s.cl.WorkerLostEpoch(id, epoch)
-		for {
-			t, payload, err := readMsg(r)
-			if err != nil {
-				return
-			}
-			switch t {
-			case MsgHeartbeat:
-				if err := s.cl.Heartbeat(id); err != nil {
-					// Stale incarnation (declared dead, or replaced by a
-					// reconnect): drop the connection so the peer
-					// re-registers.
-					conn.Close()
-					return
-				}
-			case MsgReq:
-				if len(payload) != 1 || payload[0] != ReqSet {
-					conn.Close()
-					return
-				}
-				events <- wevent{kind: MsgReq}
-			case MsgTaskResult:
-				var hdr TaskResultHeader
-				if err := hdr.decode(payload); err != nil {
-					conn.Close()
-					return
-				}
-				rest := payload[taskResultHeaderLen:]
-				if len(rest)%8 != 0 {
-					conn.Close()
-					return
-				}
-				fs, _, err := getFloats(rest, len(rest)/8)
-				if err != nil {
-					conn.Close()
-					return
-				}
-				events <- wevent{kind: MsgTaskResult, result: hdr, blocks: [][]float64{fs}}
-			default:
-				conn.Close()
-				return
-			}
-		}
-	}()
-
-	// The dispatcher and the event loop both write frames; serialize.
-	var wmu sync.Mutex
-	send := func(t MsgType, payload []byte) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		if err := writeMsg(w, t, payload); err != nil {
-			return err
-		}
-		return w.Flush()
-	}
-
-	// Dispatcher: fill the worker's slots. Each assignment is pushed to
-	// the assigned channel BEFORE its MsgTask frame is written, so by the
-	// time the worker reacts to the task, the event loop can learn about
-	// it by draining the channel.
-	assigned := make(chan *outTask, slots)
-	sem := make(chan struct{}, slots)
-	sessDone := make(chan struct{})
-	defer close(sessDone)
-	go func() {
-		for {
-			select {
-			case sem <- struct{}{}:
-			case <-sessDone:
-				return
-			}
-			task, err := s.cl.NextTaskEpoch(id, epoch)
-			if errors.Is(err, cluster.ErrClosed) {
-				// Clean shutdown: let the worker's in-flight tasks drain
-				// (acquire every slot; the event loop releases one per
-				// retired task) so Bye lands at a task boundary — a
-				// pipelined worker must see a goodbye, not a mid-task
-				// reset that burns its reconnect budget.
-				held := 1 // the token acquired at the top of this loop
-				for held < slots {
-					select {
-					case sem <- struct{}{}:
-						held++
-					case <-sessDone:
-						return
-					}
-				}
-				send(MsgBye, nil) // the worker should not retry
-				conn.Close()
-				return
-			}
-			if err != nil {
-				conn.Close() // declared dead or replaced: the peer re-registers
-				return
-			}
-			blocks, q, err := s.cl.TaskChunk(task)
-			if err != nil {
-				conn.Close()
-				return
-			}
-			hdr := TaskHeader{
-				Job: uint32(task.Job), Seq: uint32(task.Seq), Attempt: uint32(task.Attempt),
-				Steps: uint32(task.Steps), Rows: uint32(task.Chunk.Rows), Cols: uint32(task.Chunk.Cols),
-				Q: uint32(q),
-			}
-			payload := make([]byte, taskHeaderLen, taskHeaderLen+8*q*q*len(blocks))
-			hdr.encode(payload)
-			for _, b := range blocks {
-				payload = putFloats(payload, b)
-			}
-			select {
-			case assigned <- &outTask{task: task, q: q}:
-			case <-sessDone:
-				return
-			}
-			if err := send(MsgTask, payload); err != nil {
-				conn.Close()
-				return
-			}
-		}
-	}()
-
-	// Event loop: route set requests to the oldest incomplete task,
-	// retire results.
-	var outq []*outTask
-	drainAssigned := func() {
-		for {
-			select {
-			case ot := <-assigned:
-				outq = append(outq, ot)
-			default:
-				return
-			}
-		}
-	}
-	for ev := range events {
-		drainAssigned()
-		switch ev.kind {
-		case MsgReq:
-			var cur *outTask
-			for _, ot := range outq {
-				if ot.sent < ot.task.Steps {
-					cur = ot
-					break
-				}
-			}
-			if cur == nil {
-				return // protocol violation: no task has sets left
-			}
-			aBlks, bBlks, err := s.cl.TaskSet(cur.task, cur.sent)
-			if err != nil {
-				return
-			}
-			q := cur.q
-			sp := make([]byte, 4, 4+8*q*q*(len(aBlks)+len(bBlks)))
-			binary.LittleEndian.PutUint32(sp, uint32(cur.sent))
-			for _, b := range aBlks {
-				sp = putFloats(sp, b)
-			}
-			for _, b := range bBlks {
-				sp = putFloats(sp, b)
-			}
-			if err := send(MsgSet, sp); err != nil {
-				return
-			}
-			cur.sent++
-		case MsgTaskResult:
-			idx := -1
-			for i, ot := range outq {
-				if uint32(ot.task.Job) == ev.result.Job &&
-					uint32(ot.task.Seq) == ev.result.Seq &&
-					uint32(ot.task.Attempt) == ev.result.Attempt {
-					idx = i
-					break
-				}
-			}
-			if idx < 0 {
-				return // result for an assignment this session doesn't hold
-			}
-			ot := outq[idx]
-			flat := ev.blocks[0]
-			want := ot.q * ot.q * ot.task.Chunk.Rows * ot.task.Chunk.Cols
-			if len(flat) != want {
-				return
-			}
-			out := make([][]float64, ot.task.Chunk.Rows*ot.task.Chunk.Cols)
-			for i := range out {
-				out[i] = flat[i*ot.q*ot.q : (i+1)*ot.q*ot.q]
-			}
-			if err := s.cl.Complete(id, ot.task, out); err != nil && !errors.Is(err, cluster.ErrStaleTask) {
-				return
-			}
-			outq = append(outq[:idx], outq[idx+1:]...)
-			<-sem // slot freed: the dispatcher may fetch the next task
-		}
-	}
-	// events closed: the connection died; the reader already declared the
-	// worker lost, requeuing everything in outq.
+	feed := cluster.NewEngineFeed(s.cl, id, epoch)
+	// RunFeeder's reader calls feed.Lost the moment the connection dies;
+	// the deferred call covers feeder-side exits (protocol violations)
+	// and is a no-op once the incarnation is already gone.
+	defer feed.Lost()
+	tr := newServerTransport(conn, r, w, s.pool, func() error { return s.cl.Heartbeat(id) })
+	engine.RunFeeder(tr, feed, engine.FeederConfig{Slots: slots, Pool: s.pool})
 }
 
 // clientSession serves one MsgSubmit: build the job, run it to

@@ -1,0 +1,552 @@
+package netmw
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// This file adapts the wire protocol (proto.go) to the engine's typed
+// messages: each transport owns one side of one connection, translating
+// engine.Msg values to frames and back. All protocol *logic* (routing,
+// staging, prefetch, slot gating) lives in internal/engine; these types
+// only frame, encode and decode — and recycle buffers, so the
+// steady-state path allocates per connection, not per message: frames
+// are read into a per-connection scratch buffer, payloads are encoded
+// into another, and block payloads decode into pooled q² buffers that
+// their consumers release (see engine.BlockPool).
+
+// connIO bundles the shared per-connection state of every transport.
+type connIO struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	pool *engine.BlockPool
+
+	wmu      sync.Mutex // serializes writers (dispatcher/event loop/heartbeat)
+	wbuf     []byte     // frame scratch (header + payload), reused under wmu
+	rscratch []byte     // frame scratch, single reader goroutine
+	rhdr     [5]byte    // frame-header scratch, single reader goroutine
+}
+
+func newConnIO(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool) *connIO {
+	if r == nil {
+		r = bufio.NewReaderSize(conn, 1<<20)
+	}
+	if w == nil {
+		w = bufio.NewWriterSize(conn, 1<<20)
+	}
+	return &connIO{conn: conn, r: r, w: w, pool: pool}
+}
+
+// writeFrame frames and flushes one message built by fill, which
+// appends the payload to the reused scratch buffer. The 5-byte frame
+// header is built in the same buffer, so one Write moves the whole
+// frame and nothing escapes per message.
+func (c *connIO) writeFrame(t MsgType, fill func(buf []byte) []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf := c.wbuf[:0]
+	buf = append(buf, byte(t), 0, 0, 0, 0)
+	if fill != nil {
+		buf = fill(buf)
+	}
+	c.wbuf = buf
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(buf)-5))
+	if _, err := c.w.Write(buf); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readFrame reads one frame into the connection scratch buffer. The
+// payload aliases the scratch and must be fully consumed before the
+// next readFrame.
+func (c *connIO) readFrame() (MsgType, []byte, error) {
+	t, payload, scratch, err := readMsgReuse(c.r, c.rscratch, &c.rhdr)
+	c.rscratch = scratch
+	return t, payload, err
+}
+
+func (c *connIO) Close() error { return c.conn.Close() }
+
+// sendSet frames a Set (uint32 k then the A and B blocks), releasing
+// owned operand buffers once serialized and recycling the message.
+func (c *connIO) sendSet(set *engine.Set) error {
+	err := c.writeFrame(MsgSet, func(buf []byte) []byte {
+		return c.appendSet(buf, set)
+	})
+	if err == nil {
+		c.pool.PutSet(set)
+	}
+	return err
+}
+
+// appendSet encodes a Set payload (uint32 k then the A and B blocks)
+// and releases owned operand buffers once serialized.
+func (c *connIO) appendSet(buf []byte, set *engine.Set) []byte {
+	var kb [4]byte
+	binary.LittleEndian.PutUint32(kb[:], uint32(set.K))
+	buf = append(buf, kb[:]...)
+	for _, blk := range set.A {
+		buf = putFloats(buf, blk)
+	}
+	for _, blk := range set.B {
+		buf = putFloats(buf, blk)
+	}
+	if set.Owned {
+		c.pool.PutAll(set.A)
+		c.pool.PutAll(set.B)
+	}
+	return buf
+}
+
+// appendBlocks encodes a block list and releases it if owned.
+func (c *connIO) appendBlocks(buf []byte, blocks [][]float64, owned bool) []byte {
+	for _, blk := range blocks {
+		buf = putFloats(buf, blk)
+	}
+	if owned {
+		c.pool.PutAll(blocks)
+	}
+	return buf
+}
+
+// geomEntry tracks the declared geometry of one in-flight assignment on
+// the worker side, so update-set frames (which carry no geometry of
+// their own) decode against the assignment they belong to. Assignments
+// are computed FIFO and the master streams sets to the oldest
+// incomplete one, so a FIFO of (geometry, sets remaining) suffices.
+type geomEntry struct {
+	rows, cols, q int
+	left          int
+}
+
+type geomFIFO struct{ q []geomEntry }
+
+func (g *geomFIFO) push(rows, cols, q, steps int) {
+	g.q = append(g.q, geomEntry{rows: rows, cols: cols, q: q, left: steps})
+}
+
+// front returns the oldest entry with sets left to receive.
+func (g *geomFIFO) front() *geomEntry {
+	for len(g.q) > 0 && g.q[0].left == 0 {
+		g.q = g.q[1:]
+	}
+	if len(g.q) == 0 {
+		return nil
+	}
+	return &g.q[0]
+}
+
+// decodeSetPooled decodes a MsgSet payload against the front geometry,
+// into pooled buffers.
+func decodeSetPooled(payload []byte, g *geomFIFO, pool *engine.BlockPool) (*engine.Set, error) {
+	fr := g.front()
+	if fr == nil {
+		return nil, fmt.Errorf("netmw: update set with no open assignment")
+	}
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("netmw: short set payload (%d bytes)", len(payload))
+	}
+	rows, cols, q := fr.rows, fr.cols, fr.q
+	if err := checkBlockPayload(len(payload)-4, rows+cols, q); err != nil {
+		return nil, err
+	}
+	set := pool.GetSet()
+	set.K = int(binary.LittleEndian.Uint32(payload))
+	set.Owned = true
+	rest := payload[4:]
+	var err error
+	if set.A, rest, err = decodeBlocksInto(set.A, rest, rows, q, pool); err != nil {
+		return nil, err
+	}
+	if set.B, _, err = decodeBlocksInto(set.B, rest, cols, q, pool); err != nil {
+		return nil, err
+	}
+	fr.left--
+	return set, nil
+}
+
+// --- single-job master side ----------------------------------------------
+
+// masterTransport is the master end of the single-job TCP protocol: it
+// frames assignments as MsgJob and update sets as MsgSet, and surfaces
+// worker requests and results (MsgHello is swallowed — the advertised
+// capacity is informational).
+type masterTransport struct {
+	*connIO
+	q int
+}
+
+// NewMasterTransport wraps the master side of one worker connection.
+// q is the run's block edge, needed to cut flat result payloads back
+// into pooled blocks. pool may be nil (no recycling).
+func NewMasterTransport(conn net.Conn, q int, pool *engine.BlockPool) engine.Transport {
+	return &masterTransport{connIO: newConnIO(conn, nil, nil, pool), q: q}
+}
+
+func (t *masterTransport) Send(m engine.Msg) error {
+	switch m := m.(type) {
+	case *engine.Assign:
+		hdr := ChunkHeader{
+			ID: m.ID.A, I0: uint32(m.I0), J0: uint32(m.J0),
+			Rows: uint32(m.Rows), Cols: uint32(m.Cols), T: uint32(m.Steps), Q: uint32(m.Q),
+		}
+		err := t.writeFrame(MsgJob, func(buf []byte) []byte {
+			off := len(buf)
+			buf = append(buf, make([]byte, chunkHeaderLen)...)
+			hdr.encode(buf[off:])
+			return t.appendBlocks(buf, m.Blocks, m.Owned)
+		})
+		if err == nil {
+			t.pool.PutAssign(m)
+		}
+		return err
+	case *engine.Set:
+		return t.sendSet(m)
+	case engine.Bye:
+		return t.writeFrame(MsgBye, nil)
+	default:
+		return fmt.Errorf("netmw: master transport cannot send %T", m)
+	}
+}
+
+func (t *masterTransport) Recv() (engine.Msg, error) {
+	for {
+		mt, payload, err := t.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch mt {
+		case MsgHello:
+			continue // capacity currently informational
+		case MsgReq:
+			req, err := decodeRequest(payload)
+			if err != nil {
+				return nil, err
+			}
+			return req, nil
+		case MsgResult:
+			if len(payload) < 4 {
+				return nil, fmt.Errorf("netmw: short result payload (%d bytes)", len(payload))
+			}
+			id := binary.LittleEndian.Uint32(payload)
+			res := t.pool.GetResult()
+			var err error
+			res.Blocks, err = decodeFlatBlocks(res.Blocks, payload[4:], t.q, t.pool)
+			if err != nil {
+				return nil, err
+			}
+			res.ID = engine.AssignID{A: id}
+			res.Owned = true
+			return res, nil
+		default:
+			return nil, fmt.Errorf("netmw: unexpected message %d from worker", mt)
+		}
+	}
+}
+
+// decodeRequest validates a MsgReq payload.
+func decodeRequest(payload []byte) (*engine.Request, error) {
+	if len(payload) != 1 || payload[0] > ReqResult {
+		return nil, fmt.Errorf("netmw: bad request payload")
+	}
+	return engine.RequestOf(engine.ReqKind(payload[0])), nil
+}
+
+// decodeFlatBlocks cuts a flat float payload into pooled q²-blocks
+// appended to dst (a recycled header).
+func decodeFlatBlocks(dst [][]float64, rest []byte, q int, pool *engine.BlockPool) ([][]float64, error) {
+	if q < 1 || q > maxWireDim {
+		return nil, fmt.Errorf("netmw: bad block size q=%d", q)
+	}
+	bs := q * q * 8
+	if len(rest)%bs != 0 {
+		return nil, fmt.Errorf("netmw: result payload %d bytes is not whole q=%d blocks", len(rest), q)
+	}
+	blocks, _, err := decodeBlocksInto(dst, rest, len(rest)/bs, q, pool)
+	return blocks, err
+}
+
+// --- single-job worker side ----------------------------------------------
+
+// workerTransport is the worker end of the single-job TCP protocol.
+type workerTransport struct {
+	*connIO
+	geom geomFIFO
+}
+
+// NewWorkerTransport wraps the worker side of a connection to a
+// single-job master. pool may be nil.
+func NewWorkerTransport(conn net.Conn, pool *engine.BlockPool) engine.Transport {
+	return &workerTransport{connIO: newConnIO(conn, nil, nil, pool)}
+}
+
+// newWorkerTransport is NewWorkerTransport over existing buffered IO.
+func newWorkerTransport(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool) *workerTransport {
+	return &workerTransport{connIO: newConnIO(conn, r, w, pool)}
+}
+
+// sendHello advertises the worker's capacity before the engine starts.
+func (t *workerTransport) sendHello(memory int) error {
+	return t.writeFrame(MsgHello, func(buf []byte) []byte {
+		var mb [4]byte
+		binary.LittleEndian.PutUint32(mb[:], uint32(memory))
+		return append(buf, mb[:]...)
+	})
+}
+
+func (t *workerTransport) Send(m engine.Msg) error {
+	switch m := m.(type) {
+	case *engine.Request:
+		return t.writeFrame(MsgReq, func(buf []byte) []byte {
+			return append(buf, byte(m.Kind))
+		})
+	case *engine.Result:
+		var idb [4]byte
+		binary.LittleEndian.PutUint32(idb[:], m.ID.A)
+		err := t.writeFrame(MsgResult, func(buf []byte) []byte {
+			buf = append(buf, idb[:]...)
+			return t.appendBlocks(buf, m.Blocks, m.Owned)
+		})
+		if err == nil {
+			t.pool.PutResult(m)
+		}
+		return err
+	default:
+		return fmt.Errorf("netmw: worker transport cannot send %T", m)
+	}
+}
+
+func (t *workerTransport) Recv() (engine.Msg, error) {
+	mt, payload, err := t.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch mt {
+	case MsgBye:
+		return engine.Bye{}, nil
+	case MsgJob:
+		var hdr ChunkHeader
+		if err := hdr.decode(payload); err != nil {
+			return nil, err
+		}
+		as := t.pool.GetAssign()
+		var err error
+		as.Blocks, err = decodeBlockListInto(as.Blocks, payload[chunkHeaderLen:],
+			int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T), t.pool)
+		if err != nil {
+			return nil, err
+		}
+		t.geom.push(int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T))
+		as.ID = engine.AssignID{A: hdr.ID}
+		as.I0, as.J0 = int(hdr.I0), int(hdr.J0)
+		as.Rows, as.Cols, as.Q, as.Steps = int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T)
+		as.Owned = true
+		return as, nil
+	case MsgSet:
+		return decodeSetPooled(payload, &t.geom, t.pool)
+	default:
+		return nil, fmt.Errorf("netmw: worker got unexpected message %d", mt)
+	}
+}
+
+// --- cluster worker side -------------------------------------------------
+
+// clusterWorkerTransport is the worker end of the cluster protocol:
+// tasks are pushed (MsgTask), only update sets are pulled, results
+// return as MsgTaskResult carrying the (Job, Seq, Attempt) identity.
+type clusterWorkerTransport struct {
+	*connIO
+	geom geomFIFO
+}
+
+// NewClusterWorkerTransport wraps the worker side of a connection to a
+// cluster server (post-registration). pool may be nil.
+func NewClusterWorkerTransport(conn net.Conn, pool *engine.BlockPool) engine.Transport {
+	return newClusterWorkerTransport(conn, nil, nil, pool)
+}
+
+func newClusterWorkerTransport(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool) *clusterWorkerTransport {
+	return &clusterWorkerTransport{connIO: newConnIO(conn, r, w, pool)}
+}
+
+// sendRegister announces the worker before the engine starts.
+func (t *clusterWorkerTransport) sendRegister(ri RegisterInfo) error {
+	return t.writeFrame(MsgRegister, func(buf []byte) []byte {
+		return append(buf, ri.encode()...)
+	})
+}
+
+// sendHeartbeat emits a liveness beacon; safe concurrently with Send.
+func (t *clusterWorkerTransport) sendHeartbeat() error {
+	return t.writeFrame(MsgHeartbeat, nil)
+}
+
+func (t *clusterWorkerTransport) Send(m engine.Msg) error {
+	switch m := m.(type) {
+	case *engine.Request:
+		if m.Kind != engine.ReqSet {
+			return fmt.Errorf("netmw: cluster workers only request update sets, got kind %d", m.Kind)
+		}
+		return t.writeFrame(MsgReq, func(buf []byte) []byte {
+			return append(buf, ReqSet)
+		})
+	case *engine.Result:
+		hdr := TaskResultHeader{Job: m.ID.A, Seq: m.ID.B, Attempt: m.ID.C}
+		err := t.writeFrame(MsgTaskResult, func(buf []byte) []byte {
+			off := len(buf)
+			buf = append(buf, make([]byte, taskResultHeaderLen)...)
+			hdr.encode(buf[off:])
+			return t.appendBlocks(buf, m.Blocks, m.Owned)
+		})
+		if err == nil {
+			t.pool.PutResult(m)
+		}
+		return err
+	default:
+		return fmt.Errorf("netmw: cluster worker transport cannot send %T", m)
+	}
+}
+
+func (t *clusterWorkerTransport) Recv() (engine.Msg, error) {
+	mt, payload, err := t.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch mt {
+	case MsgBye:
+		return engine.Bye{}, nil
+	case MsgTask:
+		var hdr TaskHeader
+		if err := hdr.decode(payload); err != nil {
+			return nil, err
+		}
+		as := t.pool.GetAssign()
+		var err error
+		as.Blocks, err = decodeBlockListInto(as.Blocks, payload[taskHeaderLen:],
+			int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps), t.pool)
+		if err != nil {
+			return nil, err
+		}
+		t.geom.push(int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps))
+		as.ID = engine.AssignID{A: hdr.Job, B: hdr.Seq, C: hdr.Attempt}
+		as.I0, as.J0 = 0, 0
+		as.Rows, as.Cols, as.Q, as.Steps = int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps)
+		as.Owned = true
+		return as, nil
+	case MsgSet:
+		return decodeSetPooled(payload, &t.geom, t.pool)
+	default:
+		return nil, fmt.Errorf("netmw: cluster worker got unexpected message %d", mt)
+	}
+}
+
+// --- cluster server side -------------------------------------------------
+
+// serverTransport is the server end of one cluster worker session.
+// Heartbeats are consumed inside Recv through the onHeartbeat hook; a
+// hook error severs the connection (the peer re-registers).
+type serverTransport struct {
+	*connIO
+	onHeartbeat func() error
+
+	mu   sync.Mutex
+	geom map[engine.AssignID]int // in-flight assignment → q, for result decode
+}
+
+// NewServerTransport wraps the server side of one cluster worker
+// connection (post-registration). onHeartbeat consumes MsgHeartbeat
+// frames; returning an error severs the connection. pool may be nil.
+func NewServerTransport(conn net.Conn, pool *engine.BlockPool, onHeartbeat func() error) engine.Transport {
+	return newServerTransport(conn, nil, nil, pool, onHeartbeat)
+}
+
+func newServerTransport(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool, onHeartbeat func() error) *serverTransport {
+	return &serverTransport{
+		connIO:      newConnIO(conn, r, w, pool),
+		onHeartbeat: onHeartbeat,
+		geom:        make(map[engine.AssignID]int),
+	}
+}
+
+func (t *serverTransport) Send(m engine.Msg) error {
+	switch m := m.(type) {
+	case *engine.Assign:
+		hdr := TaskHeader{
+			Job: m.ID.A, Seq: m.ID.B, Attempt: m.ID.C,
+			Steps: uint32(m.Steps), Rows: uint32(m.Rows), Cols: uint32(m.Cols), Q: uint32(m.Q),
+		}
+		t.mu.Lock()
+		t.geom[m.ID] = m.Q
+		t.mu.Unlock()
+		err := t.writeFrame(MsgTask, func(buf []byte) []byte {
+			off := len(buf)
+			buf = append(buf, make([]byte, taskHeaderLen)...)
+			hdr.encode(buf[off:])
+			return t.appendBlocks(buf, m.Blocks, m.Owned)
+		})
+		if err == nil {
+			t.pool.PutAssign(m)
+		}
+		return err
+	case *engine.Set:
+		return t.sendSet(m)
+	case engine.Bye:
+		return t.writeFrame(MsgBye, nil)
+	default:
+		return fmt.Errorf("netmw: server transport cannot send %T", m)
+	}
+}
+
+func (t *serverTransport) Recv() (engine.Msg, error) {
+	for {
+		mt, payload, err := t.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch mt {
+		case MsgHeartbeat:
+			if err := t.onHeartbeat(); err != nil {
+				// Stale incarnation (declared dead, or replaced by a
+				// reconnect): drop the connection so the peer
+				// re-registers.
+				t.conn.Close()
+				return nil, err
+			}
+		case MsgReq:
+			if len(payload) != 1 || payload[0] != ReqSet {
+				return nil, fmt.Errorf("netmw: bad worker request")
+			}
+			return engine.RequestSet, nil
+		case MsgTaskResult:
+			var hdr TaskResultHeader
+			if err := hdr.decode(payload); err != nil {
+				return nil, err
+			}
+			id := engine.AssignID{A: hdr.Job, B: hdr.Seq, C: hdr.Attempt}
+			t.mu.Lock()
+			q, ok := t.geom[id]
+			delete(t.geom, id)
+			t.mu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("netmw: result for unknown assignment %v", id)
+			}
+			res := t.pool.GetResult()
+			res.Blocks, err = decodeFlatBlocks(res.Blocks, payload[taskResultHeaderLen:], q, t.pool)
+			if err != nil {
+				return nil, err
+			}
+			res.ID = id
+			res.Owned = true
+			return res, nil
+		default:
+			return nil, fmt.Errorf("netmw: unexpected message %d from cluster worker", mt)
+		}
+	}
+}

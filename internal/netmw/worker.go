@@ -1,13 +1,12 @@
 package netmw
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"net"
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/engine"
 )
 
 // WorkerConfig configures one worker process.
@@ -32,17 +31,12 @@ type WorkerReport struct {
 	Updates int64
 }
 
-// wireJob is one decoded MsgJob.
-type wireJob struct {
-	hdr     ChunkHeader
-	cBlocks [][]float64
-}
-
-// decodeBlockList validates a wire-declared rows×cols×q geometry plus a
-// step count against the bytes actually present, then decodes the
-// rows·cols blocks of q² doubles. Shared by the job (MsgJob) and task
-// (MsgTask) decoders so validation fixes land in one place.
-func decodeBlockList(rest []byte, rows, cols, q, steps int) ([][]float64, error) {
+// decodeBlockListInto validates a wire-declared rows×cols×q geometry
+// plus a step count against the bytes actually present, then decodes
+// the rows·cols blocks of q² doubles into pooled buffers appended to a
+// recycled header. Shared by the job (MsgJob) and task (MsgTask)
+// transport decoders, so validation fixes land in one place.
+func decodeBlockListInto(dst [][]float64, rest []byte, rows, cols, q, steps int, pool *engine.BlockPool) ([][]float64, error) {
 	if err := checkGeometry(rows, cols, q); err != nil {
 		return nil, err
 	}
@@ -52,60 +46,8 @@ func decodeBlockList(rest []byte, rows, cols, q, steps int) ([][]float64, error)
 	if err := checkBlockPayload(len(rest), rows*cols, q); err != nil {
 		return nil, err
 	}
-	blocks := make([][]float64, rows*cols)
-	var err error
-	for i := range blocks {
-		blocks[i], rest, err = getFloats(rest, q*q)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return blocks, nil
-}
-
-// decodeJob parses a MsgJob payload.
-func decodeJob(payload []byte) (*wireJob, error) {
-	j := &wireJob{}
-	if err := j.hdr.decode(payload); err != nil {
-		return nil, err
-	}
-	var err error
-	j.cBlocks, err = decodeBlockList(payload[chunkHeaderLen:],
-		int(j.hdr.Rows), int(j.hdr.Cols), int(j.hdr.Q), int(j.hdr.T))
-	if err != nil {
-		return nil, err
-	}
-	return j, nil
-}
-
-// decodeSetInto parses a MsgSet payload into rows A blocks and cols B
-// blocks of q² doubles.
-func decodeSetInto(payload []byte, rows, cols, q int) (aBlks, bBlks [][]float64, err error) {
-	if len(payload) < 4 {
-		return nil, nil, fmt.Errorf("netmw: short set payload (%d bytes)", len(payload))
-	}
-	if err := checkGeometry(rows, cols, q); err != nil {
-		return nil, nil, err
-	}
-	if err := checkBlockPayload(len(payload)-4, rows+cols, q); err != nil {
-		return nil, nil, err
-	}
-	rest := payload[4:]
-	aBlks = make([][]float64, rows)
-	for i := range aBlks {
-		aBlks[i], rest, err = getFloats(rest, q*q)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	bBlks = make([][]float64, cols)
-	for j := range bBlks {
-		bBlks[j], rest, err = getFloats(rest, q*q)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-	return aBlks, bBlks, nil
+	blocks, _, err := decodeBlocksInto(dst, rest, rows*cols, q, pool)
+	return blocks, err
 }
 
 // maxWireDim caps every wire-declared dimension (blocks per chunk side,
@@ -142,14 +84,12 @@ func checkBlockPayload(have, nblocks, q int) error {
 }
 
 // RunWorker connects to the master and serves until it receives Bye. It
-// implements the worker side of the demand protocol: request a chunk when
-// idle, pre-request StageCap update sets per chunk and one more as each is
-// consumed, then return the chunk and request the next.
-//
-// The session is a two-stage pipeline: a reader goroutine receives and
-// decodes frames (jobs and update sets) while the main goroutine
-// computes, so with Prefetch the next chunk's transfer overlaps the
-// current chunk's compute.
+// is a thin shell over the engine: a TCP transport (framing and pooled
+// payload decode) under engine.RunWorker, which implements the demand
+// protocol — request a chunk when idle, pre-request StageCap update
+// sets per chunk and one more as each is consumed, then return the
+// chunk and request the next. With Prefetch the engine pipelines two
+// chunks, so the next transfer overlaps the current compute.
 func RunWorker(cfg WorkerConfig) (WorkerReport, error) {
 	if cfg.StageCap < 1 {
 		cfg.StageCap = 1
@@ -162,129 +102,19 @@ func RunWorker(cfg WorkerConfig) (WorkerReport, error) {
 		return WorkerReport{}, fmt.Errorf("netmw: dial %s: %w", cfg.Addr, err)
 	}
 	defer conn.Close()
-	r := bufio.NewReaderSize(conn, 1<<20)
-	w := bufio.NewWriterSize(conn, 1<<20)
-
-	var rep WorkerReport
-	send := func(t MsgType, payload []byte) error {
-		if err := writeMsg(w, t, payload); err != nil {
-			return err
-		}
-		return w.Flush()
+	tr := newWorkerTransport(conn, nil, nil, engine.NewBlockPool())
+	if err := tr.sendHello(cfg.Memory); err != nil {
+		return WorkerReport{}, err
 	}
-	req := func(kind byte) error { return send(MsgReq, []byte{kind}) }
-
-	var hello [4]byte
-	binary.LittleEndian.PutUint32(hello[:], uint32(cfg.Memory))
-	if err := send(MsgHello, hello[:]); err != nil {
-		return rep, err
+	slots := 1
+	if cfg.Prefetch {
+		slots = 2
 	}
-	if err := req(ReqChunk); err != nil {
-		return rep, err
-	}
-
-	// Reader stage: demultiplex incoming frames. jobs carries decoded
-	// chunks (buffered for the prefetched one), sets carries raw update
-	// sets (decoded by the compute stage, which knows the live
-	// geometry). The reader closes both on Bye or error; readErr holds
-	// the error, if any.
-	jobs := make(chan *wireJob, 2)
-	sets := make(chan []byte, cfg.StageCap)
-	readErr := make(chan error, 1)
-	go func() {
-		defer close(jobs)
-		defer close(sets)
-		for {
-			t, payload, err := readMsg(r)
-			if err != nil {
-				readErr <- fmt.Errorf("netmw: worker read: %w", err)
-				return
-			}
-			switch t {
-			case MsgBye:
-				return
-			case MsgJob:
-				job, err := decodeJob(payload)
-				if err != nil {
-					readErr <- err
-					return
-				}
-				jobs <- job
-			case MsgSet:
-				sets <- payload
-			default:
-				readErr <- fmt.Errorf("netmw: worker got unexpected message %d", t)
-				return
-			}
-		}
-	}()
-	fail := func(err error) (WorkerReport, error) {
-		conn.Close() // unblock the reader
-		return rep, err
-	}
-
-	for job := range jobs {
-		if cfg.Prefetch {
-			// the next chunk streams down while this one computes
-			if err := req(ReqChunk); err != nil {
-				return fail(err)
-			}
-		}
-		q := int(job.hdr.Q)
-		rows, cols, tt := int(job.hdr.Rows), int(job.hdr.Cols), int(job.hdr.T)
-		pre := minInt(cfg.StageCap, tt)
-		for k := 0; k < pre; k++ {
-			if err := req(ReqSet); err != nil {
-				return fail(err)
-			}
-		}
-		for k := 0; k < tt; k++ {
-			sp, ok := <-sets
-			if !ok {
-				select {
-				case err := <-readErr:
-					return rep, err
-				default:
-					return rep, fmt.Errorf("netmw: master hung up mid-chunk")
-				}
-			}
-			if k+pre < tt {
-				if err := req(ReqSet); err != nil {
-					return fail(err)
-				}
-			}
-			aBlks, bBlks, err := decodeSetInto(sp, rows, cols, q)
-			if err != nil {
-				return fail(err)
-			}
-			blas.ParallelUpdateChunk(job.cBlocks, aBlks, bBlks, rows, cols, q, blas.DefaultWorkers(cfg.Cores))
-			rep.Updates += int64(rows) * int64(cols)
-		}
-
-		// return the chunk, then ask for the next one
-		if err := req(ReqResult); err != nil {
-			return fail(err)
-		}
-		res := make([]byte, 4, 4+8*q*q*rows*cols)
-		binary.LittleEndian.PutUint32(res, job.hdr.ID)
-		for _, blk := range job.cBlocks {
-			res = putFloats(res, blk)
-		}
-		if err := send(MsgResult, res); err != nil {
-			return fail(err)
-		}
-		rep.Chunks++
-		if !cfg.Prefetch {
-			if err := req(ReqChunk); err != nil {
-				return fail(err)
-			}
-		}
-	}
-	// jobs closed: clean Bye, or reader error.
-	select {
-	case err := <-readErr:
-		return rep, err
-	default:
-		return rep, nil
-	}
+	rep, err := engine.RunWorker(tr, engine.WorkerConfig{
+		StageCap: cfg.StageCap, Slots: slots,
+		Cores:       blas.DefaultWorkers(cfg.Cores),
+		PullAssigns: true, PullSets: true, PullResults: true,
+		Pool: tr.pool,
+	})
+	return WorkerReport{Chunks: rep.Assignments, Updates: rep.Updates}, err
 }

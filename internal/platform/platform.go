@@ -16,6 +16,8 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+
+	"repro/internal/core"
 )
 
 // Worker describes one worker of the star platform.
@@ -113,18 +115,8 @@ func MuSingle(m int) int {
 // the next update's operands arrive while the current one computes). This
 // is the "optimized memory layout" of the experimental section.
 func MuOverlap(m int) int {
-	if m < 5 {
-		return 0
-	}
-	// µ = floor(sqrt(4+m) - 2) as in Algorithm 1.
-	mu := int(math.Sqrt(float64(4+m)) - 2)
-	for (mu+1)*(mu+1)+4*(mu+1) <= m {
-		mu++
-	}
-	for mu > 0 && mu*mu+4*mu > m {
-		mu--
-	}
-	return mu
+	// µ² + 4µ is ChunkFootprint(µ, µ, 2): the tile plus two staged sets.
+	return core.MaxChunkSide(m, 2)
 }
 
 // MuNoOverlap returns the largest µ with µ² + 2µ ≤ m: a single pair of
@@ -132,17 +124,8 @@ func MuOverlap(m int) int {
 // never overlaps reception with computation and therefore reclaims the two
 // prefetch buffers for a (possibly) larger µ.
 func MuNoOverlap(m int) int {
-	if m < 3 {
-		return 0
-	}
-	mu := int(math.Sqrt(float64(1+m)) - 1)
-	for (mu+1)*(mu+1)+2*(mu+1) <= m {
-		mu++
-	}
-	for mu > 0 && mu*mu+2*mu > m {
-		mu--
-	}
-	return mu
+	// µ² + 2µ is ChunkFootprint(µ, µ, 1): the tile plus one staged set.
+	return core.MaxChunkSide(m, 1)
 }
 
 // NuToledo returns ν = floor(sqrt(m/3)): Toledo's blocked matrix-multiply

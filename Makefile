@@ -22,14 +22,17 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # bench records the performance series tracked across PRs: the cluster
-# benchmarks to BENCH_cluster.json, the kernel GFLOP/s series
-# (single-threaded vs parallel tiled GEMM) to BENCH_kernel.json, and the
-# steady-state TCP engine path (allocs/op + MB/s, pooled vs unpooled
-# block buffers) to BENCH_transport.json, all parsed by cmd/benchjson.
+# benchmarks to BENCH_cluster.json, the kernel GFLOP/s series (packed
+# register-blocked GEMM vs the historical axpy kernel at q ∈ {64, 80,
+# 100, 128, 256}, plus the parallel speedups) to BENCH_kernel.json, and
+# the steady-state TCP engine path (allocs/op + MB/s, pooled vs
+# unpooled block buffers) to BENCH_transport.json, all parsed by
+# cmd/benchjson. The kernel series runs 5 iterations per point so a
+# single noisy timeslice cannot skew the recorded Gflops.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchtime 2x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 	@cat BENCH_cluster.json
-	$(GO) test -run '^$$' -bench 'BenchmarkParallelKernel|BenchmarkBlockUpdate' -benchtime 1x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
+	$(GO) test -run '^$$' -bench 'BenchmarkPackedKernel|BenchmarkParallelKernel|BenchmarkBlockUpdate' -benchtime 5x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
 	@cat BENCH_kernel.json
 	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchtime 4x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_transport.json
 	@cat BENCH_transport.json

@@ -1,0 +1,121 @@
+package blas
+
+import "math"
+
+// The micro-kernel computes an MR×NR (4×8) tile of C ← C + Ap·Bp from
+// packed micro-panels: ap holds kc steps of MR A values, bp holds kc
+// steps of NR B values, and C is row-major with stride ldc.
+//
+// Bit-exactness contract: every C element is updated as one chain of
+// fused multiply-adds in ascending-k order,
+//
+//	c = fma(a[k], b[k], c)   for k = 0, 1, …, kc−1,
+//
+// with a single rounding per step (IEEE-754 fusedMultiplyAdd). The
+// reference Gemm applies the identical chain element-by-element, so the
+// packed kernel, the reference kernel, the Go fallback and the AVX2
+// assembly kernel all produce bit-identical results — the invariant the
+// property tests in packed_test.go pin with exact == comparisons.
+// Storing C back between kc slabs does not perturb the chain: float64
+// stores are exact.
+
+// microKernel updates one full MR×NR tile. kc ≥ 1; ap and bp must hold
+// kc·MR and kc·NR packed elements.
+func microKernel(kc int, ap, bp []float64, c []float64, ldc int) {
+	if haveAsmKernel {
+		kern4x8asm(kc, &ap[0], &bp[0], &c[0], ldc)
+		return
+	}
+	microKernelGo(kc, ap, bp, c, ldc)
+}
+
+// microKernelGo is the portable fallback: the same 4×8 tile computed as
+// two 2×8 register sub-tiles (16 accumulators each fit the scalar
+// register file without spills). math.FMA performs the identical
+// correctly-rounded fused multiply-add as the hardware kernel — in
+// software on CPUs without an FMA unit — so the fallback is bit-exact
+// with the assembly path.
+func microKernelGo(kc int, ap, bp []float64, c []float64, ldc int) {
+	kern2x8go(kc, ap, bp, c, ldc)
+	kern2x8go(kc, ap[2:], bp, c[2*ldc:], ldc)
+}
+
+// kern2x8go updates rows {0,1} of a micro-tile: ap is indexed at stride
+// MR (the packed panel holds all four rows), bp at stride NR.
+func kern2x8go(kc int, ap, bp []float64, c []float64, ldc int) {
+	c00, c01, c02, c03 := c[0], c[1], c[2], c[3]
+	c04, c05, c06, c07 := c[4], c[5], c[6], c[7]
+	c10, c11, c12, c13 := c[ldc], c[ldc+1], c[ldc+2], c[ldc+3]
+	c14, c15, c16, c17 := c[ldc+4], c[ldc+5], c[ldc+6], c[ldc+7]
+	oa, ob := 0, 0
+	for p := 0; p < kc; p++ {
+		a0, a1 := ap[oa], ap[oa+1]
+		b := bp[ob]
+		c00 = math.FMA(a0, b, c00)
+		c10 = math.FMA(a1, b, c10)
+		b = bp[ob+1]
+		c01 = math.FMA(a0, b, c01)
+		c11 = math.FMA(a1, b, c11)
+		b = bp[ob+2]
+		c02 = math.FMA(a0, b, c02)
+		c12 = math.FMA(a1, b, c12)
+		b = bp[ob+3]
+		c03 = math.FMA(a0, b, c03)
+		c13 = math.FMA(a1, b, c13)
+		b = bp[ob+4]
+		c04 = math.FMA(a0, b, c04)
+		c14 = math.FMA(a1, b, c14)
+		b = bp[ob+5]
+		c05 = math.FMA(a0, b, c05)
+		c15 = math.FMA(a1, b, c15)
+		b = bp[ob+6]
+		c06 = math.FMA(a0, b, c06)
+		c16 = math.FMA(a1, b, c16)
+		b = bp[ob+7]
+		c07 = math.FMA(a0, b, c07)
+		c17 = math.FMA(a1, b, c17)
+		oa += MR
+		ob += NR
+	}
+	c[0], c[1], c[2], c[3] = c00, c01, c02, c03
+	c[4], c[5], c[6], c[7] = c04, c05, c06, c07
+	c[ldc], c[ldc+1], c[ldc+2], c[ldc+3] = c10, c11, c12, c13
+	c[ldc+4], c[ldc+5], c[ldc+6], c[ldc+7] = c14, c15, c16, c17
+}
+
+// microKernelEdge updates a partial iw×jw tile (iw ≤ MR, jw ≤ NR)
+// through an MR×NR scratch tile: the live C values are staged in, the
+// full kernel runs on the scratch, and only the live results are copied
+// back. The copies are exact, so edge tiles keep the same per-element
+// fused chains; the dead scratch lanes absorb the zero-padded packing
+// lanes and are discarded.
+func microKernelEdge(kc int, ap, bp []float64, c []float64, ldc, iw, jw int) {
+	var tile [MR * NR]float64
+	for i := 0; i < iw; i++ {
+		copy(tile[i*NR:i*NR+jw], c[i*ldc:i*ldc+jw])
+	}
+	microKernel(kc, ap, bp, tile[:], NR)
+	for i := 0; i < iw; i++ {
+		copy(c[i*ldc:i*ldc+jw], tile[i*NR:i*NR+jw])
+	}
+}
+
+// fmaAxpy computes y ← fma(alpha, x, y) elementwise — the reference
+// kernel's inner loop, one fused multiply-add per element so the
+// reference chain matches the packed kernels bit for bit.
+func fmaAxpy(alpha float64, x, y []float64) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		y[i] = math.FMA(alpha, x[i], y[i])
+		y[i+1] = math.FMA(alpha, x[i+1], y[i+1])
+		y[i+2] = math.FMA(alpha, x[i+2], y[i+2])
+		y[i+3] = math.FMA(alpha, x[i+3], y[i+3])
+	}
+	for ; i < n; i++ {
+		y[i] = math.FMA(alpha, x[i], y[i])
+	}
+}

@@ -1,0 +1,55 @@
+package blas
+
+// AVX2+FMA micro-kernel plumbing: feature detection at init, and the Go
+// declarations for microkernel_amd64.s. The kernel is gated at runtime
+// (CPUID), not at compile time, so a single binary runs everywhere; on
+// CPUs without AVX2+FMA the portable math.FMA fallback produces
+// bit-identical results (software fused multiply-add is correctly
+// rounded, exactly like the hardware instruction).
+
+// cpuidAsm executes CPUID with the given leaf/subleaf.
+func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbvAsm reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbvAsm() (eax, edx uint32)
+
+// kern4x8asm is the AVX2+FMA micro-kernel: a full 4×8 C tile updated
+// with one VFMADD231PD chain per element in ascending-k order. Callers
+// must guarantee haveAsmKernel, kc ≥ 1, ap/bp hold kc·MR and kc·NR
+// packed elements, and the 4 C rows of 8 are addressable at stride ldc.
+func kern4x8asm(kc int, ap, bp, c *float64, ldc int)
+
+// haveAsmKernel reports whether the CPU and OS support the AVX2+FMA
+// kernel (AVX+FMA+AVX2 feature bits, plus OS-enabled YMM state).
+var haveAsmKernel = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	if xlo, _ := xgetbvAsm(); xlo&6 != 6 { // XMM and YMM state OS-enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// KernelName identifies the active micro-kernel implementation, for
+// benchmark records and operational visibility.
+func KernelName() string {
+	if haveAsmKernel {
+		return "avx2fma-4x8"
+	}
+	return "go-fma-4x8"
+}

@@ -1,0 +1,83 @@
+// AVX2+FMA 4×8 GEMM micro-kernel and the CPUID/XGETBV probes that gate
+// it. See microkernel.go for the bit-exactness contract: each of the 32
+// C-tile elements is one ascending-k chain of fused multiply-adds, which
+// VFMADD231PD performs lane-wise exactly like math.FMA.
+
+#include "textflag.h"
+
+// func cpuidAsm(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func kern4x8asm(kc int, ap, bp, c *float64, ldc int)
+//
+// Register plan: Y0–Y7 hold the 4×8 C tile (two YMM per row), Y8/Y9 the
+// current 8 packed B values, Y10–Y13 broadcasts of the 4 packed A
+// values. The k loop issues 8 FMAs on 2 loads + 4 broadcasts, keeping
+// both FMA ports busy.
+TEXT ·kern4x8asm(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $3, R8            // row stride in bytes
+
+	// Load the C tile: row r at DX + r·ldc.
+	VMOVUPD (DX), Y0
+	VMOVUPD 32(DX), Y1
+	LEAQ (DX)(R8*1), R9
+	VMOVUPD (R9), Y2
+	VMOVUPD 32(R9), Y3
+	LEAQ (R9)(R8*1), R10
+	VMOVUPD (R10), Y4
+	VMOVUPD 32(R10), Y5
+	LEAQ (R10)(R8*1), R11
+	VMOVUPD (R11), Y6
+	VMOVUPD 32(R11), Y7
+
+loop:
+	VMOVUPD (DI), Y8       // b[k][0:4]
+	VMOVUPD 32(DI), Y9     // b[k][4:8]
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+	VBROADCASTSD 16(SI), Y12
+	VFMADD231PD Y8, Y12, Y4
+	VFMADD231PD Y9, Y12, Y5
+	VBROADCASTSD 24(SI), Y13
+	VFMADD231PD Y8, Y13, Y6
+	VFMADD231PD Y9, Y13, Y7
+	ADDQ $32, SI           // MR doubles
+	ADDQ $64, DI           // NR doubles
+	DECQ CX
+	JNZ  loop
+
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, (R9)
+	VMOVUPD Y3, 32(R9)
+	VMOVUPD Y4, (R10)
+	VMOVUPD Y5, 32(R10)
+	VMOVUPD Y6, (R11)
+	VMOVUPD Y7, 32(R11)
+	VZEROUPPER
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package blas
+
+// haveAsmKernel is false off amd64: the portable math.FMA fallback runs
+// (bit-identical; on arm64 and friends math.FMA is a single hardware
+// instruction, so the fallback is itself a register-blocked FMA kernel).
+const haveAsmKernel = false
+
+// kern4x8asm is never called when haveAsmKernel is false; this stub
+// keeps the portable build compiling.
+func kern4x8asm(kc int, ap, bp, c *float64, ldc int) {
+	panic("blas: assembly micro-kernel unavailable")
+}
+
+// KernelName identifies the active micro-kernel implementation.
+func KernelName() string { return "go-fma-4x8" }

@@ -1,0 +1,196 @@
+package blas
+
+import "sync"
+
+// Blocking parameters of the packed GEMM, in the Goto/BLIS taxonomy.
+// The micro-kernel computes an MR×NR tile of C; packing reorders operand
+// panels so the kernel streams both packed arrays with unit stride.
+//
+//   - kcBlock bounds the depth of one packed slab: a kcBlock×NR B
+//     micro-panel (16 KiB) stays L1-resident while the kernel sweeps the
+//     A panels across it.
+//   - mcBlock bounds the row extent of one packed A slab so the whole
+//     mcBlock×kcBlock panel (≤ 192 KiB) stays L2-resident.
+//   - ncBlock bounds the column extent of one packed B slab (the L3-ish
+//     level; it mostly caps the packing arena size).
+//
+// Splitting k into kcBlock slabs preserves bit-exactness: C is stored
+// back between slabs, so every C element still accumulates its k terms
+// in ascending order, one fused multiply-add at a time (see
+// microkernel.go for the exactness argument).
+const (
+	// MR×NR is the register micro-tile: 4 rows × 8 columns of C held in
+	// registers (8 YMM accumulators in the AVX2 kernel).
+	MR = 4
+	NR = 8
+
+	mcBlock = 96
+	kcBlock = 256
+	ncBlock = 2048
+)
+
+// packArenaUnit is the float64 granularity packing arenas are rounded up
+// to before entering the pool, so near-miss sizes (q = 80 vs q = 100
+// panels) share size classes instead of fragmenting the pool.
+const packArenaUnit = 4096
+
+// PackPool recycles the packing arenas of the packed GEMM so the
+// steady-state worker loop performs no allocation per block update. It
+// follows the same ownership discipline as engine.BlockPool: Get hands
+// the caller exclusive ownership of a buffer, Put returns it once no
+// kernel can still read it. Buffers cross the pool through recycled
+// *[]float64 headers for the same reason as in engine.BlockPool —
+// storing bare slices in a sync.Pool would box a header per Put.
+//
+// A nil *PackPool is valid and means "no pooling": Get allocates and Put
+// discards.
+type PackPool struct {
+	mu    sync.RWMutex
+	pools map[int]*sync.Pool
+	// headers recycles the *[]float64 boxes that carry arenas in and out
+	// of the size-class pools.
+	headers sync.Pool
+}
+
+// NewPackPool builds an empty pool; size classes appear on first use.
+func NewPackPool() *PackPool {
+	p := &PackPool{pools: make(map[int]*sync.Pool)}
+	p.headers.New = func() any { return new([]float64) }
+	return p
+}
+
+// packPool is the package-default arena source used by the dispatched
+// entry points (GemmBlocked, BlockUpdate, UpdateChunk, ParallelGemm) so
+// every caller shares one steady-state set of arenas.
+var packPool = NewPackPool()
+
+func (p *PackPool) class(n int) *sync.Pool {
+	p.mu.RLock()
+	sp := p.pools[n]
+	p.mu.RUnlock()
+	if sp != nil {
+		return sp
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sp = p.pools[n]; sp == nil {
+		sp = &sync.Pool{}
+		p.pools[n] = sp
+	}
+	return sp
+}
+
+// Get returns an arena of length n with arbitrary contents; the packing
+// routines overwrite every element they expose to a kernel.
+func (p *PackPool) Get(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	cls := (n + packArenaUnit - 1) / packArenaUnit * packArenaUnit
+	if p == nil {
+		return make([]float64, cls)[:n]
+	}
+	w, _ := p.class(cls).Get().(*[]float64)
+	if w == nil {
+		return make([]float64, cls)[:n]
+	}
+	b := *w
+	*w = nil
+	p.headers.Put(w)
+	return b[:n]
+}
+
+// Put releases an arena for reuse. The caller must not touch it again.
+// Only buffers obtained from Get re-enter the pool; anything else is
+// discarded, which keeps the size classes exact.
+func (p *PackPool) Put(b []float64) {
+	if p == nil || cap(b) == 0 || cap(b)%packArenaUnit != 0 {
+		return
+	}
+	w := p.headers.Get().(*[]float64)
+	*w = b[:cap(b)]
+	p.class(cap(b)).Put(w)
+}
+
+// packSizeA returns the arena length for an mb×kb packed A slab:
+// ceil(mb/MR) micro-panels of kb·MR elements each.
+func packSizeA(mb, kb int) int { return (mb + MR - 1) / MR * MR * kb }
+
+// packSizeB returns the arena length for a kb×nb packed B slab:
+// ceil(nb/NR) micro-panels of kb·NR elements each.
+func packSizeB(kb, nb int) int { return (nb + NR - 1) / NR * NR * kb }
+
+// packA packs the mb×kb block at a (row-major, stride lda) into MR-row
+// micro-panels: panel i0/MR holds, for each k ascending, the MR values
+// a[i0..i0+MR)[k] contiguously. Rows beyond mb are zero-padded so the
+// micro-kernel never branches on the edge; the padded lanes feed zero
+// products into accumulator lanes whose results are discarded. When neg
+// is true the packed values are negated (exact sign flips), which is how
+// GemmSub reuses the adding kernel for C ← C − A·B.
+func packA(mb, kb int, a []float64, lda int, dst []float64, neg bool) {
+	for i0 := 0; i0 < mb; i0 += MR {
+		rows := mb - i0
+		if rows > MR {
+			rows = MR
+		}
+		off := i0 * kb
+		if rows == MR && !neg {
+			// Full panel: transpose MR rows in one sweep.
+			r0 := a[(i0+0)*lda:]
+			r1 := a[(i0+1)*lda:]
+			r2 := a[(i0+2)*lda:]
+			r3 := a[(i0+3)*lda:]
+			d := dst[off : off+MR*kb]
+			for k := 0; k < kb; k++ {
+				d[k*MR+0] = r0[k]
+				d[k*MR+1] = r1[k]
+				d[k*MR+2] = r2[k]
+				d[k*MR+3] = r3[k]
+			}
+			continue
+		}
+		for k := 0; k < kb; k++ {
+			d := dst[off+k*MR : off+k*MR+MR]
+			for r := 0; r < rows; r++ {
+				v := a[(i0+r)*lda+k]
+				if neg {
+					v = -v
+				}
+				d[r] = v
+			}
+			for r := rows; r < MR; r++ {
+				d[r] = 0
+			}
+		}
+	}
+}
+
+// packB packs the kb×nb block at b (row-major, stride ldb) into NR-column
+// micro-panels: panel j0/NR holds, for each k ascending, the NR values
+// b[k][j0..j0+NR) contiguously. Columns beyond nb are zero-padded (same
+// discarded-lane argument as packA).
+func packB(kb, nb int, b []float64, ldb int, dst []float64) {
+	for j0 := 0; j0 < nb; j0 += NR {
+		cols := nb - j0
+		if cols > NR {
+			cols = NR
+		}
+		off := j0 * kb
+		if cols == NR {
+			for k := 0; k < kb; k++ {
+				copy(dst[off+k*NR:off+k*NR+NR], b[k*ldb+j0:k*ldb+j0+NR])
+			}
+			continue
+		}
+		for k := 0; k < kb; k++ {
+			d := dst[off+k*NR : off+k*NR+NR]
+			src := b[k*ldb+j0 : k*ldb+j0+cols]
+			for j := 0; j < cols; j++ {
+				d[j] = src[j]
+			}
+			for j := cols; j < NR; j++ {
+				d[j] = 0
+			}
+		}
+	}
+}

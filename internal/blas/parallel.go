@@ -1,13 +1,14 @@
-// Multi-core kernels: the row-sharded parallel face of GemmBlocked.
+// Multi-core kernels: the parallel face of the packed GEMM.
 //
-// C row spans are disjoint, so sharding the row loop across goroutines
-// needs no reduction and no synchronization beyond the final join. Every
-// C element is accumulated in ascending-k order by Gemm, GemmBlocked and
-// any row shard alike, so the parallel kernels are bit-exact with the
-// sequential ones for finite inputs — determinism is not traded for
-// speed. This is the classic shared-memory GEMM recipe (tile, then fan
-// tiles over cores) applied to the paper's q×q block updates so a worker
-// runs "as fast as the hardware allows" (ROADMAP north star).
+// Work is sharded over packed panels, not raw rows: per (jc, pc) slab
+// the B panel is packed once and shared read-only, and workers consume
+// MR-row A panels from an atomic cursor, each packing its own panel
+// into a pooled arena before running the macro-kernel. C row spans are
+// disjoint across panels, so no reduction and no synchronization beyond
+// the per-slab join is needed — and because every C element is one
+// ascending-k fused-multiply-add chain on every path, the parallel
+// kernels are bit-exact with the sequential ones at any worker count.
+// Determinism is not traded for speed.
 package blas
 
 import (
@@ -28,44 +29,105 @@ func DefaultWorkers(workers int) int {
 
 // parallelRowFlopCutoff is the flop count below which spawning
 // goroutines costs more than the sharded compute saves; such calls run
-// sequentially. A goroutine spawn+join is ~1µs; one full 64×64×64 tile
+// sequentially. A goroutine spawn+join is ~1µs; one full 64×64×64 block
 // update (2·64³ flops, the default q×q BlockUpdate) is comfortably
 // above break-even and must parallelize, so the threshold sits strictly
 // below it.
 const parallelRowFlopCutoff = 2 * 64 * 64 * 64
 
+// parallelPanelStride caps how many MR-row A panels a worker claims per
+// cursor fetch: large enough to amortize the atomic, small enough to
+// load-balance ragged shard sizes. panelStride shrinks it when the
+// panel count is small so every worker still receives work (q = 100 has
+// only 25 panels — a fixed stride of 4 would feed at most 7 workers).
+const parallelPanelStride = 4
+
+// panelStride picks the cursor stride for sharding panels across
+// workers: at least 1, at most parallelPanelStride, aiming for ~4
+// fetches per worker so ragged tails balance.
+func panelStride(panels, workers int) int {
+	stride := panels / (4 * workers)
+	if stride < 1 {
+		return 1
+	}
+	if stride > parallelPanelStride {
+		return parallelPanelStride
+	}
+	return stride
+}
+
 // ParallelGemm computes C ← C + A·B exactly like GemmBlocked but with
-// the row loop sharded across workers goroutines (≤ 0 means GOMAXPROCS).
-// Results are bit-identical to Gemm/GemmBlocked for finite inputs.
+// the packed A panels of each slab sharded across workers goroutines
+// (≤ 0 means GOMAXPROCS). Results are bit-identical to Gemm/GemmBlocked
+// for finite inputs at any worker count.
 func ParallelGemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, workers int) {
+	gemmCheckDims("ParallelGemm", m, n, k, lda, ldb, ldc)
+	if m <= 0 || n <= 0 || k <= 0 {
+		return
+	}
 	workers = DefaultWorkers(workers)
-	if workers > m {
-		workers = m
+	if panels := (m + MR - 1) / MR; workers > panels {
+		workers = panels
 	}
 	if workers <= 1 || 2*m*n*k < parallelRowFlopCutoff {
 		GemmBlocked(m, n, k, a, lda, b, ldb, c, ldc)
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		// Balanced contiguous row spans: the first m%workers shards get
-		// one extra row.
-		lo := w * m / workers
-		hi := (w + 1) * m / workers
-		if lo == hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			GemmBlocked(hi-lo, n, k, a[lo*lda:], lda, b, ldb, c[lo*ldc:], ldc)
-		}(lo, hi)
+	parallelGemmPacked(m, n, k, a, lda, b, ldb, c, ldc, workers)
+}
+
+func parallelGemmPacked(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, workers int) {
+	nc := ncBlock
+	if nc > n {
+		nc = n
 	}
-	wg.Wait()
+	kc := kcBlock
+	if kc > k {
+		kc = k
+	}
+	bbuf := packPool.Get(packSizeB(kc, nc))
+	panels := (m + MR - 1) / MR
+	stride := panelStride(panels, workers)
+	if groups := (panels + stride - 1) / stride; workers > groups {
+		workers = groups // never spawn a goroutine with no work group
+	}
+	for jc := 0; jc < n; jc += nc {
+		nb := min(nc, n-jc)
+		for pc := 0; pc < k; pc += kc {
+			kb := min(kc, k-pc)
+			packB(kb, nb, b[pc*ldb+jc:], ldb, bbuf)
+			// Shard the A panels of this slab. The join below is a real
+			// barrier: the next pc slab must not start before this one
+			// finishes, or a C element could see its k terms out of
+			// order.
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					abuf := packPool.Get(packSizeA(stride*MR, kb))
+					for {
+						p0 := int(cursor.Add(int64(stride))) - stride
+						if p0 >= panels {
+							break
+						}
+						lo := p0 * MR
+						hi := min(m, (p0+stride)*MR)
+						packA(hi-lo, kb, a[lo*lda+pc:], lda, abuf, false)
+						macroKernel(hi-lo, nb, kb, abuf, bbuf, c[lo*ldc+jc:], ldc)
+					}
+					packPool.Put(abuf)
+				}()
+			}
+			wg.Wait()
+		}
+	}
+	packPool.Put(bbuf)
 }
 
 // ParallelBlockUpdate computes Cij ← Cij + Aik·Bkj for three q×q blocks
-// with the rows of Cij sharded across workers goroutines. It is the
+// with the packed panels sharded across workers goroutines. It is the
 // multi-core form of BlockUpdate with bit-identical results.
 func ParallelBlockUpdate(cij, aik, bkj []float64, q, workers int) {
 	if len(cij) < q*q || len(aik) < q*q || len(bkj) < q*q {
@@ -75,31 +137,40 @@ func ParallelBlockUpdate(cij, aik, bkj []float64, q, workers int) {
 }
 
 // ParallelUpdateChunk applies Cij ← Cij + Ai·Bj to every block of a
-// rows×cols chunk, the per-step work of all three runtimes. The
-// independent block updates fan out across workers goroutines; when the
-// chunk has fewer blocks than workers (µ = 1 chunks), the surplus cores
-// shard rows inside each block instead. cBlocks is row-major
-// (rows*cols), aBlks has rows entries, bBlks has cols entries.
+// rows×cols chunk, the per-step work of all three runtimes. Every Ai
+// and Bj is packed exactly once (as in UpdateChunk) and the independent
+// block macro-multiplications fan out across workers goroutines over an
+// atomic cursor; when the chunk has fewer blocks than workers (µ = 1
+// chunks), the surplus cores shard panels inside each block instead.
+// cBlocks is row-major (rows*cols), aBlks has rows entries, bBlks has
+// cols entries. Results are bit-identical to UpdateChunk.
 func ParallelUpdateChunk(cBlocks, aBlks, bBlks [][]float64, rows, cols, q, workers int) {
 	workers = DefaultWorkers(workers)
 	nb := rows * cols
+	if nb == 0 {
+		return
+	}
 	// Same break-even gate as ParallelGemm, over the whole chunk: tiny
 	// blocks (small q test/simulation workloads) must not pay a
 	// goroutine fan-out per update set.
-	if 2*nb*q*q*q < parallelRowFlopCutoff {
-		workers = 1
+	if workers <= 1 || 2*nb*q*q*q < parallelRowFlopCutoff {
+		UpdateChunk(cBlocks, aBlks, bBlks, rows, cols, q)
+		return
 	}
-	if workers <= 1 || nb == 0 {
+	if q > kcBlock {
+		// Oversized blocks re-slab k per block; keep the simple
+		// block-at-a-time fan-out with in-block sharding.
 		for i := 0; i < rows; i++ {
 			for j := 0; j < cols; j++ {
-				BlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q)
+				ParallelBlockUpdate(cBlocks[i*cols+j], aBlks[i], bBlks[j], q, workers)
 			}
 		}
 		return
 	}
 	if nb < workers {
 		// Too few blocks to occupy every core at block granularity:
-		// split the cores across the blocks and shard rows within each.
+		// run the blocks concurrently and split the cores across them,
+		// sharding panels within each block.
 		per := (workers + nb - 1) / nb
 		var wg sync.WaitGroup
 		for i := 0; i < rows; i++ {
@@ -115,21 +186,30 @@ func ParallelUpdateChunk(cBlocks, aBlks, bBlks [][]float64, rows, cols, q, worke
 		return
 	}
 	// Dynamic block queue: an atomic cursor load-balances uneven shards
-	// (edge chunks are smaller) without any per-block goroutine.
-	var next atomic.Int64
+	// (edge chunks are smaller) without any per-block goroutine. Each
+	// worker packs per block into its own pooled pair of arenas, so the
+	// transient arena footprint stays at two blocks per core — bounded
+	// and µ-independent, same contract as UpdateChunk.
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			abuf := packPool.Get(packSizeA(q, q))
+			bbuf := packPool.Get(packSizeB(q, q))
 			for {
-				idx := int(next.Add(1)) - 1
+				idx := int(cursor.Add(1)) - 1
 				if idx >= nb {
-					return
+					break
 				}
 				i, j := idx/cols, idx%cols
-				BlockUpdate(cBlocks[idx], aBlks[i], bBlks[j], q)
+				packA(q, q, aBlks[i], q, abuf, false)
+				packB(q, q, bBlks[j], q, bbuf)
+				macroKernel(q, q, q, abuf, bbuf, cBlocks[idx], q)
 			}
+			packPool.Put(abuf)
+			packPool.Put(bbuf)
 		}()
 	}
 	wg.Wait()

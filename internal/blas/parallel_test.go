@@ -25,7 +25,9 @@ func TestParallelGemmMatchesOracle(t *testing.T) {
 	if maxWorkers < 4 {
 		maxWorkers = 4
 	}
-	dims := []int{1, 3, tile - 1, tile, tile + 1, 2*tile + 17, 3 * tile}
+	// Dimensions straddle the micro-tile (MR/NR), the packed-path
+	// dispatch cutoff and the kc slab edges.
+	dims := []int{1, 3, MR - 1, MR + 1, NR, NR + 1, 63, 64, 65, 2*64 + 17, 192}
 	for trial := 0; trial < 60; trial++ {
 		m := dims[rng.Intn(len(dims))]
 		n := dims[rng.Intn(len(dims))]
@@ -71,7 +73,7 @@ func TestParallelGemmMatchesOracle(t *testing.T) {
 // values and worker counts.
 func TestParallelBlockUpdateExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	for _, q := range []int{1, 2, 16, tile - 1, tile, tile + 9, 100} {
+	for _, q := range []int{1, 2, 16, 63, 64, 73, 100} {
 		a := make([]float64, q*q)
 		b := make([]float64, q*q)
 		c0 := make([]float64, q*q)

@@ -232,6 +232,15 @@ func applySet(as *Assign, set *Set, cfg WorkerConfig, updates *int64) error {
 		*updates += int64(rows) * int64(cols)
 		return nil
 	}
+	if cfg.Spin == 0 {
+		// Chunk-level kernel: each Ai/Bj operand is packed once into
+		// pooled arenas (blas.PackPool) and reused across the whole
+		// rows×cols sweep, so the steady-state compute path performs no
+		// per-update packing or allocation.
+		blas.UpdateChunk(as.Blocks, set.A, set.B, rows, cols, q)
+		*updates += int64(rows) * int64(cols)
+		return nil
+	}
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
 			blas.BlockUpdate(as.Blocks[i*cols+j], set.A[i], set.B[j], q)

@@ -45,35 +45,16 @@ func Factor(a *matrix.Dense, panel int) error {
 		blas.TrsmUpperRight(rem, pb, piv, lda, a.Data[(k0+pb)*lda+k0:], lda)
 		// (c) horizontal panel: A12 ← L11⁻¹ · A12
 		blas.TrsmLowerLeft(pb, rem, piv, lda, a.Data[k0*lda+k0+pb:], lda)
-		// (d) core update: A22 ← A22 − A21·A12
-		negGemm(rem, rem, pb,
+		// (d) core update: A22 ← A22 − A21·A12. GemmSub negates A while
+		// packing (no scratch panel) and runs the packed register
+		// kernel; lupar.Factor uses the same entry, which keeps the two
+		// factorizations bit-identical.
+		blas.GemmSub(rem, rem, pb,
 			a.Data[(k0+pb)*lda+k0:], lda,
 			a.Data[k0*lda+k0+pb:], lda,
 			a.Data[(k0+pb)*lda+k0+pb:], lda)
 	}
 	return nil
-}
-
-// negGemm computes C ← C − A·B.
-func negGemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	// Negate into a scratch panel once per call rather than per element:
-	// reuse Gemm with negated A rows streamed through a small buffer.
-	const strip = 64
-	buf := make([]float64, strip*k)
-	for i0 := 0; i0 < m; i0 += strip {
-		mi := strip
-		if m-i0 < mi {
-			mi = m - i0
-		}
-		for i := 0; i < mi; i++ {
-			src := a[(i0+i)*lda : (i0+i)*lda+k]
-			dst := buf[i*k : (i+1)*k]
-			for j, v := range src {
-				dst[j] = -v
-			}
-		}
-		blas.GemmBlocked(mi, n, k, buf, k, b, ldb, c[i0*ldc:], ldc)
-	}
 }
 
 // ExtractLU splits packed factors into explicit L (unit lower) and U

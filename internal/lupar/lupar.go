@@ -67,7 +67,7 @@ func Factor(a *matrix.Dense, cfg Config) (Report, error) {
 		go func() {
 			defer wg.Done()
 			for job := range jobs {
-				negGemm(job.rem, job.cols, job.panel, job.a21, job.panel, job.a12, job.cols, job.core, job.cols)
+				blas.GemmSub(job.rem, job.cols, job.panel, job.a21, job.panel, job.a12, job.cols, job.core, job.cols)
 				job.done <- job.id
 			}
 		}()
@@ -151,26 +151,6 @@ func extract(d *matrix.Dense, i0, j0, rows, cols int) []float64 {
 func inject(d *matrix.Dense, buf []float64, i0, j0, rows, cols int) {
 	for r := 0; r < rows; r++ {
 		copy(d.Data[(i0+r)*d.Cols+j0:(i0+r)*d.Cols+j0+cols], buf[r*cols:(r+1)*cols])
-	}
-}
-
-// negGemm computes C ← C − A·B (same kernel as the sequential blocked LU).
-func negGemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	const strip = 64
-	buf := make([]float64, strip*k)
-	for i0 := 0; i0 < m; i0 += strip {
-		mi := strip
-		if m-i0 < mi {
-			mi = m - i0
-		}
-		for i := 0; i < mi; i++ {
-			src := a[(i0+i)*lda : (i0+i)*lda+k]
-			dst := buf[i*k : (i+1)*k]
-			for j, v := range src {
-				dst[j] = -v
-			}
-		}
-		blas.GemmBlocked(mi, n, k, buf, k, b, ldb, c[i0*ldc:], ldc)
 	}
 }
 

@@ -228,7 +228,10 @@ func (m *Blocked) Equal(n *Blocked, tol float64) bool {
 
 // MulNaive computes C = C + A·B with the textbook triple loop on dense
 // matrices. It is the correctness oracle for every other multiply in the
-// repository.
+// repository: every C element accumulates its k terms in ascending order
+// as one fused-multiply-add chain, the exact arithmetic contract of the
+// blas kernels (reference, packed and parallel alike), so runtime
+// results compare bit-for-bit against it.
 func MulNaive(c, a, b *Dense) {
 	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: MulNaive shape mismatch C %dx%d = A %dx%d * B %dx%d",
@@ -237,13 +240,10 @@ func MulNaive(c, a, b *Dense) {
 	for i := 0; i < a.Rows; i++ {
 		for k := 0; k < a.Cols; k++ {
 			aik := a.At(i, k)
-			if aik == 0 {
-				continue
-			}
 			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
 			crow := c.Data[i*c.Cols : (i+1)*c.Cols]
 			for j := range brow {
-				crow[j] += aik * brow[j]
+				crow[j] = math.FMA(aik, brow[j], crow[j])
 			}
 		}
 	}

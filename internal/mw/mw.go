@@ -7,7 +7,10 @@
 // workers are engine.RunWorker goroutines behind engine.Pipe transports,
 // so the protocol logic — staging caps, demand FIFOs, chunk prefetch —
 // lives in exactly one place, shared with the TCP runtime and the
-// cluster service. The pipes are synchronous, so the one-port model
+// cluster service. Block compute rides the engine's chunk kernel
+// (blas.UpdateChunk / blas.ParallelUpdateChunk): the packed
+// register-blocked GEMM with chunk-level pack reuse, bit-exact with the
+// sequential reference at any Cores setting. The pipes are synchronous, so the one-port model
 // holds by construction: the master is a single sequential goroutine
 // whose sends block when a worker's staging area is full. Transfers are
 // zero-copy where safe (operand sets move by reference; C tiles are

@@ -270,10 +270,17 @@ func DeterministicFill(d *Dense, seed int64) { matrix.DeterministicFill(d, seed)
 // verification.
 func MulReference(c, a, b *Dense) { matrix.MulNaive(c, a, b) }
 
-// MulParallel computes C ← C + A·B with the multi-core tiled kernel:
-// the cache-blocked Level-3 loop with its row loop sharded across cores
-// goroutines (0 = one per available core). Results are bit-identical to
-// the single-threaded tiled kernel at every core count.
+// KernelName identifies the active GEMM micro-kernel implementation
+// ("avx2fma-4x8" when the AVX2+FMA assembly kernel passed its runtime
+// CPUID gate, "go-fma-4x8" for the portable fused-multiply-add
+// fallback). Both produce bit-identical results; the name is for
+// benchmark records and operational visibility.
+func KernelName() string { return blas.KernelName() }
+
+// MulParallel computes C ← C + A·B with the multi-core packed kernel:
+// the register-blocked packed GEMM with its A panels sharded across
+// cores goroutines (0 = one per available core). Results are
+// bit-identical to the single-threaded kernel at every core count.
 func MulParallel(c, a, b *Dense, cores int) error {
 	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows {
 		return fmt.Errorf("matmul: shape mismatch C %dx%d, A %dx%d, B %dx%d",

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/homog"
@@ -39,10 +40,23 @@ func copyBlocked(dst, src *matrix.Blocked) {
 	}
 }
 
+// byteCounter is implemented by the netmw transports: bytes written to
+// the peer, i.e. the measured master egress when asserted on the
+// master-side transport.
+type byteCounter interface {
+	BytesOut() int64
+}
+
+// transportRun is one full multiply over loopback TCP through the
+// engine: the master-side stats plus the measured egress bytes.
+type transportRun struct {
+	stats  engine.MasterStats
+	egress int64
+}
+
 // runTransportOnce executes one full multiply over loopback TCP through
-// the engine: one master transport, one pipelined worker. It returns
-// the master-side communication volume in blocks.
-func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, chunks []*sim.Chunk, pool *engine.BlockPool) int64 {
+// the engine: one master transport, one pipelined worker.
+func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, chunks []*sim.Chunk, pool *engine.BlockPool, disableDelta bool) transportRun {
 	accepted := make(chan net.Conn, 1)
 	go func() {
 		conn, err := ln.Accept()
@@ -68,12 +82,12 @@ func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, c
 	}()
 	mtr := netmw.NewMasterTransport(<-accepted, c.Q, pool)
 	stats, err := engine.RunMaster(c, a, b, append([]*sim.Chunk(nil), chunks...),
-		[]engine.Transport{mtr}, engine.MasterConfig{Pool: pool})
+		[]engine.Transport{mtr}, engine.MasterConfig{Pool: pool, DisableDelta: disableDelta})
 	if err != nil {
 		tb.Fatal(err)
 	}
 	wg.Wait()
-	return stats.Blocks
+	return transportRun{stats: stats, egress: mtr.(byteCounter).BytesOut()}
 }
 
 // BenchmarkTransport measures the steady-state TCP path of the unified
@@ -110,7 +124,11 @@ func BenchmarkTransport(b *testing.B) {
 				b.StopTimer()
 				copyBlocked(work, c0)
 				b.StartTimer()
-				blocks = runTransportOnce(b, ln, work, a, bb, chunks, arm.pool)
+				// Delta disabled: this series' MB/s has always meant
+				// "payload bytes of every logical block through the
+				// port", and stays comparable across PRs; the delta
+				// protocol has its own series (BenchmarkTransportDelta).
+				blocks = runTransportOnce(b, ln, work, a, bb, chunks, arm.pool, true).stats.Blocks
 			}
 			b.StopTimer()
 			b.SetBytes(blocks * int64(q) * int64(q) * 8)
@@ -147,10 +165,10 @@ func TestTransportPoolingAllocRatio(t *testing.T) {
 	measure := func(pool *engine.BlockPool) float64 {
 		// One untimed warmup run fills the pools (and the page cache).
 		copyBlocked(work, c0)
-		runTransportOnce(t, ln, work, a, bb, chunks, pool)
+		runTransportOnce(t, ln, work, a, bb, chunks, pool, false)
 		return testing.AllocsPerRun(3, func() {
 			copyBlocked(work, c0)
-			runTransportOnce(t, ln, work, a, bb, chunks, pool)
+			runTransportOnce(t, ln, work, a, bb, chunks, pool, false)
 		})
 	}
 	pooled := measure(engine.NewBlockPool())
@@ -167,5 +185,160 @@ func TestTransportPoolingAllocRatio(t *testing.T) {
 				t.Fatalf("result differs from the oracle at (%d,%d)", i, j)
 			}
 		}
+	}
+}
+
+// BenchmarkTransportDelta measures master egress of a multi-chunk
+// max-reuse job over loopback TCP with the delta protocol on ("delta")
+// and off ("full", the pre-PR wire protocol). Each arm reports
+// egress-MB/op; the delta arm also reports the measured communication
+// volume as a multiple of the §4 Loomis–Whitney lower bound
+// (x-lower-bound) and the operand cache hit rate — the numbers
+// BENCH_transport.json tracks across PRs.
+func BenchmarkTransportDelta(b *testing.B) {
+	const r, tt, s, q = 4, 64, 4, 24
+	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	work := c0.Clone()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	for _, arm := range []struct {
+		name    string
+		disable bool
+	}{
+		{"full", true},
+		{"delta", false},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			pool := engine.NewBlockPool()
+			var run transportRun
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copyBlocked(work, c0)
+				b.StartTimer()
+				run = runTransportOnce(b, ln, work, a, bb, chunks, pool, arm.disable)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(run.egress)/1e6, "egress-MB/op")
+			if !arm.disable {
+				b.ReportMetric(run.stats.Comm.HitRate()*100, "%cache-hit")
+				pr := core.Problem{R: r, S: s, T: tt, Q: q}
+				b.ReportMetric(measuredOverLowerBound(run, pr, chunks), "x-lower-bound")
+			}
+			got := work.Assemble()
+			for i := 0; i < got.Rows; i++ {
+				for j := 0; j < got.Cols; j++ {
+					if got.At(i, j) != want.At(i, j) {
+						b.Fatalf("result differs from the oracle at (%d,%d)", i, j)
+					}
+				}
+			}
+		})
+	}
+}
+
+// measuredOverLowerBound compares one run's measured master-side
+// communication (operand blocks actually shipped plus the C tile
+// round-trips) against the Loomis–Whitney lower bound CCR_opt·updates
+// of internal/bounds, at the worker memory the run effectively had:
+// the default resident-cache budget (the bench workers advertise no
+// memory) plus the largest chunk's in-flight footprint.
+func measuredOverLowerBound(run transportRun, pr core.Problem, chunks []*sim.Chunk) float64 {
+	maxFootprint := 0
+	for _, ch := range chunks {
+		if fp := engine.InflightFootprint(ch.Rows, ch.Cols); fp > maxFootprint {
+			maxFootprint = fp
+		}
+	}
+	mem := engine.DefaultCacheBlocks + maxFootprint
+	bound := bounds.LowerBoundLoomisWhitney(mem) * float64(pr.Updates())
+	measured := float64(run.stats.Comm.BlocksShipped + 2*pr.CBlocks())
+	return measured / bound
+}
+
+// TestDeltaEgressReduction is the acceptance pin for the communication
+// tentpole: on a multi-chunk max-reuse job at equal problem size, the
+// delta protocol must cut measured master-egress bytes by at least 40%
+// versus the pre-PR full-set protocol, while staying bit-exact against
+// the naive oracle.
+func TestDeltaEgressReduction(t *testing.T) {
+	const r, tt, s, q = 4, 64, 4, 24
+	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	measure := func(disable bool) (int64, engine.MasterStats) {
+		work := c0.Clone()
+		run := runTransportOnce(t, ln, work, a, bb, chunks, engine.NewBlockPool(), disable)
+		got := work.Assemble()
+		for i := 0; i < got.Rows; i++ {
+			for j := 0; j < got.Cols; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("disable=%v: result differs from the oracle at (%d,%d)", disable, i, j)
+				}
+			}
+		}
+		return run.egress, run.stats
+	}
+	full, fullStats := measure(true)
+	delta, deltaStats := measure(false)
+	drop := 1 - float64(delta)/float64(full)
+	t.Logf("egress: full=%d bytes, delta=%d bytes, drop=%.1f%% (skipped %d of %d operand blocks)",
+		full, delta, drop*100, deltaStats.Comm.BlocksSkipped,
+		deltaStats.Comm.BlocksShipped+deltaStats.Comm.BlocksSkipped)
+	if drop < 0.40 {
+		t.Fatalf("delta protocol cut egress by %.1f%%, want ≥ 40%%", drop*100)
+	}
+	// The logical communication volume (the paper's CCR numerator) must
+	// be identical: deltas change what needs payload, not the protocol.
+	if fullStats.Blocks != deltaStats.Blocks {
+		t.Fatalf("logical blocks differ: full=%d delta=%d", fullStats.Blocks, deltaStats.Blocks)
+	}
+	if fullStats.Comm.BlocksSkipped != 0 {
+		t.Fatalf("full protocol skipped %d blocks", fullStats.Comm.BlocksSkipped)
+	}
+}
+
+// BenchmarkTransportCodec measures the bulk little-endian float path
+// against the portable per-element loop on q=100 blocks (the paper's
+// block size) — the encode/decode speedup BENCH_transport.json records
+// alongside the egress numbers.
+func BenchmarkTransportCodec(b *testing.B) {
+	const q = 100
+	block := make([]float64, q*q)
+	for i := range block {
+		block[i] = float64(i) * 1.0000001
+	}
+	encoded := make([]byte, 0, 8*len(block))
+	dst := make([]float64, len(block))
+	arms := []struct {
+		name string
+		run  func()
+	}{
+		{"encode-bulk", func() { encoded = netmw.EncodeFloats(encoded[:0], block) }},
+		{"encode-portable", func() { encoded = netmw.EncodeFloatsPortable(encoded[:0], block) }},
+		{"decode-bulk", func() { netmw.DecodeFloatsInto(dst, encoded) }},
+		{"decode-portable", func() { netmw.DecodeFloatsPortableInto(dst, encoded) }},
+	}
+	encoded = netmw.EncodeFloats(encoded[:0], block) // prime for the decode arms
+	// 64 codec passes per benchmark iteration: `make bench` runs few
+	// iterations, and a multi-hundred-µs op amortizes timer noise on a
+	// shared machine.
+	const reps = 64
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			b.SetBytes(int64(8*len(block)) * reps)
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < reps; r++ {
+					arm.run()
+				}
+			}
+		})
 	}
 }

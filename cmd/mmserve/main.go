@@ -89,6 +89,45 @@ func main() {
 	srv.Close()
 	fmt.Printf("mmserve: shutting down — %d jobs done, %d failed, %d workers lost, %d requeues\n",
 		st.JobsDone, st.JobsFailed, st.WorkersLost, st.Requeues)
+	// Snapshot the registry only now: Close drained the worker sessions,
+	// which is when each session's comm accounting lands.
+	printWorkerStatus(cl.Workers())
+}
+
+// printWorkerStatus reports each worker's operand-cache effectiveness:
+// the delta protocol's hit rate and the payload bytes it kept off the
+// wire, summed over the worker's lifetime (reconnects included).
+func printWorkerStatus(workers []cluster.WorkerInfo) {
+	var shipped, skipped, saved int64
+	for _, wi := range workers {
+		state := "alive"
+		if wi.Dead {
+			state = "dead"
+		}
+		fmt.Printf("mmserve: worker %-20s %-5s tasks=%-5d cache-hit=%5.1f%% bytes-saved=%s\n",
+			wi.ID, state, wi.Done, wi.CacheHitRate()*100, humanBytes(wi.BytesSaved))
+		shipped += wi.BlocksShipped
+		skipped += wi.BlocksSkipped
+		saved += wi.BytesSaved
+	}
+	if total := shipped + skipped; total > 0 {
+		fmt.Printf("mmserve: fleet total: %d of %d operand blocks served from worker caches (%.1f%%), %s not re-sent\n",
+			skipped, total, 100*float64(skipped)/float64(total), humanBytes(saved))
+	}
+}
+
+// humanBytes renders a byte count for the status output.
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func runSubmit(addr, kind string, n, q, mu int, seed int64, verify bool, timeout time.Duration) {

@@ -101,6 +101,8 @@ func main() {
 		}
 		fmt.Printf("mwworker: %s served %d tasks, %d block updates over %d sessions\n",
 			wn, rep.Tasks, rep.Updates, rep.Sessions)
+		fmt.Printf("mwworker: operand cache: %d blocks served locally, %.1f MiB never re-fetched\n",
+			rep.CacheHits, float64(rep.BytesSaved)/(1<<20))
 		return
 	}
 
@@ -113,4 +115,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mwworker: processed %d chunks, %d block updates\n", rep.Chunks, rep.Updates)
+	fmt.Printf("mwworker: operand cache: %d blocks served locally, %.1f MiB never re-fetched\n",
+		rep.CacheHits, float64(rep.BytesSaved)/(1<<20))
 }

@@ -179,6 +179,26 @@ func (cl *Cluster) Workers() []WorkerInfo {
 	return cl.reg.snapshot()
 }
 
+// ReportComm folds one finished session's delta-protocol accounting
+// into the worker's lifetime totals (kept across reconnects) and into
+// each job's totals, for the server's status output. Reporting for an
+// id that re-registered meanwhile still lands on the live record — the
+// totals are per worker name, not per incarnation.
+func (cl *Cluster) ReportComm(id string, fstats engine.FeederStats) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if w := cl.reg.workers[id]; w != nil {
+		w.blocksShipped += fstats.Comm.BlocksShipped
+		w.blocksSkipped += fstats.Comm.BlocksSkipped
+		w.bytesSaved += fstats.Comm.BytesSaved
+	}
+	for jobNum, comm := range fstats.PerJob {
+		if j := cl.jobs[JobID(jobNum)]; j != nil {
+			j.comm.Add(comm)
+		}
+	}
+}
+
 // ClusterStats summarizes the service.
 func (cl *Cluster) ClusterStats() Stats {
 	cl.mu.Lock()
@@ -397,6 +417,15 @@ func footprint(t *Task) int {
 // worker's in-flight footprints are summed, so pipelining never
 // oversubscribes the advertised capacity. A head task too big for every
 // live worker fails its job immediately rather than stalling it.
+//
+// Within the selected job the pick is locality-aware (the dispatch-time
+// companion of MaxReusePlanner's static order): the worker is
+// preferentially handed a chunk from the same block-row as its previous
+// chunk of that job — its A-row operands are already resident, so the
+// delta protocol skips them — then the same block-column (B resident),
+// then the head of the queue. A locality pick that does not fit the
+// worker's memory falls back to the head task, preserving the head's
+// fail-fast semantics.
 func (cl *Cluster) takeLocked(w *workerState) *Task {
 	cl.promoteLocked()
 	if len(w.inflight) >= w.slots {
@@ -414,7 +443,12 @@ func (cl *Cluster) takeLocked(w *workerState) *Task {
 		if j.state != Running || len(j.pending) == 0 {
 			continue
 		}
-		t := j.pending[0]
+		idx := cl.localPickLocked(j, w)
+		t := j.pending[idx]
+		if idx != 0 && w.mem > 0 && held+footprint(t) > w.mem {
+			idx = 0
+			t = j.pending[0]
+		}
 		if w.mem > 0 && held+footprint(t) > w.mem {
 			if !cl.anyWorkerFitsLocked(t) {
 				cl.failJobLocked(j, fmt.Errorf(
@@ -423,12 +457,37 @@ func (cl *Cluster) takeLocked(w *workerState) *Task {
 			}
 			continue
 		}
-		j.pending = j.pending[1:]
+		j.pending = append(j.pending[:idx], j.pending[idx+1:]...)
 		j.inflight++
+		if w.lastAt == nil {
+			w.lastAt = make(map[JobID][2]int)
+		}
+		w.lastAt[t.Job] = [2]int{t.Chunk.I0, t.Chunk.J0}
 		cl.rr = (cl.rr + i + 1) % n
 		return t
 	}
 	return nil
+}
+
+// localPickLocked returns the index into j.pending of the chunk that
+// best reuses what the worker already holds for this job: same
+// block-row first, then same block-column, else the head.
+func (cl *Cluster) localPickLocked(j *job, w *workerState) int {
+	last, ok := w.lastAt[j.id]
+	if !ok {
+		return 0
+	}
+	for idx, t := range j.pending {
+		if t.Chunk.I0 == last[0] {
+			return idx
+		}
+	}
+	for idx, t := range j.pending {
+		if t.Chunk.J0 == last[1] {
+			return idx
+		}
+	}
+	return 0
 }
 
 // anyWorkerFitsLocked reports whether some live worker's advertised
@@ -634,5 +693,10 @@ func (cl *Cluster) finishJobLocked(j *job, state JobState, err error) {
 	}
 	j.state = state
 	j.err = err
+	// The locality cursors for this job are dead weight now; drop them
+	// so long-lived workers don't accumulate one entry per job forever.
+	for _, w := range cl.reg.workers {
+		delete(w.lastAt, j.id)
+	}
 	close(j.doneCh)
 }

@@ -75,7 +75,12 @@ func (f *EngineFeed) Next() (*engine.Assign, error) {
 	}, nil
 }
 
-// Set materializes the k-th update set of a held assignment.
+// Set materializes the k-th update set of a held assignment, stamped
+// with the job-scoped block IDs the delta protocol tracks. For LU tasks
+// the operands are the stage-t.K panels: those blocks are final once
+// the stage is factored (later stages only touch the trailing
+// submatrix), and the A-role IDs never collide with B-role IDs, so the
+// negated L panel caches as safely as a matmul operand.
 func (f *EngineFeed) Set(id engine.AssignID, k int) (*engine.Set, error) {
 	f.mu.Lock()
 	task := f.tasks[id]
@@ -87,7 +92,18 @@ func (f *EngineFeed) Set(id engine.AssignID, k int) (*engine.Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &engine.Set{K: k, A: aBlks, B: bBlks, Owned: true}, nil
+	set := &engine.Set{K: k, A: aBlks, B: bBlks, Owned: true}
+	ch, kk := task.Chunk, k
+	if task.Kind == LU {
+		kk = task.K
+	}
+	for i := 0; i < ch.Rows; i++ {
+		set.AIDs = append(set.AIDs, engine.ABlockID(uint32(task.Job), ch.I0+i, kk))
+	}
+	for j := 0; j < ch.Cols; j++ {
+		set.BIDs = append(set.BIDs, engine.BBlockID(uint32(task.Job), kk, ch.J0+j))
+	}
+	return set, nil
 }
 
 // Complete retires a held assignment with its result blocks; a task the

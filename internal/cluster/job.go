@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/matrix"
 	"repro/internal/sim"
 )
@@ -90,6 +91,11 @@ type Status struct {
 	TasksDone  int
 	Requeues   int // tasks re-dispatched after a worker loss
 	Err        error
+	// Comm is the job's delta-protocol accounting: operand blocks that
+	// went over the wire versus blocks served from worker-resident
+	// caches. Sessions report on exit, so in-flight work is not yet
+	// counted.
+	Comm engine.CommStats
 }
 
 // taskKey identifies one task attempt globally.
@@ -107,6 +113,7 @@ type Task struct {
 	Job     JobID
 	Seq     int // unique within the job
 	Attempt int // incremented on every requeue
+	Kind    JobKind
 	Chunk   *sim.Chunk
 	Steps   int // update sets to stream
 	K       int // LU: panel stage this task belongs to
@@ -132,6 +139,9 @@ type job struct {
 	stage     int // current panel index k
 	stageLeft int // trailing tasks outstanding in the current stage
 	luBlocks  int // r, the block order of the LU matrix
+	// comm accumulates the job's delta-protocol accounting as worker
+	// sessions report it.
+	comm engine.CommStats
 }
 
 func validateSpec(spec JobSpec) error {
@@ -176,7 +186,7 @@ func newJob(id JobID, spec JobSpec) *job {
 		}
 		for _, ch := range planner.Plan(pr, spec.Mu) {
 			j.pending = append(j.pending, &Task{
-				Job: id, Seq: j.nextSeq, Chunk: ch, Steps: pr.T,
+				Job: id, Seq: j.nextSeq, Kind: MatMul, Chunk: ch, Steps: pr.T,
 			})
 			j.nextSeq++
 		}
@@ -225,7 +235,7 @@ func (j *job) factorStage() bool {
 				Steps: []sim.Step{{Blocks: rows + cols, Updates: int64(rows) * int64(cols)}},
 			}
 			j.pending = append(j.pending, &Task{
-				Job: j.id, Seq: j.nextSeq, Chunk: ch, Steps: 1, K: k,
+				Job: j.id, Seq: j.nextSeq, Kind: LU, Chunk: ch, Steps: 1, K: k,
 			})
 			j.nextSeq++
 			j.total++
@@ -252,6 +262,7 @@ func (j *job) status() Status {
 		ID: j.id, Kind: j.spec.Kind, State: j.state,
 		TasksTotal: j.total, TasksDone: j.done,
 		Requeues: j.requeues, Err: j.err,
+		Comm: j.comm,
 	}
 }
 

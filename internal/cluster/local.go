@@ -35,7 +35,11 @@ func RunLocalWorker(cl *Cluster, cfg LocalWorkerConfig) error {
 	master, worker := engine.Pipe()
 	feedErr := make(chan error, 1)
 	go func() {
-		feedErr <- engine.RunFeeder(master, feed, engine.FeederConfig{Slots: 1, Pool: cl.pool})
+		fstats, err := engine.RunFeeder(master, feed, engine.FeederConfig{
+			Slots: 1, Pool: cl.pool, Mem: cfg.Mem,
+		})
+		cl.ReportComm(cfg.ID, fstats)
+		feedErr <- err
 	}()
 	_, err = engine.RunWorker(worker, engine.WorkerConfig{
 		StageCap: 1, Slots: 1, Cores: cfg.Cores,

@@ -14,6 +14,23 @@ type WorkerInfo struct {
 	Dead     bool
 	Inflight int // tasks currently assigned
 	Done     int // tasks completed over the worker's lifetime
+
+	// Delta-protocol accounting across the worker's lifetime (summed
+	// over sessions; reconnects keep the cumulative totals even though
+	// each new session's cache starts cold).
+	BlocksShipped int64 // operand blocks sent with payload
+	BlocksSkipped int64 // operand blocks served from the resident cache
+	BytesSaved    int64 // payload bytes the skips avoided
+}
+
+// CacheHitRate returns the fraction of operand blocks the resident
+// cache absorbed.
+func (wi WorkerInfo) CacheHitRate() float64 {
+	total := wi.BlocksShipped + wi.BlocksSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(wi.BlocksSkipped) / float64(total)
 }
 
 // workerState is the registry's live record of one worker. All access is
@@ -27,6 +44,13 @@ type workerState struct {
 	dead     bool
 	inflight map[taskKey]*Task
 	done     int
+	// lastAt remembers the coordinates of the worker's previous chunk
+	// per job, for locality-aware dispatch.
+	lastAt map[JobID][2]int
+	// Cumulative delta-protocol totals, carried across incarnations.
+	blocksShipped int64
+	blocksSkipped int64
+	bytesSaved    int64
 }
 
 // registry is the membership table: join/leave plus heartbeat-based
@@ -44,6 +68,7 @@ func newRegistry() *registry {
 
 // join registers a worker. Re-joining under a live or dead ID replaces the
 // old incarnation; the caller requeues the old incarnation's tasks first.
+// Lifetime comm totals carry over so operability stats survive blips.
 func (r *registry) join(id string, mem, slots int, now time.Time) *workerState {
 	if slots < 1 {
 		slots = 1
@@ -52,6 +77,11 @@ func (r *registry) join(id string, mem, slots int, now time.Time) *workerState {
 	w := &workerState{
 		id: id, epoch: r.joins, mem: mem, slots: slots, lastSeen: now,
 		inflight: make(map[taskKey]*Task),
+	}
+	if old := r.workers[id]; old != nil {
+		w.blocksShipped = old.blocksShipped
+		w.blocksSkipped = old.blocksSkipped
+		w.bytesSaved = old.bytesSaved
 	}
 	r.workers[id] = w
 	return w
@@ -101,6 +131,8 @@ func (r *registry) snapshot() []WorkerInfo {
 		out = append(out, WorkerInfo{
 			ID: w.id, Mem: w.mem, Slots: w.slots, LastSeen: w.lastSeen,
 			Dead: w.dead, Inflight: len(w.inflight), Done: w.done,
+			BlocksShipped: w.blocksShipped, BlocksSkipped: w.blocksSkipped,
+			BytesSaved: w.bytesSaved,
 		})
 	}
 	return out

@@ -386,7 +386,10 @@ func TestFeederConformance(t *testing.T) {
 				master, worker := feederPair(t, fl.name, pool)
 				feed := newScriptedFeed(c, a, b, 2)
 				feederDone := make(chan error, 1)
-				go func() { feederDone <- engine.RunFeeder(master, feed, engine.FeederConfig{Slots: slots, Pool: pool}) }()
+				go func() {
+					_, err := engine.RunFeeder(master, feed, engine.FeederConfig{Slots: slots, Pool: pool})
+					feederDone <- err
+				}()
 				rep, err := engine.RunWorker(worker, engine.WorkerConfig{
 					StageCap: 2, Slots: slots, Cores: 2,
 					PullSets: true, Pool: pool,

@@ -95,11 +95,23 @@ type Assign struct {
 
 // Set carries the operand blocks of one inner step k: Rows blocks of
 // A(·,k) then Cols blocks of B(k,·), the maximum re-use update set.
+//
+// With the delta protocol, AIDs/BIDs carry the manifest of block IDs
+// (see ABlockID/BBlockID; ID 0 marks an untracked entry) and A/B may
+// hold nil in place of blocks the worker already has resident — the
+// receiver resolves those from its operand cache. Cap announces the
+// resident-cache capacity the worker must mirror after processing this
+// set (the LRU on both ends evicts down to it in lock-step). A Set
+// whose manifest is empty is a full set: every operand has a payload,
+// exactly the pre-delta protocol.
 type Set struct {
-	K    int
-	A, B [][]float64
+	K          int
+	A, B       [][]float64
+	AIDs, BIDs []uint64
+	Cap        int
 	// Owned hands the buffers to the receiver for release after the
-	// update is applied; unowned sets are read-only shared references.
+	// update is applied (cache-pinned blocks are released on eviction
+	// instead); unowned sets are read-only shared references.
 	Owned bool
 }
 

@@ -38,6 +38,19 @@ type FeederConfig struct {
 	// Pool receives the buffers of Owned results once Complete has
 	// consumed them; nil disables pooling.
 	Pool *BlockPool
+	// Mem is the worker's advertised memory in blocks; the resident
+	// cache is budgeted from it (CacheBudget). 0 = unadvertised.
+	Mem int
+	// DisableDelta ships full update sets (the pre-delta protocol).
+	DisableDelta bool
+}
+
+// FeederStats summarizes one feeder session's delta accounting, in
+// total and attributed per job (AssignID.A is the job number in the
+// cluster dialect).
+type FeederStats struct {
+	Comm   CommStats
+	PerJob map[uint32]CommStats
 }
 
 // outAssign is one assignment shipped to the worker and not yet
@@ -52,6 +65,16 @@ type outAssign struct {
 	rows, cols int
 	q          int
 	sent       int // update sets streamed so far
+}
+
+// outqFootprint sums the in-flight assignments' chunk footprints — what
+// CacheBudget subtracts from the worker's advertised memory.
+func outqFootprint(outq []*outAssign) int {
+	total := 0
+	for _, oa := range outq {
+		total += InflightFootprint(oa.rows, oa.cols)
+	}
+	return total
 }
 
 // feederEvent is one worker message surfaced by the reader goroutine.
@@ -71,11 +94,22 @@ type feederEvent struct {
 // before Bye lands, so a pipelined worker sees a goodbye at an
 // assignment boundary, never a mid-task reset. Any transport error
 // declares the worker lost (feed.Lost requeues what it held).
-func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) error {
+//
+// Update sets the feed materializes are rewritten into deltas against
+// the session's mirror of the worker's resident operand cache (see
+// SetBuilder); the returned stats report the blocks skipped. A lost
+// session drops the mirror with it — the worker's next incarnation is a
+// new session and starts cold on both ends.
+func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, err error) {
 	slots := cfg.Slots
 	if slots < 1 {
 		slots = 1
 	}
+	builder := SetBuilder{Mem: cfg.Mem, Disable: cfg.DisableDelta}
+	defer func() {
+		fstats.Comm = builder.Stats
+		builder.Release()
+	}()
 
 	events := make(chan feederEvent, 16)
 	// On any session exit, drain until the reader closes the channel
@@ -190,14 +224,25 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) error {
 				}
 			}
 			if cur == nil {
-				return fmt.Errorf("engine: protocol violation: set request with no sets left to stream")
+				return fstats, fmt.Errorf("engine: protocol violation: set request with no sets left to stream")
 			}
 			set, err := feed.Set(cur.id, cur.sent)
 			if err != nil {
-				return err
+				return fstats, err
 			}
+			before := builder.Stats
+			set = builder.Filter(set, outqFootprint(outq), cfg.Pool)
+			if fstats.PerJob == nil {
+				fstats.PerJob = make(map[uint32]CommStats)
+			}
+			jc := fstats.PerJob[cur.id.A]
+			jc.SetsSent += builder.Stats.SetsSent - before.SetsSent
+			jc.BlocksShipped += builder.Stats.BlocksShipped - before.BlocksShipped
+			jc.BlocksSkipped += builder.Stats.BlocksSkipped - before.BlocksSkipped
+			jc.BytesSaved += builder.Stats.BytesSaved - before.BytesSaved
+			fstats.PerJob[cur.id.A] = jc
 			if err := tr.Send(set); err != nil {
-				return err
+				return fstats, err
 			}
 			cur.sent++
 		case ev.result != nil:
@@ -210,22 +255,22 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) error {
 				}
 			}
 			if idx < 0 {
-				return fmt.Errorf("engine: result for an assignment this session does not hold")
+				return fstats, fmt.Errorf("engine: result for an assignment this session does not hold")
 			}
 			oa := outq[idx]
 			if len(res.Blocks) != oa.rows*oa.cols {
-				return fmt.Errorf("engine: result has %d blocks, want %d",
+				return fstats, fmt.Errorf("engine: result has %d blocks, want %d",
 					len(res.Blocks), oa.rows*oa.cols)
 			}
 			for _, blk := range res.Blocks {
 				if len(blk) != oa.q*oa.q {
-					return fmt.Errorf("engine: result block has %d elements, want %d",
+					return fstats, fmt.Errorf("engine: result block has %d elements, want %d",
 						len(blk), oa.q*oa.q)
 				}
 			}
 			err := feed.Complete(res.ID, res.Blocks)
 			if err != nil && !errors.Is(err, ErrStaleResult) {
-				return err
+				return fstats, err
 			}
 			if res.Owned {
 				cfg.Pool.PutAll(res.Blocks)
@@ -239,5 +284,5 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) error {
 	// events closed: the session ended (clean Bye drain or connection
 	// death); the reader already declared the worker lost, requeuing
 	// everything still in outq.
-	return nil
+	return fstats, nil
 }

@@ -22,13 +22,28 @@ type MasterConfig struct {
 	// Pool supplies the assignment copies and receives every Owned
 	// result buffer once it is stored; nil disables pooling.
 	Pool *BlockPool
+	// DisableDelta ships full update sets (the pre-delta protocol); for
+	// measurement and as an escape hatch. Default off: deltas are on.
+	DisableDelta bool
 }
 
 // MasterStats summarizes a master run.
 type MasterStats struct {
-	// Blocks is the master-side communication volume: blocks sent plus
-	// received, the paper's CCR numerator.
+	// Blocks is the master-side logical communication volume: blocks
+	// referenced by every transfer (sent plus received), the paper's CCR
+	// numerator. The delta protocol does not change it — it changes how
+	// many of those blocks need payload on the wire, which Comm counts.
 	Blocks int64
+	// Comm is the delta protocol's accounting across all workers.
+	Comm CommStats
+}
+
+// MemAdvertiser is implemented by transports whose peer advertised a
+// memory capacity in blocks (the TCP hello); the master budgets that
+// worker's resident cache from it. Transports without an advertisement
+// get the default cache budget.
+type MemAdvertiser interface {
+	AdvertisedMem() int
 }
 
 // masterReq is one worker request surfaced by a reader goroutine.
@@ -55,6 +70,10 @@ type assignState struct {
 // effort on failure) and every transport is closed.
 func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cfg MasterConfig) (MasterStats, error) {
 	var stats MasterStats
+	// The locality-aware pick removes chunks from arbitrary positions;
+	// work on a copy so the caller's slice (and backing array) survives
+	// the run intact.
+	pool = append([]*sim.Chunk(nil), pool...)
 
 	// Reader stage: one goroutine per worker surfaces requests into the
 	// shared FIFO and results into a per-worker queue. Requests and
@@ -100,6 +119,7 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 			}
 		}(w, tr)
 	}
+	var collectComm func()
 	finish := func() {
 		close(quit)
 		for _, tr := range links {
@@ -109,6 +129,7 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 		for range links {
 			<-readersDone
 		}
+		collectComm()
 	}
 	fail := func(err error) (MasterStats, error) {
 		finish()
@@ -139,6 +160,21 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 	}
 
 	assigned := make([][]*assignState, len(links))
+	// One delta builder and one locality cursor per worker session: the
+	// builder mirrors the worker's resident operand cache, the cursor
+	// biases chunk dispatch toward the worker's current block-row (then
+	// block-column) so consecutive chunks actually share operands.
+	builders := make([]SetBuilder, len(links))
+	lastChunk := make([]*sim.Chunk, len(links))
+	for w := range links {
+		builders[w].Disable = cfg.DisableDelta
+	}
+	collectComm = func() {
+		for w := range builders {
+			stats.Comm.Add(builders[w].Stats)
+			builders[w].Release()
+		}
+	}
 	remaining := len(pool)
 	for remaining > 0 {
 		var rq masterReq
@@ -156,8 +192,10 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 			if len(pool) == 0 {
 				continue // pool drained; the worker idles until Bye
 			}
-			ch := pool[0]
-			pool = pool[1:]
+			idx := PickChunk(pool, lastChunk[w])
+			ch := pool[idx]
+			pool = append(pool[:idx], pool[idx+1:]...)
+			lastChunk[w] = ch
 			assigned[w] = append(assigned[w], &assignState{chunk: ch})
 			if err := links[w].Send(MakeAssign(c, ch, cfg)); err != nil {
 				return fail(err)
@@ -165,16 +203,24 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 			stats.Blocks += int64(ch.Blocks)
 		case ReqSet:
 			var cur *assignState
+			inflight := 0
 			for _, as := range assigned[w] {
-				if as.step < len(as.chunk.Steps) {
+				inflight += InflightFootprint(as.chunk.Rows, as.chunk.Cols)
+				if cur == nil && as.step < len(as.chunk.Steps) {
 					cur = as
-					break
 				}
 			}
 			if cur == nil {
 				return fail(fmt.Errorf("engine: protocol violation, set request from worker %d with no open assignment", w))
 			}
-			if err := links[w].Send(MakeSet(a, b, cur.chunk, cur.step, cfg.Pool)); err != nil {
+			// The peer's hello (if its transport carries one) precedes its
+			// first request on the connection, so by now the advertised
+			// memory is known; re-reading it per set costs nothing.
+			if ma, ok := links[w].(MemAdvertiser); ok {
+				builders[w].Mem = ma.AdvertisedMem()
+			}
+			set := builders[w].Filter(MakeSet(a, b, cur.chunk, cur.step, cfg.Pool), inflight, cfg.Pool)
+			if err := links[w].Send(set); err != nil {
 				return fail(err)
 			}
 			stats.Blocks += int64(cur.chunk.Rows + cur.chunk.Cols)
@@ -232,7 +278,9 @@ func MakeAssign(c *matrix.Blocked, ch *sim.Chunk, cfg MasterConfig) *Assign {
 
 // MakeSet builds the k-th update set for a chunk as shared references:
 // the operands are read-only, so no transport needs a copy. The Set
-// itself is recycled through the pool by its consumer.
+// itself is recycled through the pool by its consumer. The manifest is
+// stamped with single-job (job 0) block IDs; a SetBuilder turns it into
+// a delta.
 func MakeSet(a, b *matrix.Blocked, ch *sim.Chunk, k int, pool *BlockPool) *Set {
 	set := pool.GetSet()
 	set.K = k
@@ -242,6 +290,7 @@ func MakeSet(a, b *matrix.Blocked, ch *sim.Chunk, k int, pool *BlockPool) *Set {
 	for j := 0; j < ch.Cols; j++ {
 		set.B = append(set.B, b.Block(k, ch.J0+j).Data)
 	}
+	StampIDs(set, 0, ch, k)
 	return set
 }
 

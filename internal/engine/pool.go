@@ -114,9 +114,12 @@ func (p *BlockPool) GetSet() *Set {
 	}
 	s := setPool.Get().(*Set)
 	s.K = 0
+	s.Cap = 0
 	s.Owned = false
 	s.A = s.A[:0]
 	s.B = s.B[:0]
+	s.AIDs = s.AIDs[:0]
+	s.BIDs = s.BIDs[:0]
 	return s
 }
 

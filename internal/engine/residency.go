@@ -1,0 +1,476 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Operand residency: the delta-Set protocol that makes operand movement
+// proportional to *missing* data instead of *used* data (§4's re-use
+// argument pushed across the wire). The master keeps, per worker
+// session, a mirror of which operand blocks the worker holds; each Set
+// then ships a manifest of block IDs plus payloads only for the blocks
+// the worker lacks. The worker pins received operands in a cache keyed
+// by block ID and resolves manifest references from it.
+//
+// Correctness rests on one invariant: both ends run the SAME
+// least-recently-used policy, with the SAME capacity (announced in
+// every Set), over the SAME sequence of Sets — per-connection FIFO
+// delivery makes the sequences identical, so the two caches can never
+// disagree about what is resident. A session starts empty on both
+// sides, which is what makes reconnect safe: a new incarnation gets a
+// new session, so a worker that comes back after a kill is re-fed from
+// scratch.
+
+// DefaultCacheBlocks is the resident-cache capacity used for workers
+// that advertise no memory bound (the in-process runtime, tests).
+const DefaultCacheBlocks = 1024
+
+// CacheStage is the staging depth assumed when budgeting the resident
+// cache against a worker's advertised memory: the deepest staging any
+// runtime uses (the §5 overlapped µ²+4µ layout).
+const CacheStage = 2
+
+// CacheBudget returns the operand-cache capacity in blocks for a worker
+// advertising mem blocks of memory while holding assignments whose
+// summed chunk footprints (core.ChunkFootprint at CacheStage) total
+// inflight: the cache may use exactly the advertised memory beyond the
+// in-flight working set. mem ≤ 0 means unadvertised, which gets the
+// default budget.
+func CacheBudget(mem, inflight int) int {
+	if mem <= 0 {
+		return DefaultCacheBlocks
+	}
+	c := mem - inflight
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Block IDs name operand blocks within one session. An ID packs the
+// operand role (A or B — an LU panel block shipped negated in A-role
+// must never collide with the same coordinates in B-role), a job number
+// (0 for the single-job runtimes) and the block coordinates. ID 0 is
+// reserved for "untracked": the block is always shipped and never
+// cached (the valid bit keeps A(0,0) of job 0 from encoding as 0).
+const (
+	blockIDValid = uint64(1) << 63
+	blockIDRoleB = uint64(1) << 62
+	blockIDJobSh = 32
+	blockIDRowSh = 16
+	coordMask    = uint64(0xFFFF)
+	jobMask      = uint64(0x3FFFFFFF)
+)
+
+// ABlockID returns the session-unique ID of A-role operand block (i, k)
+// of the given job. Coordinates or job numbers beyond the packed field
+// widths return the untracked sentinel 0 — the block is then always
+// shipped, degrading bandwidth, never correctness (a masked ID could
+// alias a different block and silently serve wrong data).
+func ABlockID(job uint32, i, k int) uint64 {
+	if !idFieldsFit(job, i, k) {
+		return 0
+	}
+	return blockIDValid |
+		uint64(job)<<blockIDJobSh |
+		uint64(i)<<blockIDRowSh |
+		uint64(k)
+}
+
+// ValidBlockID reports whether id is a well-formed tracked block ID:
+// the reserved valid bit is set (0 is the untracked sentinel, anything
+// else without the bit is wire corruption).
+func ValidBlockID(id uint64) bool { return id&blockIDValid != 0 }
+
+// BBlockID returns the session-unique ID of B-role operand block (k, j)
+// of the given job, with the same out-of-range degradation as ABlockID.
+func BBlockID(job uint32, k, j int) uint64 {
+	if !idFieldsFit(job, k, j) {
+		return 0
+	}
+	return blockIDValid | blockIDRoleB |
+		uint64(job)<<blockIDJobSh |
+		uint64(k)<<blockIDRowSh |
+		uint64(j)
+}
+
+// idFieldsFit reports whether a (job, row, col) triple fits the packed
+// ID fields without truncation.
+func idFieldsFit(job uint32, row, col int) bool {
+	return uint64(job) <= jobMask &&
+		row >= 0 && uint64(row) <= coordMask &&
+		col >= 0 && uint64(col) <= coordMask
+}
+
+// CommStats counts the operand traffic of one master-side session (or
+// run): blocks that went over the wire versus blocks the delta protocol
+// skipped because the worker already held them.
+type CommStats struct {
+	SetsSent      int64
+	BlocksShipped int64 // operand blocks whose payload was sent
+	BlocksSkipped int64 // operand blocks served from the worker's cache
+	BytesSaved    int64 // payload bytes the skips avoided (8·q² each)
+}
+
+// Add accumulates other into s.
+func (s *CommStats) Add(other CommStats) {
+	s.SetsSent += other.SetsSent
+	s.BlocksShipped += other.BlocksShipped
+	s.BlocksSkipped += other.BlocksSkipped
+	s.BytesSaved += other.BytesSaved
+}
+
+// HitRate returns the fraction of operand blocks served from residency.
+func (s CommStats) HitRate() float64 {
+	total := s.BlocksShipped + s.BlocksSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BlocksSkipped) / float64(total)
+}
+
+// lruEntry is one resident block on the intrusive LRU list. The
+// master-side mirror stores nil buffers (it only needs the IDs); the
+// worker side stores the block and whether the cache owns it (pooled
+// TCP decode) or merely references it (the zero-copy in-process path).
+// Entries recycle through a global sync.Pool so the steady-state delta
+// path allocates nothing per block.
+type lruEntry struct {
+	id         uint64
+	buf        []float64
+	owned      bool
+	prev, next *lruEntry
+}
+
+var lruEntryPool = sync.Pool{New: func() any { return new(lruEntry) }}
+
+// blockCache is the deterministic LRU both ends mirror. head is most
+// recently used; eviction pops the tail. Given the same operation
+// sequence and capacities, two blockCaches hold the same IDs in the
+// same order — the protocol invariant. Caches themselves recycle
+// through a sync.Pool (sessions are born and die per connection) so a
+// reconnect-heavy server does not rebuild maps from scratch each time.
+type blockCache struct {
+	m          map[uint64]*lruEntry
+	head, tail *lruEntry
+}
+
+var blockCachePool = sync.Pool{
+	New: func() any { return &blockCache{m: make(map[uint64]*lruEntry)} },
+}
+
+func newBlockCache() *blockCache {
+	return blockCachePool.Get().(*blockCache)
+}
+
+func (c *blockCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *blockCache) pushFront(e *lruEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// touch marks id as most recently used, returning whether it was
+// resident.
+func (c *blockCache) touch(id uint64) bool {
+	e := c.m[id]
+	if e == nil {
+		return false
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return true
+}
+
+// get returns the resident buffer for id (touching it), or nil.
+func (c *blockCache) get(id uint64) []float64 {
+	e := c.m[id]
+	if e == nil {
+		return nil
+	}
+	if c.head != e {
+		c.unlink(e)
+		c.pushFront(e)
+	}
+	return e.buf
+}
+
+// insert pins a block as most recently used. Re-inserting an ID that is
+// already resident replaces its buffer, releasing the old one if owned
+// (that only happens if the peer's mirror drifted, but it must not leak).
+func (c *blockCache) insert(id uint64, buf []float64, owned bool, pool *BlockPool) {
+	if e := c.m[id]; e != nil {
+		if e.owned {
+			pool.Put(e.buf)
+		}
+		e.buf, e.owned = buf, owned
+		if c.head != e {
+			c.unlink(e)
+			c.pushFront(e)
+		}
+		return
+	}
+	e := lruEntryPool.Get().(*lruEntry)
+	e.id, e.buf, e.owned = id, buf, owned
+	c.m[id] = e
+	c.pushFront(e)
+}
+
+// evictTo drops least-recently-used entries until at most cap remain,
+// releasing owned buffers to the pool.
+func (c *blockCache) evictTo(cap int, pool *BlockPool) {
+	if cap < 0 {
+		cap = 0
+	}
+	for len(c.m) > cap {
+		e := c.tail
+		c.unlink(e)
+		delete(c.m, e.id)
+		if e.owned {
+			pool.Put(e.buf)
+		}
+		e.buf = nil
+		lruEntryPool.Put(e)
+	}
+}
+
+// release drains the cache (returning owned buffers to the pool) and
+// recycles it for the next session.
+func (c *blockCache) release(pool *BlockPool) {
+	c.evictTo(0, pool)
+	blockCachePool.Put(c)
+}
+
+// SetBuilder is the master side of the delta protocol for ONE worker
+// session: it owns the mirror of the worker's resident set and rewrites
+// fully-materialized Sets into deltas. It is not safe for concurrent
+// use; each session's event loop owns its builder.
+type SetBuilder struct {
+	// Job scopes the block IDs (0 for the single-job runtimes).
+	Job uint32
+	// Mem is the worker's advertised memory in blocks (0 = unknown,
+	// which budgets DefaultCacheBlocks).
+	Mem int
+	// Disable turns the builder into a pass-through that ships full
+	// sets (the pre-delta protocol, kept for measurement).
+	Disable bool
+
+	Stats  CommStats
+	mirror *blockCache
+}
+
+// StampIDs fills a Set's manifest for a chunk's k-th update set: A-role
+// IDs for rows I0..I0+Rows-1 at column k, B-role IDs for row k at
+// columns J0..J0+Cols-1. Feeds whose sets are not plain (chunk, k)
+// slices (LU panels) stamp their own IDs instead.
+func StampIDs(set *Set, job uint32, ch *sim.Chunk, k int) {
+	for i := 0; i < ch.Rows; i++ {
+		set.AIDs = append(set.AIDs, ABlockID(job, ch.I0+i, k))
+	}
+	for j := 0; j < ch.Cols; j++ {
+		set.BIDs = append(set.BIDs, BBlockID(job, k, ch.J0+j))
+	}
+}
+
+// Filter rewrites a materialized Set into a delta against the worker's
+// mirrored resident set: payloads of blocks the worker already holds
+// are dropped (owned ones released to the pool), newly shipped blocks
+// enter the mirror, and the Set's Cap announces the capacity the worker
+// must mirror — CacheBudget of the advertised memory minus inflight,
+// the summed footprint of the worker's in-flight assignments. Sets
+// without a manifest (or a disabled builder) pass through as full sets,
+// counted but untouched.
+func (sb *SetBuilder) Filter(set *Set, inflight int, pool *BlockPool) *Set {
+	sb.Stats.SetsSent++
+	if sb.Disable || (len(set.AIDs) == 0 && len(set.BIDs) == 0) {
+		set.AIDs = set.AIDs[:0]
+		set.BIDs = set.BIDs[:0]
+		set.Cap = 0
+		sb.Stats.BlocksShipped += int64(len(set.A) + len(set.B))
+		return set
+	}
+	if sb.mirror == nil {
+		sb.mirror = newBlockCache()
+	}
+	set.Cap = CacheBudget(sb.Mem, inflight)
+	sb.filterHalf(set.A, set.AIDs, set.Owned, pool)
+	sb.filterHalf(set.B, set.BIDs, set.Owned, pool)
+	sb.mirror.evictTo(set.Cap, nil)
+	return set
+}
+
+// Release recycles the builder's mirror at session end.
+func (sb *SetBuilder) Release() {
+	if sb.mirror != nil {
+		sb.mirror.release(nil)
+		sb.mirror = nil
+	}
+}
+
+func (sb *SetBuilder) filterHalf(blocks [][]float64, ids []uint64, owned bool, pool *BlockPool) {
+	for i, id := range ids {
+		if id == 0 { // untracked: always ship
+			sb.Stats.BlocksShipped++
+			continue
+		}
+		if sb.mirror.touch(id) {
+			sb.Stats.BlocksSkipped++
+			sb.Stats.BytesSaved += int64(len(blocks[i])) * 8
+			if owned {
+				pool.Put(blocks[i])
+			}
+			blocks[i] = nil
+			continue
+		}
+		sb.mirror.insert(id, nil, false, nil)
+		sb.Stats.BlocksShipped++
+	}
+}
+
+// opCache is the worker side: resident operand blocks keyed by ID, fed
+// and evicted in exact mirror of the master's SetBuilder.
+type opCache struct {
+	cache *blockCache
+	pool  *BlockPool
+}
+
+func newOpCache(pool *BlockPool) *opCache {
+	return &opCache{cache: newBlockCache(), pool: pool}
+}
+
+// resolve applies a delta Set against the cache: shipped blocks are
+// pinned (transferring ownership to the cache when the Set owns them),
+// manifest references are filled from residency, and the cache is then
+// evicted down to the announced capacity. Sets without a manifest pass
+// through untouched (the caller releases them after applying, as
+// before). It returns the number of blocks served from the cache.
+func (oc *opCache) resolve(set *Set) (hits int64, err error) {
+	if len(set.AIDs) == 0 && len(set.BIDs) == 0 {
+		return 0, nil
+	}
+	if len(set.AIDs) != len(set.A) || len(set.BIDs) != len(set.B) {
+		return 0, fmt.Errorf("engine: set %d manifest has %d+%d ids for %d+%d operands",
+			set.K, len(set.AIDs), len(set.BIDs), len(set.A), len(set.B))
+	}
+	h, err := oc.resolveHalf(set.A, set.AIDs, set.Owned)
+	if err != nil {
+		return hits, err
+	}
+	hits += h
+	if h, err = oc.resolveHalf(set.B, set.BIDs, set.Owned); err != nil {
+		return hits, err
+	}
+	hits += h
+	oc.cache.evictTo(set.Cap, oc.pool)
+	return hits, nil
+}
+
+func (oc *opCache) resolveHalf(blocks [][]float64, ids []uint64, owned bool) (hits int64, err error) {
+	for i, id := range ids {
+		if id == 0 {
+			if blocks[i] == nil {
+				return hits, fmt.Errorf("engine: untracked manifest entry %d without payload", i)
+			}
+			continue
+		}
+		if blocks[i] != nil {
+			oc.cache.insert(id, blocks[i], owned, oc.pool)
+			continue
+		}
+		buf := oc.cache.get(id)
+		if buf == nil {
+			return hits, fmt.Errorf("engine: set references block %#x not resident in the operand cache", id)
+		}
+		blocks[i] = buf
+		hits++
+	}
+	return hits, nil
+}
+
+// releaseUncached returns the Set's buffers that did NOT enter the
+// cache to the pool after the update is applied: with a manifest, every
+// tracked shipped block is cache-owned (released on eviction), so only
+// untracked (ID 0) payloads are the consumer's to free; without a
+// manifest the whole Set is, exactly as before the delta protocol.
+func releaseUncached(set *Set, pool *BlockPool) {
+	if !set.Owned {
+		return
+	}
+	if len(set.AIDs) == 0 && len(set.BIDs) == 0 {
+		pool.PutAll(set.A)
+		pool.PutAll(set.B)
+		return
+	}
+	for i, id := range set.AIDs {
+		if id == 0 {
+			pool.Put(set.A[i])
+		}
+	}
+	for i, id := range set.BIDs {
+		if id == 0 {
+			pool.Put(set.B[i])
+		}
+	}
+}
+
+// release drains every resident block and recycles the cache (session
+// end).
+func (oc *opCache) release() {
+	if oc.cache != nil {
+		oc.cache.release(oc.pool)
+		oc.cache = nil
+	}
+}
+
+// InflightFootprint sums the chunk footprints of a worker's in-flight
+// assignments at the cache staging depth — the term CacheBudget
+// subtracts from the advertised memory.
+func InflightFootprint(rows, cols int) int {
+	return core.ChunkFootprint(rows, cols, CacheStage)
+}
+
+// PickChunk selects the next chunk for a worker from the pool with the
+// max-reuse locality preference: first a chunk in the same block-row as
+// the worker's previous chunk (its A-row operands are already
+// resident), then the same block-column (B-column resident), then the
+// head of the pool. It returns the index into pool.
+func PickChunk(pool []*sim.Chunk, last *sim.Chunk) int {
+	if last == nil {
+		return 0
+	}
+	for idx, ch := range pool {
+		if ch.I0 == last.I0 {
+			return idx
+		}
+	}
+	for idx, ch := range pool {
+		if ch.J0 == last.J0 {
+			return idx
+		}
+	}
+	return 0
+}

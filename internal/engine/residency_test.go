@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestBlockIDsDistinct pins the ID packing: A-role and B-role never
+// collide, jobs are scoped, coordinates matter, and 0 stays reserved
+// for the untracked sentinel.
+func TestBlockIDsDistinct(t *testing.T) {
+	seen := map[uint64][2]interface{}{}
+	add := func(id uint64, tag string, a, b, c int) {
+		if id == 0 {
+			t.Fatalf("%s(%d,%d,%d) encoded to the untracked sentinel 0", tag, a, b, c)
+		}
+		if !ValidBlockID(id) {
+			t.Fatalf("%s(%d,%d,%d) = %#x fails ValidBlockID", tag, a, b, c, id)
+		}
+		key := [2]interface{}{tag, [3]int{a, b, c}}
+		if prev, ok := seen[id]; ok && prev != key {
+			t.Fatalf("id collision: %v and %v both encode to %#x", prev, key, id)
+		}
+		seen[id] = key
+	}
+	for _, job := range []uint32{0, 1, 7, 1 << 20} {
+		for i := 0; i < 8; i++ {
+			for k := 0; k < 8; k++ {
+				add(ABlockID(job, i, k), "A", int(job), i, k)
+				add(BBlockID(job, i, k), "B", int(job), i, k)
+			}
+		}
+	}
+	// Out-of-range fields must degrade to the untracked sentinel, never
+	// truncate into an alias of a different block.
+	for _, id := range []uint64{
+		ABlockID(1<<31, 0, 0), ABlockID(0, 1<<16, 0), ABlockID(0, 0, 1<<16),
+		BBlockID(1<<31, 0, 0), BBlockID(0, 1<<16, 0), BBlockID(0, 0, -1),
+	} {
+		if id != 0 {
+			t.Fatalf("out-of-range field packed to %#x, want untracked 0", id)
+		}
+	}
+}
+
+// TestMirroredLRU drives a SetBuilder (master mirror) and an opCache
+// (worker cache) with the same randomized Set sequence and checks the
+// protocol invariant: the worker can always resolve exactly the blocks
+// the master skipped, under tight capacities that force evictions.
+func TestMirroredLRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const q = 2
+	pool := NewBlockPool()
+	for _, mem := range []int{0, 10, 16, 40} {
+		sb := SetBuilder{Job: 3, Mem: mem}
+		oc := newOpCache(pool)
+		// Random 2x2 chunks over an 8x8 grid, 200 sets.
+		for step := 0; step < 200; step++ {
+			ch := &sim.Chunk{I0: rng.Intn(7), J0: rng.Intn(7), Rows: 2, Cols: 2}
+			k := rng.Intn(6)
+			set := pool.GetSet()
+			set.K = k
+			set.Owned = true
+			for i := 0; i < ch.Rows; i++ {
+				set.A = append(set.A, pool.Get(q*q))
+			}
+			for j := 0; j < ch.Cols; j++ {
+				set.B = append(set.B, pool.Get(q*q))
+			}
+			StampIDs(set, 3, ch, k)
+			set = sb.Filter(set, InflightFootprint(ch.Rows, ch.Cols), pool)
+			if _, err := oc.resolve(set); err != nil {
+				t.Fatalf("mem=%d step %d: worker could not resolve the master's delta: %v", mem, step, err)
+			}
+			for i, blk := range set.A {
+				if blk == nil {
+					t.Fatalf("mem=%d step %d: A[%d] unresolved", mem, step, i)
+				}
+			}
+			for j, blk := range set.B {
+				if blk == nil {
+					t.Fatalf("mem=%d step %d: B[%d] unresolved", mem, step, j)
+				}
+			}
+			releaseUncached(set, pool)
+			pool.PutSet(set)
+		}
+		if sb.Stats.BlocksShipped+sb.Stats.BlocksSkipped != 200*4 {
+			t.Fatalf("mem=%d: accounted %d blocks, want %d", mem,
+				sb.Stats.BlocksShipped+sb.Stats.BlocksSkipped, 200*4)
+		}
+		if mem == 0 && sb.Stats.BlocksSkipped == 0 {
+			t.Fatal("default budget produced no skips on a reuse-heavy sequence")
+		}
+		sb.Release()
+		oc.release()
+	}
+}
+
+// TestCacheBudget pins the sizing rule: advertised memory minus the
+// in-flight chunk footprint, floored at zero, with the default budget
+// for unadvertised workers.
+func TestCacheBudget(t *testing.T) {
+	if got := CacheBudget(0, 99); got != DefaultCacheBlocks {
+		t.Fatalf("CacheBudget(0, 99) = %d, want default %d", got, DefaultCacheBlocks)
+	}
+	// µ=4 chunk at the overlapped staging depth: 4·4 + 2·(4+4) = 32.
+	fp := InflightFootprint(4, 4)
+	if fp != 32 {
+		t.Fatalf("InflightFootprint(4,4) = %d, want 32", fp)
+	}
+	if got := CacheBudget(100, fp); got != 68 {
+		t.Fatalf("CacheBudget(100, 32) = %d, want 68", got)
+	}
+	if got := CacheBudget(10, fp); got != 0 {
+		t.Fatalf("CacheBudget(10, 32) = %d, want 0", got)
+	}
+}
+
+// TestMirrorCapacityZero: a zero budget must degrade to the full
+// protocol (every block shipped) without desync or leak.
+func TestMirrorCapacityZero(t *testing.T) {
+	pool := NewBlockPool()
+	sb := SetBuilder{Mem: 1} // below any footprint → budget 0
+	oc := newOpCache(pool)
+	ch := &sim.Chunk{I0: 0, J0: 0, Rows: 2, Cols: 2}
+	for k := 0; k < 5; k++ {
+		set := pool.GetSet()
+		set.Owned = true
+		for i := 0; i < 4; i++ {
+			if i < 2 {
+				set.A = append(set.A, pool.Get(4))
+			} else {
+				set.B = append(set.B, pool.Get(4))
+			}
+		}
+		StampIDs(set, 0, ch, k)
+		set = sb.Filter(set, InflightFootprint(2, 2), pool)
+		if set.Cap != 0 {
+			t.Fatalf("cap = %d, want 0", set.Cap)
+		}
+		for _, blk := range append(append([][]float64{}, set.A...), set.B...) {
+			if blk == nil {
+				t.Fatal("zero-budget delta skipped a block")
+			}
+		}
+		if _, err := oc.resolve(set); err != nil {
+			t.Fatal(err)
+		}
+		releaseUncached(set, pool)
+		pool.PutSet(set)
+	}
+	if sb.Stats.BlocksSkipped != 0 {
+		t.Fatalf("zero budget skipped %d blocks", sb.Stats.BlocksSkipped)
+	}
+	sb.Release()
+	oc.release()
+}
+
+// TestResolveRejectsUnknownReference: a manifest reference to a block
+// the cache does not hold must error (protocol violation), not panic or
+// silently compute on garbage.
+func TestResolveRejectsUnknownReference(t *testing.T) {
+	pool := NewBlockPool()
+	oc := newOpCache(pool)
+	defer oc.release()
+	set := &Set{
+		A:    [][]float64{nil},
+		B:    [][]float64{make([]float64, 4)},
+		AIDs: []uint64{ABlockID(0, 1, 2)},
+		BIDs: []uint64{BBlockID(0, 2, 1)},
+		Cap:  8,
+	}
+	if _, err := oc.resolve(set); err == nil {
+		t.Fatal("unknown cache reference resolved")
+	}
+}
+
+// TestPickChunkLocality pins the dispatch-order companion: same
+// block-row first, then same block-column, else the head.
+func TestPickChunkLocality(t *testing.T) {
+	mk := func(i0, j0 int) *sim.Chunk { return &sim.Chunk{I0: i0, J0: j0} }
+	pool := []*sim.Chunk{mk(2, 0), mk(4, 0), mk(0, 2), mk(0, 0)}
+	if got := PickChunk(pool, nil); got != 0 {
+		t.Fatalf("cold pick = %d, want head", got)
+	}
+	if got := PickChunk(pool, mk(0, 4)); got != 2 {
+		t.Fatalf("same-row pick = %d, want 2", got)
+	}
+	if got := PickChunk(pool, mk(6, 2)); got != 2 {
+		t.Fatalf("same-col pick = %d, want 2 (J0 match)", got)
+	}
+	if got := PickChunk(pool, mk(6, 6)); got != 0 {
+		t.Fatalf("no-affinity pick = %d, want head", got)
+	}
+}

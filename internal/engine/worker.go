@@ -55,6 +55,13 @@ type WorkerConfig struct {
 type WorkerReport struct {
 	Assignments int
 	Updates     int64
+	// CacheHits counts operand blocks served from the worker's resident
+	// cache instead of the wire; BlocksIn counts operand blocks that
+	// arrived with payload. BytesSaved is the payload volume the hits
+	// avoided (8·q² per block).
+	CacheHits  int64
+	BlocksIn   int64
+	BytesSaved int64
 }
 
 // RunWorker executes the worker side of the protocol until the master
@@ -135,6 +142,13 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 	}
 	request := func(kind ReqKind) error { return tr.Send(RequestOf(kind)) }
 
+	// The operand cache holds the session's resident A/B blocks, keyed
+	// by manifest ID, in exact mirror of the master's per-session LRU.
+	// It lives and dies with the session: a reconnected incarnation is a
+	// new session and starts cold, matching the master's fresh mirror.
+	cache := newOpCache(cfg.Pool)
+	defer cache.release()
+
 	if cfg.PullAssigns {
 		if err := request(ReqAssign); err != nil {
 			return fail(err)
@@ -177,13 +191,22 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 					return fail(err)
 				}
 			}
+			// Resolve the delta against the resident cache BEFORE the
+			// update: shipped blocks pin (ownership moves to the cache),
+			// manifest references fill in from residency, and the cache
+			// evicts to the announced capacity in lock-step with the
+			// master's mirror.
+			hits, err := cache.resolve(set)
+			if err != nil {
+				return fail(err)
+			}
+			rep.CacheHits += hits
+			rep.BlocksIn += int64(len(set.A)+len(set.B)) - hits
+			rep.BytesSaved += hits * int64(as.Q) * int64(as.Q) * 8
 			if err := applySet(as, set, cfg, &rep.Updates); err != nil {
 				return fail(err)
 			}
-			if set.Owned {
-				cfg.Pool.PutAll(set.A)
-				cfg.Pool.PutAll(set.B)
-			}
+			releaseUncached(set, cfg.Pool)
 			cfg.Pool.PutSet(set)
 		}
 

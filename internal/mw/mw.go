@@ -82,6 +82,11 @@ type Report struct {
 	Result    core.Result
 	Elapsed   time.Duration
 	PerWorker []int64 // block updates performed by each worker
+	// Comm is the delta protocol's accounting: how many operand blocks
+	// actually moved versus how many were served from worker-resident
+	// caches. Result.Blocks stays the logical volume (what the paper's
+	// CCR counts and the simulators predict).
+	Comm engine.CommStats
 }
 
 // Multiply computes C ← C + A·B on the runtime. A is r×t, B t×s, C r×s
@@ -196,6 +201,10 @@ func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 	}
 	active := make([]*sim.Chunk, cfg.Workers)
 	step := make([]int, cfg.Workers)
+	// One delta builder per worker: the plan fixes the communication
+	// order, but operand payloads still collapse to deltas against each
+	// worker's resident cache (zero-copy refs on the in-process pipes).
+	builders := make([]engine.SetBuilder, cfg.Workers)
 	var blocks int64
 
 	mcfg := engine.MasterConfig{CopyAssigns: true, Pool: pool}
@@ -225,7 +234,9 @@ func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 				ws.finish()
 				return Report{}, fmt.Errorf("mw: invalid SendAB to P%d", w+1)
 			}
-			if err := ws.links[w].Send(engine.MakeSet(a, b, ch, step[w], pool)); err != nil {
+			set := builders[w].Filter(engine.MakeSet(a, b, ch, step[w], pool),
+				engine.InflightFootprint(ch.Rows, ch.Cols), pool)
+			if err := ws.links[w].Send(set); err != nil {
 				ws.finish()
 				return Report{}, err
 			}
@@ -256,10 +267,15 @@ func runStatic(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 		}
 	}
 	ws.finish()
-	return Report{
+	rep := Report{
 		Result:    core.Result{Algorithm: "mw-static", Blocks: blocks},
 		PerWorker: ws.updates,
-	}, nil
+	}
+	for w := range builders {
+		rep.Comm.Add(builders[w].Stats)
+		builders[w].Release()
+	}
+	return rep, nil
 }
 
 // runDemand serves worker requests FIFO through the shared engine
@@ -278,6 +294,7 @@ func runDemand(c, a, b *matrix.Blocked, pr core.Problem, cfg Config) (Report, er
 	return Report{
 		Result:    core.Result{Algorithm: "mw-demand", Blocks: stats.Blocks},
 		PerWorker: ws.updates,
+		Comm:      stats.Comm,
 	}, nil
 }
 

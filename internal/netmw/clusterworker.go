@@ -51,6 +51,11 @@ type ClusterWorkerReport struct {
 	Tasks    int
 	Updates  int64
 	Sessions int // connections attempted (1 + reconnects)
+	// CacheHits counts operand blocks served from the resident cache
+	// across all sessions (each session starts cold); BytesSaved is the
+	// payload volume those hits avoided.
+	CacheHits  int64
+	BytesSaved int64
 }
 
 // errSessionKilled reports the failAfterTasks test hook firing.
@@ -140,6 +145,8 @@ func clusterSession(cfg ClusterWorkerConfig, pool *engine.BlockPool, rep *Cluste
 	})
 	rep.Tasks += wrep.Assignments
 	rep.Updates += wrep.Updates
+	rep.CacheHits += wrep.CacheHits
+	rep.BytesSaved += wrep.BytesSaved
 	if err == nil {
 		return wrep.Assignments, true, nil
 	}

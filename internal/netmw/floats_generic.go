@@ -1,0 +1,10 @@
+//go:build !(amd64 || 386 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package netmw
+
+// Big-endian (or unknown) architectures use the portable per-element
+// loop: the wire stays little-endian everywhere.
+
+func putFloats(buf []byte, fs []float64) []byte { return putFloatsPortable(buf, fs) }
+
+func getFloatsInto(dst []float64, buf []byte) { getFloatsPortableInto(dst, buf) }

@@ -2,6 +2,7 @@ package netmw
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/engine"
@@ -41,6 +42,29 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 		}
 	})
+}
+
+// encodeSetPayload hand-builds a delta-set payload for seeds: k and cap,
+// the declared nA/nB counts, the (id, flag) manifest, then the raw
+// float payload. Prefix bytes (the fuzz geometry selectors) pass
+// through untouched.
+func encodeSetPayload(prefix []byte, k, cacheCap uint32, ids []uint64, flags []byte, nA, nB uint16, payload []float64) []byte {
+	out := append([]byte(nil), prefix...)
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[:4], k)
+	out = append(out, w[:4]...)
+	binary.LittleEndian.PutUint32(w[:4], cacheCap)
+	out = append(out, w[:4]...)
+	binary.LittleEndian.PutUint16(w[:2], nA)
+	out = append(out, w[:2]...)
+	binary.LittleEndian.PutUint16(w[:2], nB)
+	out = append(out, w[:2]...)
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(w[:], id)
+		out = append(out, w[:]...)
+		out = append(out, flags[i])
+	}
+	return putFloats(out, payload)
 }
 
 // FuzzDecodeMsg drives every payload decoder of the wire protocol with
@@ -83,10 +107,36 @@ func FuzzDecodeMsg(f *testing.F) {
 	lp = putFloats(lp, []float64{1, 2, 3, 4})
 	f.Add(append([]byte{3}, lp...))
 
-	// geometry selectors (rows 1, cols 1, q 2, steps 1), then K and the
-	// two operand blocks
-	set := putFloats([]byte{0, 0, 1, 0, 0, 0, 0, 0}, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	// geometry selectors (rows 1, cols 1, q 2, steps 1), then a
+	// well-formed delta-set payload: k, cap, counts, two flagged
+	// untracked manifest entries, two operand blocks
+	set := encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
+		[]uint64{0, 0}, []byte{1, 1}, 1, 1,
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8})
 	f.Add(append([]byte{4}, set...))
+
+	// a delta set with a resident reference: tracked A id flagged 0 (no
+	// payload), tracked B id flagged 1 with payload
+	aid := engine.ABlockID(0, 0, 0)
+	bid := engine.BBlockID(0, 0, 0)
+	delta := encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
+		[]uint64{aid, bid}, []byte{0, 1}, 1, 1,
+		[]float64{1, 2, 3, 4})
+	f.Add(append([]byte{4}, delta...))
+
+	// malformed manifests: an untracked reference without payload, a bad
+	// flag, a malformed (valid-bit-less) id, counts that disagree with
+	// the geometry, and payload bytes missing for a flagged block
+	f.Add(append([]byte{4}, encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
+		[]uint64{0, bid}, []byte{0, 1}, 1, 1, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{4}, encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
+		[]uint64{aid, bid}, []byte{2, 1}, 1, 1, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{4}, encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
+		[]uint64{0x1234, bid}, []byte{1, 1}, 1, 1, []float64{1, 2, 3, 4, 5, 6, 7, 8})...))
+	f.Add(append([]byte{4}, encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
+		[]uint64{aid, aid, bid}, []byte{1, 1, 1}, 2, 1, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{4}, encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
+		[]uint64{aid, bid}, []byte{1, 1}, 1, 1, []float64{1, 2})...))
 
 	// q-selector (q 2) then one flat result block
 	flat := putFloats([]byte{1}, []float64{1, 2, 3, 4})
@@ -161,9 +211,14 @@ func FuzzDecodeMsg(f *testing.F) {
 				t.Fatal("decodeJobSubmission returned an empty spec without error")
 			}
 		case 4:
-			// the MsgSet path: decodeSetPooled against a geometry FIFO
-			// seeded from the payload itself, as the transports seed it
-			// from a validated prior assignment
+			// the MsgSet path: the delta-manifest decoder against a
+			// geometry FIFO seeded from the payload itself, as the
+			// transports seed it from a validated prior assignment.
+			// Malformed manifests (bad flags, untracked references,
+			// valid-bit-less ids, count/geometry mismatches, short
+			// payloads) must error; a successful decode must produce
+			// exactly the declared geometry with every flagged entry
+			// carrying a payload and every reference a well-formed id.
 			if len(payload) < 4 {
 				return
 			}
@@ -178,6 +233,24 @@ func FuzzDecodeMsg(f *testing.F) {
 				if len(set.A) != rows || len(set.B) != cols {
 					t.Fatalf("MsgSet decode produced %dx%d operands for %dx%d", len(set.A), len(set.B), rows, cols)
 				}
+				if len(set.AIDs) != rows || len(set.BIDs) != cols {
+					t.Fatalf("MsgSet decode produced %d+%d manifest ids for %dx%d", len(set.AIDs), len(set.BIDs), rows, cols)
+				}
+				ids := append(append([]uint64(nil), set.AIDs...), set.BIDs...)
+				blocks := append(append([][]float64(nil), set.A...), set.B...)
+				for i, id := range ids {
+					if id == 0 && blocks[i] == nil {
+						t.Fatal("decoder accepted an untracked reference without payload")
+					}
+					if id != 0 && !engine.ValidBlockID(id) {
+						t.Fatalf("decoder accepted malformed block id %#x", id)
+					}
+					if blocks[i] != nil && len(blocks[i]) != q*q {
+						t.Fatalf("decoded block has %d elements, want %d", len(blocks[i]), q*q)
+					}
+				}
+				pool.PutAll(set.A)
+				pool.PutAll(set.B)
 				pool.PutSet(set)
 			}
 		case 5:

@@ -24,6 +24,10 @@ type MasterReport struct {
 	Result  core.Result
 	Elapsed time.Duration
 	Addr    string // the actual listen address (useful with ":0")
+	// Comm is the delta protocol's accounting: operand blocks shipped
+	// versus served from worker-resident caches (Result.Blocks stays
+	// the logical volume the paper's CCR counts).
+	Comm engine.CommStats
 }
 
 // Serve runs the master: it listens, waits for cfg.Workers workers, then
@@ -73,6 +77,10 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 	rep := MasterReport{Addr: ln.Addr().String()}
 
 	pool := engine.NewBlockPool()
+	// One encode cache across the fleet: an operand block broadcast to
+	// several workers is serialized once, then gathered into each
+	// connection's writev.
+	enc := newFrameCache()
 	links := make([]engine.Transport, 0, cfg.Workers)
 	deadline := time.Now().Add(cfg.Timeout)
 	for len(links) < cfg.Workers {
@@ -88,7 +96,7 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 			}
 			return rep, fmt.Errorf("netmw: accept (have %d/%d workers): %w", len(links), cfg.Workers, err)
 		}
-		links = append(links, NewMasterTransport(conn, c.Q, pool))
+		links = append(links, newMasterTransport(conn, c.Q, pool, enc))
 	}
 
 	start := time.Now()
@@ -101,6 +109,7 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 		return rep, err
 	}
 	rep.Elapsed = time.Since(start)
+	rep.Comm = stats.Comm
 	rep.Result = core.Result{
 		Algorithm: "netmw",
 		Makespan:  rep.Elapsed.Seconds(),

@@ -16,7 +16,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
 	"repro/internal/engine"
 )
@@ -32,8 +31,15 @@ const (
 	// MsgJob carries a C chunk to a worker: ChunkHeader then Rows*Cols
 	// q×q blocks.
 	MsgJob
-	// MsgSet carries one update set: uint32 k, then Rows A blocks and
-	// Cols B blocks.
+	// MsgSet carries one delta update set: uint32 k, uint32 cache
+	// capacity, uint16 A-entry and B-entry counts (which must match the
+	// open assignment's Rows and Cols), then one 9-byte manifest entry
+	// per operand block — uint64 block ID, 1 flag byte (1 = payload
+	// follows, 0 = resident in the worker's cache; ID 0 is the
+	// untracked sentinel and must carry payload) — and finally the
+	// payloads of the flagged blocks in manifest order (A then B). A
+	// full (pre-delta) set is the degenerate case: every entry flagged,
+	// IDs 0.
 	MsgSet
 	// MsgResult returns a finished chunk: uint32 chunk id, then the
 	// blocks.
@@ -85,6 +91,13 @@ type ChunkHeader struct {
 }
 
 const chunkHeaderLen = 7 * 4
+
+// Delta-Set layout constants: the fixed header (k, cap, nA, nB) and the
+// per-block manifest entry (id, flag).
+const (
+	setHeaderLen = 4 + 4 + 2 + 2
+	setEntryLen  = 8 + 1
+)
 
 func (h *ChunkHeader) encode(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[0:], h.ID)
@@ -389,34 +402,6 @@ func readMsgReuse(r io.Reader, scratch []byte, hdr *[5]byte) (MsgType, []byte, [
 		return 0, nil, scratch, err
 	}
 	return MsgType(hdr[0]), payload, payload, nil
-}
-
-// putFloats appends the raw little-endian encoding of fs to buf.
-func putFloats(buf []byte, fs []float64) []byte {
-	off := len(buf)
-	buf = append(buf, make([]byte, 8*len(fs))...)
-	for i, f := range fs {
-		binary.LittleEndian.PutUint64(buf[off+8*i:], math.Float64bits(f))
-	}
-	return buf
-}
-
-// getFloats decodes n doubles from buf, returning the floats and the rest.
-func getFloats(buf []byte, n int) ([]float64, []byte, error) {
-	if len(buf) < 8*n {
-		return nil, nil, fmt.Errorf("netmw: short float payload: have %d bytes, want %d", len(buf), 8*n)
-	}
-	fs := make([]float64, n)
-	getFloatsInto(fs, buf)
-	return fs, buf[8*n:], nil
-}
-
-// getFloatsInto decodes len(dst) doubles from buf into dst; the caller
-// has already checked that buf is long enough.
-func getFloatsInto(dst []float64, buf []byte) {
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-	}
 }
 
 // decodeBlocksInto decodes nblocks blocks of q² doubles into pooled

@@ -32,6 +32,7 @@ type ClusterServer struct {
 	ln   net.Listener
 	cfg  ClusterServerConfig
 	pool *engine.BlockPool // the cluster's pool, shared by all sessions
+	enc  *frameCache       // shared encode cache: broadcast blocks serialize once
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -49,6 +50,7 @@ func ServeCluster(cl *cluster.Cluster, cfg ClusterServerConfig) (*ClusterServer,
 	s := &ClusterServer{
 		cl: cl, ln: ln, cfg: cfg,
 		pool:  cl.BlockPool(),
+		enc:   newFrameCache(),
 		conns: make(map[net.Conn]struct{}),
 		stop:  make(chan struct{}),
 	}
@@ -199,8 +201,13 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 	// the deferred call covers feeder-side exits (protocol violations)
 	// and is a no-op once the incarnation is already gone.
 	defer feed.Lost()
-	tr := newServerTransport(conn, r, w, s.pool, func() error { return s.cl.Heartbeat(id) })
-	engine.RunFeeder(tr, feed, engine.FeederConfig{Slots: slots, Pool: s.pool})
+	tr := newServerTransport(conn, r, w, s.pool, s.enc, func() error { return s.cl.Heartbeat(id) })
+	fstats, _ := engine.RunFeeder(tr, feed, engine.FeederConfig{
+		Slots: slots, Pool: s.pool, Mem: int(ri.Mem),
+	})
+	// Fold the session's delta accounting into the worker and job
+	// lifetime totals for the server's status output.
+	s.cl.ReportComm(id, fstats)
 }
 
 // clientSession serves one MsgSubmit: build the job, run it to

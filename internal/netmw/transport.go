@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 )
@@ -26,11 +27,18 @@ type connIO struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 	pool *engine.BlockPool
+	// enc, when set, is the shared encode cache: an operand block
+	// broadcast to many workers is serialized once (framecache.go).
+	enc *frameCache
 
-	wmu      sync.Mutex // serializes writers (dispatcher/event loop/heartbeat)
-	wbuf     []byte     // frame scratch (header + payload), reused under wmu
-	rscratch []byte     // frame scratch, single reader goroutine
-	rhdr     [5]byte    // frame-header scratch, single reader goroutine
+	wmu      sync.Mutex  // serializes writers (dispatcher/event loop/heartbeat)
+	wbuf     []byte      // frame scratch (header + payload), reused under wmu
+	wpayload []byte      // block-payload arena for gathered set writes, under wmu
+	wiovec   net.Buffers // gathered-write vector, backing array reused under wmu
+	rscratch []byte      // frame scratch, single reader goroutine
+	rhdr     [5]byte     // frame-header scratch, single reader goroutine
+
+	bytesOut atomic.Int64 // bytes written to the peer (egress accounting)
 }
 
 func newConnIO(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool) *connIO {
@@ -60,8 +68,14 @@ func (c *connIO) writeFrame(t MsgType, fill func(buf []byte) []byte) error {
 	if _, err := c.w.Write(buf); err != nil {
 		return err
 	}
+	c.bytesOut.Add(int64(len(buf)))
 	return c.w.Flush()
 }
+
+// BytesOut reports the bytes this transport has written to its peer —
+// the measured egress the communication benchmarks compare against the
+// §4 lower bound.
+func (c *connIO) BytesOut() int64 { return c.bytesOut.Load() }
 
 // readFrame reads one frame into the connection scratch buffer. The
 // payload aliases the scratch and must be fully consumed before the
@@ -74,35 +88,113 @@ func (c *connIO) readFrame() (MsgType, []byte, error) {
 
 func (c *connIO) Close() error { return c.conn.Close() }
 
-// sendSet frames a Set (uint32 k then the A and B blocks), releasing
-// owned operand buffers once serialized and recycling the message.
+// sendSet frames a delta Set — header, block-ID manifest, then only the
+// payloads the worker lacks — releasing owned operand buffers once
+// serialized and recycling the message. The frame is written with a
+// gathered write (net.Buffers → writev on TCP): the header+manifest
+// scratch and each block's payload go out as separate iovecs, so block
+// bytes are never concatenated into a per-message buffer, and payloads
+// of blocks in the shared encode cache are reused across workers.
 func (c *connIO) sendSet(set *engine.Set) error {
-	err := c.writeFrame(MsgSet, func(buf []byte) []byte {
-		return c.appendSet(buf, set)
-	})
+	err := c.writeSetFrame(set)
 	if err == nil {
 		c.pool.PutSet(set)
 	}
 	return err
 }
 
-// appendSet encodes a Set payload (uint32 k then the A and B blocks)
-// and releases owned operand buffers once serialized.
-func (c *connIO) appendSet(buf []byte, set *engine.Set) []byte {
-	var kb [4]byte
-	binary.LittleEndian.PutUint32(kb[:], uint32(set.K))
-	buf = append(buf, kb[:]...)
+func (c *connIO) writeSetFrame(set *engine.Set) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	nA, nB := len(set.A), len(set.B)
+	if nA > int(^uint16(0)) || nB > int(^uint16(0)) {
+		return fmt.Errorf("netmw: set with %d+%d operands does not fit the wire", nA, nB)
+	}
+	hdr := c.wbuf[:0]
+	hdr = append(hdr, byte(MsgSet), 0, 0, 0, 0) // frame header, length patched below
+	var word [8]byte
+	binary.LittleEndian.PutUint32(word[:4], uint32(set.K))
+	hdr = append(hdr, word[:4]...)
+	binary.LittleEndian.PutUint32(word[:4], capOnWire(set.Cap))
+	hdr = append(hdr, word[:4]...)
+	binary.LittleEndian.PutUint16(word[:2], uint16(nA))
+	hdr = append(hdr, word[:2]...)
+	binary.LittleEndian.PutUint16(word[:2], uint16(nB))
+	hdr = append(hdr, word[:2]...)
+
+	// Size the payload arena up front so the per-block slices taken from
+	// it below stay valid (no reallocation mid-gather).
+	need := 0
 	for _, blk := range set.A {
-		buf = putFloats(buf, blk)
+		need += 8 * len(blk)
 	}
 	for _, blk := range set.B {
-		buf = putFloats(buf, blk)
+		need += 8 * len(blk)
 	}
-	if set.Owned {
-		c.pool.PutAll(set.A)
-		c.pool.PutAll(set.B)
+	if cap(c.wpayload) < need {
+		c.wpayload = make([]byte, 0, need)
 	}
-	return buf
+	arena := c.wpayload[:0]
+
+	iov := append(c.wiovec[:0], nil) // hdr goes in slot 0 once its length is known
+	payloadBytes := 0
+	for half := 0; half < 2; half++ {
+		blocks, ids := set.A, set.AIDs
+		if half == 1 {
+			blocks, ids = set.B, set.BIDs
+		}
+		for i, blk := range blocks {
+			var id uint64
+			if i < len(ids) {
+				id = ids[i]
+			}
+			binary.LittleEndian.PutUint64(word[:], id)
+			hdr = append(hdr, word[:]...)
+			if blk == nil {
+				hdr = append(hdr, 0) // resident on the worker: manifest only
+				continue
+			}
+			hdr = append(hdr, 1)
+			var bs []byte
+			if c.enc != nil && id != 0 {
+				bs = c.enc.encoded(id, blk)
+			} else {
+				off := len(arena)
+				arena = putFloats(arena, blk)
+				bs = arena[off:]
+			}
+			iov = append(iov, bs)
+			payloadBytes += len(bs)
+			if set.Owned {
+				c.pool.Put(blk)
+			}
+		}
+	}
+	c.wpayload = arena
+	c.wbuf = hdr
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(hdr)-5+payloadBytes))
+	iov[0] = hdr
+	c.wiovec = iov
+	if err := c.w.Flush(); err != nil { // order against bufio frames
+		return err
+	}
+	// WriteTo consumes the vector (a writev per syscall batch on TCP);
+	// it advances the local header while the backing array stays with
+	// the connection for reuse.
+	n, err := iov.WriteTo(c.conn)
+	c.bytesOut.Add(n)
+	return err
+}
+
+// capOnWire clamps a cache capacity into its uint32 wire field.
+func capOnWire(cap int) uint32 {
+	if cap < 0 {
+		return 0
+	}
+	if uint64(cap) > uint64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(cap)
 }
 
 // appendBlocks encodes a block list and releases it if owned.
@@ -143,30 +235,78 @@ func (g *geomFIFO) front() *geomEntry {
 	return &g.q[0]
 }
 
-// decodeSetPooled decodes a MsgSet payload against the front geometry,
-// into pooled buffers.
+// decodeSetPooled decodes a delta MsgSet payload against the front
+// geometry, into pooled buffers. The manifest is validated strictly:
+// entry counts must match the open assignment's geometry, flags must be
+// 0 or 1, a cache reference must carry a well-formed tracked ID, and
+// the payload must hold exactly the flagged blocks — a count or
+// geometry mismatch errors before any block-sized allocation, and the
+// decoder never reads past the declared entries.
 func decodeSetPooled(payload []byte, g *geomFIFO, pool *engine.BlockPool) (*engine.Set, error) {
 	fr := g.front()
 	if fr == nil {
 		return nil, fmt.Errorf("netmw: update set with no open assignment")
 	}
-	if len(payload) < 4 {
+	if len(payload) < setHeaderLen {
 		return nil, fmt.Errorf("netmw: short set payload (%d bytes)", len(payload))
 	}
 	rows, cols, q := fr.rows, fr.cols, fr.q
-	if err := checkBlockPayload(len(payload)-4, rows+cols, q); err != nil {
+	nA := int(binary.LittleEndian.Uint16(payload[8:]))
+	nB := int(binary.LittleEndian.Uint16(payload[10:]))
+	if nA != rows || nB != cols {
+		return nil, fmt.Errorf("netmw: set manifest is %d+%d entries, open assignment wants %d+%d",
+			nA, nB, rows, cols)
+	}
+	entries := payload[setHeaderLen:]
+	manifestLen := setEntryLen * (nA + nB)
+	if len(entries) < manifestLen {
+		return nil, fmt.Errorf("netmw: set manifest truncated (%d of %d bytes)", len(entries), manifestLen)
+	}
+	blocks := entries[manifestLen:]
+	included := 0
+	for e := 0; e < nA+nB; e++ {
+		id := binary.LittleEndian.Uint64(entries[e*setEntryLen:])
+		flag := entries[e*setEntryLen+8]
+		switch {
+		case flag > 1:
+			return nil, fmt.Errorf("netmw: set manifest entry %d has flag %d", e, flag)
+		case flag == 1:
+			included++
+		case id == 0:
+			return nil, fmt.Errorf("netmw: set manifest entry %d references an untracked block without payload", e)
+		}
+		if id != 0 && !engine.ValidBlockID(id) {
+			return nil, fmt.Errorf("netmw: set manifest entry %d has malformed block id %#x", e, id)
+		}
+	}
+	if err := checkBlockPayload(len(blocks), included, q); err != nil {
 		return nil, err
+	}
+	if len(blocks) != included*q*q*8 {
+		return nil, fmt.Errorf("netmw: set payload is %d bytes for %d flagged blocks of q=%d",
+			len(blocks), included, q)
 	}
 	set := pool.GetSet()
 	set.K = int(binary.LittleEndian.Uint32(payload))
+	set.Cap = int(binary.LittleEndian.Uint32(payload[4:]))
 	set.Owned = true
-	rest := payload[4:]
-	var err error
-	if set.A, rest, err = decodeBlocksInto(set.A, rest, rows, q, pool); err != nil {
-		return nil, err
-	}
-	if set.B, _, err = decodeBlocksInto(set.B, rest, cols, q, pool); err != nil {
-		return nil, err
+	for e := 0; e < nA+nB; e++ {
+		id := binary.LittleEndian.Uint64(entries[:8])
+		flag := entries[8]
+		entries = entries[setEntryLen:]
+		var blk []float64 // nil = resolved from the resident cache
+		if flag == 1 {
+			blk = pool.Get(q * q)
+			getFloatsInto(blk, blocks)
+			blocks = blocks[8*q*q:]
+		}
+		if e < nA {
+			set.A = append(set.A, blk)
+			set.AIDs = append(set.AIDs, id)
+		} else {
+			set.B = append(set.B, blk)
+			set.BIDs = append(set.BIDs, id)
+		}
 	}
 	fr.left--
 	return set, nil
@@ -176,19 +316,35 @@ func decodeSetPooled(payload []byte, g *geomFIFO, pool *engine.BlockPool) (*engi
 
 // masterTransport is the master end of the single-job TCP protocol: it
 // frames assignments as MsgJob and update sets as MsgSet, and surfaces
-// worker requests and results (MsgHello is swallowed — the advertised
-// capacity is informational).
+// worker requests and results. MsgHello is consumed in Recv: the
+// advertised capacity is recorded and exposed through MemAdvertiser so
+// the engine can budget the worker's resident operand cache from it.
 type masterTransport struct {
 	*connIO
-	q int
+	q        int
+	helloMem atomic.Int64
 }
 
 // NewMasterTransport wraps the master side of one worker connection.
 // q is the run's block edge, needed to cut flat result payloads back
 // into pooled blocks. pool may be nil (no recycling).
 func NewMasterTransport(conn net.Conn, q int, pool *engine.BlockPool) engine.Transport {
-	return &masterTransport{connIO: newConnIO(conn, nil, nil, pool), q: q}
+	return newMasterTransport(conn, q, pool, nil)
 }
+
+// newMasterTransport is NewMasterTransport with a shared encode cache
+// (the master serving W workers encodes each broadcast block once).
+func newMasterTransport(conn net.Conn, q int, pool *engine.BlockPool, enc *frameCache) *masterTransport {
+	io := newConnIO(conn, nil, nil, pool)
+	io.enc = enc
+	return &masterTransport{connIO: io, q: q}
+}
+
+// AdvertisedMem implements engine.MemAdvertiser: the worker's hello
+// capacity in blocks (0 until the hello arrives; the hello precedes the
+// worker's first request on the connection, so any set the engine
+// builds sees the real value).
+func (t *masterTransport) AdvertisedMem() int { return int(t.helloMem.Load()) }
 
 func (t *masterTransport) Send(m engine.Msg) error {
 	switch m := m.(type) {
@@ -224,7 +380,10 @@ func (t *masterTransport) Recv() (engine.Msg, error) {
 		}
 		switch mt {
 		case MsgHello:
-			continue // capacity currently informational
+			if len(payload) >= 4 {
+				t.helloMem.Store(int64(binary.LittleEndian.Uint32(payload)))
+			}
+			continue
 		case MsgReq:
 			req, err := decodeRequest(payload)
 			if err != nil {
@@ -464,12 +623,14 @@ type serverTransport struct {
 // connection (post-registration). onHeartbeat consumes MsgHeartbeat
 // frames; returning an error severs the connection. pool may be nil.
 func NewServerTransport(conn net.Conn, pool *engine.BlockPool, onHeartbeat func() error) engine.Transport {
-	return newServerTransport(conn, nil, nil, pool, onHeartbeat)
+	return newServerTransport(conn, nil, nil, pool, nil, onHeartbeat)
 }
 
-func newServerTransport(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool, onHeartbeat func() error) *serverTransport {
+func newServerTransport(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool, enc *frameCache, onHeartbeat func() error) *serverTransport {
+	io := newConnIO(conn, r, w, pool)
+	io.enc = enc
 	return &serverTransport{
-		connIO:      newConnIO(conn, r, w, pool),
+		connIO:      io,
 		onHeartbeat: onHeartbeat,
 		geom:        make(map[engine.AssignID]int),
 	}

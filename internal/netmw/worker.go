@@ -29,6 +29,11 @@ type WorkerConfig struct {
 type WorkerReport struct {
 	Chunks  int
 	Updates int64
+	// CacheHits counts operand blocks served from the worker-resident
+	// cache instead of the wire; BytesSaved is the payload volume those
+	// hits avoided.
+	CacheHits  int64
+	BytesSaved int64
 }
 
 // decodeBlockListInto validates a wire-declared rows×cols×q geometry
@@ -116,5 +121,8 @@ func RunWorker(cfg WorkerConfig) (WorkerReport, error) {
 		PullAssigns: true, PullSets: true, PullResults: true,
 		Pool: tr.pool,
 	})
-	return WorkerReport{Chunks: rep.Assignments, Updates: rep.Updates}, err
+	return WorkerReport{
+		Chunks: rep.Assignments, Updates: rep.Updates,
+		CacheHits: rep.CacheHits, BytesSaved: rep.BytesSaved,
+	}, err
 }

@@ -25,10 +25,14 @@ fmt:
 # benchmarks to BENCH_cluster.json, the kernel GFLOP/s series (packed
 # register-blocked GEMM vs the historical axpy kernel at q ∈ {64, 80,
 # 100, 128, 256}, plus the parallel speedups) to BENCH_kernel.json, and
-# the steady-state TCP engine path (allocs/op + MB/s, pooled vs
-# unpooled block buffers) to BENCH_transport.json, all parsed by
-# cmd/benchjson. The kernel series runs 5 iterations per point so a
-# single noisy timeslice cannot skew the recorded Gflops.
+# the TCP engine path to BENCH_transport.json — steady-state allocs/op
+# + MB/s (pooled vs unpooled block buffers) plus the max-reuse
+# delta/flush series from BenchmarkTransportDelta: egress-MB/op,
+# %cache-hit, flush-blocks/op, flush-MB/op, the dirty-block high-water
+# mark and x-lower-bound (measured communication over the §4
+# Loomis–Whitney bound) — all parsed by cmd/benchjson. The kernel
+# series runs 5 iterations per point so a single noisy timeslice cannot
+# skew the recorded Gflops.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchtime 2x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 	@cat BENCH_cluster.json

@@ -16,14 +16,18 @@ import (
 
 // transportBenchInputs builds one steady-state-heavy problem: few
 // chunks, many update sets per chunk, so the per-message path dominates
-// the per-connection and per-chunk overheads.
-func transportBenchInputs(r, tt, s, q int) (a, b, c0 *matrix.Blocked, want *matrix.Dense, chunks []*sim.Chunk) {
+// the per-connection and per-chunk overheads. With zeroC the initial C
+// is all zeros (C = A·B), which lets the resident result path announce
+// every C tile as a CZero flag instead of a downlink payload.
+func transportBenchInputs(r, tt, s, q int, zeroC bool) (a, b, c0 *matrix.Blocked, want *matrix.Dense, chunks []*sim.Chunk) {
 	ad := matrix.NewDense(r*q, tt*q)
 	bd := matrix.NewDense(tt*q, s*q)
 	cd := matrix.NewDense(r*q, s*q)
 	matrix.DeterministicFill(ad, 41)
 	matrix.DeterministicFill(bd, 42)
-	matrix.DeterministicFill(cd, 43)
+	if !zeroC {
+		matrix.DeterministicFill(cd, 43)
+	}
 	want = cd.Clone()
 	matrix.MulNaive(want, ad, bd)
 	pr := core.Problem{R: r, S: s, T: tt, Q: q}
@@ -55,8 +59,10 @@ type transportRun struct {
 }
 
 // runTransportOnce executes one full multiply over loopback TCP through
-// the engine: one master transport, one pipelined worker.
-func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, chunks []*sim.Chunk, pool *engine.BlockPool, disableDelta bool) transportRun {
+// the engine: one master transport, one pipelined worker. resident
+// turns on the single-flush result path (worker-resident C tiles,
+// flush manifests instead of dense per-chunk results).
+func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, chunks []*sim.Chunk, pool *engine.BlockPool, disableDelta, resident bool) transportRun {
 	accepted := make(chan net.Conn, 1)
 	go func() {
 		conn, err := ln.Accept()
@@ -82,7 +88,9 @@ func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, c
 	}()
 	mtr := netmw.NewMasterTransport(<-accepted, c.Q, pool)
 	stats, err := engine.RunMaster(c, a, b, append([]*sim.Chunk(nil), chunks...),
-		[]engine.Transport{mtr}, engine.MasterConfig{Pool: pool, DisableDelta: disableDelta})
+		[]engine.Transport{mtr}, engine.MasterConfig{
+			Pool: pool, DisableDelta: disableDelta, ResidentResults: resident,
+		})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -101,7 +109,7 @@ func runTransportOnce(tb testing.TB, ln net.Listener, c, a, b *matrix.Blocked, c
 // does).
 func BenchmarkTransport(b *testing.B) {
 	const r, tt, s, q = 4, 64, 4, 24
-	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q, false)
 	work := c0.Clone()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -128,7 +136,7 @@ func BenchmarkTransport(b *testing.B) {
 				// "payload bytes of every logical block through the
 				// port", and stays comparable across PRs; the delta
 				// protocol has its own series (BenchmarkTransportDelta).
-				blocks = runTransportOnce(b, ln, work, a, bb, chunks, arm.pool, true).stats.Blocks
+				blocks = runTransportOnce(b, ln, work, a, bb, chunks, arm.pool, true, false).stats.Blocks
 			}
 			b.StopTimer()
 			b.SetBytes(blocks * int64(q) * int64(q) * 8)
@@ -154,7 +162,7 @@ func TestTransportPoolingAllocRatio(t *testing.T) {
 		t.Skip("allocation counting is noisy under -short/race runs")
 	}
 	const r, tt, s, q = 4, 64, 4, 24
-	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q, false)
 	work := c0.Clone()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -165,10 +173,10 @@ func TestTransportPoolingAllocRatio(t *testing.T) {
 	measure := func(pool *engine.BlockPool) float64 {
 		// One untimed warmup run fills the pools (and the page cache).
 		copyBlocked(work, c0)
-		runTransportOnce(t, ln, work, a, bb, chunks, pool, false)
+		runTransportOnce(t, ln, work, a, bb, chunks, pool, false, false)
 		return testing.AllocsPerRun(3, func() {
 			copyBlocked(work, c0)
-			runTransportOnce(t, ln, work, a, bb, chunks, pool, false)
+			runTransportOnce(t, ln, work, a, bb, chunks, pool, false, false)
 		})
 	}
 	pooled := measure(engine.NewBlockPool())
@@ -188,16 +196,26 @@ func TestTransportPoolingAllocRatio(t *testing.T) {
 	}
 }
 
-// BenchmarkTransportDelta measures master egress of a multi-chunk
-// max-reuse job over loopback TCP with the delta protocol on ("delta")
-// and off ("full", the pre-PR wire protocol). Each arm reports
-// egress-MB/op; the delta arm also reports the measured communication
-// volume as a multiple of the §4 Loomis–Whitney lower bound
-// (x-lower-bound) and the operand cache hit rate — the numbers
-// BENCH_transport.json tracks across PRs.
+// maxReuseBench is the max-reuse configuration the result-path series
+// tracks: a square 16×16×16-block problem at q=16 with µ=2 chunks and a
+// zero-initialized C. The 512 distinct operand blocks all fit the
+// default worker cache, so the delta protocol ships each exactly once;
+// the zero C ships down as flags (CDown = 0) and each of the 256 C
+// tiles flushes up exactly once.
+const mrR, mrT, mrS, mrQ = 16, 16, 16, 16
+
+// BenchmarkTransportDelta measures master egress of the max-reuse job
+// over loopback TCP on the current data path ("delta": delta operand
+// sets + resident single-flush results) and on the pre-delta protocol
+// ("full": every set dense, every chunk's C shipped down and returned).
+// Each arm reports egress-MB/op; the delta arm also reports the operand
+// cache hit rate, the result-path series (flush-blocks/op, flush-MB/op
+// and the dirty-block high-water mark) and the measured communication
+// volume as
+// a multiple of the §4 Loomis–Whitney lower bound (x-lower-bound) — the
+// numbers BENCH_transport.json tracks across PRs.
 func BenchmarkTransportDelta(b *testing.B) {
-	const r, tt, s, q = 4, 64, 4, 24
-	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	a, bb, c0, want, chunks := transportBenchInputs(mrR, mrT, mrS, mrQ, true)
 	work := c0.Clone()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -205,11 +223,12 @@ func BenchmarkTransportDelta(b *testing.B) {
 	}
 	defer ln.Close()
 	for _, arm := range []struct {
-		name    string
-		disable bool
+		name     string
+		disable  bool
+		resident bool
 	}{
-		{"full", true},
-		{"delta", false},
+		{"full", true, false},
+		{"delta", false, true},
 	} {
 		b.Run(arm.name, func(b *testing.B) {
 			pool := engine.NewBlockPool()
@@ -219,13 +238,16 @@ func BenchmarkTransportDelta(b *testing.B) {
 				b.StopTimer()
 				copyBlocked(work, c0)
 				b.StartTimer()
-				run = runTransportOnce(b, ln, work, a, bb, chunks, pool, arm.disable)
+				run = runTransportOnce(b, ln, work, a, bb, chunks, pool, arm.disable, arm.resident)
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(run.egress)/1e6, "egress-MB/op")
 			if !arm.disable {
 				b.ReportMetric(run.stats.Comm.HitRate()*100, "%cache-hit")
-				pr := core.Problem{R: r, S: s, T: tt, Q: q}
+				b.ReportMetric(float64(run.stats.Comm.FlushBlocks), "flush-blocks/op")
+				b.ReportMetric(float64(run.stats.Comm.FlushBlocks*mrQ*mrQ*8)/1e6, "flush-MB/op")
+				b.ReportMetric(float64(run.stats.Comm.DirtyPeak), "dirty-peak")
+				pr := core.Problem{R: mrR, S: mrS, T: mrT, Q: mrQ}
 				b.ReportMetric(measuredOverLowerBound(run, pr, chunks), "x-lower-bound")
 			}
 			got := work.Assemble()
@@ -240,12 +262,20 @@ func BenchmarkTransportDelta(b *testing.B) {
 	}
 }
 
-// measuredOverLowerBound compares one run's measured master-side
-// communication (operand blocks actually shipped plus the C tile
-// round-trips) against the Loomis–Whitney lower bound CCR_opt·updates
-// of internal/bounds, at the worker memory the run effectively had:
-// the default resident-cache budget (the bench workers advertise no
-// memory) plus the largest chunk's in-flight footprint.
+// measuredOverLowerBound compares one run's measured master-side block
+// traffic against the paper's §4 communication lower bound.
+//
+//	measured = Comm.BlocksShipped   (operand payloads actually sent)
+//	         + Comm.CDown           (C tiles shipped down with payload)
+//	         + Comm.CUp             (C tiles returned: dense results + flushes)
+//	bound    = √(27/(8m)) · updates (LowerBoundLoomisWhitney · |updates|)
+//
+// Skipped operand blocks (cache hits), CZero flags and CResident tiles
+// move no payload and do not count; every block that does carries q²
+// doubles, so block counts compare directly. m is the worker memory the
+// run effectively had: the default resident-cache budget (the bench
+// worker advertises no memory) plus the largest chunk's in-flight
+// footprint.
 func measuredOverLowerBound(run transportRun, pr core.Problem, chunks []*sim.Chunk) float64 {
 	maxFootprint := 0
 	for _, ch := range chunks {
@@ -255,8 +285,48 @@ func measuredOverLowerBound(run transportRun, pr core.Problem, chunks []*sim.Chu
 	}
 	mem := engine.DefaultCacheBlocks + maxFootprint
 	bound := bounds.LowerBoundLoomisWhitney(mem) * float64(pr.Updates())
-	measured := float64(run.stats.Comm.BlocksShipped + 2*pr.CBlocks())
+	measured := float64(run.stats.Comm.BlocksShipped + run.stats.Comm.CDown + run.stats.Comm.CUp)
 	return measured / bound
+}
+
+// TestResultPathLowerBound is the acceptance pin for the result-path
+// tentpole: on the max-reuse configuration, the full data path — delta
+// operand sets plus resident single-flush results — must land within 4×
+// of the Loomis–Whitney lower bound (the dense result path sat at ~9×:
+// every chunk shipped its C tiles down and back per chunk), with every
+// C tile flushed exactly once, no C payload downlink (the zero C rides
+// the CZero flag), and a bit-exact result.
+func TestResultPathLowerBound(t *testing.T) {
+	a, bb, c0, want, chunks := transportBenchInputs(mrR, mrT, mrS, mrQ, true)
+	work := c0.Clone()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	run := runTransportOnce(t, ln, work, a, bb, chunks, engine.NewBlockPool(), false, true)
+	got := work.Assemble()
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("result differs from the oracle at (%d,%d)", i, j)
+			}
+		}
+	}
+	pr := core.Problem{R: mrR, S: mrS, T: mrT, Q: mrQ}
+	if fb := run.stats.Comm.FlushBlocks; fb != int64(pr.CBlocks()) {
+		t.Fatalf("flushed %d blocks, want every C tile exactly once (%d)", fb, pr.CBlocks())
+	}
+	if cd := run.stats.Comm.CDown; cd != 0 {
+		t.Fatalf("shipped %d C payloads down; a zero C must ride the CZero flag", cd)
+	}
+	x := measuredOverLowerBound(run, pr, chunks)
+	t.Logf("max-reuse: measured/lower-bound = %.2fx (shipped %d, C down %d, C up %d, dirty peak %d)",
+		x, run.stats.Comm.BlocksShipped, run.stats.Comm.CDown, run.stats.Comm.CUp,
+		run.stats.Comm.DirtyPeak)
+	if x >= 4 {
+		t.Fatalf("measured communication is %.2fx the lower bound, want < 4x", x)
+	}
 }
 
 // TestDeltaEgressReduction is the acceptance pin for the communication
@@ -266,16 +336,19 @@ func measuredOverLowerBound(run transportRun, pr core.Problem, chunks []*sim.Chu
 // the naive oracle.
 func TestDeltaEgressReduction(t *testing.T) {
 	const r, tt, s, q = 4, 64, 4, 24
-	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q)
+	a, bb, c0, want, chunks := transportBenchInputs(r, tt, s, q, false)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ln.Close()
 
+	// Both arms use dense per-chunk results: this pin isolates the delta
+	// operand protocol (the result path has its own acceptance pin in
+	// TestResultPathLowerBound).
 	measure := func(disable bool) (int64, engine.MasterStats) {
 		work := c0.Clone()
-		run := runTransportOnce(t, ln, work, a, bb, chunks, engine.NewBlockPool(), disable)
+		run := runTransportOnce(t, ln, work, a, bb, chunks, engine.NewBlockPool(), disable, false)
 		got := work.Assemble()
 		for i := 0; i < got.Rows; i++ {
 			for j := 0; j < got.Cols; j++ {

@@ -94,25 +94,42 @@ func main() {
 	printWorkerStatus(cl.Workers())
 }
 
-// printWorkerStatus reports each worker's operand-cache effectiveness:
-// the delta protocol's hit rate and the payload bytes it kept off the
-// wire, summed over the worker's lifetime (reconnects included).
+// printWorkerStatus reports each worker's operand-cache effectiveness
+// and result residency: the delta protocol's hit rate (lifetime, with
+// the current session's rate alongside when the worker has reconnected
+// — lifetime denominators carry across sessions, so the two diverge),
+// the payload bytes kept off the wire, and the C tiles the worker
+// flushed versus any still dirty at shutdown.
 func printWorkerStatus(workers []cluster.WorkerInfo) {
-	var shipped, skipped, saved int64
+	var shipped, skipped, saved, flushed int64
+	var dirty int
 	for _, wi := range workers {
 		state := "alive"
 		if wi.Dead {
 			state = "dead"
 		}
-		fmt.Printf("mmserve: worker %-20s %-5s tasks=%-5d cache-hit=%5.1f%% bytes-saved=%s\n",
-			wi.ID, state, wi.Done, wi.CacheHitRate()*100, humanBytes(wi.BytesSaved))
+		line := fmt.Sprintf("mmserve: worker %-20s %-5s tasks=%-5d cache-hit=%5.1f%% bytes-saved=%s flushed=%d",
+			wi.ID, state, wi.Done, wi.CacheHitRate()*100, humanBytes(wi.BytesSaved), wi.FlushedBlocks)
+		if wi.Sessions > 1 {
+			line += fmt.Sprintf(" sessions=%d session-hit=%5.1f%%", wi.Sessions, wi.SessionCacheHitRate()*100)
+		}
+		if wi.DirtyBlocks > 0 {
+			line += fmt.Sprintf(" DIRTY=%d", wi.DirtyBlocks)
+		}
+		fmt.Println(line)
 		shipped += wi.BlocksShipped
 		skipped += wi.BlocksSkipped
 		saved += wi.BytesSaved
+		flushed += wi.FlushedBlocks
+		dirty += wi.DirtyBlocks
 	}
 	if total := shipped + skipped; total > 0 {
 		fmt.Printf("mmserve: fleet total: %d of %d operand blocks served from worker caches (%.1f%%), %s not re-sent\n",
 			skipped, total, 100*float64(skipped)/float64(total), humanBytes(saved))
+	}
+	if flushed > 0 || dirty > 0 {
+		fmt.Printf("mmserve: fleet results: %d C tiles committed via flush, %d left dirty\n",
+			flushed, dirty)
 	}
 }
 

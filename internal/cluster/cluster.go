@@ -66,6 +66,12 @@ type Stats struct {
 	JobsRunning  int
 	JobsDone     int
 	JobsFailed   int
+	// DirtyBlocks counts C tiles resident on live workers awaiting a
+	// flush commit (the single-flush result path's in-flight state).
+	DirtyBlocks int
+	// FlushedBlocks counts C tiles committed via flush manifests over
+	// the cluster's lifetime.
+	FlushedBlocks int64
 }
 
 // Cluster is the scheduler service. All methods are safe for concurrent
@@ -181,16 +187,33 @@ func (cl *Cluster) Workers() []WorkerInfo {
 
 // ReportComm folds one finished session's delta-protocol accounting
 // into the worker's lifetime totals (kept across reconnects) and into
-// each job's totals, for the server's status output. Reporting for an
-// id that re-registered meanwhile still lands on the live record — the
-// totals are per worker name, not per incarnation.
+// each job's totals, for the server's status output. It is
+// ReportCommEpoch without an incarnation pin — use the epoch form when
+// the session knows which incarnation it served.
 func (cl *Cluster) ReportComm(id string, fstats engine.FeederStats) {
+	cl.ReportCommEpoch(id, 0, fstats)
+}
+
+// ReportCommEpoch folds one finished session's delta-protocol
+// accounting into the worker's records and each job's totals. Lifetime
+// totals are per worker name — they always accumulate, so operability
+// stats survive reconnect blips. Session counters are per incarnation:
+// they only accumulate when the reporting session's epoch still names
+// the live record (epoch 0 skips the check), so a stale session that
+// was replaced by a reconnect cannot pollute the new incarnation's
+// cold-cache hit rate.
+func (cl *Cluster) ReportCommEpoch(id string, epoch uint64, fstats engine.FeederStats) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if w := cl.reg.workers[id]; w != nil {
 		w.blocksShipped += fstats.Comm.BlocksShipped
 		w.blocksSkipped += fstats.Comm.BlocksSkipped
 		w.bytesSaved += fstats.Comm.BytesSaved
+		if epoch == 0 || w.epoch == epoch {
+			w.sessShipped += fstats.Comm.BlocksShipped
+			w.sessSkipped += fstats.Comm.BlocksSkipped
+			w.sessSaved += fstats.Comm.BytesSaved
+		}
 	}
 	for jobNum, comm := range fstats.PerJob {
 		if j := cl.jobs[JobID(jobNum)]; j != nil {
@@ -218,6 +241,12 @@ func (cl *Cluster) ClusterStats() Stats {
 			st.JobsDone++
 		case Failed:
 			st.JobsFailed++
+		}
+	}
+	for _, w := range cl.reg.workers {
+		st.FlushedBlocks += w.flushed
+		if !w.dead {
+			st.DirtyBlocks += w.dirtyBlocks()
 		}
 	}
 	return st
@@ -340,17 +369,36 @@ func (cl *Cluster) loseWorkerLocked(w *workerState) {
 	cl.reg.lost++
 	for k, t := range w.inflight {
 		delete(w.inflight, k)
-		cl.requeueLocked(t)
+		cl.requeueLocked(t, false)
 	}
+	// C tiles the dead worker had acknowledged but not flushed died with
+	// its result cache; requeue exactly those tasks so the lost updates
+	// are recomputed from the master-owned matrices (which a dirty task
+	// never modified — commit is the only write).
+	for k, dt := range w.dirty {
+		delete(w.dirty, k)
+		cl.requeueLocked(dt.task, true)
+	}
+	w.dirtyTiles = make(map[uint64]*dirtyTask)
 	cl.cond.Broadcast()
 }
 
-func (cl *Cluster) requeueLocked(t *Task) {
+// requeueLocked returns a lost task to its job's pending queue.
+// fromDirty distinguishes tasks lost from a worker's result cache
+// (acknowledged, awaiting flush) from tasks lost in flight; the two
+// decrement different job counters. LU stage accounting is untouched in
+// both cases — stageLeft only decrements at commit, so the redispatched
+// task re-acks and re-commits through the same path.
+func (cl *Cluster) requeueLocked(t *Task, fromDirty bool) {
 	j := cl.jobs[t.Job]
 	if j == nil || j.state != Running {
 		return
 	}
-	j.inflight--
+	if fromDirty {
+		j.dirty--
+	} else {
+		j.inflight--
+	}
 	cl.requeue++
 	j.requeues++
 	// Requeue a copy rather than mutating the shared pointer: the lost
@@ -368,9 +416,14 @@ func (cl *Cluster) requeueLocked(t *Task) {
 
 // --- dispatch (transport API) --------------------------------------------
 
-// NextTask blocks until a task is available for the worker, the worker is
-// declared dead (ErrUnknownWorker), or the cluster closes (ErrClosed).
-// Pulling a task counts as a heartbeat.
+// NextTask blocks until a task is available for the worker, a flush of
+// the worker's resident results is wanted (engine.ErrFlushWanted with a
+// nil task), the worker is declared dead (ErrUnknownWorker), or the
+// cluster closes (ErrClosed). Pulling a task counts as a heartbeat.
+//
+// After ErrFlushWanted the caller must eventually deliver a flush
+// manifest via CommitFlushEpoch (an empty manifest is fine); until it
+// does, NextTask blocks rather than demanding a second flush.
 func (cl *Cluster) NextTask(id string) (*Task, error) {
 	return cl.nextTask(id, 0)
 }
@@ -393,10 +446,16 @@ func (cl *Cluster) nextTask(id string, epoch uint64) (*Task, error) {
 		if w == nil || w.dead || (epoch != 0 && w.epoch != epoch) {
 			return nil, ErrUnknownWorker
 		}
-		if t := cl.takeLocked(w); t != nil {
+		t, flush := cl.takeLocked(w)
+		if t != nil {
 			w.inflight[t.key()] = t
 			w.lastSeen = cl.clock.Now()
 			return t, nil
+		}
+		if flush && !w.flushPending {
+			w.flushPending = true
+			w.lastSeen = cl.clock.Now()
+			return nil, engine.ErrFlushWanted
 		}
 		cl.cond.Wait()
 	}
@@ -410,33 +469,62 @@ func footprint(t *Task) int {
 	return core.ChunkFootprint(t.Chunk.Rows, t.Chunk.Cols, 1)
 }
 
+// needFlushLocked reports whether the dispatcher should demand a flush
+// of the worker's resident results instead of handing out more work:
+// either the worker has accumulated a full pipeline generation of
+// unflushed tasks (bounding what a crash can lose — and what a requeue
+// must recompute — to roughly slots+inflight tasks), or some job is
+// waiting only on this worker's flush commits to finish or to open its
+// next LU stage.
+func (cl *Cluster) needFlushLocked(w *workerState) bool {
+	if len(w.dirty) >= w.slots {
+		return true
+	}
+	for _, dt := range w.dirty {
+		j := cl.jobs[dt.task.Job]
+		if j != nil && j.state == Running && len(j.pending) == 0 && j.inflight == 0 && j.dirty > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // takeLocked pops the next task that fits the asking worker's free slots
 // and advertised memory, scanning running jobs round-robin from the last
 // served position so concurrent jobs share the workers fairly. The
-// memory budget covers everything the worker already holds: a multi-slot
-// worker's in-flight footprints are summed, so pipelining never
-// oversubscribes the advertised capacity. A head task too big for every
-// live worker fails its job immediately rather than stalling it.
+// memory budget covers everything the worker already holds — in-flight
+// footprints plus the C tiles parked in its result cache awaiting flush
+// — so pipelining never oversubscribes the advertised capacity. A head
+// task too big for every live worker fails its job immediately rather
+// than stalling it.
+//
+// The second result asks the caller to flush the worker's resident
+// results instead of dispatching: either a job is waiting only on this
+// worker's flush commits, or the worker's dirty tiles are what keeps
+// the next task from fitting its memory.
 //
 // Within the selected job the pick is locality-aware (the dispatch-time
-// companion of MaxReusePlanner's static order): the worker is
-// preferentially handed a chunk from the same block-row as its previous
-// chunk of that job — its A-row operands are already resident, so the
-// delta protocol skips them — then the same block-column (B resident),
-// then the head of the queue. A locality pick that does not fit the
-// worker's memory falls back to the head task, preserving the head's
-// fail-fast semantics.
-func (cl *Cluster) takeLocked(w *workerState) *Task {
+// companion of MaxReusePlanner's static order; see localPickLocked). A
+// locality pick that does not fit the worker's memory falls back to the
+// head task, preserving the head's fail-fast semantics.
+func (cl *Cluster) takeLocked(w *workerState) (*Task, bool) {
 	cl.promoteLocked()
+	if cl.needFlushLocked(w) {
+		return nil, true
+	}
 	if len(w.inflight) >= w.slots {
-		return nil // every slot busy; Complete will wake us
+		return nil, false // every slot busy; an ack or Complete will wake us
 	}
 	held := 0
 	if w.mem > 0 {
 		for _, t := range w.inflight {
 			held += footprint(t)
 		}
+		for _, dt := range w.dirty {
+			held += dt.task.Chunk.Blocks
+		}
 	}
+	memBlocked := false
 	n := len(cl.order)
 	for i := 0; i < n; i++ {
 		j := cl.jobs[cl.order[(cl.rr+i)%n]]
@@ -450,6 +538,12 @@ func (cl *Cluster) takeLocked(w *workerState) *Task {
 			t = j.pending[0]
 		}
 		if w.mem > 0 && held+footprint(t) > w.mem {
+			if len(w.dirty) > 0 {
+				// Flushing the resident results frees their blocks; ask
+				// for that before writing the task off as unservable.
+				memBlocked = true
+				continue
+			}
 			if !cl.anyWorkerFitsLocked(t) {
 				cl.failJobLocked(j, fmt.Errorf(
 					"cluster: task %d/%d needs %d blocks but no live worker advertises that much memory",
@@ -464,30 +558,48 @@ func (cl *Cluster) takeLocked(w *workerState) *Task {
 		}
 		w.lastAt[t.Job] = [2]int{t.Chunk.I0, t.Chunk.J0}
 		cl.rr = (cl.rr + i + 1) % n
-		return t
+		return t, false
 	}
-	return nil
+	return nil, memBlocked
 }
 
 // localPickLocked returns the index into j.pending of the chunk that
-// best reuses what the worker already holds for this job: same
-// block-row first, then same block-column, else the head.
+// best extends the worker's tour for this job: the nearest chunk in the
+// same block-row as its previous chunk (the A-row operands are already
+// resident, so the delta protocol skips them), then the nearest in the
+// same block-column (B resident), then the chunk at the smallest
+// Manhattan distance. Minimizing the stride keeps a worker sweeping the
+// grid in short steps, so consecutive chunks keep sharing operands even
+// when requeues and multi-job interleaving perturb the static order.
 func (cl *Cluster) localPickLocked(j *job, w *workerState) int {
 	last, ok := w.lastAt[j.id]
 	if !ok {
 		return 0
 	}
+	best, bestTier, bestDist := 0, 3, 0
 	for idx, t := range j.pending {
-		if t.Chunk.I0 == last[0] {
-			return idx
+		di, dj := absInt(t.Chunk.I0-last[0]), absInt(t.Chunk.J0-last[1])
+		var tier, dist int
+		switch {
+		case di == 0:
+			tier, dist = 0, dj
+		case dj == 0:
+			tier, dist = 1, di
+		default:
+			tier, dist = 2, di+dj
+		}
+		if tier < bestTier || (tier == bestTier && dist < bestDist) {
+			best, bestTier, bestDist = idx, tier, dist
 		}
 	}
-	for idx, t := range j.pending {
-		if t.Chunk.J0 == last[1] {
-			return idx
-		}
+	return best
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
 	}
-	return 0
+	return v
 }
 
 // anyWorkerFitsLocked reports whether some live worker's advertised
@@ -533,7 +645,13 @@ func (cl *Cluster) Complete(id string, t *Task, blocks [][]float64) error {
 	w.done++
 	w.lastSeen = cl.clock.Now()
 	if j == nil || j.state != Running {
-		return nil // job failed or was closed while the task was out
+		// The job failed or closed while the task was out, but the slot
+		// and memory this completion frees must still wake dispatchers
+		// blocked in NextTask — returning without a Broadcast strands
+		// them until some unrelated event happens to fire one.
+		cl.promoteLocked()
+		cl.cond.Broadcast()
+		return nil
 	}
 	dst := j.spec.C
 	if j.spec.Kind == LU {
@@ -548,7 +666,7 @@ func (cl *Cluster) Complete(id string, t *Task, blocks [][]float64) error {
 	j.done++
 	if j.spec.Kind == LU {
 		j.stageLeft--
-		if j.stageLeft == 0 && len(j.pending) == 0 && j.inflight == 0 {
+		if j.stageLeft == 0 && len(j.pending) == 0 && j.inflight == 0 && j.dirty == 0 {
 			j.stage++
 			cl.advanceLULocked(j)
 		}
@@ -556,6 +674,137 @@ func (cl *Cluster) Complete(id string, t *Task, blocks [][]float64) error {
 	if j.finished() {
 		cl.finishJobLocked(j, Done, nil)
 	}
+	cl.promoteLocked()
+	cl.cond.Broadcast()
+	return nil
+}
+
+// AckTask records that a worker finished computing a task whose C tiles
+// stay resident in its result cache (the single-flush result path): the
+// task leaves the in-flight set — freeing its slot — and its tiles turn
+// dirty until a flush manifest commits them into the job matrix. An ack
+// from a worker whose assignment was revoked returns ErrStaleTask.
+func (cl *Cluster) AckTask(id string, t *Task) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	w := cl.reg.workers[id]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	cur, ok := w.inflight[t.key()]
+	if !ok || cur != t {
+		return ErrStaleTask
+	}
+	ch := t.Chunk
+	if engine.CBlockID(uint32(t.Job), ch.I0+ch.Rows-1, ch.J0+ch.Cols-1) == 0 {
+		return fmt.Errorf("cluster: task %d/%d acked resident but its tiles have no block IDs",
+			t.Job, t.Seq)
+	}
+	delete(w.inflight, t.key())
+	w.done++
+	w.lastSeen = cl.clock.Now()
+	j := cl.jobs[t.Job]
+	if j == nil || j.state != Running {
+		// Job failed or closed while the task was out; the worker's now
+		// untracked tiles will be skipped at flush time. The freed slot
+		// must still wake blocked dispatchers (see Complete).
+		cl.promoteLocked()
+		cl.cond.Broadcast()
+		return nil
+	}
+	j.inflight--
+	j.dirty++
+	dt := &dirtyTask{task: t, left: ch.Rows * ch.Cols}
+	w.dirty[t.key()] = dt
+	for i := 0; i < ch.Rows; i++ {
+		for jj := 0; jj < ch.Cols; jj++ {
+			w.dirtyTiles[engine.CBlockID(uint32(t.Job), ch.I0+i, ch.J0+jj)] = dt
+		}
+	}
+	// The ack frees a slot and (once flushed) memory; dispatchers blocked
+	// on either must re-evaluate, and so must a dispatcher that now needs
+	// to demand this worker's flush.
+	cl.promoteLocked()
+	cl.cond.Broadcast()
+	return nil
+}
+
+// CommitFlush is CommitFlushEpoch without an incarnation pin.
+func (cl *Cluster) CommitFlush(id string, ids []uint64, blocks [][]float64) error {
+	return cl.CommitFlushEpoch(id, 0, ids, blocks)
+}
+
+// CommitFlushEpoch applies one flush manifest from a worker: each id
+// names a resident C tile (engine.CBlockID) and each block carries its
+// final value. Commit is a copy, never an add — the worker continued
+// the tile's serial FMA chain in place, so the committed value is
+// bit-exact with the sequential order. IDs the cluster no longer tracks
+// — the task was requeued after a presumed loss, or its job finished or
+// failed meanwhile — are skipped, not errors: a flush can legitimately
+// cross a requeue in flight. An empty manifest is a valid answer and
+// still clears the worker's flush-pending gate.
+func (cl *Cluster) CommitFlushEpoch(id string, epoch uint64, ids []uint64, blocks [][]float64) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	w := cl.reg.workers[id]
+	if w == nil || w.dead || (epoch != 0 && w.epoch != epoch) {
+		return ErrUnknownWorker
+	}
+	if len(ids) != len(blocks) {
+		return fmt.Errorf("cluster: flush manifest from %q has %d ids but %d blocks",
+			id, len(ids), len(blocks))
+	}
+	w.flushPending = false
+	w.lastSeen = cl.clock.Now()
+	for n, bid := range ids {
+		dt := w.dirtyTiles[bid]
+		if dt == nil {
+			continue // requeued or job finished meanwhile; the master copy wins
+		}
+		t := dt.task
+		j := cl.jobs[t.Job]
+		if j != nil && j.state == Running {
+			jobNum, bi, bj, ok := engine.CBlockCoords(bid)
+			if !ok || JobID(jobNum) != t.Job {
+				return fmt.Errorf("cluster: flush id %#x does not decode to a tile of job %d",
+					bid, t.Job)
+			}
+			q := cl.taskQ(j)
+			if len(blocks[n]) != q*q {
+				return fmt.Errorf("cluster: flush block for id %#x has %d elements, want %d",
+					bid, len(blocks[n]), q*q)
+			}
+			dst := j.spec.C
+			if j.spec.Kind == LU {
+				dst = j.spec.M
+			}
+			copy(dst.Block(bi, bj).Data, blocks[n])
+		}
+		delete(w.dirtyTiles, bid)
+		dt.left--
+		if dt.left > 0 {
+			continue
+		}
+		delete(w.dirty, t.key())
+		w.flushed += int64(t.Chunk.Blocks)
+		if j == nil || j.state != Running {
+			continue
+		}
+		j.dirty--
+		j.done++
+		if j.spec.Kind == LU {
+			j.stageLeft--
+			if j.stageLeft == 0 && len(j.pending) == 0 && j.inflight == 0 && j.dirty == 0 {
+				j.stage++
+				cl.advanceLULocked(j)
+			}
+		}
+		if j.finished() {
+			cl.finishJobLocked(j, Done, nil)
+		}
+	}
+	// Committed tiles freed worker memory and may have finished jobs or
+	// advanced LU stages; every blocked dispatcher must re-evaluate.
 	cl.promoteLocked()
 	cl.cond.Broadcast()
 	return nil
@@ -695,8 +944,25 @@ func (cl *Cluster) finishJobLocked(j *job, state JobState, err error) {
 	j.err = err
 	// The locality cursors for this job are dead weight now; drop them
 	// so long-lived workers don't accumulate one entry per job forever.
+	// Resident tiles still parked on workers for this job can never
+	// commit anymore — drop their tracking too, so they stop counting
+	// against worker memory and gating flush decisions (the flush itself
+	// skips the now-unknown ids).
 	for _, w := range cl.reg.workers {
 		delete(w.lastAt, j.id)
+		for k, dt := range w.dirty {
+			if dt.task.Job != j.id {
+				continue
+			}
+			delete(w.dirty, k)
+			ch := dt.task.Chunk
+			for i := 0; i < ch.Rows; i++ {
+				for jj := 0; jj < ch.Cols; jj++ {
+					delete(w.dirtyTiles, engine.CBlockID(uint32(j.id), ch.I0+i, ch.J0+jj))
+				}
+			}
+		}
 	}
+	j.dirty = 0
 	close(j.doneCh)
 }

@@ -47,11 +47,22 @@ func taskAssignID(t *Task) engine.AssignID {
 }
 
 // Next pulls this incarnation's next task, blocking until one is
-// available; a closed cluster is the clean end of the feed.
+// available; a closed cluster is the clean end of the feed. It returns
+// engine.ErrFlushWanted (with a nil assignment) when the scheduler
+// wants the worker's resident results flushed before more dispatch.
+//
+// Tasks whose tiles have representable block IDs go out resident: the
+// worker keeps the C tiles in its result cache and flushes each once,
+// and all-zero tiles ship as a flag instead of a payload. Tasks beyond
+// the ID space (huge jobs or coordinates) fall back to the dense
+// ship-and-return protocol, which is always correct.
 func (f *EngineFeed) Next() (*engine.Assign, error) {
 	task, err := f.cl.NextTaskEpoch(f.id, f.epoch)
 	if errors.Is(err, ErrClosed) {
 		return nil, engine.ErrFeedDone
+	}
+	if errors.Is(err, engine.ErrFlushWanted) {
+		return nil, engine.ErrFlushWanted
 	}
 	if err != nil {
 		f.mu.Lock()
@@ -67,12 +78,29 @@ func (f *EngineFeed) Next() (*engine.Assign, error) {
 	f.mu.Lock()
 	f.tasks[id] = task
 	f.mu.Unlock()
-	return &engine.Assign{
+	as := &engine.Assign{
 		ID: id,
 		I0: task.Chunk.I0, J0: task.Chunk.J0,
 		Rows: task.Chunk.Rows, Cols: task.Chunk.Cols, Q: q, Steps: task.Steps,
 		Blocks: blocks, Owned: true,
-	}, nil
+	}
+	ch := task.Chunk
+	if engine.CBlockID(uint32(task.Job), ch.I0+ch.Rows-1, ch.J0+ch.Cols-1) != 0 {
+		as.CJob = uint32(task.Job)
+		as.CFlags = make([]byte, 0, len(blocks))
+		kept := blocks[:0]
+		for _, blk := range blocks {
+			if engine.AllZeroBits(blk) {
+				as.CFlags = append(as.CFlags, engine.CZero)
+				f.cl.pool.Put(blk)
+				continue
+			}
+			as.CFlags = append(as.CFlags, engine.CShip)
+			kept = append(kept, blk)
+		}
+		as.Blocks = kept
+	}
+	return as, nil
 }
 
 // Set materializes the k-th update set of a held assignment, stamped
@@ -123,6 +151,34 @@ func (f *EngineFeed) Complete(id engine.AssignID, blocks [][]float64) error {
 		return err
 	}
 	return nil
+}
+
+// Acked retires a held assignment whose result tiles stay resident on
+// the worker: the task leaves the in-flight set and its tiles turn
+// dirty until a flush commits them. A task the scheduler already
+// reassigned is reported stale, not fatal.
+func (f *EngineFeed) Acked(id engine.AssignID) error {
+	f.mu.Lock()
+	task := f.tasks[id]
+	delete(f.tasks, id)
+	f.mu.Unlock()
+	if task == nil {
+		return engine.ErrStaleResult
+	}
+	if err := f.cl.AckTask(f.id, task); err != nil {
+		if errors.Is(err, ErrStaleTask) {
+			return engine.ErrStaleResult
+		}
+		return err
+	}
+	return nil
+}
+
+// CommitFlush applies one flush manifest from the worker; ids the
+// scheduler no longer tracks are skipped (the flush may have crossed a
+// requeue in flight).
+func (f *EngineFeed) CommitFlush(ids []uint64, blocks [][]float64) error {
+	return f.cl.CommitFlushEpoch(f.id, f.epoch, ids, blocks)
 }
 
 // Lost declares the incarnation dead immediately: this both requeues

@@ -129,6 +129,11 @@ type job struct {
 	state    JobState
 	pending  []*Task // ready to assign (head is next)
 	inflight int
+	// dirty counts tasks acknowledged by their worker (the values live in
+	// its result cache) but not yet flush-committed into the job matrix.
+	// The job is not finished — and an LU stage cannot advance — until
+	// every dirty task commits.
+	dirty    int
 	total    int
 	done     int
 	requeues int
@@ -245,10 +250,11 @@ func (j *job) factorStage() bool {
 	return true
 }
 
-// finished reports whether every task completed and, for LU, every stage
-// was factored.
+// finished reports whether every task completed (including the flush
+// commits of acknowledged-but-dirty tasks) and, for LU, every stage was
+// factored.
 func (j *job) finished() bool {
-	if len(j.pending) > 0 || j.inflight > 0 {
+	if len(j.pending) > 0 || j.inflight > 0 || j.dirty > 0 {
 		return false
 	}
 	if j.spec.Kind == LU {

@@ -38,7 +38,7 @@ func RunLocalWorker(cl *Cluster, cfg LocalWorkerConfig) error {
 		fstats, err := engine.RunFeeder(master, feed, engine.FeederConfig{
 			Slots: 1, Pool: cl.pool, Mem: cfg.Mem,
 		})
-		cl.ReportComm(cfg.ID, fstats)
+		cl.ReportCommEpoch(cfg.ID, epoch, fstats)
 		feedErr <- err
 	}()
 	_, err = engine.RunWorker(worker, engine.WorkerConfig{

@@ -14,6 +14,7 @@ type WorkerInfo struct {
 	Dead     bool
 	Inflight int // tasks currently assigned
 	Done     int // tasks completed over the worker's lifetime
+	Sessions int // connections this ID has made (1 = never reconnected)
 
 	// Delta-protocol accounting across the worker's lifetime (summed
 	// over sessions; reconnects keep the cumulative totals even though
@@ -21,16 +22,45 @@ type WorkerInfo struct {
 	BlocksShipped int64 // operand blocks sent with payload
 	BlocksSkipped int64 // operand blocks served from the resident cache
 	BytesSaved    int64 // payload bytes the skips avoided
+
+	// Session counterparts cover only the current incarnation, so the
+	// hit rate is measured against a cache that actually existed (a
+	// reconnect starts cold and must not dilute — or inflate — the
+	// lifetime denominator).
+	SessBlocksShipped int64
+	SessBlocksSkipped int64
+	SessBytesSaved    int64
+
+	// Result-residency accounting.
+	DirtyBlocks   int   // C blocks acked on the worker, not yet flushed
+	FlushedBlocks int64 // C blocks committed via flush over the lifetime
 }
 
 // CacheHitRate returns the fraction of operand blocks the resident
-// cache absorbed.
+// cache absorbed over the worker's lifetime.
 func (wi WorkerInfo) CacheHitRate() float64 {
 	total := wi.BlocksShipped + wi.BlocksSkipped
 	if total == 0 {
 		return 0
 	}
 	return float64(wi.BlocksSkipped) / float64(total)
+}
+
+// SessionCacheHitRate returns the hit fraction for the current
+// incarnation only.
+func (wi WorkerInfo) SessionCacheHitRate() float64 {
+	total := wi.SessBlocksShipped + wi.SessBlocksSkipped
+	if total == 0 {
+		return 0
+	}
+	return float64(wi.SessBlocksSkipped) / float64(total)
+}
+
+// dirtyTask tracks one acknowledged task whose C tiles are resident on
+// the worker awaiting flush. left counts tiles not yet committed.
+type dirtyTask struct {
+	task *Task
+	left int
 }
 
 // workerState is the registry's live record of one worker. All access is
@@ -44,6 +74,7 @@ type workerState struct {
 	dead     bool
 	inflight map[taskKey]*Task
 	done     int
+	sessions int
 	// lastAt remembers the coordinates of the worker's previous chunk
 	// per job, for locality-aware dispatch.
 	lastAt map[JobID][2]int
@@ -51,7 +82,26 @@ type workerState struct {
 	blocksShipped int64
 	blocksSkipped int64
 	bytesSaved    int64
+	// Current-incarnation totals; reset to zero on every (re)join.
+	sessShipped int64
+	sessSkipped int64
+	sessSaved   int64
+	// Result residency: tasks acked but not yet flush-committed, and the
+	// individual C tiles they hold (keyed by engine.CBlockID).
+	dirty      map[taskKey]*dirtyTask
+	dirtyTiles map[uint64]*dirtyTask
+	// flushPending marks that the dispatcher has been told to flush and
+	// no commit has arrived yet; it keeps nextTask from demanding a
+	// second flush for the same quiescent state.
+	flushPending bool
+	// flushed counts C blocks committed via CommitFlush over the
+	// worker's lifetime (carried across incarnations).
+	flushed int64
 }
+
+// dirtyBlocks returns the number of C tiles resident on the worker
+// awaiting flush.
+func (w *workerState) dirtyBlocks() int { return len(w.dirtyTiles) }
 
 // registry is the membership table: join/leave plus heartbeat-based
 // failure detection. It does no locking of its own — every method is
@@ -68,7 +118,9 @@ func newRegistry() *registry {
 
 // join registers a worker. Re-joining under a live or dead ID replaces the
 // old incarnation; the caller requeues the old incarnation's tasks first.
-// Lifetime comm totals carry over so operability stats survive blips.
+// Lifetime totals (comm, done, flushed) carry over so operability stats
+// survive blips; session counters start at zero because the new
+// incarnation's caches start cold.
 func (r *registry) join(id string, mem, slots int, now time.Time) *workerState {
 	if slots < 1 {
 		slots = 1
@@ -76,12 +128,18 @@ func (r *registry) join(id string, mem, slots int, now time.Time) *workerState {
 	r.joins++
 	w := &workerState{
 		id: id, epoch: r.joins, mem: mem, slots: slots, lastSeen: now,
-		inflight: make(map[taskKey]*Task),
+		inflight:   make(map[taskKey]*Task),
+		sessions:   1,
+		dirty:      make(map[taskKey]*dirtyTask),
+		dirtyTiles: make(map[uint64]*dirtyTask),
 	}
 	if old := r.workers[id]; old != nil {
 		w.blocksShipped = old.blocksShipped
 		w.blocksSkipped = old.blocksSkipped
 		w.bytesSaved = old.bytesSaved
+		w.done = old.done
+		w.flushed = old.flushed
+		w.sessions = old.sessions + 1
 	}
 	r.workers[id] = w
 	return w
@@ -131,8 +189,12 @@ func (r *registry) snapshot() []WorkerInfo {
 		out = append(out, WorkerInfo{
 			ID: w.id, Mem: w.mem, Slots: w.slots, LastSeen: w.lastSeen,
 			Dead: w.dead, Inflight: len(w.inflight), Done: w.done,
+			Sessions:      w.sessions,
 			BlocksShipped: w.blocksShipped, BlocksSkipped: w.blocksSkipped,
-			BytesSaved: w.bytesSaved,
+			BytesSaved:        w.bytesSaved,
+			SessBlocksShipped: w.sessShipped, SessBlocksSkipped: w.sessSkipped,
+			SessBytesSaved: w.sessSaved,
+			DirtyBlocks:    w.dirtyBlocks(), FlushedBlocks: w.flushed,
 		})
 	}
 	return out

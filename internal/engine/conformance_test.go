@@ -89,7 +89,7 @@ func buildInputs(t *testing.T, r, tt, s, q int) (a, b, c, want *matrix.Blocked) 
 // runEngine drives one full multiply through RunMaster + n RunWorker
 // goroutines over the given fleet.
 func runEngine(t *testing.T, fleet transportFleet, r, tt, s, q int, workers int,
-	wcfg engine.WorkerConfig, pooled, copyAssigns bool) (c, want *matrix.Blocked, reports []engine.WorkerReport, masterErr error) {
+	wcfg engine.WorkerConfig, pooled, copyAssigns, resident bool) (c, want *matrix.Blocked, reports []engine.WorkerReport, masterErr error) {
 	t.Helper()
 	a, b, c, want := buildInputs(t, r, tt, s, q)
 	var pool *engine.BlockPool
@@ -115,6 +115,7 @@ func runEngine(t *testing.T, fleet transportFleet, r, tt, s, q int, workers int,
 	_, chunks := homog.ChunkGrid(pr, 2)
 	_, masterErr = engine.RunMaster(c, a, b, chunks, masters, engine.MasterConfig{
 		Timeout: 30 * time.Second, CopyAssigns: copyAssigns, Pool: pool,
+		ResidentResults: resident,
 	})
 	wg.Wait()
 	return c, want, reports, masterErr
@@ -135,6 +136,7 @@ func TestEngineConformance(t *testing.T) {
 		workers     int
 		mod         func(*engine.WorkerConfig)
 		pooled      bool
+		resident    bool
 		wantErr     bool
 	}{
 		{name: "lifecycle-single-worker", r: 4, tt: 3, s: 4, q: 4, workers: 1, pooled: true},
@@ -154,6 +156,17 @@ func TestEngineConformance(t *testing.T) {
 			mod: func(c *engine.WorkerConfig) { c.Slots = 2; c.StageCap = 2 }},
 		{name: "kill-mid-chunk", r: 6, tt: 4, s: 6, q: 4, workers: 2, pooled: true, wantErr: true,
 			mod: func(c *engine.WorkerConfig) { c.FailAfter = 1 }},
+		// The single-flush result path: C tiles stay resident on the
+		// workers and come back once through flush manifests at job end.
+		{name: "resident-single-worker", r: 4, tt: 3, s: 4, q: 4, workers: 1, pooled: true, resident: true},
+		{name: "resident-three-workers", r: 6, tt: 4, s: 9, q: 4, workers: 3, pooled: true, resident: true,
+			mod: func(c *engine.WorkerConfig) { c.StageCap = 2 }},
+		{name: "resident-prefetch", r: 6, tt: 4, s: 6, q: 4, workers: 2, pooled: true, resident: true,
+			mod: func(c *engine.WorkerConfig) { c.Slots = 2; c.StageCap = 2 }},
+		{name: "resident-unpooled", r: 4, tt: 3, s: 4, q: 4, workers: 2, pooled: false, resident: true},
+		{name: "resident-kill-mid-chunk", r: 6, tt: 4, s: 6, q: 4, workers: 2, pooled: true,
+			resident: true, wantErr: true,
+			mod: func(c *engine.WorkerConfig) { c.FailAfter = 1 }},
 	}
 	for _, fl := range fleets {
 		for _, tc := range cases {
@@ -166,7 +179,7 @@ func TestEngineConformance(t *testing.T) {
 				// mutates what it receives); TCP serializes and shares.
 				copyAssigns := fl.name == "channel"
 				c, want, reports, err := runEngine(t, fl.build, tc.r, tc.tt, tc.s, tc.q,
-					tc.workers, wcfg, tc.pooled, copyAssigns)
+					tc.workers, wcfg, tc.pooled, copyAssigns, tc.resident)
 				if tc.wantErr {
 					if err == nil {
 						t.Fatal("doomed worker did not fail the master")
@@ -179,12 +192,21 @@ func TestEngineConformance(t *testing.T) {
 				if !c.Equal(want, 1e-9) {
 					t.Fatal("wrong product")
 				}
-				var updates int64
+				var updates, flushed int64
 				for _, rep := range reports {
 					updates += rep.Updates
+					flushed += rep.Flushed
 				}
 				if want := int64(tc.r) * int64(tc.tt) * int64(tc.s); updates != want {
 					t.Fatalf("updates = %d, want %d", updates, want)
+				}
+				if tc.resident {
+					// Every C tile flows back exactly once, through a flush.
+					if want := int64(tc.r) * int64(tc.s); flushed != want {
+						t.Fatalf("flushed = %d blocks, want every C tile once (%d)", flushed, want)
+					}
+				} else if flushed != 0 {
+					t.Fatalf("dense run flushed %d blocks", flushed)
 				}
 			})
 		}
@@ -192,9 +214,11 @@ func TestEngineConformance(t *testing.T) {
 }
 
 // TestEngineBitExactAcrossTransports pins the strongest invariant: the
-// channel run, the TCP run, the pooled and the unpooled run all produce
-// bit-identical floats (the engine fixes the accumulation order, and
-// transports only move bytes).
+// channel run, the TCP run, the pooled and the unpooled run, with dense
+// per-chunk results or the resident single-flush path, all produce
+// bit-identical floats (the engine fixes the accumulation order;
+// transports only move bytes, and a flush commits the same serial FMA
+// chain a dense result would have carried).
 func TestEngineBitExactAcrossTransports(t *testing.T) {
 	cfg := engine.WorkerConfig{
 		StageCap: 2, Slots: 2, Cores: 2,
@@ -203,11 +227,13 @@ func TestEngineBitExactAcrossTransports(t *testing.T) {
 	var results []*matrix.Dense
 	for _, fl := range fleets {
 		for _, pooled := range []bool{true, false} {
-			c, _, _, err := runEngine(t, fl.build, 6, 4, 6, 4, 2, cfg, pooled, fl.name == "channel")
-			if err != nil {
-				t.Fatalf("%s pooled=%v: %v", fl.name, pooled, err)
+			for _, resident := range []bool{false, true} {
+				c, _, _, err := runEngine(t, fl.build, 6, 4, 6, 4, 2, cfg, pooled, fl.name == "channel", resident)
+				if err != nil {
+					t.Fatalf("%s pooled=%v resident=%v: %v", fl.name, pooled, resident, err)
+				}
+				results = append(results, c.Assemble())
 			}
-			results = append(results, c.Assemble())
 		}
 	}
 	first := results[0]

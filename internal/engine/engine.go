@@ -50,6 +50,11 @@ var (
 	// ErrStaleResult marks a completion the feed no longer wants (the
 	// assignment was revoked); the feeder drops it and frees the slot.
 	ErrStaleResult = errors.New("engine: stale result")
+	// ErrFlushWanted is returned by Feed.Next when the feed has no task to
+	// hand out until the worker flushes its accumulated C blocks: the
+	// feeder sends Flush instead of an assignment and retries Next once
+	// the flush manifest is committed.
+	ErrFlushWanted = errors.New("engine: flush wanted")
 )
 
 // ReqKind is the kind of a worker request.
@@ -77,11 +82,26 @@ type Msg interface {
 	engineMsg()
 }
 
+// C-block flags of a resident-result Assign (Assign.CFlags). They say,
+// per tile block in row-major order, how the worker obtains the block's
+// initial value.
+const (
+	// CShip: the initial value travels in Assign.Blocks.
+	CShip byte = 0
+	// CResident: the worker already holds the block dirty in its result
+	// cache (a previous chunk of the same job wrote it) and keeps
+	// accumulating in place. No payload.
+	CResident byte = 1
+	// CZero: the initial value is all zeros; the worker materializes a
+	// zeroed block locally. No payload.
+	CZero byte = 2
+)
+
 // Assign hands a worker one unit of work: a Rows×Cols tile of C (blocks
 // of q² coefficients, row-major) to be updated by Steps update sets.
 type Assign struct {
 	ID         AssignID
-	I0, J0     int // tile position in C's block grid (informational)
+	I0, J0     int // tile position in C's block grid
 	Rows, Cols int
 	Q          int
 	Steps      int
@@ -91,6 +111,18 @@ type Assign struct {
 	// shared references the receiver must copy before mutating (only
 	// serializing transports may consume them as-is).
 	Owned bool
+
+	// CFlags, when non-empty, switches the assignment to the resident
+	// result protocol: it holds Rows·Cols per-block flags (CShip,
+	// CResident, CZero) and Blocks is COMPACTED — it carries only the
+	// CShip payloads, in row-major flag order. The worker accumulates
+	// the tile in its result cache under CBlockID(CJob, I0+i, J0+j) and
+	// acknowledges completion with an empty Result; the blocks travel
+	// up once, in a FlushResult. Empty CFlags is the legacy dense
+	// protocol: Blocks is the full tile and the Result returns it.
+	CFlags []byte
+	// CJob scopes the C block IDs (0 for the single-job runtimes).
+	CJob uint32
 }
 
 // Set carries the operand blocks of one inner step k: Rows blocks of
@@ -151,14 +183,34 @@ type Result struct {
 	Owned  bool
 }
 
+// Flush asks a worker to return every dirty C block it holds resident,
+// in one FlushResult. The master sends it when a job needs its results
+// (job end, or memory pressure on the worker).
+type Flush struct{}
+
+// FlushResult returns a worker's accumulated C blocks: the manifest of
+// C block IDs (CBlockID) and the matching block payloads, sorted by ID.
+// The master commits each block by overwriting the destination tile —
+// the worker continued the exact ascending-k accumulation chain in
+// place, so overwrite-on-commit keeps results bit-identical to the
+// dense per-chunk protocol. An empty manifest is a valid answer ("I
+// hold nothing dirty").
+type FlushResult struct {
+	IDs    []uint64
+	Blocks [][]float64
+	Owned  bool
+}
+
 // Bye tells a worker to shut down cleanly.
 type Bye struct{}
 
-func (*Assign) engineMsg()  {}
-func (*Set) engineMsg()     {}
-func (*Request) engineMsg() {}
-func (*Result) engineMsg()  {}
-func (Bye) engineMsg()      {}
+func (*Assign) engineMsg()      {}
+func (*Set) engineMsg()         {}
+func (*Request) engineMsg()     {}
+func (*Result) engineMsg()      {}
+func (Bye) engineMsg()          {}
+func (Flush) engineMsg()        {}
+func (*FlushResult) engineMsg() {}
 
 // Transport moves engine messages between one master-side endpoint and
 // one worker-side endpoint. Send transfers ownership of the message and

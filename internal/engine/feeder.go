@@ -29,6 +29,29 @@ type Feed interface {
 	Lost()
 }
 
+// ResidentFeed is a Feed that runs the resident result protocol: its
+// assignments may carry C flags, in which case the worker acknowledges
+// completion with an empty Result (routed to Acked, not Complete) and
+// the accumulated blocks arrive later in a FlushResult manifest (routed
+// to CommitFlush).
+//
+// Next may additionally return ErrFlushWanted (possibly wrapped): the
+// feed wants the worker's dirty C blocks before it hands out more work.
+// The feeder sends Flush and calls Next again; the feed must not return
+// ErrFlushWanted again until the flush is committed (or the session is
+// lost), or the pair would spin.
+//
+// Acked may return ErrStaleResult like Complete. CommitFlush must
+// tolerate IDs the feed no longer tracks (a job that failed while the
+// flush was in flight) by skipping them, and must accept an empty
+// manifest — the feeder always reports the flush answer, because the
+// feed gates dispatch on it.
+type ResidentFeed interface {
+	Feed
+	Acked(id AssignID) error
+	CommitFlush(ids []uint64, blocks [][]float64) error
+}
+
 // FeederConfig configures one RunFeeder session.
 type FeederConfig struct {
 	// Slots is how many assignments are kept in flight to the worker,
@@ -65,6 +88,11 @@ type outAssign struct {
 	rows, cols int
 	q          int
 	sent       int // update sets streamed so far
+	// resident marks an assignment sent with C flags: its Result is an
+	// empty acknowledgement and its blocks come back in a flush.
+	// shipped is how many C payload blocks its frame carried down.
+	resident bool
+	shipped  int
 }
 
 // outqFootprint sums the in-flight assignments' chunk footprints — what
@@ -81,6 +109,7 @@ func outqFootprint(outq []*outAssign) int {
 type feederEvent struct {
 	req    bool
 	result *Result
+	flush  *FlushResult
 }
 
 // RunFeeder drives one worker session of the cluster dialect: a
@@ -142,6 +171,8 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 				events <- feederEvent{req: true}
 			case *Result:
 				events <- feederEvent{result: m}
+			case *FlushResult:
+				events <- feederEvent{flush: m}
 			default:
 				tr.Close()
 				return
@@ -165,6 +196,18 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 				return
 			}
 			as, err := feed.Next()
+			if errors.Is(err, ErrFlushWanted) {
+				// The feed wants the worker's dirty C blocks before more
+				// work: relay the flush and retry. The token goes back —
+				// no assignment went out — and the feed blocks the next
+				// Next until the commit lands, so the pair cannot spin.
+				if tr.Send(Flush{}) != nil {
+					tr.Close()
+					return
+				}
+				<-sem
+				continue
+			}
 			if errors.Is(err, ErrFeedDone) {
 				// Clean shutdown: let the worker's in-flight assignments
 				// drain (acquire every slot; the event loop releases one
@@ -188,7 +231,8 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 			}
 			select {
 			case assigned <- &outAssign{id: as.ID, steps: as.Steps,
-				rows: as.Rows, cols: as.Cols, q: as.Q}:
+				rows: as.Rows, cols: as.Cols, q: as.Q,
+				resident: len(as.CFlags) > 0, shipped: len(as.Blocks)}:
 			case <-sessDone:
 				return
 			}
@@ -200,8 +244,17 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 	}()
 
 	// Event loop: route set requests to the oldest incomplete
-	// assignment, retire results.
+	// assignment, retire results, commit flushes.
 	var outq []*outAssign
+	var dirtyNow int64
+	updatePerJob := func(job uint32, f func(*CommStats)) {
+		if fstats.PerJob == nil {
+			fstats.PerJob = make(map[uint32]CommStats)
+		}
+		jc := fstats.PerJob[job]
+		f(&jc)
+		fstats.PerJob[job] = jc
+	}
 	drainAssigned := func() {
 		for {
 			select {
@@ -232,15 +285,12 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 			}
 			before := builder.Stats
 			set = builder.Filter(set, outqFootprint(outq), cfg.Pool)
-			if fstats.PerJob == nil {
-				fstats.PerJob = make(map[uint32]CommStats)
-			}
-			jc := fstats.PerJob[cur.id.A]
-			jc.SetsSent += builder.Stats.SetsSent - before.SetsSent
-			jc.BlocksShipped += builder.Stats.BlocksShipped - before.BlocksShipped
-			jc.BlocksSkipped += builder.Stats.BlocksSkipped - before.BlocksSkipped
-			jc.BytesSaved += builder.Stats.BytesSaved - before.BytesSaved
-			fstats.PerJob[cur.id.A] = jc
+			updatePerJob(cur.id.A, func(jc *CommStats) {
+				jc.SetsSent += builder.Stats.SetsSent - before.SetsSent
+				jc.BlocksShipped += builder.Stats.BlocksShipped - before.BlocksShipped
+				jc.BlocksSkipped += builder.Stats.BlocksSkipped - before.BlocksSkipped
+				jc.BytesSaved += builder.Stats.BytesSaved - before.BytesSaved
+			})
 			if err := tr.Send(set); err != nil {
 				return fstats, err
 			}
@@ -258,20 +308,44 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 				return fstats, fmt.Errorf("engine: result for an assignment this session does not hold")
 			}
 			oa := outq[idx]
-			if len(res.Blocks) != oa.rows*oa.cols {
-				return fstats, fmt.Errorf("engine: result has %d blocks, want %d",
-					len(res.Blocks), oa.rows*oa.cols)
-			}
-			for _, blk := range res.Blocks {
-				if len(blk) != oa.q*oa.q {
-					return fstats, fmt.Errorf("engine: result block has %d elements, want %d",
-						len(blk), oa.q*oa.q)
+			if oa.resident {
+				// An empty acknowledgement: the tile's values stay dirty
+				// on the worker until a flush collects them.
+				if len(res.Blocks) != 0 {
+					return fstats, fmt.Errorf("engine: resident assignment acked with %d blocks, want 0",
+						len(res.Blocks))
 				}
+				rf, ok := feed.(ResidentFeed)
+				if !ok {
+					return fstats, fmt.Errorf("engine: resident assignment on a feed without resident results")
+				}
+				if err := rf.Acked(res.ID); err != nil && !errors.Is(err, ErrStaleResult) {
+					return fstats, err
+				}
+				dirtyNow += int64(oa.rows * oa.cols)
+				if dirtyNow > builder.Stats.DirtyPeak {
+					builder.Stats.DirtyPeak = dirtyNow
+				}
+			} else {
+				if len(res.Blocks) != oa.rows*oa.cols {
+					return fstats, fmt.Errorf("engine: result has %d blocks, want %d",
+						len(res.Blocks), oa.rows*oa.cols)
+				}
+				for _, blk := range res.Blocks {
+					if len(blk) != oa.q*oa.q {
+						return fstats, fmt.Errorf("engine: result block has %d elements, want %d",
+							len(blk), oa.q*oa.q)
+					}
+				}
+				err := feed.Complete(res.ID, res.Blocks)
+				if err != nil && !errors.Is(err, ErrStaleResult) {
+					return fstats, err
+				}
+				builder.Stats.CUp += int64(oa.rows * oa.cols)
+				updatePerJob(res.ID.A, func(jc *CommStats) { jc.CUp += int64(oa.rows * oa.cols) })
 			}
-			err := feed.Complete(res.ID, res.Blocks)
-			if err != nil && !errors.Is(err, ErrStaleResult) {
-				return fstats, err
-			}
+			builder.Stats.CDown += int64(oa.shipped)
+			updatePerJob(res.ID.A, func(jc *CommStats) { jc.CDown += int64(oa.shipped) })
 			if res.Owned {
 				cfg.Pool.PutAll(res.Blocks)
 			}
@@ -279,6 +353,32 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 			cfg.Pool.PutResult(res)
 			outq = append(outq[:idx], outq[idx+1:]...)
 			<-sem // slot freed: the dispatcher may fetch the next assignment
+		case ev.flush != nil:
+			fr := ev.flush
+			rf, ok := feed.(ResidentFeed)
+			if !ok {
+				return fstats, fmt.Errorf("engine: flush result on a feed without resident results")
+			}
+			if len(fr.IDs) != len(fr.Blocks) {
+				return fstats, fmt.Errorf("engine: flush manifest has %d ids for %d blocks",
+					len(fr.IDs), len(fr.Blocks))
+			}
+			// Commit even an empty manifest: the feed gates dispatch on
+			// the flush answer, not just on the blocks in it.
+			if err := rf.CommitFlush(fr.IDs, fr.Blocks); err != nil {
+				return fstats, err
+			}
+			builder.Stats.CUp += int64(len(fr.IDs))
+			builder.Stats.FlushBlocks += int64(len(fr.IDs))
+			for _, id := range fr.IDs {
+				if job, _, _, ok := CBlockCoords(id); ok {
+					updatePerJob(job, func(jc *CommStats) { jc.CUp++; jc.FlushBlocks++ })
+				}
+			}
+			dirtyNow -= int64(len(fr.IDs))
+			if fr.Owned {
+				cfg.Pool.PutAll(fr.Blocks)
+			}
 		}
 	}
 	// events closed: the session ended (clean Bye drain or connection

@@ -25,6 +25,13 @@ type MasterConfig struct {
 	// DisableDelta ships full update sets (the pre-delta protocol); for
 	// measurement and as an escape hatch. Default off: deltas are on.
 	DisableDelta bool
+	// ResidentResults switches the result path to worker-resident C
+	// accumulation: assignments carry per-block C flags (zero tiles ship
+	// no payload at all), workers acknowledge chunks with empty Results
+	// and keep the values dirty, and the master collects everything in
+	// one Flush/FlushResult exchange per worker at the end of the run.
+	// Off = the dense per-chunk result protocol.
+	ResidentResults bool
 }
 
 // MasterStats summarizes a master run.
@@ -53,12 +60,14 @@ type masterReq struct {
 }
 
 // assignState is the master's record of one chunk assigned to a worker:
-// the chunk and how many of its update sets have shipped. Workers
-// compute their assignments in FIFO order, so each worker's assignments
-// form a queue and update sets route to the oldest incomplete one.
+// the chunk, how many of its update sets have shipped, and whether it
+// went out under the resident result protocol. Workers compute their
+// assignments in FIFO order, so each worker's assignments form a queue
+// and update sets route to the oldest incomplete one.
 type assignState struct {
-	chunk *sim.Chunk
-	step  int
+	chunk    *sim.Chunk
+	step     int
+	resident bool
 }
 
 // RunMaster distributes C ← C + A·B across the workers behind the given
@@ -87,10 +96,12 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 	quit := make(chan struct{})
 	reqs := make(chan masterReq, len(links)*32)
 	errs := make(chan error, len(links))
-	results := make([]chan *Result, len(links))
+	// results carries *Result acks and the end-of-run *FlushResult, in
+	// the order the worker sent them.
+	results := make([]chan Msg, len(links))
 	readersDone := make(chan struct{}, len(links))
 	for w, tr := range links {
-		results[w] = make(chan *Result, 8)
+		results[w] = make(chan Msg, 8)
 		go func(w int, tr Transport) {
 			defer func() { readersDone <- struct{}{} }()
 			for {
@@ -106,7 +117,7 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 					case <-quit:
 						return
 					}
-				case *Result:
+				case *Result, *FlushResult:
 					select {
 					case results[w] <- m:
 					case <-quit:
@@ -162,12 +173,16 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 	assigned := make([][]*assignState, len(links))
 	// One delta builder and one locality cursor per worker session: the
 	// builder mirrors the worker's resident operand cache, the cursor
-	// biases chunk dispatch toward the worker's current block-row (then
-	// block-column) so consecutive chunks actually share operands.
+	// steers chunk dispatch along the reuse-optimal tour (PickChunk) so
+	// consecutive chunks actually share operands. dirty mirrors, per
+	// worker, which C blocks the worker holds accumulated but unflushed.
 	builders := make([]SetBuilder, len(links))
 	lastChunk := make([]*sim.Chunk, len(links))
+	dirty := make([]map[uint64]struct{}, len(links))
+	dirtyNow := int64(0)
 	for w := range links {
 		builders[w].Disable = cfg.DisableDelta
+		dirty[w] = make(map[uint64]struct{})
 	}
 	collectComm = func() {
 		for w := range builders {
@@ -196,8 +211,10 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 			ch := pool[idx]
 			pool = append(pool[:idx], pool[idx+1:]...)
 			lastChunk[w] = ch
-			assigned[w] = append(assigned[w], &assignState{chunk: ch})
-			if err := links[w].Send(MakeAssign(c, ch, cfg)); err != nil {
+			as := MakeAssign(c, ch, cfg)
+			assigned[w] = append(assigned[w], &assignState{chunk: ch, resident: len(as.CFlags) > 0})
+			stats.Comm.CDown += int64(len(as.Blocks))
+			if err := links[w].Send(as); err != nil {
 				return fail(err)
 			}
 			stats.Blocks += int64(ch.Blocks)
@@ -231,17 +248,42 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 			}
 			front := assigned[w][0]
 			assigned[w] = assigned[w][1:]
-			var res *Result
+			var m Msg
 			select {
-			case res = <-results[w]:
+			case m = <-results[w]:
 				disarm()
 			case err := <-errs:
 				return fail(err)
 			case <-arm():
 				return fail(fmt.Errorf("engine: timed out waiting for result"))
 			}
-			if err := StoreResult(c, front.chunk, res, cfg.Pool); err != nil {
-				return fail(err)
+			res, ok := m.(*Result)
+			if !ok {
+				return fail(fmt.Errorf("engine: master got %T from worker %d, want a result", m, w))
+			}
+			if front.resident {
+				// An empty acknowledgement: the values stay dirty on the
+				// worker until the end-of-run flush.
+				if len(res.Blocks) != 0 {
+					return fail(fmt.Errorf("engine: resident chunk %d acked with %d blocks, want 0",
+						front.chunk.ID, len(res.Blocks)))
+				}
+				cfg.Pool.PutResult(res)
+				ch := front.chunk
+				for i := 0; i < ch.Rows; i++ {
+					for j := 0; j < ch.Cols; j++ {
+						dirty[w][CBlockID(0, ch.I0+i, ch.J0+j)] = struct{}{}
+					}
+				}
+				dirtyNow += int64(ch.Blocks)
+				if dirtyNow > stats.Comm.DirtyPeak {
+					stats.Comm.DirtyPeak = dirtyNow
+				}
+			} else {
+				if err := StoreResult(c, front.chunk, res, cfg.Pool); err != nil {
+					return fail(err)
+				}
+				stats.Comm.CUp += int64(front.chunk.Blocks)
 			}
 			stats.Blocks += int64(front.chunk.Blocks)
 			remaining--
@@ -249,19 +291,96 @@ func RunMaster(c, a, b *matrix.Blocked, pool []*sim.Chunk, links []Transport, cf
 			return fail(fmt.Errorf("engine: unknown request kind %d", rq.kind))
 		}
 	}
+	// Flush phase: every chunk is acked, so each worker's dirty C blocks
+	// are final — collect them in one FlushResult per worker and commit
+	// by overwrite (the worker continued the exact accumulation chain in
+	// place, so the values are bit-identical to dense per-chunk results).
+	for w := range links {
+		if len(dirty[w]) == 0 {
+			continue
+		}
+		if err := links[w].Send(Flush{}); err != nil {
+			return fail(err)
+		}
+		var m Msg
+		select {
+		case m = <-results[w]:
+			disarm()
+		case err := <-errs:
+			return fail(err)
+		case <-arm():
+			return fail(fmt.Errorf("engine: timed out waiting for flush from worker %d", w))
+		}
+		fr, ok := m.(*FlushResult)
+		if !ok {
+			return fail(fmt.Errorf("engine: master got %T from worker %d, want a flush result", m, w))
+		}
+		stats.Comm.CUp += int64(len(fr.IDs))
+		stats.Comm.FlushBlocks += int64(len(fr.IDs))
+		if err := commitFlush(c, fr, dirty[w], cfg.Pool); err != nil {
+			return fail(err)
+		}
+		if len(dirty[w]) != 0 {
+			return fail(fmt.Errorf("engine: worker %d flushed but left %d blocks dirty", w, len(dirty[w])))
+		}
+	}
 	finish()
 	return stats, nil
 }
 
+// commitFlush validates a FlushResult against the worker's dirty set
+// and writes each block back into C, consuming the message's buffers.
+func commitFlush(c *matrix.Blocked, fr *FlushResult, dirty map[uint64]struct{}, pool *BlockPool) error {
+	if len(fr.IDs) != len(fr.Blocks) {
+		return fmt.Errorf("engine: flush manifest has %d ids for %d blocks", len(fr.IDs), len(fr.Blocks))
+	}
+	q := c.Q
+	for n, id := range fr.IDs {
+		job, i, j, ok := CBlockCoords(id)
+		if !ok || job != 0 {
+			return fmt.Errorf("engine: flush manifest entry %#x is not a job-0 C block", id)
+		}
+		if _, want := dirty[id]; !want {
+			return fmt.Errorf("engine: flushed C block (%d,%d) was not dirty", i, j)
+		}
+		if len(fr.Blocks[n]) != q*q {
+			return fmt.Errorf("engine: flushed block has %d elements, want %d", len(fr.Blocks[n]), q*q)
+		}
+		copy(c.Block(i, j).Data, fr.Blocks[n])
+		delete(dirty, id)
+	}
+	if fr.Owned {
+		pool.PutAll(fr.Blocks)
+	}
+	return nil
+}
+
 // MakeAssign builds the Assign for a chunk: pooled copies of the C tile
 // when CopyAssigns (in-process transports), shared references otherwise.
-// It is exported for the static plan-replay master (internal/mw), which
-// materializes the same transfers in a fixed order instead of on demand.
+// With ResidentResults the tile is compacted instead: per-block C flags
+// say how the worker materializes each block, and only non-zero blocks
+// ship payload (a zero tile costs nothing on the wire). Tiles whose
+// coordinates overflow the packed C-block ID fall back to the dense
+// protocol — degrading bandwidth, never correctness. It is exported for
+// the static plan-replay master (internal/mw), which materializes the
+// same transfers in a fixed order instead of on demand.
 func MakeAssign(c *matrix.Blocked, ch *sim.Chunk, cfg MasterConfig) *Assign {
 	as := cfg.Pool.GetAssign()
+	as.ID = AssignID{A: uint32(ch.ID)}
+	as.I0, as.J0 = ch.I0, ch.J0
+	as.Rows, as.Cols, as.Q, as.Steps = ch.Rows, ch.Cols, c.Q, len(ch.Steps)
+	resident := cfg.ResidentResults &&
+		CBlockID(0, ch.I0+ch.Rows-1, ch.J0+ch.Cols-1) != 0
 	for i := 0; i < ch.Rows; i++ {
 		for j := 0; j < ch.Cols; j++ {
 			src := c.Block(ch.I0+i, ch.J0+j).Data
+			if resident {
+				if AllZeroBits(src) {
+					as.CFlags = append(as.CFlags, CZero)
+					continue
+				}
+				as.CFlags = append(as.CFlags, CShip)
+			}
 			if cfg.CopyAssigns {
 				as.Blocks = append(as.Blocks, cfg.Pool.GetCopy(src))
 			} else {
@@ -269,9 +388,6 @@ func MakeAssign(c *matrix.Blocked, ch *sim.Chunk, cfg MasterConfig) *Assign {
 			}
 		}
 	}
-	as.ID = AssignID{A: uint32(ch.ID)}
-	as.I0, as.J0 = ch.I0, ch.J0
-	as.Rows, as.Cols, as.Q, as.Steps = ch.Rows, ch.Cols, c.Q, len(ch.Steps)
 	as.Owned = cfg.CopyAssigns
 	return as
 }

@@ -140,6 +140,8 @@ func (p *BlockPool) GetAssign() *Assign {
 	a := assignPool.Get().(*Assign)
 	a.Blocks = a.Blocks[:0]
 	a.Owned = false
+	a.CFlags = a.CFlags[:0]
+	a.CJob = 0
 	return a
 }
 

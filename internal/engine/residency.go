@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -51,19 +53,20 @@ func CacheBudget(mem, inflight int) int {
 	return c
 }
 
-// Block IDs name operand blocks within one session. An ID packs the
-// operand role (A or B — an LU panel block shipped negated in A-role
-// must never collide with the same coordinates in B-role), a job number
-// (0 for the single-job runtimes) and the block coordinates. ID 0 is
-// reserved for "untracked": the block is always shipped and never
-// cached (the valid bit keeps A(0,0) of job 0 from encoding as 0).
+// Block IDs name operand and result blocks within one session. An ID
+// packs the block role (A, B or C — an LU panel block shipped negated
+// in A-role must never collide with the same coordinates in B-role), a
+// job number (0 for the single-job runtimes) and the block coordinates.
+// ID 0 is reserved for "untracked": the block is always shipped and
+// never cached (the valid bit keeps A(0,0) of job 0 from encoding as 0).
 const (
 	blockIDValid = uint64(1) << 63
 	blockIDRoleB = uint64(1) << 62
+	blockIDRoleC = uint64(1) << 61
 	blockIDJobSh = 32
 	blockIDRowSh = 16
 	coordMask    = uint64(0xFFFF)
-	jobMask      = uint64(0x3FFFFFFF)
+	jobMask      = uint64(0x1FFFFFFF)
 )
 
 // ABlockID returns the session-unique ID of A-role operand block (i, k)
@@ -98,6 +101,33 @@ func BBlockID(job uint32, k, j int) uint64 {
 		uint64(j)
 }
 
+// CBlockID returns the session-unique ID of C-result block (i, j) of
+// the given job, with the same out-of-range degradation as ABlockID.
+// A zero C ID downgrades the block to per-chunk dense results, never
+// corrupting which tile a flush lands in.
+func CBlockID(job uint32, i, j int) uint64 {
+	if !idFieldsFit(job, i, j) {
+		return 0
+	}
+	return blockIDValid | blockIDRoleC |
+		uint64(job)<<blockIDJobSh |
+		uint64(i)<<blockIDRowSh |
+		uint64(j)
+}
+
+// CBlockCoords unpacks a C-role block ID back into (job, i, j). ok is
+// false for IDs that are not well-formed C-role IDs — flush manifests
+// carrying anything else are wire corruption.
+func CBlockCoords(id uint64) (job uint32, i, j int, ok bool) {
+	job = uint32(id >> blockIDJobSh & jobMask)
+	i = int(id >> blockIDRowSh & coordMask)
+	j = int(id & coordMask)
+	if id == 0 || CBlockID(job, i, j) != id {
+		return 0, 0, 0, false
+	}
+	return job, i, j, true
+}
+
 // idFieldsFit reports whether a (job, row, col) triple fits the packed
 // ID fields without truncation.
 func idFieldsFit(job uint32, row, col int) bool {
@@ -106,22 +136,55 @@ func idFieldsFit(job uint32, row, col int) bool {
 		col >= 0 && uint64(col) <= coordMask
 }
 
-// CommStats counts the operand traffic of one master-side session (or
-// run): blocks that went over the wire versus blocks the delta protocol
-// skipped because the worker already held them.
+// AllZeroBits reports whether every coefficient of a block is bitwise
+// +0.0 — the one initial value the flush protocol can announce with a
+// flag instead of a payload without risking a bit-exactness drift
+// (copying a −0.0 or denormal through CZero would not round-trip).
+func AllZeroBits(buf []float64) bool {
+	for _, v := range buf {
+		if math.Float64bits(v) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CommStats counts the block traffic of one master-side session (or
+// run): operand blocks that went over the wire versus blocks the delta
+// protocol skipped because the worker already held them, plus the C
+// tile round-trip the resident result protocol thins out.
 type CommStats struct {
 	SetsSent      int64
 	BlocksShipped int64 // operand blocks whose payload was sent
 	BlocksSkipped int64 // operand blocks served from the worker's cache
 	BytesSaved    int64 // payload bytes the skips avoided (8·q² each)
+
+	// The result path. CDown counts C blocks whose initial value was
+	// shipped down with payload (dense tiles, and CShip flags of
+	// resident assigns — CZero and CResident ship nothing). CUp counts C
+	// blocks returned with payload (dense per-chunk results, plus flush
+	// manifests); FlushBlocks is the flush-manifest subset of CUp.
+	// DirtyPeak is the high-water mark of C blocks held dirty
+	// (accumulated but unflushed) on the worker.
+	CDown       int64
+	CUp         int64
+	FlushBlocks int64
+	DirtyPeak   int64
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s (DirtyPeak takes the maximum — it is a
+// high-water mark, not a volume).
 func (s *CommStats) Add(other CommStats) {
 	s.SetsSent += other.SetsSent
 	s.BlocksShipped += other.BlocksShipped
 	s.BlocksSkipped += other.BlocksSkipped
 	s.BytesSaved += other.BytesSaved
+	s.CDown += other.CDown
+	s.CUp += other.CUp
+	s.FlushBlocks += other.FlushBlocks
+	if other.DirtyPeak > s.DirtyPeak {
+		s.DirtyPeak = other.DirtyPeak
+	}
 }
 
 // HitRate returns the fraction of operand blocks served from residency.
@@ -446,6 +509,78 @@ func (oc *opCache) release() {
 	}
 }
 
+// resultCache is the worker side of the result residency: the session's
+// dirty C blocks, keyed by CBlockID. Unlike the operand cache it has no
+// eviction policy — a dirty block can only leave by being flushed (the
+// master tracks exactly which blocks are dirty and sizes the memory
+// accounting accordingly). Blocks are always owned copies: the worker
+// accumulates into them across chunks.
+type resultCache struct {
+	m    map[uint64][]float64
+	pool *BlockPool
+}
+
+func newResultCache(pool *BlockPool) *resultCache {
+	return &resultCache{m: make(map[uint64][]float64), pool: pool}
+}
+
+// get returns the dirty block for id, or nil.
+func (rc *resultCache) get(id uint64) []float64 { return rc.m[id] }
+
+// take removes and returns the dirty block for id, or nil. A taken
+// block is busy — it no longer flushes until re-inserted.
+func (rc *resultCache) take(id uint64) []float64 {
+	buf, ok := rc.m[id]
+	if !ok {
+		return nil
+	}
+	delete(rc.m, id)
+	return buf
+}
+
+// insert pins an owned buffer as the dirty block for id, releasing any
+// previous buffer (re-assignment of a tile the master believed flushed
+// — must not leak even if it never happens on the live paths).
+func (rc *resultCache) insert(id uint64, buf []float64) {
+	if old, ok := rc.m[id]; ok {
+		rc.pool.Put(old)
+	}
+	rc.m[id] = buf
+}
+
+// size returns the number of dirty blocks held.
+func (rc *resultCache) size() int { return len(rc.m) }
+
+// drain removes every dirty block, returning IDs sorted ascending with
+// the blocks in matching order. Sorting makes the flush manifest
+// deterministic (tests, and the master's sequential commit loop walks
+// tiles in block order).
+func (rc *resultCache) drain() (ids []uint64, blocks [][]float64) {
+	if len(rc.m) == 0 {
+		return nil, nil
+	}
+	ids = make([]uint64, 0, len(rc.m))
+	for id := range rc.m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	blocks = make([][]float64, len(ids))
+	for i, id := range ids {
+		blocks[i] = rc.m[id]
+		delete(rc.m, id)
+	}
+	return ids, blocks
+}
+
+// release returns every dirty block to the pool (session death with
+// unflushed results — the master recomputes them).
+func (rc *resultCache) release() {
+	for id, buf := range rc.m {
+		rc.pool.Put(buf)
+		delete(rc.m, id)
+	}
+}
+
 // InflightFootprint sums the chunk footprints of a worker's in-flight
 // assignments at the cache staging depth — the term CacheBudget
 // subtracts from the advertised memory.
@@ -453,24 +588,47 @@ func InflightFootprint(rows, cols int) int {
 	return core.ChunkFootprint(rows, cols, CacheStage)
 }
 
-// PickChunk selects the next chunk for a worker from the pool with the
-// max-reuse locality preference: first a chunk in the same block-row as
-// the worker's previous chunk (its A-row operands are already
-// resident), then the same block-column (B-column resident), then the
-// head of the pool. It returns the index into pool.
+// PickChunk selects the next chunk for a worker from the pool as a
+// reuse-optimal tour: prefer a chunk in the same block-row as the
+// worker's previous chunk (its A-row operands are resident), nearest in
+// J0 so consecutive chunks share B columns too; then the same
+// block-column (B resident), nearest in I0; then the chunk nearest in
+// block-Manhattan distance, which keeps the tour from teleporting
+// across the grid and cold-missing both operand rows and columns. Ties
+// break to the lowest index (FIFO fairness). It returns the index into
+// pool.
 func PickChunk(pool []*sim.Chunk, last *sim.Chunk) int {
-	if last == nil {
+	if last == nil || len(pool) == 0 {
 		return 0
 	}
+	best, bestTier, bestDist := 0, 3, 0
 	for idx, ch := range pool {
-		if ch.I0 == last.I0 {
-			return idx
+		tier, dist := tourScore(ch, last)
+		if tier < bestTier || (tier == bestTier && dist < bestDist) {
+			best, bestTier, bestDist = idx, tier, dist
 		}
 	}
-	for idx, ch := range pool {
-		if ch.J0 == last.J0 {
-			return idx
-		}
+	return best
+}
+
+// tourScore ranks a candidate chunk against the worker's previous one:
+// tier 0 = same block-row (distance |ΔJ0|), tier 1 = same block-column
+// (distance |ΔI0|), tier 2 = elsewhere (block-Manhattan distance).
+func tourScore(ch, last *sim.Chunk) (tier, dist int) {
+	di, dj := absInt(ch.I0-last.I0), absInt(ch.J0-last.J0)
+	switch {
+	case di == 0:
+		return 0, dj
+	case dj == 0:
+		return 1, di
+	default:
+		return 2, di + dj
 	}
-	return 0
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
 }

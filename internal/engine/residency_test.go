@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -42,6 +43,68 @@ func TestBlockIDsDistinct(t *testing.T) {
 		if id != 0 {
 			t.Fatalf("out-of-range field packed to %#x, want untracked 0", id)
 		}
+	}
+}
+
+// TestCBlockIDRoundTrip pins the C-role ID packing the flush protocol
+// rides on: IDs round-trip through CBlockCoords, never collide with the
+// operand roles, degrade to the untracked sentinel out of range, and
+// CBlockCoords rejects everything that is not a well-formed C ID.
+func TestCBlockIDRoundTrip(t *testing.T) {
+	for _, job := range []uint32{0, 1, 7, 1 << 20, 0x1FFFFFFF} {
+		for _, i := range []int{0, 1, 255, 0xFFFF} {
+			for _, j := range []int{0, 3, 0xFFFF} {
+				id := CBlockID(job, i, j)
+				if id == 0 || !ValidBlockID(id) {
+					t.Fatalf("CBlockID(%d,%d,%d) = %#x, want a valid tracked id", job, i, j, id)
+				}
+				if id == ABlockID(job, i, j) || id == BBlockID(job, i, j) {
+					t.Fatalf("CBlockID(%d,%d,%d) collides with an operand role", job, i, j)
+				}
+				gj, gi, gjj, ok := CBlockCoords(id)
+				if !ok || gj != job || gi != i || gjj != j {
+					t.Fatalf("CBlockCoords(%#x) = (%d,%d,%d,%v), want (%d,%d,%d,true)",
+						id, gj, gi, gjj, ok, job, i, j)
+				}
+			}
+		}
+	}
+	// Out-of-range fields degrade to the untracked sentinel (the task
+	// then falls back to dense per-chunk results, never a wrong tile).
+	for _, id := range []uint64{
+		CBlockID(1<<29, 0, 0), CBlockID(0, 1<<16, 0), CBlockID(0, 0, 1<<16), CBlockID(0, -1, 0),
+	} {
+		if id != 0 {
+			t.Fatalf("out-of-range C field packed to %#x, want untracked 0", id)
+		}
+	}
+	// Operand IDs, the sentinel and bit garbage are not C IDs.
+	for _, id := range []uint64{0, ABlockID(3, 1, 2), BBlockID(3, 1, 2), 0x1234, blockIDRoleC} {
+		if _, _, _, ok := CBlockCoords(id); ok {
+			t.Fatalf("CBlockCoords accepted non-C id %#x", id)
+		}
+	}
+}
+
+// TestAllZeroBits pins the CZero gate: only bitwise +0.0 blocks may
+// ship as a flag — a −0.0 or a denormal must force a payload, or the
+// flush protocol would not be bit-exact.
+func TestAllZeroBits(t *testing.T) {
+	buf := make([]float64, 8)
+	if !AllZeroBits(buf) {
+		t.Fatal("fresh zero block rejected")
+	}
+	buf[5] = math.Copysign(0, -1)
+	if AllZeroBits(buf) {
+		t.Fatal("-0.0 accepted as all-zero; a CZero flag would flip its sign bit")
+	}
+	buf[5] = 0
+	buf[2] = 5e-324 // smallest denormal
+	if AllZeroBits(buf) {
+		t.Fatal("denormal accepted as all-zero")
+	}
+	if !AllZeroBits(nil) {
+		t.Fatal("empty block rejected")
 	}
 }
 
@@ -178,8 +241,9 @@ func TestResolveRejectsUnknownReference(t *testing.T) {
 	}
 }
 
-// TestPickChunkLocality pins the dispatch-order companion: same
-// block-row first, then same block-column, else the head.
+// TestPickChunkLocality pins the tour order: the nearest chunk in the
+// same block-row first, then the nearest in the same block-column, else
+// the chunk at minimum Manhattan distance.
 func TestPickChunkLocality(t *testing.T) {
 	mk := func(i0, j0 int) *sim.Chunk { return &sim.Chunk{I0: i0, J0: j0} }
 	pool := []*sim.Chunk{mk(2, 0), mk(4, 0), mk(0, 2), mk(0, 0)}
@@ -192,7 +256,150 @@ func TestPickChunkLocality(t *testing.T) {
 	if got := PickChunk(pool, mk(6, 2)); got != 2 {
 		t.Fatalf("same-col pick = %d, want 2 (J0 match)", got)
 	}
-	if got := PickChunk(pool, mk(6, 6)); got != 0 {
-		t.Fatalf("no-affinity pick = %d, want head", got)
+	// No row/column affinity anywhere: nearest by Manhattan distance.
+	// |Δ| from (6,6): idx0 = 4+6, idx1 = 2+6, idx2 = 6+4, idx3 = 6+6.
+	if got := PickChunk(pool, mk(6, 6)); got != 1 {
+		t.Fatalf("no-affinity pick = %d, want 1 (nearest Manhattan)", got)
+	}
+	// Same-row candidates compete by column stride: from (2,9) both
+	// idx0 (2,0) and a farther same-row pick would match tier 0; idx0
+	// is the only row match and must win over the closer-by-distance
+	// column matches.
+	if got := PickChunk(pool, mk(2, 9)); got != 0 {
+		t.Fatalf("row-over-distance pick = %d, want 0", got)
+	}
+}
+
+// lruIDs walks a blockCache's recency list head (most recent) to tail,
+// checking the intrusive list and the map agree on membership.
+func lruIDs(t *testing.T, c *blockCache) []uint64 {
+	t.Helper()
+	var ids []uint64
+	for e := c.head; e != nil; e = e.next {
+		if c.m[e.id] != e {
+			t.Fatalf("cache list/map desync at id %#x", e.id)
+		}
+		ids = append(ids, e.id)
+	}
+	if len(ids) != len(c.m) {
+		t.Fatalf("cache list holds %d entries, map %d", len(ids), len(c.m))
+	}
+	return ids
+}
+
+// TestMirroredCachesNeverDiverge is the randomized divergence oracle
+// for the delta protocol: a SetBuilder (master mirror) and an opCache
+// (worker cache) processing the same Set stream must hold the same IDs
+// in the same recency order after every step — under capacity pressure
+// that forces evictions, inflight footprints that shrink the announced
+// Cap mid-session, untracked (ID 0) entries, multi-job interleaving in
+// one session, and reconnects that reset both ends together. Any drift
+// is caught at the step it happens, with the op sequence reproducible
+// from the seed.
+func TestMirroredCachesNeverDiverge(t *testing.T) {
+	const q = 2
+	const steps = 400
+	jobs := []uint32{1, 2, 9}
+	mems := []int{0, 6, 10, 16, 40}
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pool := NewBlockPool()
+		mem := mems[rng.Intn(len(mems))]
+		sb := &SetBuilder{Mem: mem}
+		oc := newOpCache(pool)
+		sessions := 1
+		for step := 0; step < steps; step++ {
+			if rng.Intn(10) == 0 {
+				// Reconnect: the session dies and both ends rebuild their
+				// caches from nothing, possibly at a new advertised memory.
+				sb.Release()
+				oc.release()
+				mem = mems[rng.Intn(len(mems))]
+				sb = &SetBuilder{Mem: mem}
+				oc = newOpCache(pool)
+				sessions++
+				continue
+			}
+			job := jobs[rng.Intn(len(jobs))]
+			ch := &sim.Chunk{I0: rng.Intn(7), J0: rng.Intn(7), Rows: 1 + rng.Intn(2), Cols: 1 + rng.Intn(2)}
+			if rng.Intn(20) == 0 {
+				// Out-of-range coordinates stamp to the untracked sentinel:
+				// those entries always ship and never enter either cache.
+				ch.I0 = 1 << 16
+			}
+			k := rng.Intn(6)
+			set := pool.GetSet()
+			set.K = k
+			set.Owned = true
+			for i := 0; i < ch.Rows; i++ {
+				set.A = append(set.A, pool.Get(q*q))
+			}
+			for j := 0; j < ch.Cols; j++ {
+				set.B = append(set.B, pool.Get(q*q))
+			}
+			StampIDs(set, job, ch, k)
+			// Stamp every payload with its ID so a resolved reference that
+			// came back with the wrong buffer is caught by content.
+			for i, id := range set.AIDs {
+				for e := range set.A[i] {
+					set.A[i][e] = float64(id)
+				}
+			}
+			for j, id := range set.BIDs {
+				for e := range set.B[j] {
+					set.B[j][e] = float64(id)
+				}
+			}
+			// A varying inflight footprint varies the announced Cap, so the
+			// eviction horizon moves while blocks are already resident.
+			inflight := InflightFootprint(1+rng.Intn(2), 1+rng.Intn(2))
+			set = sb.Filter(set, inflight, pool)
+			if _, err := oc.resolve(set); err != nil {
+				t.Fatalf("seed %d step %d (mem %d): resolve: %v", seed, step, mem, err)
+			}
+			ids := append(append([]uint64(nil), set.AIDs...), set.BIDs...)
+			blocks := append(append([][]float64(nil), set.A...), set.B...)
+			for i, id := range ids {
+				if blocks[i] == nil {
+					t.Fatalf("seed %d step %d: entry %d (id %#x) unresolved", seed, step, i, id)
+				}
+				if id != 0 && blocks[i][0] != float64(id) {
+					t.Fatalf("seed %d step %d: id %#x resolved to a buffer stamped %g",
+						seed, step, id, blocks[i][0])
+				}
+			}
+			releaseUncached(set, pool)
+			pool.PutSet(set)
+
+			// The divergence oracle proper: same IDs, same recency order.
+			if sb.mirror == nil {
+				if len(oc.cache.m) != 0 {
+					t.Fatalf("seed %d step %d: worker cached %d blocks, master mirror empty",
+						seed, step, len(oc.cache.m))
+				}
+				continue
+			}
+			ms := lruIDs(t, sb.mirror)
+			ws := lruIDs(t, oc.cache)
+			if len(ms) != len(ws) {
+				t.Fatalf("seed %d step %d (mem %d): mirror holds %d ids, worker %d",
+					seed, step, mem, len(ms), len(ws))
+			}
+			for i := range ms {
+				if ms[i] != ws[i] {
+					t.Fatalf("seed %d step %d: recency rank %d diverged: master %#x, worker %#x",
+						seed, step, i, ms[i], ws[i])
+				}
+			}
+			if cap := CacheBudget(mem, inflight); len(ws) > cap {
+				t.Fatalf("seed %d step %d: worker holds %d blocks over the %d-block cap",
+					seed, step, len(ws), cap)
+			}
+		}
+		if sessions < 2 {
+			t.Fatalf("seed %d: random walk produced no reconnect; widen the op mix", seed)
+		}
+		sb.Release()
+		oc.release()
 	}
 }

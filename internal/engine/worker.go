@@ -62,6 +62,9 @@ type WorkerReport struct {
 	CacheHits  int64
 	BlocksIn   int64
 	BytesSaved int64
+	// Flushed counts C blocks returned through FlushResult manifests
+	// (the resident result protocol) instead of dense per-chunk results.
+	Flushed int64
 }
 
 // RunWorker executes the worker side of the protocol until the master
@@ -87,6 +90,10 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 	// and a pushing master (static replay over the synchronous pipe)
 	// blocks exactly when the paper's staging area is full.
 	sets := make(chan *Set, cfg.StageCap-1)
+	// Flush requests bypass the assignment queue: the compute loop
+	// answers them between chunks and between update sets, so a master
+	// under memory pressure is never stuck behind staged work.
+	flushes := make(chan struct{}, 1)
 	readErr := make(chan error, 1)
 	// Every queue send also selects on quit so a session that ends while
 	// the reader holds an undeliverable message (connection death with
@@ -112,6 +119,12 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 			switch m := m.(type) {
 			case Bye:
 				return
+			case Flush:
+				select {
+				case flushes <- struct{}{}:
+				case <-quit:
+					return
+				}
 			case *Assign:
 				stepsSeen += int64(m.Steps)
 				select {
@@ -148,16 +161,52 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 	// new session and starts cold, matching the master's fresh mirror.
 	cache := newOpCache(cfg.Pool)
 	defer cache.release()
+	// The result cache holds the session's dirty C blocks — tiles whose
+	// chunks are done but whose values have not been flushed. A session
+	// dying here loses them; the master recomputes exactly the affected
+	// updates (its dirty tracking mirrors this map at chunk granularity).
+	rc := newResultCache(cfg.Pool)
+	defer rc.release()
+	doFlush := func() error {
+		ids, blocks := rc.drain()
+		rep.Flushed += int64(len(ids))
+		return tr.Send(&FlushResult{IDs: ids, Blocks: blocks, Owned: true})
+	}
 
 	if cfg.PullAssigns {
 		if err := request(ReqAssign); err != nil {
 			return fail(err)
 		}
 	}
-	for as := range assigns {
+assignments:
+	for {
+		var as *Assign
+		select {
+		case <-flushes:
+			if err := doFlush(); err != nil {
+				return fail(err)
+			}
+			continue
+		case a, ok := <-assigns:
+			if !ok {
+				break assignments
+			}
+			as = a
+		}
 		if cfg.FailAfter > 0 && rep.Assignments >= cfg.FailAfter {
 			tr.Close() // vanish mid-job, still holding the assignment
 			return rep, ErrKilled
+		}
+		resident := len(as.CFlags) > 0
+		if resident {
+			// Expand the compacted tile against the result cache before
+			// any update applies: shipped blocks become owned, resident
+			// references leave the cache (they are busy until the chunk
+			// completes, so a mid-chunk flush cannot tear them), zero
+			// blocks materialize locally.
+			if err := materializeResident(as, rc, cfg.Pool); err != nil {
+				return fail(err)
+			}
 		}
 		if cfg.PullAssigns && cfg.Slots > 1 {
 			// double-buffer: the next tile's transfer overlaps this
@@ -176,7 +225,22 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 			}
 		}
 		for k := 0; k < as.Steps; k++ {
-			set, ok := <-sets
+			var set *Set
+			var ok bool
+		waitSet:
+			for {
+				select {
+				case <-flushes:
+					// A memory-pressure flush mid-chunk: only completed
+					// dirty blocks leave (this chunk's tile was taken out
+					// of the cache at materialization).
+					if err := doFlush(); err != nil {
+						return fail(err)
+					}
+				case set, ok = <-sets:
+					break waitSet
+				}
+			}
 			if !ok {
 				select {
 				case err := <-readErr:
@@ -215,10 +279,24 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 				return fail(err)
 			}
 		}
-		// The result takes over the assignment's blocks (and their
-		// header); the emptied Assign recycles immediately.
 		res := cfg.Pool.GetResult()
-		res.ID, res.Blocks, res.Owned = as.ID, as.Blocks, as.Owned
+		if resident {
+			// The finished tile stays resident: its blocks enter the
+			// result cache dirty, and the acknowledgement is an empty
+			// Result — the values travel once, in a later FlushResult.
+			idx := 0
+			for i := 0; i < as.Rows; i++ {
+				for j := 0; j < as.Cols; j++ {
+					rc.insert(CBlockID(as.CJob, as.I0+i, as.J0+j), as.Blocks[idx])
+					idx++
+				}
+			}
+			res.ID = as.ID
+		} else {
+			// The result takes over the assignment's blocks (and their
+			// header); the emptied Assign recycles immediately.
+			res.ID, res.Blocks, res.Owned = as.ID, as.Blocks, as.Owned
+		}
 		as.Blocks = nil
 		cfg.Pool.PutAssign(as)
 		if err := tr.Send(res); err != nil {
@@ -238,6 +316,62 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 	default:
 		return rep, nil
 	}
+}
+
+// materializeResident expands a resident-result assignment in place:
+// as.Blocks arrives compacted (only the CShip payloads, in row-major
+// flag order) and leaves as the full Rows×Cols tile, every block owned
+// by the worker. CShip payloads are adopted (copied first when the
+// transport shared them read-only), CResident blocks are taken out of
+// the result cache to keep accumulating in place, and CZero blocks are
+// materialized as local zeros. Strict validation: flag count, payload
+// count, flag values and ID range must all line up or the session dies.
+func materializeResident(as *Assign, rc *resultCache, pool *BlockPool) error {
+	want := as.Rows * as.Cols
+	if len(as.CFlags) != want {
+		return fmt.Errorf("engine: assignment carries %d C flags for a %dx%d tile",
+			len(as.CFlags), as.Rows, as.Cols)
+	}
+	expanded := make([][]float64, 0, want)
+	ship := 0
+	for fi, f := range as.CFlags {
+		id := CBlockID(as.CJob, as.I0+fi/as.Cols, as.J0+fi%as.Cols)
+		if id == 0 {
+			return fmt.Errorf("engine: resident tile coordinates (%d,%d) overflow the block ID fields",
+				as.I0+fi/as.Cols, as.J0+fi%as.Cols)
+		}
+		switch f {
+		case CShip:
+			if ship >= len(as.Blocks) {
+				return fmt.Errorf("engine: assignment ships %d C payloads, flags want more", len(as.Blocks))
+			}
+			buf := as.Blocks[ship]
+			ship++
+			if !as.Owned {
+				buf = pool.GetCopy(buf)
+			}
+			expanded = append(expanded, buf)
+		case CResident:
+			buf := rc.take(id)
+			if buf == nil {
+				return fmt.Errorf("engine: assignment references C block %#x not dirty in the result cache", id)
+			}
+			expanded = append(expanded, buf)
+		case CZero:
+			buf := pool.Get(as.Q * as.Q)
+			for i := range buf {
+				buf[i] = 0
+			}
+			expanded = append(expanded, buf)
+		default:
+			return fmt.Errorf("engine: unknown C flag %d", f)
+		}
+	}
+	if ship != len(as.Blocks) {
+		return fmt.Errorf("engine: assignment ships %d C payloads for %d CShip flags", len(as.Blocks), ship)
+	}
+	as.Blocks, as.Owned = expanded, true
+	return nil
 }
 
 // applySet applies one update set to the resident tile: the sharded

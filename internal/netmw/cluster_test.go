@@ -32,7 +32,7 @@ func TestRegisterInfoRoundTrip(t *testing.T) {
 }
 
 func TestTaskHeaderRoundTrip(t *testing.T) {
-	in := TaskHeader{Job: 7, Seq: 42, Attempt: 3, Steps: 9, Rows: 2, Cols: 5, Q: 64}
+	in := TaskHeader{Job: 7, Seq: 42, Attempt: 3, Steps: 9, I0: 11, J0: 13, Rows: 2, Cols: 5, Q: 64}
 	buf := make([]byte, taskHeaderLen)
 	in.encode(buf)
 	var out TaskHeader

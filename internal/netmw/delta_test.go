@@ -67,6 +67,15 @@ func TestClusterKillWorkerWithWarmCache(t *testing.T) {
 		t.Fatalf("lost=%d requeues=%d, want ≥ 1 each (the kill must have been mid-job)",
 			st.WorkersLost, st.Requeues)
 	}
+	// The result path is resident end to end: every C tile that landed in
+	// the master came through a flush commit, and a finished job leaves no
+	// tile stranded dirty on any incarnation.
+	if st.FlushedBlocks == 0 {
+		t.Fatal("no flushed blocks recorded; results did not travel the resident path")
+	}
+	if st.DirtyBlocks != 0 {
+		t.Fatalf("fleet dirty blocks = %d after completion, want 0", st.DirtyBlocks)
+	}
 
 	// Shut down cleanly and inspect the worker's lifetime report: the
 	// warm first session must have produced cache hits, and the

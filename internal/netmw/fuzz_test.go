@@ -67,28 +67,63 @@ func encodeSetPayload(prefix []byte, k, cacheCap uint32, ids []uint64, flags []b
 	return putFloats(out, payload)
 }
 
+// encodeAssignBody appends the C-flag tail of an assignment frame to a
+// header: the uint16 flag count, the flag bytes, then the payload
+// doubles (the shipped tiles — or, with no flags, the legacy dense
+// body).
+func encodeAssignBody(hdr []byte, flags []byte, payload []float64) []byte {
+	out := appendCFlags(hdr, flags)
+	return putFloats(out, payload)
+}
+
+// encodeFlushPayload hand-builds a MsgFlushResult payload for seeds:
+// the uint32 block count, then per block a uint64 tile id, a uint32
+// element count and the raw doubles.
+func encodeFlushPayload(count uint32, ids []uint64, blocks [][]float64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[:4], count)
+	out := append([]byte(nil), w[:4]...)
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(w[:], id)
+		out = append(out, w[:]...)
+		binary.LittleEndian.PutUint32(w[:4], uint32(len(blocks[i])))
+		out = append(out, w[:4]...)
+		out = putFloats(out, blocks[i])
+	}
+	return out
+}
+
 // FuzzDecodeMsg drives every payload decoder of the wire protocol with
 // arbitrary bytes, selected by the first byte: malformed frames must
 // error, never panic and never allocate unboundedly. It covers the live
 // transport decode paths — the pooled worker-side decoders (jobs,
-// tasks, update sets via the geometry FIFO), the master-side flat
-// result and request decoders, the server-side ones (registration, job
-// submissions) and the client-side job-done headers.
+// tasks, update sets via the geometry FIFO, flush requests have no
+// payload), the master-side flat result, flush-manifest and request
+// decoders, the server-side ones (registration, job submissions) and
+// the client-side job-done headers.
 func FuzzDecodeMsg(f *testing.F) {
 	pool := engine.NewBlockPool()
 	// Seed with one well-formed payload per decoder so the corpus starts
-	// on the happy paths.
+	// on the happy paths. Assignment bodies carry the C-flag tail: count
+	// 0 is the legacy dense body, a count matching the geometry flags
+	// each tile as shipped / resident / zero.
 	jobHdr := ChunkHeader{ID: 1, I0: 0, J0: 0, Rows: 1, Cols: 1, T: 2, Q: 2}
 	jp := make([]byte, chunkHeaderLen)
 	jobHdr.encode(jp)
-	jp = putFloats(jp, []float64{1, 2, 3, 4})
-	f.Add(append([]byte{0}, jp...))
+	f.Add(append([]byte{0}, encodeAssignBody(jp, nil, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{0}, encodeAssignBody(jp, []byte{engine.CShip}, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{0}, encodeAssignBody(jp, []byte{engine.CZero}, nil)...))
 
-	taskHdr := TaskHeader{Job: 1, Seq: 2, Attempt: 0, Steps: 1, Rows: 1, Cols: 1, Q: 2}
+	taskHdr := TaskHeader{Job: 1, Seq: 2, Attempt: 0, Steps: 1, I0: 0, J0: 0, Rows: 1, Cols: 1, Q: 2}
 	tp := make([]byte, taskHeaderLen)
 	taskHdr.encode(tp)
-	tp = putFloats(tp, []float64{1, 2, 3, 4})
-	f.Add(append([]byte{1}, tp...))
+	f.Add(append([]byte{1}, encodeAssignBody(tp, nil, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{1}, encodeAssignBody(tp, []byte{engine.CResident}, nil)...))
+	// malformed flag tails: an unknown flag state, a count that disagrees
+	// with the geometry, and a shipped tile whose payload is missing
+	f.Add(append([]byte{1}, encodeAssignBody(tp, []byte{7}, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{1}, encodeAssignBody(tp, []byte{engine.CShip, engine.CShip}, []float64{1, 2, 3, 4})...))
+	f.Add(append([]byte{1}, encodeAssignBody(tp, []byte{engine.CShip}, []float64{1, 2})...))
 
 	ri := RegisterInfo{Name: "worker-1", Mem: 128, Slots: 4}
 	f.Add(append([]byte{2}, ri.encode()...))
@@ -152,6 +187,16 @@ func FuzzDecodeMsg(f *testing.F) {
 	jd.encode(dp)
 	f.Add(append([]byte{6}, dp...))
 
+	// flush manifests: a well-formed one, then a count overrunning the
+	// bytes, a malformed (non-C) tile id, a zero element count and
+	// trailing garbage after the last block
+	cid := engine.CBlockID(1, 0, 0)
+	f.Add(append([]byte{8}, encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}})...))
+	f.Add(append([]byte{8}, encodeFlushPayload(3, []uint64{cid}, [][]float64{{1, 2, 3, 4}})...))
+	f.Add(append([]byte{8}, encodeFlushPayload(1, []uint64{engine.ABlockID(0, 0, 0)}, [][]float64{{1, 2, 3, 4}})...))
+	f.Add(append([]byte{8}, encodeFlushPayload(1, []uint64{cid}, [][]float64{{}})...))
+	f.Add(append([]byte{8}, append(encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}}), 0xee)...))
+
 	// hostile geometry: a job header declaring a huge matrix with no data
 	evil := JobHeader{Kind: WireMatMul, R: 1 << 30, T: 1 << 30, S: 1 << 30, Q: 1 << 30, Mu: 1}
 	ep := make([]byte, jobHeaderLen)
@@ -173,17 +218,40 @@ func FuzzDecodeMsg(f *testing.F) {
 			return
 		}
 		sel, payload := data[0], data[1:]
-		switch sel % 8 {
+		// checkAssign validates a successful assignment decode: the legacy
+		// dense body must yield one block per tile, a flag tail exactly the
+		// shipped tiles.
+		checkAssign := func(as *engine.Assign, rows, cols int) {
+			want := rows * cols
+			if len(as.CFlags) != 0 {
+				want = 0
+				for _, fl := range as.CFlags {
+					if fl == engine.CShip {
+						want++
+					}
+				}
+				if len(as.CFlags) != rows*cols {
+					t.Fatalf("assignment decode kept %d flags for %dx%d", len(as.CFlags), rows, cols)
+				}
+			}
+			if len(as.Blocks) != want {
+				t.Fatalf("assignment decode produced %d blocks, want %d (%dx%d, %d flags)",
+					len(as.Blocks), want, rows, cols, len(as.CFlags))
+			}
+		}
+		switch sel % 9 {
 		case 0:
-			// the workerTransport MsgJob path: header + pooled block list
+			// the workerTransport MsgJob path: header + flagged block body
 			var hdr ChunkHeader
 			if err := hdr.decode(payload); err != nil {
 				return
 			}
-			blocks, err := decodeBlockListInto(nil, payload[chunkHeaderLen:],
+			as := &engine.Assign{}
+			err := decodeAssignBlocks(as, payload[chunkHeaderLen:],
 				int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T), pool)
-			if err == nil && len(blocks) != int(hdr.Rows)*int(hdr.Cols) {
-				t.Fatalf("MsgJob decode produced %d blocks for %dx%d", len(blocks), hdr.Rows, hdr.Cols)
+			if err == nil {
+				checkAssign(as, int(hdr.Rows), int(hdr.Cols))
+				pool.PutAll(as.Blocks)
 			}
 		case 1:
 			// the clusterWorkerTransport MsgTask path
@@ -191,10 +259,12 @@ func FuzzDecodeMsg(f *testing.F) {
 			if err := hdr.decode(payload); err != nil {
 				return
 			}
-			blocks, err := decodeBlockListInto(nil, payload[taskHeaderLen:],
+			as := &engine.Assign{}
+			err := decodeAssignBlocks(as, payload[taskHeaderLen:],
 				int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps), pool)
-			if err == nil && len(blocks) != int(hdr.Rows)*int(hdr.Cols) {
-				t.Fatalf("MsgTask decode produced %d blocks for %dx%d", len(blocks), hdr.Rows, hdr.Cols)
+			if err == nil {
+				checkAssign(as, int(hdr.Rows), int(hdr.Cols))
+				pool.PutAll(as.Blocks)
 			}
 		case 2:
 			var out RegisterInfo
@@ -270,6 +340,26 @@ func FuzzDecodeMsg(f *testing.F) {
 				pool.PutAll(blocks)
 			}
 			decodeRequest(payload)
+		case 8:
+			// the masterTransport MsgFlushResult path: a successful decode
+			// must carry a well-formed C-tile id and a plausible payload for
+			// every block it returns.
+			fr, err := decodeFlushResult(payload, pool)
+			if err != nil {
+				return
+			}
+			if len(fr.IDs) != len(fr.Blocks) {
+				t.Fatalf("flush decode produced %d ids but %d blocks", len(fr.IDs), len(fr.Blocks))
+			}
+			for i, id := range fr.IDs {
+				if _, _, _, ok := engine.CBlockCoords(id); !ok {
+					t.Fatalf("flush decode accepted malformed tile id %#x", id)
+				}
+				if len(fr.Blocks[i]) < 1 {
+					t.Fatal("flush decode accepted an empty block")
+				}
+			}
+			pool.PutAll(fr.Blocks)
 		}
 	})
 }

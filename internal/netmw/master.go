@@ -104,6 +104,10 @@ func ServeListener(c, a, b *matrix.Blocked, cfg MasterConfig, ln net.Listener) (
 	_, chunks := homog.ChunkGrid(pr, cfg.Mu)
 	stats, err := engine.RunMaster(c, a, b, chunks, links, engine.MasterConfig{
 		Timeout: cfg.Timeout, Pool: pool,
+		// Close the result path: workers keep their C tiles resident and
+		// flush each exactly once at job end, and all-zero C tiles ship
+		// down as a flag instead of a payload.
+		ResidentResults: true,
 	})
 	if err != nil {
 		return rep, err

@@ -28,8 +28,11 @@ const (
 	// MsgHello is sent by a worker on connect: payload is its memory
 	// capacity in blocks (uint32).
 	MsgHello MsgType = iota + 1
-	// MsgJob carries a C chunk to a worker: ChunkHeader then Rows*Cols
-	// q×q blocks.
+	// MsgJob carries a C chunk to a worker: ChunkHeader, a uint16 C-flag
+	// count (0 = legacy dense: every tile's payload follows), then for
+	// the resident protocol Rows*Cols flag bytes (engine.CShip /
+	// CResident / CZero) and the payloads of exactly the CShip tiles in
+	// row-major flag order.
 	MsgJob
 	// MsgSet carries one delta update set: uint32 k, uint32 cache
 	// capacity, uint16 A-entry and B-entry counts (which must match the
@@ -58,9 +61,10 @@ const (
 	MsgRegister
 	// MsgHeartbeat is a worker liveness beacon; empty payload.
 	MsgHeartbeat
-	// MsgTask assigns one cluster task: TaskHeader then Rows*Cols C
-	// blocks. The worker streams its update sets with MsgReq(ReqSet) as
-	// in the single-job protocol.
+	// MsgTask assigns one cluster task: TaskHeader, then the same C-flag
+	// tail as MsgJob (uint16 count, flags, shipped payloads). The worker
+	// streams its update sets with MsgReq(ReqSet) as in the single-job
+	// protocol.
 	MsgTask
 	// MsgTaskResult returns a finished task: TaskResultHeader then the
 	// updated C blocks.
@@ -71,6 +75,17 @@ const (
 	// MsgJobDone answers a submission: JobDoneHeader, then either the
 	// result blocks (Code 0) or an error string.
 	MsgJobDone
+
+	// Result-residency messages (PR: single-flush result path).
+
+	// MsgFlush asks the worker to drain its resident result cache; empty
+	// payload. The worker answers with MsgFlushResult.
+	MsgFlush
+	// MsgFlushResult carries a flush manifest: uint32 block count, then
+	// per block a uint64 C-tile ID (engine.CBlockID), a uint32 element
+	// count and the raw little-endian doubles. An empty manifest (count
+	// 0) is a valid answer.
+	MsgFlushResult
 )
 
 // Request kinds carried by MsgReq.
@@ -158,27 +173,33 @@ func (r *RegisterInfo) decode(buf []byte) error {
 // TaskHeader describes one cluster task on the wire. Job/Seq/Attempt
 // identify the assignment (echoed back in the result so stale completions
 // are detectable); Steps is the number of update sets the worker must
-// stream; Rows/Cols/Q give the C tile geometry.
+// stream; I0/J0 anchor the C tile in the job's block grid (the worker
+// derives its resident-tile IDs from them); Rows/Cols/Q give the C tile
+// geometry.
 type TaskHeader struct {
 	Job     uint32
 	Seq     uint32
 	Attempt uint32
 	Steps   uint32
+	I0      uint32
+	J0      uint32
 	Rows    uint32
 	Cols    uint32
 	Q       uint32
 }
 
-const taskHeaderLen = 7 * 4
+const taskHeaderLen = 9 * 4
 
 func (h *TaskHeader) encode(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[0:], h.Job)
 	binary.LittleEndian.PutUint32(buf[4:], h.Seq)
 	binary.LittleEndian.PutUint32(buf[8:], h.Attempt)
 	binary.LittleEndian.PutUint32(buf[12:], h.Steps)
-	binary.LittleEndian.PutUint32(buf[16:], h.Rows)
-	binary.LittleEndian.PutUint32(buf[20:], h.Cols)
-	binary.LittleEndian.PutUint32(buf[24:], h.Q)
+	binary.LittleEndian.PutUint32(buf[16:], h.I0)
+	binary.LittleEndian.PutUint32(buf[20:], h.J0)
+	binary.LittleEndian.PutUint32(buf[24:], h.Rows)
+	binary.LittleEndian.PutUint32(buf[28:], h.Cols)
+	binary.LittleEndian.PutUint32(buf[32:], h.Q)
 }
 
 func (h *TaskHeader) decode(buf []byte) error {
@@ -189,9 +210,11 @@ func (h *TaskHeader) decode(buf []byte) error {
 	h.Seq = binary.LittleEndian.Uint32(buf[4:])
 	h.Attempt = binary.LittleEndian.Uint32(buf[8:])
 	h.Steps = binary.LittleEndian.Uint32(buf[12:])
-	h.Rows = binary.LittleEndian.Uint32(buf[16:])
-	h.Cols = binary.LittleEndian.Uint32(buf[20:])
-	h.Q = binary.LittleEndian.Uint32(buf[24:])
+	h.I0 = binary.LittleEndian.Uint32(buf[16:])
+	h.J0 = binary.LittleEndian.Uint32(buf[20:])
+	h.Rows = binary.LittleEndian.Uint32(buf[24:])
+	h.Cols = binary.LittleEndian.Uint32(buf[28:])
+	h.Q = binary.LittleEndian.Uint32(buf[32:])
 	return nil
 }
 

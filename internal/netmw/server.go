@@ -206,8 +206,11 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 		Slots: slots, Pool: s.pool, Mem: int(ri.Mem),
 	})
 	// Fold the session's delta accounting into the worker and job
-	// lifetime totals for the server's status output.
-	s.cl.ReportComm(id, fstats)
+	// totals for the server's status output. The epoch pin keeps a stale
+	// session's exit report from landing on the session counters of the
+	// incarnation that replaced it (lifetime totals still accumulate —
+	// they are per worker name).
+	s.cl.ReportCommEpoch(id, epoch, fstats)
 }
 
 // clientSession serves one MsgSubmit: build the job, run it to

@@ -208,6 +208,96 @@ func (c *connIO) appendBlocks(buf []byte, blocks [][]float64, owned bool) []byte
 	return buf
 }
 
+// appendCFlags encodes an assignment's result-residency tail prefix:
+// the uint16 flag count then the flag bytes. A nil/empty flag list is
+// the legacy dense protocol (count 0, full payload follows). C-tile
+// payloads never go through the shared encode cache — unlike operand
+// blocks they are mutable state, different per assignment.
+func appendCFlags(buf []byte, flags []byte) []byte {
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(flags)))
+	buf = append(buf, n[:]...)
+	return append(buf, flags...)
+}
+
+// checkCFlagsOnWire rejects flag lists that do not fit the uint16 count
+// field before anything is framed.
+func checkCFlagsOnWire(flags []byte) error {
+	if len(flags) > int(^uint16(0)) {
+		return fmt.Errorf("netmw: %d C flags do not fit the wire", len(flags))
+	}
+	return nil
+}
+
+// sendFlushResult frames a flush manifest — uint32 block count, then
+// per block a uint64 tile ID, a uint32 element count and the raw
+// doubles — releasing owned buffers once serialized.
+func (c *connIO) sendFlushResult(fr *engine.FlushResult) error {
+	if len(fr.IDs) != len(fr.Blocks) {
+		return fmt.Errorf("netmw: flush manifest has %d ids but %d blocks", len(fr.IDs), len(fr.Blocks))
+	}
+	err := c.writeFrame(MsgFlushResult, func(buf []byte) []byte {
+		var word [8]byte
+		binary.LittleEndian.PutUint32(word[:4], uint32(len(fr.IDs)))
+		buf = append(buf, word[:4]...)
+		for i, id := range fr.IDs {
+			binary.LittleEndian.PutUint64(word[:], id)
+			buf = append(buf, word[:]...)
+			binary.LittleEndian.PutUint32(word[:4], uint32(len(fr.Blocks[i])))
+			buf = append(buf, word[:4]...)
+			buf = putFloats(buf, fr.Blocks[i])
+		}
+		return buf
+	})
+	if err == nil && fr.Owned {
+		c.pool.PutAll(fr.Blocks)
+	}
+	return err
+}
+
+// decodeFlushResult decodes a MsgFlushResult payload with strict
+// validation: the declared count must match the bytes present, every ID
+// must be a well-formed C-tile ID and every element count plausible —
+// a mismatch errors before trusting any length for an allocation.
+func decodeFlushResult(payload []byte, pool *engine.BlockPool) (*engine.FlushResult, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("netmw: short flush result payload (%d bytes)", len(payload))
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	if count > maxWireDim*maxWireDim {
+		return nil, fmt.Errorf("netmw: flush result declares %d blocks", count)
+	}
+	fr := &engine.FlushResult{Owned: true}
+	for i := 0; i < count; i++ {
+		if len(payload) < 12 {
+			return nil, fmt.Errorf("netmw: flush result truncated at block %d", i)
+		}
+		id := binary.LittleEndian.Uint64(payload)
+		n := int(binary.LittleEndian.Uint32(payload[8:]))
+		payload = payload[12:]
+		if _, _, _, ok := engine.CBlockCoords(id); !ok {
+			return nil, fmt.Errorf("netmw: flush result block %d has malformed tile id %#x", i, id)
+		}
+		if n < 1 || n > maxWireDim*maxWireDim {
+			return nil, fmt.Errorf("netmw: flush result block %d declares %d elements", i, n)
+		}
+		if len(payload) < 8*n {
+			return nil, fmt.Errorf("netmw: flush result block %d payload truncated (%d of %d bytes)",
+				i, len(payload), 8*n)
+		}
+		blk := pool.Get(n)
+		getFloatsInto(blk, payload)
+		payload = payload[8*n:]
+		fr.IDs = append(fr.IDs, id)
+		fr.Blocks = append(fr.Blocks, blk)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("netmw: flush result has %d trailing bytes", len(payload))
+	}
+	return fr, nil
+}
+
 // geomEntry tracks the declared geometry of one in-flight assignment on
 // the worker side, so update-set frames (which carry no geometry of
 // their own) decode against the assignment they belong to. Assignments
@@ -349,6 +439,9 @@ func (t *masterTransport) AdvertisedMem() int { return int(t.helloMem.Load()) }
 func (t *masterTransport) Send(m engine.Msg) error {
 	switch m := m.(type) {
 	case *engine.Assign:
+		if err := checkCFlagsOnWire(m.CFlags); err != nil {
+			return err
+		}
 		hdr := ChunkHeader{
 			ID: m.ID.A, I0: uint32(m.I0), J0: uint32(m.J0),
 			Rows: uint32(m.Rows), Cols: uint32(m.Cols), T: uint32(m.Steps), Q: uint32(m.Q),
@@ -357,6 +450,7 @@ func (t *masterTransport) Send(m engine.Msg) error {
 			off := len(buf)
 			buf = append(buf, make([]byte, chunkHeaderLen)...)
 			hdr.encode(buf[off:])
+			buf = appendCFlags(buf, m.CFlags)
 			return t.appendBlocks(buf, m.Blocks, m.Owned)
 		})
 		if err == nil {
@@ -365,6 +459,8 @@ func (t *masterTransport) Send(m engine.Msg) error {
 		return err
 	case *engine.Set:
 		return t.sendSet(m)
+	case engine.Flush:
+		return t.writeFrame(MsgFlush, nil)
 	case engine.Bye:
 		return t.writeFrame(MsgBye, nil)
 	default:
@@ -404,6 +500,8 @@ func (t *masterTransport) Recv() (engine.Msg, error) {
 			res.ID = engine.AssignID{A: id}
 			res.Owned = true
 			return res, nil
+		case MsgFlushResult:
+			return decodeFlushResult(payload, t.pool)
 		default:
 			return nil, fmt.Errorf("netmw: unexpected message %d from worker", mt)
 		}
@@ -477,6 +575,8 @@ func (t *workerTransport) Send(m engine.Msg) error {
 			t.pool.PutResult(m)
 		}
 		return err
+	case *engine.FlushResult:
+		return t.sendFlushResult(m)
 	default:
 		return fmt.Errorf("netmw: worker transport cannot send %T", m)
 	}
@@ -490,16 +590,16 @@ func (t *workerTransport) Recv() (engine.Msg, error) {
 	switch mt {
 	case MsgBye:
 		return engine.Bye{}, nil
+	case MsgFlush:
+		return engine.Flush{}, nil
 	case MsgJob:
 		var hdr ChunkHeader
 		if err := hdr.decode(payload); err != nil {
 			return nil, err
 		}
 		as := t.pool.GetAssign()
-		var err error
-		as.Blocks, err = decodeBlockListInto(as.Blocks, payload[chunkHeaderLen:],
-			int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T), t.pool)
-		if err != nil {
+		if err := decodeAssignBlocks(as, payload[chunkHeaderLen:],
+			int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T), t.pool); err != nil {
 			return nil, err
 		}
 		t.geom.push(int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T))
@@ -568,6 +668,8 @@ func (t *clusterWorkerTransport) Send(m engine.Msg) error {
 			t.pool.PutResult(m)
 		}
 		return err
+	case *engine.FlushResult:
+		return t.sendFlushResult(m)
 	default:
 		return fmt.Errorf("netmw: cluster worker transport cannot send %T", m)
 	}
@@ -581,22 +683,23 @@ func (t *clusterWorkerTransport) Recv() (engine.Msg, error) {
 	switch mt {
 	case MsgBye:
 		return engine.Bye{}, nil
+	case MsgFlush:
+		return engine.Flush{}, nil
 	case MsgTask:
 		var hdr TaskHeader
 		if err := hdr.decode(payload); err != nil {
 			return nil, err
 		}
 		as := t.pool.GetAssign()
-		var err error
-		as.Blocks, err = decodeBlockListInto(as.Blocks, payload[taskHeaderLen:],
-			int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps), t.pool)
-		if err != nil {
+		if err := decodeAssignBlocks(as, payload[taskHeaderLen:],
+			int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps), t.pool); err != nil {
 			return nil, err
 		}
 		t.geom.push(int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps))
 		as.ID = engine.AssignID{A: hdr.Job, B: hdr.Seq, C: hdr.Attempt}
-		as.I0, as.J0 = 0, 0
+		as.I0, as.J0 = int(hdr.I0), int(hdr.J0)
 		as.Rows, as.Cols, as.Q, as.Steps = int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps)
+		as.CJob = hdr.Job
 		as.Owned = true
 		return as, nil
 	case MsgSet:
@@ -639,9 +742,13 @@ func newServerTransport(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *e
 func (t *serverTransport) Send(m engine.Msg) error {
 	switch m := m.(type) {
 	case *engine.Assign:
+		if err := checkCFlagsOnWire(m.CFlags); err != nil {
+			return err
+		}
 		hdr := TaskHeader{
 			Job: m.ID.A, Seq: m.ID.B, Attempt: m.ID.C,
-			Steps: uint32(m.Steps), Rows: uint32(m.Rows), Cols: uint32(m.Cols), Q: uint32(m.Q),
+			Steps: uint32(m.Steps), I0: uint32(m.I0), J0: uint32(m.J0),
+			Rows: uint32(m.Rows), Cols: uint32(m.Cols), Q: uint32(m.Q),
 		}
 		t.mu.Lock()
 		t.geom[m.ID] = m.Q
@@ -650,6 +757,7 @@ func (t *serverTransport) Send(m engine.Msg) error {
 			off := len(buf)
 			buf = append(buf, make([]byte, taskHeaderLen)...)
 			hdr.encode(buf[off:])
+			buf = appendCFlags(buf, m.CFlags)
 			return t.appendBlocks(buf, m.Blocks, m.Owned)
 		})
 		if err == nil {
@@ -658,6 +766,8 @@ func (t *serverTransport) Send(m engine.Msg) error {
 		return err
 	case *engine.Set:
 		return t.sendSet(m)
+	case engine.Flush:
+		return t.writeFrame(MsgFlush, nil)
 	case engine.Bye:
 		return t.writeFrame(MsgBye, nil)
 	default:
@@ -706,6 +816,8 @@ func (t *serverTransport) Recv() (engine.Msg, error) {
 			res.ID = id
 			res.Owned = true
 			return res, nil
+		case MsgFlushResult:
+			return decodeFlushResult(payload, t.pool)
 		default:
 			return nil, fmt.Errorf("netmw: unexpected message %d from cluster worker", mt)
 		}

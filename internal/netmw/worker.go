@@ -1,6 +1,7 @@
 package netmw
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"time"
@@ -34,13 +35,15 @@ type WorkerReport struct {
 	// hits avoided.
 	CacheHits  int64
 	BytesSaved int64
+	// Flushed counts C blocks returned through flush manifests instead
+	// of per-chunk results (the single-flush result path).
+	Flushed int64
 }
 
 // decodeBlockListInto validates a wire-declared rows×cols×q geometry
 // plus a step count against the bytes actually present, then decodes
 // the rows·cols blocks of q² doubles into pooled buffers appended to a
-// recycled header. Shared by the job (MsgJob) and task (MsgTask)
-// transport decoders, so validation fixes land in one place.
+// recycled header — the legacy dense body of an assignment frame.
 func decodeBlockListInto(dst [][]float64, rest []byte, rows, cols, q, steps int, pool *engine.BlockPool) ([][]float64, error) {
 	if err := checkGeometry(rows, cols, q); err != nil {
 		return nil, err
@@ -53,6 +56,59 @@ func decodeBlockListInto(dst [][]float64, rest []byte, rows, cols, q, steps int,
 	}
 	blocks, _, err := decodeBlocksInto(dst, rest, rows*cols, q, pool)
 	return blocks, err
+}
+
+// decodeAssignBlocks decodes an assignment frame's body — the uint16
+// C-flag count, the flag bytes, then the payloads of exactly the
+// CShip-flagged tiles — into the recycled assignment. Count 0 is the
+// legacy dense protocol: CFlags stays empty and every tile's payload
+// follows. Shared by the job (MsgJob) and task (MsgTask) transport
+// decoders, so validation fixes land in one place. The manifest is
+// validated strictly: the count must match the geometry, flags must
+// name a known residency state, and the payload must hold exactly the
+// shipped blocks — all checked before any geometry-sized allocation.
+func decodeAssignBlocks(as *engine.Assign, rest []byte, rows, cols, q, steps int, pool *engine.BlockPool) error {
+	if err := checkGeometry(rows, cols, q); err != nil {
+		return err
+	}
+	if len(rest) < 2 {
+		return fmt.Errorf("netmw: assignment payload missing C-flag count")
+	}
+	nflags := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	if nflags == 0 {
+		var err error
+		as.Blocks, err = decodeBlockListInto(as.Blocks, rest, rows, cols, q, steps, pool)
+		return err
+	}
+	if nflags != rows*cols {
+		return fmt.Errorf("netmw: assignment carries %d C flags for a %dx%d tile", nflags, rows, cols)
+	}
+	if len(rest) < nflags {
+		return fmt.Errorf("netmw: assignment C-flag list truncated (%d of %d bytes)", len(rest), nflags)
+	}
+	ship := 0
+	for i, f := range rest[:nflags] {
+		switch f {
+		case engine.CShip:
+			ship++
+		case engine.CResident, engine.CZero:
+		default:
+			return fmt.Errorf("netmw: assignment C flag %d has unknown state %d", i, f)
+		}
+	}
+	as.CFlags = append(as.CFlags[:0], rest[:nflags]...)
+	rest = rest[nflags:]
+	if err := checkBlockPayload(len(rest), ship, q); err != nil {
+		return err
+	}
+	if len(rest) != ship*q*q*8 {
+		return fmt.Errorf("netmw: assignment payload is %d bytes for %d shipped blocks of q=%d",
+			len(rest), ship, q)
+	}
+	var err error
+	as.Blocks, _, err = decodeBlocksInto(as.Blocks, rest, ship, q, pool)
+	return err
 }
 
 // maxWireDim caps every wire-declared dimension (blocks per chunk side,
@@ -124,5 +180,6 @@ func RunWorker(cfg WorkerConfig) (WorkerReport, error) {
 	return WorkerReport{
 		Chunks: rep.Assignments, Updates: rep.Updates,
 		CacheHits: rep.CacheHits, BytesSaved: rep.BytesSaved,
+		Flushed: rep.Flushed,
 	}, err
 }

@@ -22,7 +22,9 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # bench records the performance series tracked across PRs: the cluster
-# benchmarks to BENCH_cluster.json, the kernel GFLOP/s series (packed
+# benchmarks to BENCH_cluster.json (including the 100-worker fleet's
+# makespan-vs-LP-bound series with and without adaptation, from
+# BenchmarkClusterFleetAdaptive), the kernel GFLOP/s series (packed
 # register-blocked GEMM vs the historical axpy kernel at q ∈ {64, 80,
 # 100, 128, 256}, plus the parallel speedups) to BENCH_kernel.json, and
 # the TCP engine path to BENCH_transport.json — steady-state allocs/op
@@ -32,10 +34,13 @@ fmt:
 # mark and x-lower-bound (measured communication over the §4
 # Loomis–Whitney bound) — all parsed by cmd/benchjson. The kernel
 # series runs 5 iterations per point so a single noisy timeslice cannot
-# skew the recorded Gflops.
+# skew the recorded Gflops. The fleet run also renders its per-worker
+# Gantt timeline (idle/comm/compute/speculation lanes) to
+# BENCH_fleet.svg.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchtime 2x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 	@cat BENCH_cluster.json
+	$(GO) run ./cmd/mmsim -fleet 100 -svg BENCH_fleet.svg
 	$(GO) test -run '^$$' -bench 'BenchmarkPackedKernel|BenchmarkParallelKernel|BenchmarkBlockUpdate' -benchtime 5x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
 	@cat BENCH_kernel.json
 	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchtime 4x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_transport.json
@@ -46,4 +51,4 @@ bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 .
 
 clean:
-	rm -f BENCH_cluster.json BENCH_kernel.json BENCH_transport.json
+	rm -f BENCH_cluster.json BENCH_kernel.json BENCH_transport.json BENCH_fleet.svg

@@ -35,6 +35,9 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 5, "dispatch attempts per task before its job fails")
 	maxRunning := flag.Int("max-running", 0, "jobs dispatched concurrently (0 = unlimited)")
 	maxSlots := flag.Int("max-slots", 0, "clamp on the per-worker task-pipelining depth workers may advertise (0 = no clamp)")
+	adaptive := flag.Bool("adaptive", false, "profile-driven chunk shaping: size each worker's chunks to its measured speed")
+	chunkTarget := flag.Duration("chunk-target", 250*time.Millisecond, "adaptive: target wall time per chunk")
+	specFactor := flag.Float64("spec-factor", 0, "adaptive: duplicate a straggler's chunk when its ETA exceeds this factor × an idle worker's (0 = off)")
 
 	submit := flag.Bool("submit", false, "act as a client: submit one job and wait for the result")
 	kind := flag.String("kind", "matmul", "submit job kind: matmul | lu")
@@ -69,10 +72,18 @@ func main() {
 		fatalUsage("-max-slots must be ≥ 0, got %d", *maxSlots)
 	}
 
+	if *specFactor < 0 {
+		fatalUsage("-spec-factor must be ≥ 0, got %g", *specFactor)
+	}
 	cl := cluster.New(cluster.Config{
 		HeartbeatTimeout: *hbTimeout,
 		MaxAttempts:      *maxAttempts,
 		MaxRunning:       *maxRunning,
+		Adaptive: cluster.AdaptiveConfig{
+			Enabled:           *adaptive,
+			ChunkTarget:       *chunkTarget,
+			SpeculationFactor: *specFactor,
+		},
 	})
 	srv, err := netmw.ServeCluster(cl, netmw.ClusterServerConfig{Addr: *addr, ExpiryEvery: *expiryEvery, MaxSlots: *maxSlots})
 	if err != nil {
@@ -89,17 +100,23 @@ func main() {
 	srv.Close()
 	fmt.Printf("mmserve: shutting down — %d jobs done, %d failed, %d workers lost, %d requeues\n",
 		st.JobsDone, st.JobsFailed, st.WorkersLost, st.Requeues)
+	if st.Speculations > 0 {
+		fmt.Printf("mmserve: straggler re-dispatch: %d duplicates launched, %d won the race\n",
+			st.Speculations, st.SpecWins)
+	}
 	// Snapshot the registry only now: Close drained the worker sessions,
 	// which is when each session's comm accounting lands.
 	printWorkerStatus(cl.Workers())
 }
 
-// printWorkerStatus reports each worker's operand-cache effectiveness
-// and result residency: the delta protocol's hit rate (lifetime, with
-// the current session's rate alongside when the worker has reconnected
-// — lifetime denominators carry across sessions, so the two diverge),
-// the payload bytes kept off the wire, and the C tiles the worker
-// flushed versus any still dirty at shutdown.
+// printWorkerStatus reports each worker's operand-cache effectiveness,
+// result residency, wire traffic and measured profile: the delta
+// protocol's hit rate (lifetime, with the current session's rate
+// alongside when the worker has reconnected — lifetime denominators
+// carry across sessions, so the two diverge), the payload bytes kept
+// off the wire, the C tiles the worker flushed versus any still dirty
+// at shutdown, the transport's per-conn byte counters, and the speed /
+// bandwidth estimate the adaptive planner sized its chunks from.
 func printWorkerStatus(workers []cluster.WorkerInfo) {
 	var shipped, skipped, saved, flushed int64
 	var dirty int
@@ -110,8 +127,14 @@ func printWorkerStatus(workers []cluster.WorkerInfo) {
 		}
 		line := fmt.Sprintf("mmserve: worker %-20s %-5s tasks=%-5d cache-hit=%5.1f%% bytes-saved=%s flushed=%d",
 			wi.ID, state, wi.Done, wi.CacheHitRate()*100, humanBytes(wi.BytesSaved), wi.FlushedBlocks)
+		if wi.WireBytesOut > 0 || wi.WireBytesIn > 0 {
+			line += fmt.Sprintf(" wire=%s out/%s in", humanBytes(wi.WireBytesOut), humanBytes(wi.WireBytesIn))
+		}
 		if wi.Sessions > 1 {
 			line += fmt.Sprintf(" sessions=%d session-hit=%5.1f%%", wi.Sessions, wi.SessionCacheHitRate()*100)
+		}
+		if wi.Profile.ComputeSamples > 0 || wi.Profile.CommSamples > 0 {
+			line += fmt.Sprintf(" profile[%s]", wi.Profile)
 		}
 		if wi.DirtyBlocks > 0 {
 			line += fmt.Sprintf(" DIRTY=%d", wi.DirtyBlocks)

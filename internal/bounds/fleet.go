@@ -1,0 +1,51 @@
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// FleetWorkerRate bounds the sustained block-update rate of one worker
+// in the steady state of §6.1, generalized to measured platforms: a
+// worker computing speed updates/s over a link of bw blocks/s, carving
+// µ×µ chunks of depth t, cannot exceed either its compute speed or the
+// rate its link feeds operands at. A µ-chunk moves 2µ² C blocks (down
+// and back) plus 2µ operand blocks per step for t steps, enabling µ²·t
+// updates, so the link sustains at most bw·µ²t/(2µ² + 2µt) updates/s —
+// the bandwidth-centric cap that tends to bw·µ/2 for deep problems.
+// mem bounds µ by the stage-1 footprint µ² + 2µ ≤ mem; a worker that
+// cannot hold a 1×1 chunk contributes nothing.
+func FleetWorkerRate(speed, bw float64, mem, t int) float64 {
+	if speed <= 0 || t < 1 {
+		return 0
+	}
+	mu := core.MaxChunkSide(mem, 1)
+	if mu < 1 {
+		return 0
+	}
+	if bw <= 0 {
+		return speed // infinite link: compute-bound
+	}
+	m := float64(mu)
+	linkRate := bw * m * m * float64(t) / (2*m*m + 2*m*float64(t))
+	return math.Min(speed, linkRate)
+}
+
+// FleetMakespanLB is the LP lower bound on the makespan of totalUpdates
+// block updates over a fleet with the given per-worker rate caps: no
+// schedule finishes before the aggregate steady-state capacity has
+// processed the whole problem. The bound deliberately credits every
+// worker for the full horizon at full speed — churn (leaves, slowdowns)
+// only removes capacity — so it stays a valid lower bound for runs with
+// failures injected.
+func FleetMakespanLB(totalUpdates int64, rates []float64) float64 {
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	if sum <= 0 {
+		return math.Inf(1)
+	}
+	return float64(totalUpdates) / sum
+}

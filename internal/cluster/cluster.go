@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/stats"
 )
 
 // Sentinel errors of the transport API.
@@ -55,6 +56,10 @@ type Config struct {
 	MaxRunning int
 	// Clock supplies time; nil uses the real clock.
 	Clock Clock
+	// Adaptive tunes the online-adaptive layer: profile-driven chunk
+	// shaping and speculative straggler re-dispatch. Zero value keeps
+	// the static FIFO+locality behavior.
+	Adaptive AdaptiveConfig
 }
 
 // Stats is a point-in-time summary of the service.
@@ -72,6 +77,11 @@ type Stats struct {
 	// FlushedBlocks counts C tiles committed via flush manifests over
 	// the cluster's lifetime.
 	FlushedBlocks int64
+	// Speculations counts straggler duplicates dispatched; SpecWins
+	// counts those where the duplicate (or the original racing it)
+	// finished first and revoked the other copy.
+	Speculations int
+	SpecWins     int
 }
 
 // Cluster is the scheduler service. All methods are safe for concurrent
@@ -94,6 +104,11 @@ type Cluster struct {
 	// once applied, on the in-process path), so steady-state dispatch
 	// stops allocating per transfer.
 	pool *engine.BlockPool
+	// est is the live per-worker speed/bandwidth estimator; it locks
+	// itself, so reporting paths need not hold cl.mu.
+	est          *stats.Estimator
+	specLaunched int
+	specWon      int
 }
 
 // New builds a cluster service.
@@ -107,12 +122,16 @@ func New(cfg Config) *Cluster {
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
 	}
+	if cfg.Adaptive.ChunkTarget <= 0 {
+		cfg.Adaptive.ChunkTarget = 250 * time.Millisecond
+	}
 	cl := &Cluster{
 		cfg:   cfg,
 		clock: cfg.Clock,
 		reg:   newRegistry(),
 		jobs:  make(map[JobID]*job),
 		pool:  engine.NewBlockPool(),
+		est:   stats.NewEstimator(cfg.Adaptive.Alpha),
 	}
 	cl.cond = sync.NewCond(&cl.mu)
 	return cl
@@ -131,7 +150,7 @@ func (cl *Cluster) SubmitJob(spec JobSpec) (JobID, error) {
 	}
 	id := cl.nextID
 	cl.nextID++
-	j := newJob(id, spec)
+	j := newJob(id, spec, cl.cfg.Adaptive.Enabled)
 	cl.jobs[id] = j
 	cl.order = append(cl.order, id)
 	cl.promoteLocked()
@@ -181,8 +200,14 @@ func (cl *Cluster) BlockPool() *engine.BlockPool { return cl.pool }
 // Workers snapshots the registry.
 func (cl *Cluster) Workers() []WorkerInfo {
 	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	return cl.reg.snapshot()
+	out := cl.reg.snapshot()
+	cl.mu.Unlock()
+	for i := range out {
+		if p, ok := cl.est.Profile(out[i].ID); ok {
+			out[i].Profile = p
+		}
+	}
+	return out
 }
 
 // ReportComm folds one finished session's delta-protocol accounting
@@ -230,6 +255,8 @@ func (cl *Cluster) ClusterStats() Stats {
 		WorkersAlive: cl.reg.alive(),
 		WorkersLost:  cl.reg.lost,
 		Requeues:     cl.requeue,
+		Speculations: cl.specLaunched,
+		SpecWins:     cl.specWon,
 	}
 	for _, j := range cl.jobs {
 		switch j.state {
@@ -383,12 +410,20 @@ func (cl *Cluster) loseWorkerLocked(w *workerState) {
 	cl.cond.Broadcast()
 }
 
-// requeueLocked returns a lost task to its job's pending queue.
-// fromDirty distinguishes tasks lost from a worker's result cache
-// (acknowledged, awaiting flush) from tasks lost in flight; the two
-// decrement different job counters. LU stage accounting is untouched in
-// both cases — stageLeft only decrements at commit, so the redispatched
-// task re-acks and re-commits through the same path.
+// requeueLocked returns a lost task to its job's pool. fromDirty
+// distinguishes tasks lost from a worker's result cache (acknowledged,
+// awaiting flush) from tasks lost in flight; the two decrement
+// different job counters. LU stage accounting is untouched in both
+// cases — stageLeft only decrements at commit, so the redispatched task
+// re-acks and re-commits through the same path.
+//
+// A lost copy whose speculative duplicate is still in flight on a live
+// worker is simply dropped: the surviving copy carries the work.
+// Adaptive matmul jobs return the lost region to the cutter instead of
+// requeuing the task as-is, so it is re-carved at a µ sized to whoever
+// asks next — a chunk cut for a big-memory worker must not wedge the
+// job once only small workers survive. Pre-cut jobs requeue a copy
+// with a fresh Attempt (never one a live duplicate may still hold).
 func (cl *Cluster) requeueLocked(t *Task, fromDirty bool) {
 	j := cl.jobs[t.Job]
 	if j == nil || j.state != Running {
@@ -401,11 +436,31 @@ func (cl *Cluster) requeueLocked(t *Task, fromDirty bool) {
 	}
 	cl.requeue++
 	j.requeues++
+	if !fromDirty && cl.otherCopyInflightLocked(t) {
+		return
+	}
+	// Every copy of this seq is gone: lift the speculation latch so the
+	// re-dispatched work can be duplicated again if it straggles anew.
+	delete(j.specActive, t.Seq)
+	if j.cutter != nil && t.Kind == MatMul {
+		j.recuts++
+		if j.recuts > cl.cfg.MaxAttempts*j.cutter.TotalBlocks() {
+			cl.failJobLocked(j, fmt.Errorf("cluster: job %d exhausted its re-cut budget (%d re-cuts)",
+				j.id, j.recuts))
+			return
+		}
+		if err := j.cutter.Free(t.Chunk.I0, t.Chunk.J0, t.Chunk.Rows, t.Chunk.Cols); err != nil {
+			cl.failJobLocked(j, err)
+			return
+		}
+		j.total--
+		return
+	}
 	// Requeue a copy rather than mutating the shared pointer: the lost
 	// worker's transport goroutine may still be reading the old Task, and
-	// the bumped attempt also makes its late completion key stale.
+	// the fresh attempt also makes its late completion key stale.
 	nt := *t
-	nt.Attempt++
+	nt.Attempt = j.nextAttempt(t.Seq)
 	if nt.Attempt >= cl.cfg.MaxAttempts {
 		cl.failJobLocked(j, fmt.Errorf("cluster: task %d/%d exceeded %d attempts",
 			nt.Job, nt.Seq, cl.cfg.MaxAttempts))
@@ -448,8 +503,17 @@ func (cl *Cluster) nextTask(id string, epoch uint64) (*Task, error) {
 		}
 		t, flush := cl.takeLocked(w)
 		if t != nil {
+			t.started = cl.clock.Now()
 			w.inflight[t.key()] = t
-			w.lastSeen = cl.clock.Now()
+			w.lastSeen = t.started
+			// With speculation armed, a dispatch is itself a scheduling
+			// event: an idle worker blocked here may now see a straggler
+			// candidate it could duplicate (e.g. this task is the job's
+			// last region and this worker is slow). Wake the waiters to
+			// re-evaluate; a spurious wake just parks again.
+			if cl.cfg.Adaptive.Enabled && cl.cfg.Adaptive.SpeculationFactor > 0 {
+				cl.cond.Broadcast()
+			}
 			return t, nil
 		}
 		if flush && !w.flushPending {
@@ -528,39 +592,79 @@ func (cl *Cluster) takeLocked(w *workerState) (*Task, bool) {
 	n := len(cl.order)
 	for i := 0; i < n; i++ {
 		j := cl.jobs[cl.order[(cl.rr+i)%n]]
-		if j.state != Running || len(j.pending) == 0 {
+		if j.state != Running {
 			continue
 		}
-		idx := cl.localPickLocked(j, w)
-		t := j.pending[idx]
-		if idx != 0 && w.mem > 0 && held+footprint(t) > w.mem {
-			idx = 0
-			t = j.pending[0]
-		}
-		if w.mem > 0 && held+footprint(t) > w.mem {
-			if len(w.dirty) > 0 {
-				// Flushing the resident results frees their blocks; ask
-				// for that before writing the task off as unservable.
-				memBlocked = true
+		if len(j.pending) > 0 {
+			idx := cl.localPickLocked(j, w)
+			t := j.pending[idx]
+			if idx != 0 && w.mem > 0 && held+footprint(t) > w.mem {
+				idx = 0
+				t = j.pending[0]
+			}
+			if w.mem > 0 && held+footprint(t) > w.mem {
+				if len(w.dirty) > 0 {
+					// Flushing the resident results frees their blocks; ask
+					// for that before writing the task off as unservable.
+					memBlocked = true
+					continue
+				}
+				if !cl.anyWorkerFitsLocked(t) {
+					cl.failJobLocked(j, fmt.Errorf(
+						"cluster: task %d/%d needs %d blocks but no live worker advertises that much memory",
+						t.Job, t.Seq, footprint(t)))
+				}
 				continue
 			}
-			if !cl.anyWorkerFitsLocked(t) {
-				cl.failJobLocked(j, fmt.Errorf(
-					"cluster: task %d/%d needs %d blocks but no live worker advertises that much memory",
-					t.Job, t.Seq, footprint(t)))
+			j.pending = append(j.pending[:idx], j.pending[idx+1:]...)
+			cl.dispatchLocked(j, w, t, i)
+			return t, false
+		}
+		if j.cutter != nil && !j.cutter.Empty() {
+			// Adaptive shaping: carve a chunk sized to this worker's
+			// measured speed and free memory out of the job's grid.
+			mu := cl.adaptiveMuLocked(w, j, held)
+			if mu < 1 {
+				if len(w.dirty) > 0 {
+					memBlocked = true
+				} else if !cl.anyWorkerHasMemLocked(core.ChunkFootprint(1, 1, 1)) {
+					cl.failJobLocked(j, fmt.Errorf(
+						"cluster: job %d needs %d free blocks for a 1×1 chunk but no live worker has them",
+						j.id, core.ChunkFootprint(1, 1, 1)))
+				}
+				continue
 			}
-			continue
+			t := j.cutTask(mu)
+			if t == nil {
+				continue
+			}
+			cl.dispatchLocked(j, w, t, i)
+			return t, false
 		}
-		j.pending = append(j.pending[:idx], j.pending[idx+1:]...)
-		j.inflight++
-		if w.lastAt == nil {
-			w.lastAt = make(map[JobID][2]int)
+	}
+	if !memBlocked {
+		// Nothing fresh fits this worker; consider duplicating a
+		// straggling in-flight task onto it (first finished copy wins).
+		t, specBlocked := cl.speculateLocked(w, held)
+		if t != nil {
+			return t, false
 		}
-		w.lastAt[t.Job] = [2]int{t.Chunk.I0, t.Chunk.J0}
-		cl.rr = (cl.rr + i + 1) % n
-		return t, false
+		// A duplicate worth dispatching exists but this worker's resident
+		// results crowd it out: flushing them frees the blocks.
+		memBlocked = specBlocked && len(w.dirty) > 0
 	}
 	return nil, memBlocked
+}
+
+// dispatchLocked records the bookkeeping of handing task t of job j to
+// worker w from round-robin scan offset i.
+func (cl *Cluster) dispatchLocked(j *job, w *workerState, t *Task, i int) {
+	j.inflight++
+	if w.lastAt == nil {
+		w.lastAt = make(map[JobID][2]int)
+	}
+	w.lastAt[t.Job] = [2]int{t.Chunk.I0, t.Chunk.J0}
+	cl.rr = (cl.rr + i + 1) % len(cl.order)
 }
 
 // localPickLocked returns the index into j.pending of the chunk that
@@ -605,7 +709,12 @@ func absInt(v int) int {
 // anyWorkerFitsLocked reports whether some live worker's advertised
 // memory can hold the task (workers advertising 0 are unconstrained).
 func (cl *Cluster) anyWorkerFitsLocked(t *Task) bool {
-	need := footprint(t)
+	return cl.anyWorkerHasMemLocked(footprint(t))
+}
+
+// anyWorkerHasMemLocked reports whether some live worker advertises at
+// least need blocks (workers advertising 0 are unconstrained).
+func (cl *Cluster) anyWorkerHasMemLocked(need int) bool {
 	for _, w := range cl.reg.workers {
 		if !w.dead && (w.mem <= 0 || w.mem >= need) {
 			return true
@@ -653,6 +762,9 @@ func (cl *Cluster) Complete(id string, t *Task, blocks [][]float64) error {
 		cl.cond.Broadcast()
 		return nil
 	}
+	// First copy of a speculated seq to finish: revoke the other copies
+	// before accounting, so the losers' late reports all read as stale.
+	cl.resolveSpeculationLocked(j, t)
 	dst := j.spec.C
 	if j.spec.Kind == LU {
 		dst = j.spec.M
@@ -712,6 +824,11 @@ func (cl *Cluster) AckTask(id string, t *Task) error {
 		cl.cond.Broadcast()
 		return nil
 	}
+	// A speculated seq resolves at the first ack: the loser's own ack
+	// will find its copy revoked (ErrStaleTask), and the tiles it
+	// inserted into its result cache are skipped at flush time because
+	// they were never registered in its dirty-tile map.
+	cl.resolveSpeculationLocked(j, t)
 	j.inflight--
 	j.dirty++
 	dt := &dirtyTask{task: t, left: ch.Rows * ch.Cols}

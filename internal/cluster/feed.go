@@ -174,6 +174,14 @@ func (f *EngineFeed) Acked(id engine.AssignID) error {
 	return nil
 }
 
+// ObserveCompute implements engine.TimingSink: per-task worker-side
+// compute timings flow into the cluster's speed estimator, pinned to
+// this incarnation's epoch so a stale session cannot pollute the live
+// profile.
+func (f *EngineFeed) ObserveCompute(id engine.AssignID, updates, elapsedNS int64) {
+	f.cl.ReportComputeEpoch(f.id, f.epoch, updates, elapsedNS)
+}
+
 // CommitFlush applies one flush manifest from the worker; ids the
 // scheduler no longer tracks are skipped (the flush may have crossed a
 // requeue in flight).

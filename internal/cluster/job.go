@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -112,11 +113,26 @@ type taskKey struct {
 type Task struct {
 	Job     JobID
 	Seq     int // unique within the job
-	Attempt int // incremented on every requeue
+	Attempt int // bumped on every requeue and speculative duplicate
 	Kind    JobKind
 	Chunk   *sim.Chunk
 	Steps   int // update sets to stream
 	K       int // LU: panel stage this task belongs to
+
+	// started is when the current dispatch handed the task out, read
+	// under the cluster mutex by the straggler detector to estimate the
+	// holder's remaining time.
+	started time.Time
+	// spec marks a speculative duplicate: if this copy completes first,
+	// the win is credited to the straggler detector even when the
+	// original holder has already been declared lost.
+	spec bool
+}
+
+// updates is the total block-update work the task represents — the unit
+// the speed estimator measures in.
+func (t *Task) updates() int64 {
+	return int64(t.Steps) * int64(t.Chunk.Rows) * int64(t.Chunk.Cols)
 }
 
 func (t *Task) key() taskKey { return taskKey{t.Job, t.Seq, t.Attempt} }
@@ -147,6 +163,25 @@ type job struct {
 	// comm accumulates the job's delta-protocol accounting as worker
 	// sessions report it.
 	comm engine.CommStats
+
+	// Adaptive chunk shaping: cutter holds the uncut remainder of a
+	// matmul C grid — chunks are carved per worker at dispatch time
+	// instead of pre-cut at one global µ. gridT is the shared update
+	// depth (A's block columns). Pre-cut jobs (LU, explicit planner,
+	// adaptation off) leave cutter nil.
+	cutter *sim.Cutter
+	gridT  int
+	// recuts counts regions returned to the cutter after a loss; bounded
+	// by MaxAttempts per grid block so a flapping fleet cannot recompute
+	// forever.
+	recuts int
+	// attempts tracks the highest Attempt issued per Seq, so requeues and
+	// speculative duplicates never reuse a live copy's task key. Only
+	// populated for seqs that needed more than attempt 0.
+	attempts map[int]int
+	// specActive marks seqs with a speculative duplicate in flight; at
+	// most one duplicate per seq, cleared when the first copy finishes.
+	specActive map[int]bool
 }
 
 func validateSpec(spec JobSpec) error {
@@ -179,12 +214,22 @@ func validateSpec(spec JobSpec) error {
 	return nil
 }
 
-// newJob builds the job record and its initial task pool.
-func newJob(id JobID, spec JobSpec) *job {
+// newJob builds the job record and its initial task pool. With adaptive
+// chunk shaping, a matmul job without an explicit planner keeps its C
+// grid in a lazy cutter and tasks are carved per worker at dispatch
+// time; total then grows as chunks are cut, like LU stages. An explicit
+// planner opts the job out of adaptive shaping (its static order is the
+// caller's choice).
+func newJob(id JobID, spec JobSpec, adaptive bool) *job {
 	j := &job{id: id, spec: spec, doneCh: make(chan struct{})}
 	switch spec.Kind {
 	case MatMul:
 		pr := core.Problem{R: spec.C.BR, S: spec.C.BC, T: spec.A.BC, Q: spec.A.Q}
+		if adaptive && spec.Planner == nil {
+			j.cutter = sim.NewCutter(pr.R, pr.S)
+			j.gridT = pr.T
+			return j
+		}
 		planner := spec.Planner
 		if planner == nil {
 			planner = MaxReusePlanner{}
@@ -202,6 +247,42 @@ func newJob(id JobID, spec JobSpec) *job {
 		// admitted; total grows as stages unlock.
 	}
 	return j
+}
+
+// cutTask carves a fresh chunk with side ≤ mu out of the job's cutter
+// and wraps it as a dispatchable task; nil when the grid is exhausted.
+func (j *job) cutTask(mu int) *Task {
+	if j.cutter == nil {
+		return nil
+	}
+	i0, j0, rows, cols, ok := j.cutter.Cut(mu)
+	if !ok {
+		return nil
+	}
+	ch := &sim.Chunk{
+		ID: j.nextSeq, I0: i0, J0: j0,
+		Rows: rows, Cols: cols, Blocks: rows * cols,
+		Steps: make([]sim.Step, j.gridT),
+	}
+	for k := range ch.Steps {
+		ch.Steps[k] = sim.Step{Blocks: rows + cols, Updates: int64(rows) * int64(cols)}
+	}
+	t := &Task{Job: j.id, Seq: j.nextSeq, Kind: MatMul, Chunk: ch, Steps: j.gridT}
+	j.nextSeq++
+	j.total++
+	return t
+}
+
+// nextAttempt issues the next unused Attempt number for a seq, so a
+// requeued copy and a speculative duplicate can never collide with a
+// copy that is still live under the original key.
+func (j *job) nextAttempt(seq int) int {
+	if j.attempts == nil {
+		j.attempts = make(map[int]int)
+	}
+	a := j.attempts[seq] + 1
+	j.attempts[seq] = a
+	return a
 }
 
 // factorStage factors panel k of an LU job on the master (the paper keeps
@@ -255,6 +336,9 @@ func (j *job) factorStage() bool {
 // factored.
 func (j *job) finished() bool {
 	if len(j.pending) > 0 || j.inflight > 0 || j.dirty > 0 {
+		return false
+	}
+	if j.cutter != nil && !j.cutter.Empty() {
 		return false
 	}
 	if j.spec.Kind == LU {

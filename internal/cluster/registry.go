@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // WorkerInfo is a snapshot of one registered worker.
@@ -34,6 +36,19 @@ type WorkerInfo struct {
 	// Result-residency accounting.
 	DirtyBlocks   int   // C blocks acked on the worker, not yet flushed
 	FlushedBlocks int64 // C blocks committed via flush over the lifetime
+
+	// Wire-byte accounting from the transport's per-conn counters, as
+	// reported once per session through ReportWireEpoch: lifetime totals
+	// carry across reconnects, session counterparts cover only the
+	// current incarnation.
+	WireBytesOut     int64 // master→worker frames
+	WireBytesIn      int64 // worker→master frames
+	SessWireBytesOut int64
+	SessWireBytesIn  int64
+
+	// Profile is the worker's live speed/bandwidth estimate; zero-valued
+	// (ComputeSamples == 0) until the first timing sample lands.
+	Profile stats.Profile
 }
 
 // CacheHitRate returns the fraction of operand blocks the resident
@@ -86,6 +101,12 @@ type workerState struct {
 	sessShipped int64
 	sessSkipped int64
 	sessSaved   int64
+	// Wire-byte totals (ReportWireEpoch): lifetime carries across
+	// incarnations, session counters reset on every (re)join.
+	wireOut     int64
+	wireIn      int64
+	sessWireOut int64
+	sessWireIn  int64
 	// Result residency: tasks acked but not yet flush-committed, and the
 	// individual C tiles they hold (keyed by engine.CBlockID).
 	dirty      map[taskKey]*dirtyTask
@@ -137,6 +158,8 @@ func (r *registry) join(id string, mem, slots int, now time.Time) *workerState {
 		w.blocksShipped = old.blocksShipped
 		w.blocksSkipped = old.blocksSkipped
 		w.bytesSaved = old.bytesSaved
+		w.wireOut = old.wireOut
+		w.wireIn = old.wireIn
 		w.done = old.done
 		w.flushed = old.flushed
 		w.sessions = old.sessions + 1
@@ -195,6 +218,8 @@ func (r *registry) snapshot() []WorkerInfo {
 			SessBlocksShipped: w.sessShipped, SessBlocksSkipped: w.sessSkipped,
 			SessBytesSaved: w.sessSaved,
 			DirtyBlocks:    w.dirtyBlocks(), FlushedBlocks: w.flushed,
+			WireBytesOut: w.wireOut, WireBytesIn: w.wireIn,
+			SessWireBytesOut: w.sessWireOut, SessWireBytesIn: w.sessWireIn,
 		})
 	}
 	return out

@@ -176,11 +176,18 @@ func RequestOf(kind ReqKind) *Request {
 	}
 }
 
-// Result returns a finished assignment's C blocks.
+// Result returns a finished assignment's C blocks, plus the worker-side
+// compute timing for the assignment: Updates block updates took
+// ComputeNS wall nanoseconds of kernel time (including any configured
+// Spin, so an emulated slow worker reports itself slow). Zero timing
+// fields mean "not measured" — old peers and tests that build Results
+// by hand stay valid.
 type Result struct {
-	ID     AssignID
-	Blocks [][]float64
-	Owned  bool
+	ID        AssignID
+	Blocks    [][]float64
+	Owned     bool
+	Updates   int64
+	ComputeNS int64
 }
 
 // Flush asks a worker to return every dirty C block it holds resident,
@@ -194,11 +201,14 @@ type Flush struct{}
 // the worker continued the exact ascending-k accumulation chain in
 // place, so overwrite-on-commit keeps results bit-identical to the
 // dense per-chunk protocol. An empty manifest is a valid answer ("I
-// hold nothing dirty").
+// hold nothing dirty"). ComputeNS carries the worker's cumulative
+// kernel time for the session at flush, so a master that only hears
+// from a worker at flush boundaries still gets a speed signal.
 type FlushResult struct {
-	IDs    []uint64
-	Blocks [][]float64
-	Owned  bool
+	IDs       []uint64
+	Blocks    [][]float64
+	Owned     bool
+	ComputeNS int64
 }
 
 // Bye tells a worker to shut down cleanly.

@@ -52,6 +52,17 @@ type ResidentFeed interface {
 	CommitFlush(ids []uint64, blocks [][]float64) error
 }
 
+// TimingSink is an optional Feed extension: a feed implementing it
+// receives the worker-side compute timing carried on Result acks
+// (updates block updates took elapsedNS kernel nanoseconds). The
+// cluster feed implements it to drive the live speed estimator; the
+// feeder dispatches via type assertion so plain feeds are untouched.
+// Timing is observed even for results the feed later refuses as stale —
+// a losing speculative copy still measured this worker's real speed.
+type TimingSink interface {
+	ObserveCompute(id AssignID, updates, elapsedNS int64)
+}
+
 // FeederConfig configures one RunFeeder session.
 type FeederConfig struct {
 	// Slots is how many assignments are kept in flight to the worker,
@@ -308,6 +319,11 @@ func RunFeeder(tr Transport, feed Feed, cfg FeederConfig) (fstats FeederStats, e
 				return fstats, fmt.Errorf("engine: result for an assignment this session does not hold")
 			}
 			oa := outq[idx]
+			if res.ComputeNS > 0 && res.Updates > 0 {
+				if ts, ok := feed.(TimingSink); ok {
+					ts.ObserveCompute(res.ID, res.Updates, res.ComputeNS)
+				}
+			}
 			if oa.resident {
 				// An empty acknowledgement: the tile's values stay dirty
 				// on the worker until a flush collects them.

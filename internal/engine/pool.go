@@ -162,6 +162,7 @@ func (p *BlockPool) GetResult() *Result {
 	r := resultPool.Get().(*Result)
 	r.Blocks = r.Blocks[:0]
 	r.Owned = false
+	r.Updates, r.ComputeNS = 0, 0
 	return r
 }
 

@@ -167,10 +167,14 @@ func RunWorker(tr Transport, cfg WorkerConfig) (WorkerReport, error) {
 	// updates (its dirty tracking mirrors this map at chunk granularity).
 	rc := newResultCache(cfg.Pool)
 	defer rc.release()
+	// sessComputeNS accumulates kernel wall time across the session so
+	// flush acks carry a speed signal even when per-assignment Results
+	// are empty (resident protocol).
+	var sessComputeNS int64
 	doFlush := func() error {
 		ids, blocks := rc.drain()
 		rep.Flushed += int64(len(ids))
-		return tr.Send(&FlushResult{IDs: ids, Blocks: blocks, Owned: true})
+		return tr.Send(&FlushResult{IDs: ids, Blocks: blocks, Owned: true, ComputeNS: sessComputeNS})
 	}
 
 	if cfg.PullAssigns {
@@ -215,6 +219,8 @@ assignments:
 				return fail(err)
 			}
 		}
+		updates0 := rep.Updates
+		var asNS int64
 		pre := 0
 		if cfg.PullSets {
 			pre = min(cfg.StageCap, as.Steps)
@@ -267,9 +273,11 @@ assignments:
 			rep.CacheHits += hits
 			rep.BlocksIn += int64(len(set.A)+len(set.B)) - hits
 			rep.BytesSaved += hits * int64(as.Q) * int64(as.Q) * 8
+			t0 := time.Now()
 			if err := applySet(as, set, cfg, &rep.Updates); err != nil {
 				return fail(err)
 			}
+			asNS += time.Since(t0).Nanoseconds()
 			releaseUncached(set, cfg.Pool)
 			cfg.Pool.PutSet(set)
 		}
@@ -279,7 +287,9 @@ assignments:
 				return fail(err)
 			}
 		}
+		sessComputeNS += asNS
 		res := cfg.Pool.GetResult()
+		res.Updates, res.ComputeNS = rep.Updates-updates0, asNS
 		if resident {
 			// The finished tile stays resident: its blocks enter the
 			// result cache dirty, and the acknowledgement is an empty

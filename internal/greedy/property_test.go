@@ -1,0 +1,89 @@
+package greedy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lowerBound is the LP-style relaxation of the §3 model: the one-port
+// master needs at least (r+s)·c time to send every stripe once and the
+// task consuming the last stripe still costs w after it lands; and the
+// p workers together cannot process r·s tasks faster than r·s·w/p.
+func lowerBound(in Instance) float64 {
+	comm := float64(in.R+in.S)*in.C + in.W
+	work := float64(in.R*in.S) * in.W / float64(in.P)
+	return math.Max(comm, work)
+}
+
+// TestQuickHeuristicsRespectLowerBound property-tests every planner on
+// random instances with up to 4 workers: a makespan below the LP lower
+// bound means the evaluator (or a heuristic's schedule accounting) is
+// broken, not that the heuristic is clever.
+func TestQuickHeuristicsRespectLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		in := Instance{
+			R: 1 + rng.Intn(5),
+			S: 1 + rng.Intn(5),
+			P: 1 + rng.Intn(4),
+			C: 0.25 + 5*rng.Float64(),
+			W: 0.25 + 5*rng.Float64(),
+		}
+		lb := lowerBound(in)
+		for name, sch := range map[string]Schedule{
+			"thrifty": Thrifty(in),
+			"min-min": MinMin(in),
+		} {
+			ev, err := Evaluate(in, sch)
+			if err != nil {
+				t.Fatalf("trial %d %s on %+v: %v", trial, name, in, err)
+			}
+			if ev.Makespan < lb-1e-9 {
+				t.Fatalf("trial %d %s on %+v: makespan %v beats LP lower bound %v",
+					trial, name, in, ev.Makespan, lb)
+			}
+		}
+	}
+}
+
+// TestQuickBruteForceIsFloor pins the heuristics against exhaustive
+// enumeration where it is tractable (single worker): no heuristic may
+// beat the brute-force optimum, and the alternating greedy must match
+// it exactly (Proposition 1), all while staying above the LP bound.
+func TestQuickBruteForceIsFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		in := Instance{
+			R: 1 + rng.Intn(4),
+			S: 1 + rng.Intn(4),
+			P: 1,
+			C: 0.25 + 5*rng.Float64(),
+			W: 0.25 + 5*rng.Float64(),
+		}
+		best, _ := BruteForceSingleWorker(in)
+		if best < lowerBound(in)-1e-9 {
+			t.Fatalf("trial %d %+v: brute force %v beats LP lower bound %v", trial, in, best, lowerBound(in))
+		}
+		altEv, err := Evaluate(in, AlternatingGreedy(in))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(altEv.Makespan-best) > 1e-9 {
+			t.Fatalf("trial %d %+v: alternating greedy %v, brute force %v", trial, in, altEv.Makespan, best)
+		}
+		for name, sch := range map[string]Schedule{
+			"thrifty": Thrifty(in),
+			"min-min": MinMin(in),
+		} {
+			ev, err := Evaluate(in, sch)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if ev.Makespan < best-1e-9 {
+				t.Fatalf("trial %d %s on %+v: makespan %v beats the enumerated optimum %v",
+					trial, name, in, ev.Makespan, best)
+			}
+		}
+	}
+}

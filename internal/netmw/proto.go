@@ -81,8 +81,9 @@ const (
 	// MsgFlush asks the worker to drain its resident result cache; empty
 	// payload. The worker answers with MsgFlushResult.
 	MsgFlush
-	// MsgFlushResult carries a flush manifest: uint32 block count, then
-	// per block a uint64 C-tile ID (engine.CBlockID), a uint32 element
+	// MsgFlushResult carries a flush manifest: uint32 block count, a
+	// uint64 session-cumulative compute-nanoseconds counter, then per
+	// block a uint64 C-tile ID (engine.CBlockID), a uint32 element
 	// count and the raw little-endian doubles. An empty manifest (count
 	// 0) is a valid answer.
 	MsgFlushResult
@@ -218,19 +219,26 @@ func (h *TaskHeader) decode(buf []byte) error {
 	return nil
 }
 
-// TaskResultHeader identifies the assignment a result answers.
+// TaskResultHeader identifies the assignment a result answers, and
+// carries the worker-side compute timing for it (Updates block updates
+// took ComputeNS kernel nanoseconds; zero = unmeasured) — the live
+// speed estimator's per-task sample.
 type TaskResultHeader struct {
-	Job     uint32
-	Seq     uint32
-	Attempt uint32
+	Job       uint32
+	Seq       uint32
+	Attempt   uint32
+	Updates   uint64
+	ComputeNS uint64
 }
 
-const taskResultHeaderLen = 3 * 4
+const taskResultHeaderLen = 3*4 + 2*8
 
 func (h *TaskResultHeader) encode(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[0:], h.Job)
 	binary.LittleEndian.PutUint32(buf[4:], h.Seq)
 	binary.LittleEndian.PutUint32(buf[8:], h.Attempt)
+	binary.LittleEndian.PutUint64(buf[12:], h.Updates)
+	binary.LittleEndian.PutUint64(buf[20:], h.ComputeNS)
 }
 
 func (h *TaskResultHeader) decode(buf []byte) error {
@@ -240,6 +248,8 @@ func (h *TaskResultHeader) decode(buf []byte) error {
 	h.Job = binary.LittleEndian.Uint32(buf[0:])
 	h.Seq = binary.LittleEndian.Uint32(buf[4:])
 	h.Attempt = binary.LittleEndian.Uint32(buf[8:])
+	h.Updates = binary.LittleEndian.Uint64(buf[12:])
+	h.ComputeNS = binary.LittleEndian.Uint64(buf[20:])
 	return nil
 }
 
@@ -400,6 +410,9 @@ func readPayload(r io.Reader, n int) ([]byte, error) {
 // runs and the grown buffer becomes the new scratch. The returned
 // payload aliases the scratch and must be fully consumed before the
 // next call.
+// msgHeaderLen is the frame header: 1 type byte + 4 length bytes.
+const msgHeaderLen = 5
+
 func readMsgReuse(r io.Reader, scratch []byte, hdr *[5]byte) (MsgType, []byte, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, scratch, err

@@ -202,6 +202,7 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 	// and is a no-op once the incarnation is already gone.
 	defer feed.Lost()
 	tr := newServerTransport(conn, r, w, s.pool, s.enc, func() error { return s.cl.Heartbeat(id) })
+	began := time.Now()
 	fstats, _ := engine.RunFeeder(tr, feed, engine.FeederConfig{
 		Slots: slots, Pool: s.pool, Mem: int(ri.Mem),
 	})
@@ -211,6 +212,11 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 	// incarnation that replaced it (lifetime totals still accumulate —
 	// they are per worker name).
 	s.cl.ReportCommEpoch(id, epoch, fstats)
+	// Fold the connection's byte counters into the worker's wire totals
+	// and its bandwidth profile. One report per session, at teardown, so
+	// reconnects never double-count a byte.
+	ws := tr.Stats()
+	s.cl.ReportWireEpoch(id, epoch, ws.BytesOut, ws.BytesIn, time.Since(began))
 }
 
 // clientSession serves one MsgSubmit: build the job, run it to

@@ -39,6 +39,15 @@ type connIO struct {
 	rhdr     [5]byte     // frame-header scratch, single reader goroutine
 
 	bytesOut atomic.Int64 // bytes written to the peer (egress accounting)
+	bytesIn  atomic.Int64 // bytes read from the peer (ingress accounting)
+}
+
+// WireStats is one connection's byte accounting, as exposed by the
+// Stats accessor every transport shares: the estimator derives link
+// bandwidth from it and mmserve status reports it, off the same counts.
+type WireStats struct {
+	BytesOut int64 // egress: frames written to the peer
+	BytesIn  int64 // ingress: frames read from the peer
 }
 
 func newConnIO(conn net.Conn, r *bufio.Reader, w *bufio.Writer, pool *engine.BlockPool) *connIO {
@@ -77,12 +86,21 @@ func (c *connIO) writeFrame(t MsgType, fill func(buf []byte) []byte) error {
 // §4 lower bound.
 func (c *connIO) BytesOut() int64 { return c.bytesOut.Load() }
 
+// Stats snapshots the connection's byte counters. This is the single
+// accessor the bandwidth estimator and the status page both read.
+func (c *connIO) Stats() WireStats {
+	return WireStats{BytesOut: c.bytesOut.Load(), BytesIn: c.bytesIn.Load()}
+}
+
 // readFrame reads one frame into the connection scratch buffer. The
 // payload aliases the scratch and must be fully consumed before the
 // next readFrame.
 func (c *connIO) readFrame() (MsgType, []byte, error) {
 	t, payload, scratch, err := readMsgReuse(c.r, c.rscratch, &c.rhdr)
 	c.rscratch = scratch
+	if err == nil {
+		c.bytesIn.Add(int64(msgHeaderLen + len(payload)))
+	}
 	return t, payload, err
 }
 
@@ -240,6 +258,8 @@ func (c *connIO) sendFlushResult(fr *engine.FlushResult) error {
 		var word [8]byte
 		binary.LittleEndian.PutUint32(word[:4], uint32(len(fr.IDs)))
 		buf = append(buf, word[:4]...)
+		binary.LittleEndian.PutUint64(word[:], uint64(fr.ComputeNS))
+		buf = append(buf, word[:]...)
 		for i, id := range fr.IDs {
 			binary.LittleEndian.PutUint64(word[:], id)
 			buf = append(buf, word[:]...)
@@ -260,15 +280,19 @@ func (c *connIO) sendFlushResult(fr *engine.FlushResult) error {
 // must be a well-formed C-tile ID and every element count plausible —
 // a mismatch errors before trusting any length for an allocation.
 func decodeFlushResult(payload []byte, pool *engine.BlockPool) (*engine.FlushResult, error) {
-	if len(payload) < 4 {
+	if len(payload) < 12 {
 		return nil, fmt.Errorf("netmw: short flush result payload (%d bytes)", len(payload))
 	}
 	count := int(binary.LittleEndian.Uint32(payload))
-	payload = payload[4:]
+	computeNS := int64(binary.LittleEndian.Uint64(payload[4:]))
+	payload = payload[12:]
 	if count > maxWireDim*maxWireDim {
 		return nil, fmt.Errorf("netmw: flush result declares %d blocks", count)
 	}
-	fr := &engine.FlushResult{Owned: true}
+	if computeNS < 0 {
+		return nil, fmt.Errorf("netmw: flush result declares negative compute time")
+	}
+	fr := &engine.FlushResult{Owned: true, ComputeNS: computeNS}
 	for i := 0; i < count; i++ {
 		if len(payload) < 12 {
 			return nil, fmt.Errorf("netmw: flush result truncated at block %d", i)
@@ -657,7 +681,10 @@ func (t *clusterWorkerTransport) Send(m engine.Msg) error {
 			return append(buf, ReqSet)
 		})
 	case *engine.Result:
-		hdr := TaskResultHeader{Job: m.ID.A, Seq: m.ID.B, Attempt: m.ID.C}
+		hdr := TaskResultHeader{
+			Job: m.ID.A, Seq: m.ID.B, Attempt: m.ID.C,
+			Updates: uint64(m.Updates), ComputeNS: uint64(m.ComputeNS),
+		}
 		err := t.writeFrame(MsgTaskResult, func(buf []byte) []byte {
 			off := len(buf)
 			buf = append(buf, make([]byte, taskResultHeaderLen)...)
@@ -815,6 +842,11 @@ func (t *serverTransport) Recv() (engine.Msg, error) {
 			}
 			res.ID = id
 			res.Owned = true
+			// Clamp to int64 so a hostile peer cannot smuggle negative
+			// timing into the estimator.
+			if hdr.Updates <= 1<<62 && hdr.ComputeNS <= 1<<62 {
+				res.Updates, res.ComputeNS = int64(hdr.Updates), int64(hdr.ComputeNS)
+			}
 			return res, nil
 		case MsgFlushResult:
 			return decodeFlushResult(payload, t.pool)

@@ -1,0 +1,94 @@
+package sim
+
+import "fmt"
+
+// rect is one free region of the C block grid awaiting cutting.
+type rect struct {
+	i0, j0     int
+	rows, cols int
+}
+
+// Cutter carves a rows×cols block grid into chunks lazily, so chunk
+// sides can be chosen per worker at dispatch time instead of globally
+// at submit time (the adaptive scheduler's per-worker µ). It is a
+// guillotine cutter over a free-rectangle list: Cut takes a µ×µ corner
+// (clipped to the rectangle) off the first free rectangle and splits
+// the remainder into a right strip and a bottom strip. The right strip
+// goes to the front of the list, so consecutive cuts sweep a block row
+// band left to right — the same row-major locality the max-reuse
+// static order provides, which keeps the delta protocol's A-row reuse
+// intact under adaptive sizing.
+//
+// The produced chunks tile the grid exactly: no overlap, no gaps.
+// Free returns a previously cut region to the cutter (a task lost with
+// a dead worker re-enters the pool and is re-cut, possibly at a
+// different µ, for whoever asks next).
+//
+// Cutter does no locking; the cluster scheduler drives it under its
+// own mutex and the fleet simulator is single-threaded.
+type Cutter struct {
+	free  []rect
+	total int // blocks in the full grid
+	left  int // blocks not yet cut
+}
+
+// NewCutter builds a cutter over a rows×cols block grid.
+func NewCutter(rows, cols int) *Cutter {
+	c := &Cutter{total: rows * cols}
+	if rows > 0 && cols > 0 {
+		c.free = []rect{{0, 0, rows, cols}}
+		c.left = rows * cols
+	}
+	return c
+}
+
+// Empty reports whether the whole grid has been cut.
+func (c *Cutter) Empty() bool { return c.left == 0 }
+
+// Remaining returns the blocks not yet cut.
+func (c *Cutter) Remaining() int { return c.left }
+
+// TotalBlocks returns the size of the full grid.
+func (c *Cutter) TotalBlocks() int { return c.total }
+
+// Cut carves the next chunk with side at most mu and returns its
+// placement. ok is false when the grid is exhausted. The cut clips to
+// the free rectangle it lands in, so edge chunks are smaller — exactly
+// like the static planners' edge handling.
+func (c *Cutter) Cut(mu int) (i0, j0, rows, cols int, ok bool) {
+	if mu < 1 || len(c.free) == 0 {
+		return 0, 0, 0, 0, false
+	}
+	r := c.free[0]
+	c.free = c.free[1:]
+	rows = min(mu, r.rows)
+	cols = min(mu, r.cols)
+	i0, j0 = r.i0, r.j0
+	// Split the remainder: right strip first (front of the list, so the
+	// next cut continues the same row band), then the bottom strip.
+	var splits []rect
+	if r.cols > cols {
+		splits = append(splits, rect{r.i0, r.j0 + cols, rows, r.cols - cols})
+	}
+	if r.rows > rows {
+		splits = append(splits, rect{r.i0 + rows, r.j0, r.rows - rows, r.cols})
+	}
+	c.free = append(splits, c.free...)
+	c.left -= rows * cols
+	return i0, j0, rows, cols, true
+}
+
+// Free returns a region to the pool (a lost chunk awaiting re-cut). It
+// goes to the back of the list: fresh forward progress stays at the
+// front, requeued regions fill in behind.
+func (c *Cutter) Free(i0, j0, rows, cols int) error {
+	if rows < 1 || cols < 1 {
+		return fmt.Errorf("sim: freeing empty region %dx%d", rows, cols)
+	}
+	if c.left+rows*cols > c.total {
+		return fmt.Errorf("sim: freeing %d blocks would exceed the %d-block grid", rows*cols, c.total)
+	}
+	c.free = append(c.free, rect{i0, j0, rows, cols})
+	c.left += rows * cols
+	return nil
+}

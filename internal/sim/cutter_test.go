@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCutterExactTiling pins the cutter's invariant: chunks of varying µ
+// tile the grid exactly — every block covered once, no overlap, no gap.
+func TestCutterExactTiling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rows := 1 + rng.Intn(20)
+		cols := 1 + rng.Intn(20)
+		c := NewCutter(rows, cols)
+		seen := make([]bool, rows*cols)
+		for !c.Empty() {
+			mu := 1 + rng.Intn(6)
+			i0, j0, r, cl, ok := c.Cut(mu)
+			if !ok {
+				t.Fatalf("grid %dx%d: cut failed with %d blocks left", rows, cols, c.Remaining())
+			}
+			if r > mu || cl > mu || r < 1 || cl < 1 {
+				t.Fatalf("cut %dx%d exceeds µ=%d", r, cl, mu)
+			}
+			for i := i0; i < i0+r; i++ {
+				for j := j0; j < j0+cl; j++ {
+					if i < 0 || i >= rows || j < 0 || j >= cols {
+						t.Fatalf("cut (%d,%d)+%dx%d escapes %dx%d grid", i0, j0, r, cl, rows, cols)
+					}
+					if seen[i*cols+j] {
+						t.Fatalf("block (%d,%d) cut twice", i, j)
+					}
+					seen[i*cols+j] = true
+				}
+			}
+		}
+		for idx, s := range seen {
+			if !s {
+				t.Fatalf("grid %dx%d: block %d never cut", rows, cols, idx)
+			}
+		}
+		if _, _, _, _, ok := c.Cut(3); ok {
+			t.Fatal("cut succeeded on an empty cutter")
+		}
+	}
+}
+
+// TestCutterRowBandLocality pins the dispatch order: uniform µ cuts
+// sweep a row band left to right before descending, preserving A-row
+// operand reuse for consecutive chunks.
+func TestCutterRowBandLocality(t *testing.T) {
+	c := NewCutter(4, 6)
+	type pos struct{ i0, j0 int }
+	var order []pos
+	for !c.Empty() {
+		i0, j0, _, _, ok := c.Cut(2)
+		if !ok {
+			t.Fatal("cut failed")
+		}
+		order = append(order, pos{i0, j0})
+	}
+	want := []pos{{0, 0}, {0, 2}, {0, 4}, {2, 0}, {2, 2}, {2, 4}}
+	if len(order) != len(want) {
+		t.Fatalf("got %d chunks, want %d", len(order), len(want))
+	}
+	for n := range want {
+		if order[n] != want[n] {
+			t.Fatalf("chunk %d at (%d,%d), want (%d,%d)", n, order[n].i0, order[n].j0, want[n].i0, want[n].j0)
+		}
+	}
+}
+
+// TestCutterFreeRecut pins the requeue path: a freed region is re-cut
+// (possibly at a different µ) and the tiling stays exact.
+func TestCutterFreeRecut(t *testing.T) {
+	c := NewCutter(6, 6)
+	i0, j0, r, cl, ok := c.Cut(4)
+	if !ok {
+		t.Fatal("cut failed")
+	}
+	if c.Remaining() != 36-r*cl {
+		t.Fatalf("remaining = %d", c.Remaining())
+	}
+	if err := c.Free(i0, j0, r, cl); err != nil {
+		t.Fatal(err)
+	}
+	if c.Remaining() != 36 {
+		t.Fatalf("remaining after free = %d", c.Remaining())
+	}
+	// Over-freeing must be refused.
+	if err := c.Free(0, 0, 10, 10); err == nil {
+		t.Fatal("over-free accepted")
+	}
+	// Drain at µ=1: exactly 36 unit chunks, each block once.
+	seen := make(map[[2]int]bool)
+	for !c.Empty() {
+		i, j, rr, cc, ok := c.Cut(1)
+		if !ok || rr != 1 || cc != 1 {
+			t.Fatalf("unit cut failed: %v %dx%d", ok, rr, cc)
+		}
+		if seen[[2]int{i, j}] {
+			t.Fatalf("block (%d,%d) cut twice after free", i, j)
+		}
+		seen[[2]int{i, j}] = true
+	}
+	if len(seen) != 36 {
+		t.Fatalf("drained %d blocks, want 36", len(seen))
+	}
+}

@@ -1,0 +1,95 @@
+package steady
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// bruteThroughput solves the steady-state LP by enumeration instead of
+// the closed form: every vertex of
+//
+//	maximize Σ x_i  s.t.  x_i ≤ 1/w_i,  Σ x_i · 2c_i/µ_i ≤ 1
+//
+// has at most one fractional worker (single knapsack constraint), so
+// trying every fully-enrolled subset plus every choice of one
+// fractional extra covers the optimum exactly.
+func bruteThroughput(pl *platform.Platform) float64 {
+	mus := pl.Mus()
+	type item struct{ x, load float64 }
+	var items []item
+	for i, wk := range pl.Workers {
+		if mus[i] < 1 {
+			continue
+		}
+		items = append(items, item{
+			x:    1 / wk.W,
+			load: 2 * wk.C / (float64(mus[i]) * wk.W),
+		})
+	}
+	best := 0.0
+	for mask := 0; mask < 1<<len(items); mask++ {
+		var port, thr float64
+		for i, it := range items {
+			if mask&(1<<i) != 0 {
+				port += it.load
+				thr += it.x
+			}
+		}
+		if port > 1+1e-12 {
+			continue
+		}
+		extra := 0.0
+		for i, it := range items {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			frac := math.Min(1, (1-port)/it.load)
+			if e := frac * it.x; e > extra {
+				extra = e
+			}
+		}
+		if thr+extra > best {
+			best = thr + extra
+		}
+	}
+	return best
+}
+
+// TestSolveMatchesBruteForce property-tests the closed-form solver
+// against LP enumeration on random heterogeneous platforms of up to 4
+// workers: the bandwidth-centric sort must land exactly on the LP
+// optimum — never above it (that would break the upper bound every
+// makespan comparison in internal/bounds relies on) and never below it
+// (a lost share). It also checks the per-worker and port invariants of
+// the returned shares.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		p := 1 + rng.Intn(4)
+		pl := platform.RandomHeterogeneous(rng, p, 1+4*rng.Float64(), 1+4*rng.Float64(), 10+rng.Intn(60), 4, 4, 3)
+		sol, err := Solve(pl)
+		if err != nil {
+			continue // no worker with µ ≥ 1: nothing to compare
+		}
+		want := bruteThroughput(pl)
+		if math.Abs(sol.Throughput-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("trial %d (%v): throughput %v, brute-force optimum %v", trial, pl, sol.Throughput, want)
+		}
+		if sol.PortUsed > 1+1e-9 {
+			t.Fatalf("trial %d: port overcommitted: %v", trial, sol.PortUsed)
+		}
+		for _, sh := range sol.Shares {
+			if sh.X > 1/pl.Workers[sh.Worker].W+1e-9 {
+				t.Fatalf("trial %d: worker %d computes faster than 1/w", trial, sh.Worker)
+			}
+		}
+		// The implied makespan for any work volume N is N/ρ; ρ at the LP
+		// optimum means no schedule's steady phase can beat it.
+		if sol.Throughput > want+1e-9 {
+			t.Fatalf("trial %d: throughput exceeds the LP bound", trial)
+		}
+	}
+}

@@ -30,6 +30,8 @@ func (o SVGOptions) withDefaults() SVGOptions {
 // and compute spans are visually distinct without any configuration.
 func svgColor(s Span) string {
 	switch {
+	case s.Kind == Spec:
+		return "#e3a13c"
 	case s.Kind == Compute:
 		return "#4c9f70"
 	case strings.HasPrefix(s.Label, "C"):

@@ -19,6 +19,10 @@ const (
 	Compute
 	// Idle marks explicit idle time (rendered as gaps, usually omitted).
 	Idle
+	// Spec is a speculative (duplicate) computation span: work racing a
+	// straggler's in-flight copy, rendered distinctly so re-dispatch
+	// decisions can be audited on the chart.
+	Spec
 )
 
 // Span is one rectangle of the Gantt chart.
@@ -86,7 +90,8 @@ func laneKey(l string) int {
 
 // ASCII renders the trace as a fixed-width Gantt chart with the given
 // number of character columns. Each lane shows '#' for communication, '='
-// for computation and spaces for idle time. It is intentionally coarse —
+// for computation, '%' for speculative computation and spaces for idle
+// time. It is intentionally coarse —
 // it exists to eyeball schedules like Figures 7 and 8, not to measure them.
 func (t *Trace) ASCII(width int) string {
 	if width < 10 {
@@ -108,8 +113,11 @@ func (t *Trace) ASCII(width int) string {
 				continue
 			}
 			ch := byte('=')
-			if s.Kind == Comm {
+			switch s.Kind {
+			case Comm:
 				ch = '#'
+			case Spec:
+				ch = '%'
 			}
 			lo := int(s.Start * scale)
 			hi := int(s.End * scale)
@@ -138,6 +146,8 @@ func (t *Trace) CSV() string {
 			kind = "compute"
 		case Idle:
 			kind = "idle"
+		case Spec:
+			kind = "spec"
 		}
 		fmt.Fprintf(&b, "%s,%s,%.9g,%.9g,%s\n", s.Lane, kind, s.Start, s.End, strings.ReplaceAll(s.Label, ",", ";"))
 	}

@@ -32,7 +32,10 @@ fmt:
 # delta/flush series from BenchmarkTransportDelta: egress-MB/op,
 # %cache-hit, flush-blocks/op, flush-MB/op, the dirty-block high-water
 # mark and x-lower-bound (measured communication over the §4
-# Loomis–Whitney bound) — all parsed by cmd/benchjson. The kernel
+# Loomis–Whitney bound) — and the durable control plane's boot-time
+# replay cost (recovery-ms, jobs-replayed, journal-MB,
+# replay-events/s from BenchmarkServeRecovery) to BENCH_serve.json —
+# all parsed by cmd/benchjson. The kernel
 # series runs 5 iterations per point so a single noisy timeslice cannot
 # skew the recorded Gflops. The fleet run also renders its per-worker
 # Gantt timeline (idle/comm/compute/speculation lanes) to
@@ -45,10 +48,12 @@ bench:
 	@cat BENCH_kernel.json
 	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchtime 4x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_transport.json
 	@cat BENCH_transport.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServeRecovery' -benchtime 3x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@cat BENCH_serve.json
 
 # bench-all smoke-runs every benchmark once (the paper's tables/figures).
 bench-all:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -count 1 .
 
 clean:
-	rm -f BENCH_cluster.json BENCH_kernel.json BENCH_transport.json BENCH_fleet.svg
+	rm -f BENCH_cluster.json BENCH_kernel.json BENCH_transport.json BENCH_serve.json BENCH_fleet.svg

@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/matrix"
+	"repro/internal/store"
+)
+
+// buildRecoveryJournal populates dir with a realistic crash scene: jobs
+// jobs of an nGrid×nGrid block-q matmul, half run to completion by a
+// local worker, half left mid-flight with some chunks committed — then
+// the journal is closed with the cluster abandoned, exactly what a
+// SIGKILLed master leaves behind.
+func buildRecoveryJournal(b *testing.B, dir string, jobs, nGrid, q int) {
+	b.Helper()
+	jn, err := store.Open(dir, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clk := cluster.NewManualClock(time.Unix(0, 0))
+	cl := cluster.New(cluster.Config{
+		HeartbeatTimeout: time.Hour,
+		Clock:            clk,
+		Log:              cluster.NewStoreLog(jn),
+	})
+	n := nGrid * q
+	mkJob := func(seed int64) cluster.JobSpec {
+		ad, bd, cd := matrix.NewDense(n, n), matrix.NewDense(n, n), matrix.NewDense(n, n)
+		matrix.DeterministicFill(ad, seed)
+		matrix.DeterministicFill(bd, seed+1)
+		matrix.DeterministicFill(cd, seed+2)
+		return cluster.JobSpec{
+			Kind: cluster.MatMul, Mu: 1,
+			C: matrix.Partition(cd, q), A: matrix.Partition(ad, q), B: matrix.Partition(bd, q),
+		}
+	}
+	// First half: finished jobs — each contributes its full chunk-commit
+	// trail plus a done event, the bulk of the replay volume.
+	go cluster.RunLocalWorker(cl, cluster.LocalWorkerConfig{ID: "bw", Mem: 4 * nGrid * nGrid})
+	for i := 0; i < jobs/2; i++ {
+		id, err := cl.SubmitJob(mkJob(int64(1000 + 10*i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st, err := cl.Wait(id); err != nil || st.State != cluster.Done {
+			b.Fatalf("seed job %d: state=%v err=%v", i, st.State, err)
+		}
+	}
+	// Kill the worker (staleness sweep under the manual clock), then
+	// accept the second half unserved — replayed as resumed jobs with
+	// every task requeued.
+	clk.Advance(2 * time.Hour)
+	cl.CheckExpiry()
+	for i := 0; i < jobs-jobs/2; i++ {
+		if _, err := cl.SubmitJob(mkJob(int64(2000 + 10*i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Crash: close the journal, abandon the cluster un-Closed.
+	if err := jn.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServeRecovery measures the master's boot-time replay: open
+// the journal a crashed master left behind, rebuild every job's state
+// (terminal results for done jobs, requeued tasks for unfinished ones),
+// and report the wall time plus the replay throughput. This is the
+// availability cost of the durable control plane — the window between
+// mmserve restarting and accepting traffic again.
+func BenchmarkServeRecovery(b *testing.B) {
+	const jobs, nGrid, q = 8, 6, 16 // 8 jobs × 36 tasks of 16×16 blocks
+	dir := b.TempDir()
+	buildRecoveryJournal(b, dir, jobs, nGrid, q)
+
+	var bytes int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range ents {
+		if fi, err := os.Stat(filepath.Join(dir, e.Name())); err == nil {
+			bytes += fi.Size()
+		}
+	}
+
+	var last cluster.RecoveryStats
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jn, err := store.Open(dir, store.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl := cluster.New(cluster.Config{
+			HeartbeatTimeout: time.Hour,
+			Log:              cluster.NewStoreLog(jn),
+		})
+		last, err = cl.Recover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl.Close()
+		jn.Close()
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+
+	if last.Jobs != jobs || last.Done != jobs/2 || last.Resumed != jobs-jobs/2 {
+		b.Fatalf("recovery stats = %+v, want %d jobs (%d done, %d resumed)",
+			last, jobs, jobs/2, jobs-jobs/2)
+	}
+	perIter := elapsed / time.Duration(b.N)
+	b.ReportMetric(float64(perIter.Microseconds())/1000, "recovery-ms")
+	b.ReportMetric(float64(last.Jobs), "jobs-replayed")
+	b.ReportMetric(float64(bytes)/(1<<20), "journal-MB")
+	b.ReportMetric(float64(last.Events)/perIter.Seconds(), "replay-events/s")
+}

@@ -3,6 +3,15 @@
 // matrix-product and LU job submissions, detects dead workers by heartbeat
 // expiry, and reschedules their lost work onto the survivors.
 //
+// With -store it is crash-safe: every job acceptance, committed chunk and
+// terminal state is journaled to an fsync'd write-ahead log before being
+// acknowledged, and on boot the journal is replayed — finished jobs keep
+// serving their results to resubmitted keys, unfinished jobs resume with
+// exactly their uncommitted work requeued. SIGTERM drains gracefully
+// (stop admitting, finish what is running, then compact the journal);
+// a second signal, or the -drain-timeout deadline, exits immediately —
+// which is safe, because the journal replays on the next boot.
+//
 // It doubles as the submission client: `mmserve -submit` builds a
 // deterministic job, sends it to a running server, and verifies the
 // result.
@@ -20,6 +29,7 @@ import (
 	"repro/internal/lu"
 	"repro/internal/matrix"
 	"repro/internal/netmw"
+	"repro/internal/store"
 )
 
 func fatalUsage(format string, args ...any) {
@@ -38,6 +48,10 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "profile-driven chunk shaping: size each worker's chunks to its measured speed")
 	chunkTarget := flag.Duration("chunk-target", 250*time.Millisecond, "adaptive: target wall time per chunk")
 	specFactor := flag.Float64("spec-factor", 0, "adaptive: duplicate a straggler's chunk when its ETA exceeds this factor × an idle worker's (0 = off)")
+	storeDir := flag.String("store", "", "journal directory for the durable control plane (empty = in-memory only, no crash safety)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, wait this long for running jobs to finish before exiting anyway")
+	retryBackoff := flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before re-dispatching a task lost with its worker (doubles per attempt)")
+	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "cap on the per-task retry delay (0 = 16× -retry-backoff)")
 
 	submit := flag.Bool("submit", false, "act as a client: submit one job and wait for the result")
 	kind := flag.String("kind", "matmul", "submit job kind: matmul | lu")
@@ -47,13 +61,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "submit: deterministic fill seed")
 	verify := flag.Bool("verify", true, "submit: check the result against a local reference")
 	timeout := flag.Duration("timeout", 10*time.Minute, "submit: round-trip deadline")
+	key := flag.Uint64("key", 0, "submit: idempotency key — retries and resubmissions with one key attach to one job (0 = fresh random key)")
+	retries := flag.Int("retries", 0, "submit: resubmit this many times after transport failures (same key each time)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		fatalUsage("unexpected arguments: %v", flag.Args())
 	}
 	if *submit {
-		runSubmit(*addr, *kind, *n, *q, *mu, *seed, *verify, *timeout)
+		runSubmit(*addr, *kind, *n, *q, *mu, *seed, *verify, *timeout, *key, *retries)
 		return
 	}
 	if *hbTimeout <= 0 {
@@ -75,16 +91,51 @@ func main() {
 	if *specFactor < 0 {
 		fatalUsage("-spec-factor must be ≥ 0, got %g", *specFactor)
 	}
-	cl := cluster.New(cluster.Config{
+	if *drainTimeout < 0 {
+		fatalUsage("-drain-timeout must be ≥ 0, got %v", *drainTimeout)
+	}
+
+	cfg := cluster.Config{
 		HeartbeatTimeout: *hbTimeout,
 		MaxAttempts:      *maxAttempts,
 		MaxRunning:       *maxRunning,
+		Retry:            cluster.RetryPolicy{Backoff: *retryBackoff, MaxBackoff: *retryBackoffMax},
 		Adaptive: cluster.AdaptiveConfig{
 			Enabled:           *adaptive,
 			ChunkTarget:       *chunkTarget,
 			SpeculationFactor: *specFactor,
 		},
-	})
+	}
+	var jn *store.Journal
+	if *storeDir != "" {
+		var err error
+		jn, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmserve: open journal: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Log = cluster.NewStoreLog(jn)
+	}
+	cl := cluster.New(cfg)
+	if jn != nil {
+		began := time.Now()
+		rs, err := cl.Recover()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmserve: journal replay: %v\n", err)
+			os.Exit(1)
+		}
+		if rs.Jobs > 0 || rs.Events > 0 {
+			fmt.Printf("mmserve: recovered %d jobs from %s in %v (%d events, %d chunk commits: %d resumed, %d done, %d failed)\n",
+				rs.Jobs, *storeDir, time.Since(began).Round(time.Millisecond), rs.Events, rs.Chunks, rs.Resumed, rs.Done, rs.Failed)
+		}
+		// Fold the replayed history into one snapshot record so the next
+		// boot replays a bounded journal regardless of how long this
+		// incarnation ran.
+		if err := cl.CompactLog(); err != nil {
+			fmt.Fprintf(os.Stderr, "mmserve: compact journal: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	srv, err := netmw.ServeCluster(cl, netmw.ClusterServerConfig{Addr: *addr, ExpiryEvery: *expiryEvery, MaxSlots: *maxSlots})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmserve: %v\n", err)
@@ -95,14 +146,44 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: refuse new jobs, let running ones finish. A second
+	// signal — or the drain deadline — cuts over to immediate shutdown,
+	// which the journal makes safe: whatever was still running resumes on
+	// the next boot.
+	cl.Drain()
+	fmt.Printf("mmserve: draining — new jobs refused, waiting up to %v for running jobs (signal again to skip)\n", *drainTimeout)
+	quiesced := make(chan bool, 1)
+	go func() { quiesced <- cl.AwaitQuiesce(*drainTimeout) }()
+	select {
+	case ok := <-quiesced:
+		if !ok {
+			fmt.Printf("mmserve: drain timed out after %v; shutting down with jobs in flight\n", *drainTimeout)
+		}
+	case <-sig:
+		fmt.Println("mmserve: second signal; shutting down immediately")
+	}
 	st := cl.ClusterStats()
+	jobs := cl.Jobs()
 	cl.Close()
 	srv.Close()
-	fmt.Printf("mmserve: shutting down — %d jobs done, %d failed, %d workers lost, %d requeues\n",
-		st.JobsDone, st.JobsFailed, st.WorkersLost, st.Requeues)
+	if jn != nil {
+		jn.Close()
+	}
+	fmt.Printf("mmserve: shutting down — %d jobs done, %d failed (%d quarantined), %d workers lost, %d requeues\n",
+		st.JobsDone, st.JobsFailed, st.JobsQuarantined, st.WorkersLost, st.Requeues)
 	if st.Speculations > 0 {
 		fmt.Printf("mmserve: straggler re-dispatch: %d duplicates launched, %d won the race\n",
 			st.Speculations, st.SpecWins)
+	}
+	for _, js := range jobs {
+		if js.Quarantined {
+			msg := ""
+			if js.Err != nil {
+				msg = ": " + js.Err.Error()
+			}
+			fmt.Printf("mmserve: job %d QUARANTINED after %d/%d tasks%s\n",
+				js.ID, js.TasksDone, js.TasksTotal, msg)
+		}
 	}
 	// Snapshot the registry only now: Close drained the worker sessions,
 	// which is when each session's comm accounting lands.
@@ -170,7 +251,7 @@ func humanBytes(n int64) string {
 	}
 }
 
-func runSubmit(addr, kind string, n, q, mu int, seed int64, verify bool, timeout time.Duration) {
+func runSubmit(addr, kind string, n, q, mu int, seed int64, verify bool, timeout time.Duration, key uint64, retries int) {
 	if q < 1 {
 		fatalUsage("-q must be ≥ 1, got %d", q)
 	}
@@ -182,6 +263,13 @@ func runSubmit(addr, kind string, n, q, mu int, seed int64, verify bool, timeout
 	}
 	if timeout <= 0 {
 		fatalUsage("-timeout must be positive, got %v", timeout)
+	}
+	if retries < 0 {
+		fatalUsage("-retries must be ≥ 0, got %d", retries)
+	}
+	opts := netmw.SubmitOptions{
+		Key: key, Retries: retries, Timeout: timeout,
+		Backoff: time.Second, BackoffMax: 30 * time.Second,
 	}
 	start := time.Now()
 	switch kind {
@@ -198,7 +286,7 @@ func runSubmit(addr, kind string, n, q, mu int, seed int64, verify bool, timeout
 			matrix.MulNaive(ref, ad, bd)
 		}
 		c := matrix.Partition(cd, q)
-		if err := netmw.SubmitMatMulTCP(addr, c, matrix.Partition(ad, q), matrix.Partition(bd, q), mu, timeout); err != nil {
+		if err := netmw.SubmitMatMulDurable(addr, c, matrix.Partition(ad, q), matrix.Partition(bd, q), mu, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mmserve: submit: %v\n", err)
 			os.Exit(1)
 		}
@@ -210,7 +298,7 @@ func runSubmit(addr, kind string, n, q, mu int, seed int64, verify bool, timeout
 		orig := matrix.NewDense(n, n)
 		lu.DiagonallyDominant(orig, seed)
 		m := matrix.Partition(orig.Clone(), q)
-		if err := netmw.SubmitLUTCP(addr, m, mu, timeout); err != nil {
+		if err := netmw.SubmitLUDurable(addr, m, mu, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "mmserve: submit: %v\n", err)
 			os.Exit(1)
 		}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/matrix"
 	"repro/internal/stats"
 )
 
@@ -41,7 +42,42 @@ var (
 	// ErrUnknownWorker marks a call from a worker that is not registered
 	// (or was declared dead); the transport should re-register.
 	ErrUnknownWorker = errors.New("cluster: unknown or dead worker")
+	// ErrDraining rejects new submissions while the cluster drains for a
+	// graceful shutdown; resubmitting an already-accepted idempotency key
+	// still attaches.
+	ErrDraining = errors.New("cluster: draining, not accepting new jobs")
 )
+
+// RetryPolicy shapes the pause between a task's loss and its next
+// dispatch. The zero value keeps immediate requeue (today's behavior);
+// MaxAttempts in Config stays the cap that quarantines the job.
+type RetryPolicy struct {
+	// Backoff is the pause before a requeued task is eligible again,
+	// doubled per attempt (attempt 1 waits Backoff, attempt 2 twice
+	// that, …). 0 = requeued tasks are immediately eligible.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 caps at 16× Backoff.
+	MaxBackoff time.Duration
+}
+
+// delay returns the eligibility pause for the attempt-th requeue.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	cap := p.MaxBackoff
+	if cap <= 0 {
+		cap = 16 * p.Backoff
+	}
+	d := p.Backoff
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
 
 // Config tunes a Cluster.
 type Config struct {
@@ -60,6 +96,14 @@ type Config struct {
 	// shaping and speculative straggler re-dispatch. Zero value keeps
 	// the static FIFO+locality behavior.
 	Adaptive AdaptiveConfig
+	// Retry paces requeues after worker losses with capped exponential
+	// backoff. Zero value requeues immediately.
+	Retry RetryPolicy
+	// Log, when set, receives every job lifecycle event (accepted, chunk
+	// committed, done) durably before the corresponding state transition
+	// is acknowledged; Recover replays it after a restart. Nil keeps the
+	// control plane in memory only.
+	Log JobLog
 }
 
 // Stats is a point-in-time summary of the service.
@@ -71,6 +115,9 @@ type Stats struct {
 	JobsRunning  int
 	JobsDone     int
 	JobsFailed   int
+	// JobsQuarantined counts the Failed jobs that exhausted their retry
+	// budget (poison jobs); they are included in JobsFailed.
+	JobsQuarantined int
 	// DirtyBlocks counts C tiles resident on live workers awaiting a
 	// flush commit (the single-flush result path's in-flight state).
 	DirtyBlocks int
@@ -109,6 +156,21 @@ type Cluster struct {
 	est          *stats.Estimator
 	specLaunched int
 	specWon      int
+
+	// log is the durable event sink (nil = memory-only); logErr latches
+	// the first append failure, after which new submissions are refused
+	// rather than accepted without durability.
+	log    JobLog
+	logErr error
+	// keys maps client idempotency keys to their jobs, so resubmitting
+	// an accepted key attaches instead of double-running.
+	keys map[uint64]JobID
+	// draining refuses new submissions (graceful shutdown); keyed
+	// resubmits of accepted jobs still attach.
+	draining bool
+	// wakeAt is the earliest armed backoff wake-up (real clock only), so
+	// nextTask does not stack a timer per blocked call.
+	wakeAt time.Time
 }
 
 // New builds a cluster service.
@@ -130,8 +192,10 @@ func New(cfg Config) *Cluster {
 		clock: cfg.Clock,
 		reg:   newRegistry(),
 		jobs:  make(map[JobID]*job),
+		keys:  make(map[uint64]JobID),
 		pool:  engine.NewBlockPool(),
 		est:   stats.NewEstimator(cfg.Adaptive.Alpha),
+		log:   cfg.Log,
 	}
 	cl.cond = sync.NewCond(&cl.mu)
 	return cl
@@ -140,22 +204,132 @@ func New(cfg Config) *Cluster {
 // SubmitJob admits a job and returns its ID. The cluster owns the spec's
 // matrices until the job completes or fails.
 func (cl *Cluster) SubmitJob(spec JobSpec) (JobID, error) {
+	id, _, err := cl.SubmitJobKeyed(0, spec)
+	return id, err
+}
+
+// SubmitJobKeyed admits a job under a client-chosen idempotency key.
+// Resubmitting an accepted key attaches to the existing job (attached
+// true) instead of running it twice — the durable-client retry
+// contract: a client that lost its connection after the accept
+// resubmits the same key and lands on the same job, before or after a
+// master restart. Key 0 means unkeyed.
+//
+// With a JobLog configured, the accept event (including the operand
+// matrices) is fsync'd before the job is admitted; an append failure
+// refuses the submission rather than accepting work that would not
+// survive a crash.
+func (cl *Cluster) SubmitJobKeyed(key uint64, spec JobSpec) (JobID, bool, error) {
 	if err := validateSpec(spec); err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if cl.closed {
-		return 0, ErrClosed
+		return 0, false, ErrClosed
+	}
+	// The key check precedes the drain gate: a retried submit of work
+	// accepted before the drain began must still find its job.
+	if key != 0 {
+		if id, ok := cl.keys[key]; ok {
+			return id, true, nil
+		}
+	}
+	if cl.draining {
+		return 0, false, ErrDraining
+	}
+	if cl.log != nil && spec.Planner != nil {
+		return 0, false, errors.New("cluster: jobs with custom planners cannot be journaled (replay would re-plan with the default order)")
+	}
+	if cl.logErr != nil {
+		return 0, false, fmt.Errorf("cluster: job log broken, refusing new work: %w", cl.logErr)
 	}
 	id := cl.nextID
+	if cl.log != nil {
+		if err := cl.appendLogLocked(encodeAccepted(id, key, spec, cl.cfg.Adaptive.Enabled && spec.Kind == MatMul && spec.Planner == nil)); err != nil {
+			return 0, false, fmt.Errorf("cluster: persisting accept: %w", err)
+		}
+	}
 	cl.nextID++
 	j := newJob(id, spec, cl.cfg.Adaptive.Enabled)
+	j.key = key
 	cl.jobs[id] = j
 	cl.order = append(cl.order, id)
+	if key != 0 {
+		cl.keys[key] = id
+	}
 	cl.promoteLocked()
 	cl.cond.Broadcast()
-	return id, nil
+	return id, false, nil
+}
+
+// JobResult returns the job's result matrix (C for matmul, the packed
+// L\U for LU) once it is Done — the read side of idempotent resubmit: a
+// client that attached to an already-finished job fetches the result it
+// missed. Running or Queued jobs return an error, as do Failed ones
+// (with the failure cause).
+func (cl *Cluster) JobResult(id JobID) (*matrix.Blocked, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	j := cl.jobs[id]
+	if j == nil {
+		return nil, fmt.Errorf("cluster: unknown job %d", id)
+	}
+	switch j.state {
+	case Done:
+		if j.spec.Kind == LU {
+			return j.spec.M, nil
+		}
+		return j.spec.C, nil
+	case Failed:
+		if j.err != nil {
+			return nil, j.err
+		}
+		return nil, fmt.Errorf("cluster: job %d failed", id)
+	default:
+		return nil, fmt.Errorf("cluster: job %d not finished (%s)", id, j.state)
+	}
+}
+
+// Drain stops admitting new jobs (ErrDraining) while letting accepted
+// work run to completion; keyed resubmits of accepted jobs still
+// attach. The graceful-shutdown entry point: drain, AwaitQuiesce, then
+// Close.
+func (cl *Cluster) Drain() {
+	cl.mu.Lock()
+	cl.draining = true
+	cl.mu.Unlock()
+}
+
+// AwaitQuiesce blocks until no job is Queued or Running, or the timeout
+// elapses; it reports whether the cluster quiesced. Combine with Drain
+// for a bounded graceful shutdown.
+func (cl *Cluster) AwaitQuiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		cl.mu.Lock()
+		cl.cond.Broadcast()
+		cl.mu.Unlock()
+	})
+	defer timer.Stop()
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for {
+		busy := false
+		for _, j := range cl.jobs {
+			if j.state == Queued || j.state == Running {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return true
+		}
+		if cl.closed || !time.Now().Before(deadline) {
+			return false
+		}
+		cl.cond.Wait()
+	}
 }
 
 // JobStatus reports a job's current state.
@@ -167,6 +341,18 @@ func (cl *Cluster) JobStatus(id JobID) (Status, error) {
 		return Status{}, fmt.Errorf("cluster: unknown job %d", id)
 	}
 	return j.status(), nil
+}
+
+// Jobs snapshots every job's status in submission order — the service's
+// status-report view (which includes quarantined poison jobs).
+func (cl *Cluster) Jobs() []Status {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]Status, 0, len(cl.order))
+	for _, id := range cl.order {
+		out = append(out, cl.jobs[id].status())
+	}
+	return out
 }
 
 // Wait blocks until the job reaches Done or Failed and returns its final
@@ -268,6 +454,9 @@ func (cl *Cluster) ClusterStats() Stats {
 			st.JobsDone++
 		case Failed:
 			st.JobsFailed++
+			if j.quarantined {
+				st.JobsQuarantined++
+			}
 		}
 	}
 	for _, w := range cl.reg.workers {
@@ -288,6 +477,10 @@ func (cl *Cluster) Close() {
 		return
 	}
 	cl.closed = true
+	// Shutdown failures are transient, not terminal: drop the log first
+	// so these jobs are NOT journaled as Failed — a restart over the
+	// same journal must resume them, which is the whole point.
+	cl.log = nil
 	for _, id := range cl.order {
 		j := cl.jobs[id]
 		if j.state == Queued || j.state == Running {
@@ -388,6 +581,10 @@ func (cl *Cluster) CheckExpiry() []string {
 		cl.loseWorkerLocked(w)
 		ids = append(ids, w.id)
 	}
+	// Unconditional: a retry backoff may have expired since the last
+	// sweep, and with a ManualClock this is the only wake-up source for
+	// dispatchers parked on cooling-down tasks.
+	cl.cond.Broadcast()
 	return ids
 }
 
@@ -445,7 +642,7 @@ func (cl *Cluster) requeueLocked(t *Task, fromDirty bool) {
 	if j.cutter != nil && t.Kind == MatMul {
 		j.recuts++
 		if j.recuts > cl.cfg.MaxAttempts*j.cutter.TotalBlocks() {
-			cl.failJobLocked(j, fmt.Errorf("cluster: job %d exhausted its re-cut budget (%d re-cuts)",
+			cl.quarantineLocked(j, fmt.Errorf("cluster: job %d exhausted its re-cut budget (%d re-cuts)",
 				j.id, j.recuts))
 			return
 		}
@@ -454,6 +651,11 @@ func (cl *Cluster) requeueLocked(t *Task, fromDirty bool) {
 			return
 		}
 		j.total--
+		// The cutter has no per-task attempt to scale by, so losses gate
+		// re-cutting at the base backoff, job-wide.
+		if d := cl.cfg.Retry.delay(1); d > 0 {
+			j.cutNotBefore = cl.clock.Now().Add(d)
+		}
 		return
 	}
 	// Requeue a copy rather than mutating the shared pointer: the lost
@@ -462,11 +664,21 @@ func (cl *Cluster) requeueLocked(t *Task, fromDirty bool) {
 	nt := *t
 	nt.Attempt = j.nextAttempt(t.Seq)
 	if nt.Attempt >= cl.cfg.MaxAttempts {
-		cl.failJobLocked(j, fmt.Errorf("cluster: task %d/%d exceeded %d attempts",
+		cl.quarantineLocked(j, fmt.Errorf("cluster: task %d/%d exceeded %d attempts",
 			nt.Job, nt.Seq, cl.cfg.MaxAttempts))
 		return
 	}
+	if d := cl.cfg.Retry.delay(nt.Attempt); d > 0 {
+		nt.notBefore = cl.clock.Now().Add(d)
+	}
 	j.pending = append([]*Task{&nt}, j.pending...)
+}
+
+// quarantineLocked parks a poison job terminally: Failed with the
+// quarantined mark, visible in Status and Stats, durably journaled.
+func (cl *Cluster) quarantineLocked(j *job, err error) {
+	j.quarantined = true
+	cl.failJobLocked(j, err)
 }
 
 // --- dispatch (transport API) --------------------------------------------
@@ -589,6 +801,8 @@ func (cl *Cluster) takeLocked(w *workerState) (*Task, bool) {
 		}
 	}
 	memBlocked := false
+	now := cl.clock.Now()
+	var soonest time.Time // earliest backoff expiry among skipped work
 	n := len(cl.order)
 	for i := 0; i < n; i++ {
 		j := cl.jobs[cl.order[(cl.rr+i)%n]]
@@ -596,11 +810,26 @@ func (cl *Cluster) takeLocked(w *workerState) (*Task, bool) {
 			continue
 		}
 		if len(j.pending) > 0 {
-			idx := cl.localPickLocked(j, w)
+			head := -1 // first backoff-eligible task; the fail-fast anchor
+			for idx, t := range j.pending {
+				if t.notBefore.After(now) {
+					soonest = earlier(soonest, t.notBefore)
+					continue
+				}
+				head = idx
+				break
+			}
+			if head < 0 {
+				continue // every pending copy is cooling down
+			}
+			idx := cl.localPickLocked(j, w, now)
+			if idx < 0 {
+				idx = head
+			}
 			t := j.pending[idx]
-			if idx != 0 && w.mem > 0 && held+footprint(t) > w.mem {
-				idx = 0
-				t = j.pending[0]
+			if idx != head && w.mem > 0 && held+footprint(t) > w.mem {
+				idx = head
+				t = j.pending[head]
 			}
 			if w.mem > 0 && held+footprint(t) > w.mem {
 				if len(w.dirty) > 0 {
@@ -621,6 +850,10 @@ func (cl *Cluster) takeLocked(w *workerState) (*Task, bool) {
 			return t, false
 		}
 		if j.cutter != nil && !j.cutter.Empty() {
+			if j.cutNotBefore.After(now) {
+				soonest = earlier(soonest, j.cutNotBefore)
+				continue // re-cut backoff after a loss
+			}
 			// Adaptive shaping: carve a chunk sized to this worker's
 			// measured speed and free memory out of the job's grid.
 			mu := cl.adaptiveMuLocked(w, j, held)
@@ -642,6 +875,7 @@ func (cl *Cluster) takeLocked(w *workerState) (*Task, bool) {
 			return t, false
 		}
 	}
+	cl.armBackoffWakeLocked(now, soonest)
 	if !memBlocked {
 		// Nothing fresh fits this worker; consider duplicating a
 		// straggling in-flight task onto it (first finished copy wins).
@@ -675,13 +909,18 @@ func (cl *Cluster) dispatchLocked(j *job, w *workerState, t *Task, i int) {
 // Manhattan distance. Minimizing the stride keeps a worker sweeping the
 // grid in short steps, so consecutive chunks keep sharing operands even
 // when requeues and multi-job interleaving perturb the static order.
-func (cl *Cluster) localPickLocked(j *job, w *workerState) int {
-	last, ok := w.lastAt[j.id]
-	if !ok {
-		return 0
-	}
-	best, bestTier, bestDist := 0, 3, 0
+// Tasks still cooling down under the retry backoff are ignored; -1
+// means none is eligible.
+func (cl *Cluster) localPickLocked(j *job, w *workerState, now time.Time) int {
+	last, lastOK := w.lastAt[j.id]
+	best, bestTier, bestDist := -1, 4, 0
 	for idx, t := range j.pending {
+		if t.notBefore.After(now) {
+			continue
+		}
+		if !lastOK {
+			return idx // no cursor yet: first eligible task
+		}
 		di, dj := absInt(t.Chunk.I0-last[0]), absInt(t.Chunk.J0-last[1])
 		var tier, dist int
 		switch {
@@ -697,6 +936,38 @@ func (cl *Cluster) localPickLocked(j *job, w *workerState) int {
 		}
 	}
 	return best
+}
+
+// earlier returns the earlier of two times, treating zero as unset.
+func earlier(a, b time.Time) time.Time {
+	if a.IsZero() || (!b.IsZero() && b.Before(a)) {
+		return b
+	}
+	return a
+}
+
+// armBackoffWakeLocked schedules a Broadcast when the earliest skipped
+// backoff expires, so dispatchers blocked in NextTask re-evaluate
+// without polling. Real clock only — ManualClock tests drive wake-ups
+// through CheckExpiry's unconditional Broadcast. One timer is kept
+// armed at the soonest known expiry.
+func (cl *Cluster) armBackoffWakeLocked(now, soonest time.Time) {
+	if soonest.IsZero() {
+		return
+	}
+	if _, real := cl.clock.(realClock); !real {
+		return
+	}
+	if !cl.wakeAt.IsZero() && cl.wakeAt.After(now) && !cl.wakeAt.After(soonest) {
+		return // an armed timer already fires in time
+	}
+	cl.wakeAt = soonest
+	time.AfterFunc(soonest.Sub(now)+time.Millisecond, func() {
+		cl.mu.Lock()
+		cl.wakeAt = time.Time{}
+		cl.cond.Broadcast()
+		cl.mu.Unlock()
+	})
 }
 
 func absInt(v int) int {
@@ -774,6 +1045,10 @@ func (cl *Cluster) Complete(id string, t *Task, blocks [][]float64) error {
 			copy(dst.Block(ch.I0+i, ch.J0+jj).Data, blocks[i*ch.Cols+jj])
 		}
 	}
+	// The chunk's final values just landed in the job matrix: journal the
+	// commit before any state it can finish (stage advance, job done), so
+	// replay order matches live order.
+	cl.logChunkLocked(j, t)
 	j.inflight--
 	j.done++
 	if j.spec.Kind == LU {
@@ -907,6 +1182,9 @@ func (cl *Cluster) CommitFlushEpoch(id string, epoch uint64, ids []uint64, block
 		if j == nil || j.state != Running {
 			continue
 		}
+		// Every tile of the chunk has now committed into the job matrix;
+		// journal the chunk from the authoritative copy just written.
+		cl.logChunkLocked(j, t)
 		j.dirty--
 		j.done++
 		if j.spec.Kind == LU {
@@ -1059,6 +1337,7 @@ func (cl *Cluster) finishJobLocked(j *job, state JobState, err error) {
 	}
 	j.state = state
 	j.err = err
+	cl.logDoneLocked(j)
 	// The locality cursors for this job are dead weight now; drop them
 	// so long-lived workers don't accumulate one entry per job forever.
 	// Resident tiles still parked on workers for this job can never

@@ -91,7 +91,10 @@ type Status struct {
 	TasksTotal int // for LU this grows as panel stages unlock
 	TasksDone  int
 	Requeues   int // tasks re-dispatched after a worker loss
-	Err        error
+	// Quarantined marks a Failed job that exhausted its retry budget (a
+	// poison job) rather than failing for a structural reason.
+	Quarantined bool
+	Err         error
 	// Comm is the job's delta-protocol accounting: operand blocks that
 	// went over the wire versus blocks served from worker-resident
 	// caches. Sessions report on exit, so in-flight work is not yet
@@ -123,6 +126,9 @@ type Task struct {
 	// under the cluster mutex by the straggler detector to estimate the
 	// holder's remaining time.
 	started time.Time
+	// notBefore makes a requeued copy ineligible for dispatch until the
+	// retry policy's backoff elapses (zero = immediately eligible).
+	notBefore time.Time
 	// spec marks a speculative duplicate: if this copy completes first,
 	// the win is credited to the straggler detector even when the
 	// original holder has already been declared lost.
@@ -182,6 +188,21 @@ type job struct {
 	// specActive marks seqs with a speculative duplicate in flight; at
 	// most one duplicate per seq, cleared when the first copy finishes.
 	specActive map[int]bool
+
+	// key is the client-chosen idempotency key (0 = none): resubmitting
+	// it attaches to this job instead of double-running the work.
+	key uint64
+	// quarantined marks a Failed job that exhausted its retry budget — a
+	// poison job parked terminally rather than requeued forever.
+	quarantined bool
+	// doneSeqs records every committed chunk seq; populated on the live
+	// commit paths and during replay, it is what makes journal replay
+	// idempotent (a chunk record whose seq is here is skipped).
+	doneSeqs map[int]bool
+	// cutNotBefore gates re-cutting after a loss on an adaptive job (the
+	// cutter has no per-task identity to hang an attempt counter on, so
+	// the retry backoff applies at job level).
+	cutNotBefore time.Time
 }
 
 func validateSpec(spec JobSpec) error {
@@ -351,7 +372,7 @@ func (j *job) status() Status {
 	return Status{
 		ID: j.id, Kind: j.spec.Kind, State: j.state,
 		TasksTotal: j.total, TasksDone: j.done,
-		Requeues: j.requeues, Err: j.err,
+		Requeues: j.requeues, Quarantined: j.quarantined, Err: j.err,
 		Comm: j.comm,
 	}
 }

@@ -2,8 +2,11 @@ package netmw
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -42,8 +45,15 @@ type ClusterWorkerConfig struct {
 	// giving up; 0 means a single session, no retries. The counter resets
 	// whenever a session completes at least one task.
 	Reconnect int
-	Backoff   time.Duration // pause between reconnect attempts
-	Timeout   time.Duration // dial timeout
+	// Backoff is the base pause before the first reconnect attempt. The
+	// pause doubles per consecutive failed session and carries full jitter
+	// (uniform in [d/2, d]), so a fleet of workers dropped by the same
+	// master crash does not dial back in lockstep. Progress resets the
+	// sequence to the base.
+	Backoff time.Duration
+	// BackoffMax caps the doubling; 0 means 16× Backoff.
+	BackoffMax time.Duration
+	Timeout    time.Duration // dial timeout
 
 	// failAfterTasks is a test hook: the worker drops its connection
 	// without warning once it has completed this many tasks (0 = never) —
@@ -87,7 +97,9 @@ func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
 	}
 	var rep ClusterWorkerReport
 	pool := engine.NewBlockPool()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	left := cfg.Reconnect
+	attempt := 0
 	for {
 		rep.Sessions++
 		tasks, clean, err := clusterSession(cfg, pool, &rep)
@@ -96,15 +108,38 @@ func RunClusterWorker(cfg ClusterWorkerConfig) (ClusterWorkerReport, error) {
 		}
 		if tasks > 0 {
 			left = cfg.Reconnect // made progress: fresh retry budget
+			attempt = 0          // and the backoff restarts from the base
 		}
 		if left <= 0 {
 			return rep, err
 		}
 		left--
-		if cfg.Backoff > 0 {
-			time.Sleep(cfg.Backoff)
+		attempt++
+		if d := backoffDelay(cfg.Backoff, cfg.BackoffMax, attempt, rng); d > 0 {
+			time.Sleep(d)
 		}
 	}
+}
+
+// backoffDelay computes the pause before reconnect attempt n (1-based):
+// base·2ⁿ⁻¹ capped at max (16× base when max is 0), with full jitter —
+// uniform in [d/2, d] — so simultaneously-dropped workers spread their
+// redials instead of thundering back together.
+func backoffDelay(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 || attempt < 1 {
+		return 0
+	}
+	if max <= 0 {
+		max = 16 * base
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
 }
 
 // clusterSession runs one connection lifetime. clean reports a deliberate
@@ -162,8 +197,67 @@ func clusterSession(cfg ClusterWorkerConfig, pool *engine.BlockPool, rep *Cluste
 	return wrep.Assignments, false, err
 }
 
+// SubmitOptions configures a durable job submission.
+type SubmitOptions struct {
+	// Key is the idempotency key: retries and resubmissions carrying the
+	// same key attach to the same server-side job, including across a
+	// master crash and restart (the journal remembers accepted keys). 0
+	// means pick a fresh random key.
+	Key uint64
+	// Retries is how many times to redial and resubmit after a transport
+	// failure (connection refused, reset, timed out); 0 means one attempt.
+	// A server that answers with a job error is final — job failures are
+	// not retried, only transport failures.
+	Retries int
+	// Backoff is the base pause between attempts, doubling per consecutive
+	// failure with full jitter, capped at BackoffMax (0 → 16× Backoff).
+	Backoff    time.Duration
+	BackoffMax time.Duration
+	// Timeout bounds each attempt's dial and round trip (default 2m).
+	Timeout time.Duration
+}
+
+// errJobRejected marks a server-side job failure carried in a MsgJobDone
+// reply — a final answer, not a transport fault to retry.
+type errJobRejected struct{ msg string }
+
+func (e *errJobRejected) Error() string { return e.msg }
+
+// SubmitMatMulDurable submits C ← C + A·B to an mmserve cluster with
+// at-most-once semantics across retries and master restarts: every
+// attempt carries the same idempotency key, so a resubmission after a
+// dropped connection (or against a restarted master that recovered the
+// job from its journal) attaches to the original job instead of running
+// it again. Blocks until the job completes, copying the result into c.
+func SubmitMatMulDurable(addr string, c, a, b *matrix.Blocked, mu int, opts SubmitOptions) error {
+	hdr := JobHeader{
+		Kind: WireMatMul, R: uint32(c.BR), T: uint32(a.BC), S: uint32(c.BC),
+		Q: uint32(c.Q), Mu: uint32(mu), Key: submitKey(opts.Key),
+	}
+	payload := make([]byte, jobHeaderLen)
+	hdr.encode(payload)
+	payload = encodeBlocked(payload, c)
+	payload = encodeBlocked(payload, a)
+	payload = encodeBlocked(payload, b)
+	return submitDurable(addr, payload, c, opts)
+}
+
+// SubmitLUDurable submits an in-place LU factorization of m with the
+// same at-most-once retry semantics as SubmitMatMulDurable.
+func SubmitLUDurable(addr string, m *matrix.Blocked, mu int, opts SubmitOptions) error {
+	hdr := JobHeader{
+		Kind: WireLU, R: uint32(m.BR), T: uint32(m.BR), S: uint32(m.BC),
+		Q: uint32(m.Q), Mu: uint32(mu), Key: submitKey(opts.Key),
+	}
+	payload := make([]byte, jobHeaderLen)
+	hdr.encode(payload)
+	payload = encodeBlocked(payload, m)
+	return submitDurable(addr, payload, m, opts)
+}
+
 // SubmitMatMulTCP submits C ← C + A·B to an mmserve cluster and blocks
-// until the job completes, copying the result back into c.
+// until the job completes, copying the result back into c. One attempt,
+// unkeyed — the legacy fire-once client.
 func SubmitMatMulTCP(addr string, c, a, b *matrix.Blocked, mu int, timeout time.Duration) error {
 	hdr := JobHeader{
 		Kind: WireMatMul, R: uint32(c.BR), T: uint32(a.BC), S: uint32(c.BC),
@@ -188,6 +282,45 @@ func SubmitLUTCP(addr string, m *matrix.Blocked, mu int, timeout time.Duration) 
 	hdr.encode(payload)
 	payload = encodeBlocked(payload, m)
 	return submit(addr, payload, m, timeout)
+}
+
+// submitKey returns key, or a fresh random nonzero key when key is 0.
+func submitKey(key uint64) uint64 {
+	for key == 0 {
+		var buf [8]byte
+		if _, err := crand.Read(buf[:]); err != nil {
+			// The process-unique fallback still never collides with another
+			// client's key in practice; idempotency only has to hold for
+			// this client's own retries.
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		key = binary.LittleEndian.Uint64(buf[:])
+	}
+	return key
+}
+
+// submitDurable runs the keyed retry loop: transport failures back off
+// and resubmit under the same key; a server answer — result or job
+// error — is final.
+func submitDurable(addr string, payload []byte, dst *matrix.Blocked, opts SubmitOptions) error {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = submit(addr, payload, dst, opts.Timeout)
+		if err == nil {
+			return nil
+		}
+		var rejected *errJobRejected
+		if errors.As(err, &rejected) {
+			return err // the server answered: retrying cannot change it
+		}
+		if attempt >= opts.Retries {
+			return err
+		}
+		if d := backoffDelay(opts.Backoff, opts.BackoffMax, attempt+1, rng); d > 0 {
+			time.Sleep(d)
+		}
+	}
 }
 
 // submit runs one submission round trip and decodes the result into dst.
@@ -223,7 +356,7 @@ func submit(addr string, payload []byte, dst *matrix.Blocked, timeout time.Durat
 	}
 	body := resp[jobDoneHeaderLen:]
 	if hdr.Code != 0 {
-		return fmt.Errorf("netmw: job %d failed: %s", hdr.Job, body)
+		return fmt.Errorf("netmw: job %d failed: %w", hdr.Job, &errJobRejected{msg: string(body)})
 	}
 	q := dst.Q
 	for i := 0; i < dst.BR; i++ {

@@ -1,0 +1,93 @@
+package netmw
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+	"time"
+)
+
+// FaultTransport wraps an engine.Transport with a seeded fault schedule
+// (sim.FaultPlan): messages may be delayed, the connection may be killed
+// at any message boundary, and ownership-free messages may be delivered
+// twice. It is the harness behind the recovery tests — plugged into a
+// cluster server via ClusterServerConfig.WrapTransport, it subjects the
+// master↔worker protocol to the failures the retry/requeue machinery
+// claims to survive, deterministically per seed.
+//
+// A Drop decision closes the underlying transport and returns an error:
+// on TCP a fault is a dead connection, not a silently skipped frame
+// (skipping one message of a framed stream would desynchronize the
+// protocol in a way no real network does). Duplication is only honored
+// for messages whose delivery twice is semantically possible and
+// ownership-free — requests, flush commands and byes; assignments, sets
+// and results hand buffer ownership to the receiver, so replaying the
+// same value twice would be a use-after-transfer, and a real sender
+// never emits them twice on one live connection anyway.
+type FaultTransport struct {
+	inner engine.Transport
+	plan  *sim.FaultPlan
+}
+
+// NewFaultTransport wraps inner with plan's schedule.
+func NewFaultTransport(inner engine.Transport, plan *sim.FaultPlan) *FaultTransport {
+	return &FaultTransport{inner: inner, plan: plan}
+}
+
+// errInjectedDrop reports a scheduled connection kill.
+var errInjectedDrop = fmt.Errorf("netmw: injected connection drop (fault plan)")
+
+func (t *FaultTransport) apply(m engine.Msg) (dup bool, err error) {
+	d := t.plan.Next()
+	if d.Drop {
+		t.inner.Close()
+		return false, errInjectedDrop
+	}
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.Dup {
+		switch m.(type) {
+		case *engine.Request, engine.Flush, engine.Bye:
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Send applies the schedule, then forwards (twice for an honored dup).
+func (t *FaultTransport) Send(m engine.Msg) error {
+	dup, err := t.apply(m)
+	if err != nil {
+		return err
+	}
+	if err := t.inner.Send(m); err != nil {
+		return err
+	}
+	if dup {
+		return t.inner.Send(m)
+	}
+	return nil
+}
+
+// Recv applies drop/delay to the incoming side (duplication would have
+// to re-deliver a buffer the caller already owns, so it is send-only).
+func (t *FaultTransport) Recv() (engine.Msg, error) {
+	m, err := t.inner.Recv()
+	if err != nil {
+		return m, err
+	}
+	d := t.plan.Next()
+	if d.Drop {
+		t.inner.Close()
+		return nil, errInjectedDrop
+	}
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	return m, nil
+}
+
+// Close closes the wrapped transport.
+func (t *FaultTransport) Close() error { return t.inner.Close() }

@@ -1,0 +1,192 @@
+package netmw
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/lu"
+	"repro/internal/matrix"
+	"repro/internal/sim"
+)
+
+// TestBackoffDelayShape pins the reconnect backoff: doubling from the
+// base, capped, and fully jittered within [d/2, d].
+func TestBackoffDelayShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := 100 * time.Millisecond
+	for attempt, want := range map[int]time.Duration{
+		1: base, 2: 2 * base, 3: 4 * base,
+		5: 16 * base, 9: 16 * base, // default cap = 16× base
+	} {
+		for i := 0; i < 50; i++ {
+			d := backoffDelay(base, 0, attempt, rng)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if d := backoffDelay(base, 300*time.Millisecond, 4, rng); d > 300*time.Millisecond {
+			t.Fatalf("capped delay %v exceeds max", d)
+		}
+	}
+	if d := backoffDelay(0, 0, 3, rng); d != 0 {
+		t.Fatalf("zero base gave %v", d)
+	}
+}
+
+// TestFaultPlanDeterministicAndCounted: two plans with one seed draw the
+// same schedule; the counters record what was injected.
+func TestFaultPlanDeterministicAndCounted(t *testing.T) {
+	cfg := sim.FaultConfig{
+		Seed: 42, DropProb: 0.2, DelayProb: 0.3, MaxDelay: time.Millisecond,
+		DupProb: 0.3, SyncFailEvery: 3,
+	}
+	p1, p2 := sim.NewFaultPlan(cfg), sim.NewFaultPlan(cfg)
+	for i := 0; i < 500; i++ {
+		if d1, d2 := p1.Next(), p2.Next(); d1 != d2 {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, d1, d2)
+		}
+	}
+	c := p1.Counts()
+	if c.Messages != 500 || c.Drops == 0 || c.Delays == 0 || c.Dups == 0 {
+		t.Fatalf("counts = %+v, want every fault kind represented", c)
+	}
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if p1.SyncErr() != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("SyncErr failed %d of 9 calls, want every 3rd", fails)
+	}
+}
+
+// TestClusterTCPSurvivesInjectedFaults is the wire-level fault harness:
+// every worker session runs behind a FaultTransport drawing from one
+// seeded plan (drops, delays, duplicated control messages), workers
+// redial with jittered backoff under the same names, and durable keyed
+// clients resubmit through master-visible errors. All jobs must still
+// finish bit-exact, with at least one injected drop actually exercised.
+func TestClusterTCPSurvivesInjectedFaults(t *testing.T) {
+	plan := sim.NewFaultPlan(sim.FaultConfig{
+		Seed:      7,
+		DropProb:  0.004, // ~1 kill per few hundred messages: several per run
+		DelayProb: 0.02, MaxDelay: 200 * time.Microsecond,
+		DupProb: 0.05,
+	})
+	cl := cluster.New(cluster.Config{HeartbeatTimeout: time.Hour})
+	srv, err := ServeCluster(cl, ClusterServerConfig{
+		Addr:          "127.0.0.1:0",
+		WrapTransport: func(tr engine.Transport) engine.Transport { return NewFaultTransport(tr, plan) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer cl.Close()
+	addr := srv.Addr()
+
+	for _, name := range []string{"f1", "f2", "f3"} {
+		go RunClusterWorker(ClusterWorkerConfig{
+			Addr: addr, Name: name, Memory: 256, Slots: 2,
+			Reconnect: 1000, Backoff: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		})
+	}
+
+	c1, a1, b1, ref1 := matmulInputs(t, 32, 16, 32, 4, 61)
+	c2, a2, b2, ref2 := matmulInputs(t, 16, 32, 16, 4, 67)
+	orig := matrix.NewDense(32, 32)
+	lu.DiagonallyDominant(orig, 71)
+	m := matrix.Partition(orig.Clone(), 4)
+
+	opts := SubmitOptions{Retries: 20, Backoff: 5 * time.Millisecond, Timeout: time.Minute}
+	errs := make(chan error, 3)
+	go func() { errs <- SubmitMatMulDurable(addr, c1, a1, b1, 2, opts) }()
+	go func() { errs <- SubmitMatMulDurable(addr, c2, a2, b2, 2, opts) }()
+	go func() { errs <- SubmitLUDurable(addr, m, 2, opts) }()
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("durable submission failed through faults: %v", err)
+		}
+	}
+
+	if d := c1.Assemble().MaxDiff(ref1); d != 0 {
+		t.Fatalf("mm1 under faults: max |C - ref| = %g", d)
+	}
+	if d := c2.Assemble().MaxDiff(ref2); d != 0 {
+		t.Fatalf("mm2 under faults: max |C - ref| = %g", d)
+	}
+	if res := lu.Residual(orig, m.Assemble()); res > 1e-8 {
+		t.Fatalf("lu under faults: residual %g", res)
+	}
+	if fc := plan.Counts(); fc.Drops == 0 {
+		t.Fatalf("fault plan injected nothing (%+v) — the harness did not bite", fc)
+	}
+}
+
+// TestDurableSubmitRetriesAcrossServerRestart: the first submission dies
+// with the server; the client's retry, carrying the same key, lands on a
+// fresh server and completes. (Full journal-backed restart is exercised
+// end to end in cmd/mmserve.)
+func TestDurableSubmitRetriesAcrossServerRestart(t *testing.T) {
+	cl1 := cluster.New(cluster.Config{HeartbeatTimeout: time.Hour})
+	srv1, err := ServeCluster(cl1, ClusterServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+
+	c, a, b, ref := matmulInputs(t, 8, 8, 8, 4, 73)
+	errs := make(chan error, 1)
+	go func() {
+		errs <- SubmitMatMulDurable(addr, c, a, b, 2, SubmitOptions{
+			Key: 12345, Retries: 100, Backoff: 10 * time.Millisecond, Timeout: time.Minute,
+		})
+	}()
+
+	// Wait until the job is accepted, then kill the server with no worker
+	// having served it: the client's pending round trip fails.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st := cl1.ClusterStats()
+		if st.JobsRunning+st.JobsQueued >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cl1.Close()
+	srv1.Close()
+
+	// Restart on the same address. The listener may need a moment to
+	// rebind; the client keeps retrying meanwhile.
+	var srv2 *ClusterServer
+	cl2 := cluster.New(cluster.Config{HeartbeatTimeout: time.Hour})
+	defer cl2.Close()
+	for {
+		srv2, err = ServeCluster(cl2, ClusterServerConfig{Addr: addr})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer srv2.Close()
+	go RunClusterWorker(ClusterWorkerConfig{Addr: addr, Name: "w1", Memory: 64})
+
+	if err := <-errs; err != nil {
+		t.Fatalf("durable submit across restart: %v", err)
+	}
+	if d := c.Assemble().MaxDiff(ref); d != 0 {
+		t.Fatalf("result after restart: max |C - ref| = %g", d)
+	}
+}

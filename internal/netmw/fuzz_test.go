@@ -142,6 +142,17 @@ func FuzzDecodeMsg(f *testing.F) {
 	lp = putFloats(lp, []float64{1, 2, 3, 4})
 	f.Add(append([]byte{3}, lp...))
 
+	// a keyed (idempotent) submission, and a header truncated inside the
+	// key field — shorter than the old key-less header layout
+	keyed := JobHeader{Kind: WireMatMul, R: 1, T: 1, S: 1, Q: 1, Mu: 1, Key: 0xfeedface12345678}
+	kp := make([]byte, jobHeaderLen)
+	keyed.encode(kp)
+	for i := 0; i < 3; i++ {
+		kp = putFloats(kp, []float64{1})
+	}
+	f.Add(append([]byte{3}, kp...))
+	f.Add(append([]byte{3}, kp[:jobHeaderLen-4]...))
+
 	// geometry selectors (rows 1, cols 1, q 2, steps 1), then a
 	// well-formed delta-set payload: k, cap, counts, two flagged
 	// untracked manifest entries, two operand blocks
@@ -276,7 +287,7 @@ func FuzzDecodeMsg(f *testing.F) {
 				}
 			}
 		case 3:
-			spec, err := decodeJobSubmission(payload)
+			spec, _, err := decodeJobSubmission(payload)
 			if err == nil && spec.Kind == 0 && spec.C == nil {
 				t.Fatal("decodeJobSubmission returned an empty spec without error")
 			}

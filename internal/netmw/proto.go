@@ -261,7 +261,10 @@ const (
 
 // JobHeader describes a submitted job: for matmul the payload continues
 // with R·S C blocks, R·T A blocks and T·S B blocks; for LU, with R·R M
-// blocks (and T, S echo R).
+// blocks (and T, S echo R). Key is the client's durable idempotency key:
+// a resubmission carrying the key of an already-accepted job attaches to
+// that job (and its journaled state across a master restart) instead of
+// starting a duplicate. Key 0 means unkeyed — every submission is fresh.
 type JobHeader struct {
 	Kind uint32
 	R    uint32
@@ -269,9 +272,10 @@ type JobHeader struct {
 	S    uint32
 	Q    uint32
 	Mu   uint32
+	Key  uint64
 }
 
-const jobHeaderLen = 6 * 4
+const jobHeaderLen = 6*4 + 8
 
 func (h *JobHeader) encode(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[0:], h.Kind)
@@ -280,6 +284,7 @@ func (h *JobHeader) encode(buf []byte) {
 	binary.LittleEndian.PutUint32(buf[12:], h.S)
 	binary.LittleEndian.PutUint32(buf[16:], h.Q)
 	binary.LittleEndian.PutUint32(buf[20:], h.Mu)
+	binary.LittleEndian.PutUint64(buf[24:], h.Key)
 }
 
 func (h *JobHeader) decode(buf []byte) error {
@@ -292,6 +297,7 @@ func (h *JobHeader) decode(buf []byte) error {
 	h.S = binary.LittleEndian.Uint32(buf[12:])
 	h.Q = binary.LittleEndian.Uint32(buf[16:])
 	h.Mu = binary.LittleEndian.Uint32(buf[20:])
+	h.Key = binary.LittleEndian.Uint64(buf[24:])
 	return nil
 }
 

@@ -2,6 +2,7 @@ package netmw
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -22,6 +23,11 @@ type ClusterServerConfig struct {
 	// MaxSlots clamps the per-worker pipelining depth a worker may
 	// advertise at registration; 0 means no clamp.
 	MaxSlots int
+	// WrapTransport, when set, wraps every worker session's transport —
+	// the fault-injection seam. The wrapper sees the same engine messages
+	// the feeder exchanges with the worker; tests use it to drop, delay
+	// or duplicate traffic on a seeded schedule.
+	WrapTransport func(engine.Transport) engine.Transport
 }
 
 // ClusterServer accepts cluster workers and job submissions over TCP and
@@ -202,8 +208,12 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 	// and is a no-op once the incarnation is already gone.
 	defer feed.Lost()
 	tr := newServerTransport(conn, r, w, s.pool, s.enc, func() error { return s.cl.Heartbeat(id) })
+	var link engine.Transport = tr
+	if s.cfg.WrapTransport != nil {
+		link = s.cfg.WrapTransport(tr)
+	}
 	began := time.Now()
-	fstats, _ := engine.RunFeeder(tr, feed, engine.FeederConfig{
+	fstats, _ := engine.RunFeeder(link, feed, engine.FeederConfig{
 		Slots: slots, Pool: s.pool, Mem: int(ri.Mem),
 	})
 	// Fold the session's delta accounting into the worker and job
@@ -220,7 +230,12 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 }
 
 // clientSession serves one MsgSubmit: build the job, run it to
-// completion, answer with the result blocks or the error.
+// completion, answer with the result blocks or the error. A keyed
+// submission is idempotent: when the key names an already-accepted job
+// (including one recovered from the journal after a restart) the session
+// attaches to it instead of starting a duplicate, and the reply carries
+// the canonical result held by the cluster — not the freshly decoded
+// operands of this resubmission.
 func (s *ClusterServer) clientSession(w *bufio.Writer, payload []byte) {
 	reply := func(job cluster.JobID, code uint32, body []byte) {
 		out := make([]byte, jobDoneHeaderLen, jobDoneHeaderLen+len(body))
@@ -230,14 +245,20 @@ func (s *ClusterServer) clientSession(w *bufio.Writer, payload []byte) {
 			w.Flush()
 		}
 	}
-	spec, err := decodeJobSubmission(payload)
+	spec, key, err := decodeJobSubmission(payload)
 	if err != nil {
 		reply(0, 1, []byte(err.Error()))
 		return
 	}
-	id, err := s.cl.SubmitJob(spec)
+	id, _, err := s.cl.SubmitJobKeyed(key, spec)
 	if err != nil {
-		reply(0, 1, []byte(err.Error()))
+		// A master going down hangs up instead of answering: a definitive
+		// job-failure reply would stop a durable client's retry loop, but
+		// shutdown is exactly the transient fault that loop exists for.
+		// The journal preserves the job; the resubmitted key resumes it.
+		if !errors.Is(err, cluster.ErrClosed) {
+			reply(0, 1, []byte(err.Error()))
+		}
 		return
 	}
 	done, err := s.cl.Done(id)
@@ -248,42 +269,31 @@ func (s *ClusterServer) clientSession(w *bufio.Writer, payload []byte) {
 	select {
 	case <-done:
 	case <-s.stop:
-		reply(id, 1, []byte("cluster server shutting down"))
-		return
+		return // shutting down: hang up, the client retries elsewhere
 	}
-	st, err := s.cl.JobStatus(id)
+	res, err := s.cl.JobResult(id)
 	if err != nil {
-		reply(id, 1, []byte(err.Error()))
-		return
-	}
-	if st.State != cluster.Done {
-		msg := "job failed"
-		if st.Err != nil {
-			msg = st.Err.Error()
+		if !errors.Is(err, cluster.ErrClosed) {
+			reply(id, 1, []byte(err.Error()))
 		}
-		reply(id, 1, []byte(msg))
 		return
-	}
-	res := spec.C
-	if spec.Kind == cluster.LU {
-		res = spec.M
 	}
 	body := encodeBlocked(nil, res)
 	reply(id, 0, body)
 }
 
 // decodeJobSubmission parses a MsgSubmit payload into a JobSpec backed by
-// freshly allocated matrices.
-func decodeJobSubmission(payload []byte) (cluster.JobSpec, error) {
+// freshly allocated matrices, plus the client's idempotency key.
+func decodeJobSubmission(payload []byte) (cluster.JobSpec, uint64, error) {
 	var hdr JobHeader
 	if err := hdr.decode(payload); err != nil {
-		return cluster.JobSpec{}, err
+		return cluster.JobSpec{}, 0, err
 	}
 	rest := payload[jobHeaderLen:]
 	r, t, sd, q := int(hdr.R), int(hdr.T), int(hdr.S), int(hdr.Q)
 	if r < 1 || t < 1 || sd < 1 || q < 1 ||
 		r > maxWireDim || t > maxWireDim || sd > maxWireDim || q > maxWireDim {
-		return cluster.JobSpec{}, fmt.Errorf("netmw: bad job dimensions %dx%dx%d q=%d", r, t, sd, q)
+		return cluster.JobSpec{}, 0, fmt.Errorf("netmw: bad job dimensions %dx%dx%d q=%d", r, t, sd, q)
 	}
 	// Size the declared operands before allocating them: a hostile
 	// header must not provoke matrix allocations for bytes that never
@@ -299,14 +309,14 @@ func decodeJobSubmission(payload []byte) (cluster.JobSpec, error) {
 	case WireLU:
 		operands = []uint64{uint64(r) * uint64(r)}
 	default:
-		return cluster.JobSpec{}, fmt.Errorf("netmw: unknown job kind %d", hdr.Kind)
+		return cluster.JobSpec{}, 0, fmt.Errorf("netmw: unknown job kind %d", hdr.Kind)
 	}
 	var need uint64
 	for _, nblocks := range operands {
 		sz := nblocks * perBlock
 		need += sz
 		if sz > uint64(len(rest)) || need > uint64(len(rest)) {
-			return cluster.JobSpec{}, fmt.Errorf("netmw: job payload %d bytes, need %d", len(rest), need)
+			return cluster.JobSpec{}, 0, fmt.Errorf("netmw: job payload %d bytes, need %d", len(rest), need)
 		}
 	}
 	switch hdr.Kind {
@@ -314,23 +324,23 @@ func decodeJobSubmission(payload []byte) (cluster.JobSpec, error) {
 		var c, a, b *matrix.Blocked
 		var err error
 		if c, rest, err = decodeBlocked(rest, r, sd, q); err != nil {
-			return cluster.JobSpec{}, err
+			return cluster.JobSpec{}, 0, err
 		}
 		if a, rest, err = decodeBlocked(rest, r, t, q); err != nil {
-			return cluster.JobSpec{}, err
+			return cluster.JobSpec{}, 0, err
 		}
 		if b, _, err = decodeBlocked(rest, t, sd, q); err != nil {
-			return cluster.JobSpec{}, err
+			return cluster.JobSpec{}, 0, err
 		}
-		return cluster.JobSpec{Kind: cluster.MatMul, C: c, A: a, B: b, Mu: int(hdr.Mu)}, nil
+		return cluster.JobSpec{Kind: cluster.MatMul, C: c, A: a, B: b, Mu: int(hdr.Mu)}, hdr.Key, nil
 	case WireLU:
 		m, _, err := decodeBlocked(rest, r, r, q)
 		if err != nil {
-			return cluster.JobSpec{}, err
+			return cluster.JobSpec{}, 0, err
 		}
-		return cluster.JobSpec{Kind: cluster.LU, M: m, Mu: int(hdr.Mu)}, nil
+		return cluster.JobSpec{Kind: cluster.LU, M: m, Mu: int(hdr.Mu)}, hdr.Key, nil
 	default:
-		return cluster.JobSpec{}, fmt.Errorf("netmw: unknown job kind %d", hdr.Kind)
+		return cluster.JobSpec{}, 0, fmt.Errorf("netmw: unknown job kind %d", hdr.Kind)
 	}
 }
 

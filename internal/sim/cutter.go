@@ -92,3 +92,62 @@ func (c *Cutter) Free(i0, j0, rows, cols int) error {
 	c.left += rows * cols
 	return nil
 }
+
+// Claim removes one specific region from the free pool — the journal
+// replay path, where a chunk known to be committed must never be re-cut.
+// It returns the number of blocks actually claimed: the full region when
+// it was free, 0 when it was already cut (a second replay of the same
+// record), and a partial count when the region straddles cut and free
+// space (a crash between a commit and a Free). Free rectangles
+// overlapping the region are split into their remainder strips.
+func (c *Cutter) Claim(i0, j0, rows, cols int) int {
+	claimed := 0
+	out := c.free[:0:0]
+	for _, r := range c.free {
+		ti := max(r.i0, i0)
+		tj := max(r.j0, j0)
+		bi := min(r.i0+r.rows, i0+rows)
+		bj := min(r.j0+r.cols, j0+cols)
+		if ti >= bi || tj >= bj {
+			out = append(out, r)
+			continue
+		}
+		claimed += (bi - ti) * (bj - tj)
+		if ti > r.i0 {
+			out = append(out, rect{r.i0, r.j0, ti - r.i0, r.cols})
+		}
+		if r.i0+r.rows > bi {
+			out = append(out, rect{bi, r.j0, r.i0 + r.rows - bi, r.cols})
+		}
+		if tj > r.j0 {
+			out = append(out, rect{ti, r.j0, bi - ti, tj - r.j0})
+		}
+		if r.j0+r.cols > bj {
+			out = append(out, rect{ti, bj, bi - ti, r.j0 + r.cols - bj})
+		}
+	}
+	c.free = out
+	c.left -= claimed
+	return claimed
+}
+
+// Rects exports the free regions as {i0, j0, rows, cols} tuples — the
+// cutter's snapshot form for the durable control plane.
+func (c *Cutter) Rects() [][4]int {
+	out := make([][4]int, len(c.free))
+	for i, r := range c.free {
+		out[i] = [4]int{r.i0, r.j0, r.rows, r.cols}
+	}
+	return out
+}
+
+// NewCutterFromRects rebuilds a cutter over a rows×cols grid whose free
+// pool is exactly the given regions (the inverse of Rects).
+func NewCutterFromRects(rows, cols int, rects [][4]int) *Cutter {
+	c := &Cutter{total: rows * cols}
+	for _, r := range rects {
+		c.free = append(c.free, rect{r[0], r[1], r[2], r[3]})
+		c.left += r[2] * r[3]
+	}
+	return c
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes a seeded fault schedule. All probabilities
+// are per message in [0, 1]; the zero config injects nothing.
+type FaultConfig struct {
+	Seed int64
+	// DropProb kills the connection at a message boundary (the harness
+	// treats a drop as a hard connection loss, not a silent discard — the
+	// protocols below assume TCP, where bytes don't vanish from the
+	// middle of a live stream).
+	DropProb float64
+	// DelayProb stalls a message; the stall is uniform in (0, MaxDelay].
+	DelayProb float64
+	MaxDelay  time.Duration
+	// DupProb asks for a message to be delivered twice (the transport
+	// only honors it for messages that are safe to duplicate).
+	DupProb float64
+	// SyncFailEvery makes every Nth durability sync fail (0 = never) —
+	// the disk-side counterpart to the wire faults.
+	SyncFailEvery int
+}
+
+// FaultDecision is the schedule's verdict for one message.
+type FaultDecision struct {
+	Drop  bool
+	Dup   bool
+	Delay time.Duration
+}
+
+// FaultCounts tallies what a plan actually injected.
+type FaultCounts struct {
+	Messages int
+	Drops    int
+	Delays   int
+	Dups     int
+	Syncs    int // sync calls seen
+	SyncErrs int // sync calls failed
+}
+
+// FaultPlan is a deterministic, seeded fault schedule shared by the
+// fault-injection harness: every transport wrapping the same plan draws
+// decisions from one rng stream, so a failing run is reproducible from
+// its seed alone. Safe for concurrent use.
+type FaultPlan struct {
+	mu     sync.Mutex
+	cfg    FaultConfig
+	rng    *rand.Rand
+	counts FaultCounts
+}
+
+// NewFaultPlan builds a plan from cfg (rng seeded with cfg.Seed).
+func NewFaultPlan(cfg FaultConfig) *FaultPlan {
+	return &FaultPlan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next draws the decision for the next message. Drop wins over delay and
+// duplication — a killed connection delivers nothing.
+func (p *FaultPlan) Next() FaultDecision {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts.Messages++
+	var d FaultDecision
+	if p.cfg.DropProb > 0 && p.rng.Float64() < p.cfg.DropProb {
+		p.counts.Drops++
+		d.Drop = true
+		return d
+	}
+	if p.cfg.DelayProb > 0 && p.rng.Float64() < p.cfg.DelayProb && p.cfg.MaxDelay > 0 {
+		p.counts.Delays++
+		d.Delay = time.Duration(1 + p.rng.Int63n(int64(p.cfg.MaxDelay)))
+	}
+	if p.cfg.DupProb > 0 && p.rng.Float64() < p.cfg.DupProb {
+		p.counts.Dups++
+		d.Dup = true
+	}
+	return d
+}
+
+// SyncErr implements the durability-fault side: it returns an error on
+// every SyncFailEvery-th call, for wiring into store.Options.Sync ahead
+// of the real fsync.
+func (p *FaultPlan) SyncErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts.Syncs++
+	if p.cfg.SyncFailEvery > 0 && p.counts.Syncs%p.cfg.SyncFailEvery == 0 {
+		p.counts.SyncErrs++
+		return fmt.Errorf("sim: injected fsync failure (call %d)", p.counts.Syncs)
+	}
+	return nil
+}
+
+// Counts snapshots the injected-fault tally.
+func (p *FaultPlan) Counts() FaultCounts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/netmw"
+	"repro/internal/store"
 )
 
 // Cluster-service surface: the long-running fault-tolerant scheduler of
@@ -106,7 +107,11 @@ type ClusterWorkerOptions struct {
 	Cores          int
 	HeartbeatEvery time.Duration // liveness beacon cadence (0 disables)
 	Reconnect      int           // reconnect budget after connection loss
-	Backoff        time.Duration // pause between reconnect attempts
+	// Backoff is the base pause between reconnect attempts; it doubles
+	// per consecutive failure with full jitter, capped at BackoffMax
+	// (0 caps at 16× Backoff), and resets once a session makes progress.
+	Backoff    time.Duration
+	BackoffMax time.Duration
 }
 
 // WorkClusterTCP runs one TCP cluster worker against a ServeClusterTCP
@@ -117,7 +122,7 @@ func WorkClusterTCP(addr string, opts ClusterWorkerOptions) error {
 		Addr: addr, Name: opts.Name, Memory: opts.MemoryBlocks,
 		StageCap: opts.StageCap, Slots: opts.Slots, Cores: opts.Cores,
 		HeartbeatEvery: opts.HeartbeatEvery,
-		Reconnect:      opts.Reconnect, Backoff: opts.Backoff,
+		Reconnect:      opts.Reconnect, Backoff: opts.Backoff, BackoffMax: opts.BackoffMax,
 	})
 	return err
 }
@@ -132,4 +137,69 @@ func SubmitMatMulTCP(addr string, c, a, b *Blocked, mu int, timeout time.Duratio
 // cluster service and blocks until it completes.
 func SubmitLUTCP(addr string, m *Blocked, mu int, timeout time.Duration) error {
 	return netmw.SubmitLUTCP(addr, m, mu, timeout)
+}
+
+// Durable control plane: a write-ahead journal makes the cluster's job
+// state survive a master crash. Open a ClusterJournal, hand its Log to
+// ClusterConfig.Log, and call (*Cluster).Recover after NewCluster on
+// restart — accepted jobs resume from their last committed chunk, and
+// keyed resubmissions ((*Cluster).SubmitJobKeyed, or the Durable TCP
+// submit helpers) attach to the recovered jobs instead of duplicating
+// them. (*Cluster).Drain + AwaitQuiesce give a bounded graceful stop.
+
+// Re-exported durable-control-plane types.
+type (
+	// ClusterRetryPolicy paces task requeues after worker losses with
+	// capped exponential backoff (ClusterConfig.Retry).
+	ClusterRetryPolicy = cluster.RetryPolicy
+	// ClusterJobLog is the durable sink for job lifecycle events
+	// (ClusterConfig.Log).
+	ClusterJobLog = cluster.JobLog
+	// ClusterRecoveryStats summarizes a (*Cluster).Recover replay.
+	ClusterRecoveryStats = cluster.RecoveryStats
+	// ClusterSubmitOptions tunes the durable TCP submit helpers:
+	// idempotency key, transport-failure retries, jittered backoff.
+	ClusterSubmitOptions = netmw.SubmitOptions
+)
+
+// Durable-control-plane errors.
+var (
+	// ErrClusterDraining: the cluster refuses new work while draining
+	// (resubmissions of already-accepted keys still attach).
+	ErrClusterDraining = cluster.ErrDraining
+	// ErrClusterClosed: the cluster has shut down.
+	ErrClusterClosed = cluster.ErrClosed
+)
+
+// ClusterJournal is an append-only, fsync'd, CRC-framed write-ahead
+// journal backing a cluster's control plane.
+type ClusterJournal struct{ jn *store.Journal }
+
+// OpenClusterJournal opens (or creates) the journal in dir, dropping any
+// torn tail left by a crash.
+func OpenClusterJournal(dir string) (*ClusterJournal, error) {
+	jn, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterJournal{jn: jn}, nil
+}
+
+// Log adapts the journal for ClusterConfig.Log.
+func (j *ClusterJournal) Log() ClusterJobLog { return cluster.NewStoreLog(j.jn) }
+
+// Close flushes and closes the journal. Close the cluster first.
+func (j *ClusterJournal) Close() error { return j.jn.Close() }
+
+// SubmitMatMulDurableTCP is SubmitMatMulTCP with an idempotency key and
+// retry-on-transport-failure: the submission survives connection loss
+// and even a master crash, as long as the master restarts over its
+// journal. Job-level failures (quarantined poison jobs) are final.
+func SubmitMatMulDurableTCP(addr string, c, a, b *Blocked, mu int, opts ClusterSubmitOptions) error {
+	return netmw.SubmitMatMulDurable(addr, c, a, b, mu, opts)
+}
+
+// SubmitLUDurableTCP is SubmitLUTCP with the same durable semantics.
+func SubmitLUDurableTCP(addr string, m *Blocked, mu int, opts ClusterSubmitOptions) error {
+	return netmw.SubmitLUDurable(addr, m, mu, opts)
 }

@@ -34,8 +34,10 @@ fmt:
 # mark and x-lower-bound (measured communication over the §4
 # Loomis–Whitney bound) — and the durable control plane's boot-time
 # replay cost (recovery-ms, jobs-replayed, journal-MB,
-# replay-events/s from BenchmarkServeRecovery) to BENCH_serve.json —
-# all parsed by cmd/benchjson. The kernel
+# replay-events/s from BenchmarkServeRecovery) and the Freivalds
+# result-verification overhead series (makespan-ms off vs all,
+# verify-ms, verify-overhead-% from BenchmarkServeVerify) to
+# BENCH_serve.json — all parsed by cmd/benchjson. The kernel
 # series runs 5 iterations per point so a single noisy timeslice cannot
 # skew the recorded Gflops. The fleet run also renders its per-worker
 # Gantt timeline (idle/comm/compute/speculation lanes) to
@@ -48,7 +50,7 @@ bench:
 	@cat BENCH_kernel.json
 	$(GO) test -run '^$$' -bench 'BenchmarkTransport' -benchtime 4x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_transport.json
 	@cat BENCH_transport.json
-	$(GO) test -run '^$$' -bench 'BenchmarkServeRecovery' -benchtime 3x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime 3x -count 1 . | $(GO) run ./cmd/benchjson > BENCH_serve.json
 	@cat BENCH_serve.json
 
 # bench-all smoke-runs every benchmark once (the paper's tables/figures).

@@ -121,3 +121,80 @@ func BenchmarkServeRecovery(b *testing.B) {
 	b.ReportMetric(float64(bytes)/(1<<20), "journal-MB")
 	b.ReportMetric(float64(last.Events)/perIter.Seconds(), "replay-events/s")
 }
+
+// benchVerifyJob runs one nGrid×nGrid block-q matmul job on a fresh
+// cluster under the given verification mode and returns the job's wall
+// time plus the cluster's cumulative stats (fresh cluster, so they are
+// per-job).
+func benchVerifyJob(b *testing.B, mode cluster.VerifyMode, nGrid, q int) (time.Duration, cluster.Stats) {
+	b.Helper()
+	cl := cluster.New(cluster.Config{
+		HeartbeatTimeout: time.Hour,
+		Verify:           cluster.VerifyPolicy{Mode: mode},
+	})
+	defer cl.Close()
+	go cluster.RunLocalWorker(cl, cluster.LocalWorkerConfig{ID: "bw", Mem: 4 * nGrid * nGrid})
+	n := nGrid * q
+	ad, bd, cd := matrix.NewDense(n, n), matrix.NewDense(n, n), matrix.NewDense(n, n)
+	matrix.DeterministicFill(ad, 5)
+	matrix.DeterministicFill(bd, 6)
+	matrix.DeterministicFill(cd, 7)
+	start := time.Now()
+	id, err := cl.SubmitJob(cluster.JobSpec{
+		Kind: cluster.MatMul, Mu: 2,
+		C: matrix.Partition(cd, q), A: matrix.Partition(ad, q), B: matrix.Partition(bd, q),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st, err := cl.Wait(id); err != nil || st.State != cluster.Done {
+		b.Fatalf("verify bench job: state=%v err=%v", st.State, err)
+	}
+	elapsed := time.Since(start)
+	st := cl.ClusterStats()
+	if st.VerifyFailures != 0 {
+		b.Fatalf("honest bench worker refused %d tiles", st.VerifyFailures)
+	}
+	return elapsed, st
+}
+
+// BenchmarkServeVerify prices the result-integrity tentpole: the same
+// q=128 matmul job with Freivalds verification off versus verify-all.
+// The "all" arm reports the verifier's own wall time (verify-ms) and
+// its share of the makespan (verify-overhead-%) — the cost of checking
+// every committed tile against the master-owned operands. The probe is
+// memory-bound (one sweep over the candidate and old tiles, with the
+// operand projections amortized per job) against the worker's
+// compute-bound O(T·q³) SIMD kernel, so the overhead fraction falls as
+// the update depth T grows; the 24×24 grid is a production-shaped job
+// where the amortization is actually exercised.
+func BenchmarkServeVerify(b *testing.B) {
+	const nGrid, q = 24, 128
+	for _, arm := range []struct {
+		name string
+		mode cluster.VerifyMode
+	}{{"off", cluster.VerifyOff}, {"all", cluster.VerifyAll}} {
+		b.Run(arm.name, func(b *testing.B) {
+			var total, verify time.Duration
+			var last cluster.Stats
+			for i := 0; i < b.N; i++ {
+				el, st := benchVerifyJob(b, arm.mode, nGrid, q)
+				total += el
+				verify += time.Duration(st.VerifyNS)
+				last = st
+			}
+			per := total / time.Duration(b.N)
+			b.ReportMetric(float64(per.Microseconds())/1000, "makespan-ms")
+			if arm.mode == cluster.VerifyAll {
+				if last.VerifyChecks != nGrid*nGrid {
+					b.Fatalf("checked %d tiles, want %d", last.VerifyChecks, nGrid*nGrid)
+				}
+				perVerify := verify / time.Duration(b.N)
+				b.ReportMetric(float64(perVerify.Microseconds())/1000, "verify-ms")
+				b.ReportMetric(100*float64(verify)/float64(total), "verify-overhead-%")
+				b.ReportMetric(float64(last.VerifyChecks), "tiles-checked")
+				b.ReportMetric(float64(last.TilesRecomputed), "tiles-recomputed")
+			}
+		})
+	}
+}

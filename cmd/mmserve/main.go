@@ -52,6 +52,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, wait this long for running jobs to finish before exiting anyway")
 	retryBackoff := flag.Duration("retry-backoff", 500*time.Millisecond, "base delay before re-dispatching a task lost with its worker (doubles per attempt)")
 	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "cap on the per-task retry delay (0 = 16× -retry-backoff)")
+	verifySample := flag.Float64("verify-sample", 0, "serve: Freivalds-check only this fraction of tasks (0 = every task when -verify is on, 1 = every task)")
+	quarStrikes := flag.Int("quarantine-strikes", 3, "serve: refused tasks before a worker is quarantined for corrupt results")
 
 	submit := flag.Bool("submit", false, "act as a client: submit one job and wait for the result")
 	kind := flag.String("kind", "matmul", "submit job kind: matmul | lu")
@@ -59,7 +61,7 @@ func main() {
 	q := flag.Int("q", 64, "submit: block size")
 	mu := flag.Int("mu", 4, "submit: chunk side in blocks (µ)")
 	seed := flag.Int64("seed", 1, "submit: deterministic fill seed")
-	verify := flag.Bool("verify", true, "submit: check the result against a local reference")
+	verify := flag.Bool("verify", true, "submit: check the result against a local reference; serve: Freivalds-verify worker results before commit")
 	timeout := flag.Duration("timeout", 10*time.Minute, "submit: round-trip deadline")
 	key := flag.Uint64("key", 0, "submit: idempotency key — retries and resubmissions with one key attach to one job (0 = fresh random key)")
 	retries := flag.Int("retries", 0, "submit: resubmit this many times after transport failures (same key each time)")
@@ -94,12 +96,29 @@ func main() {
 	if *drainTimeout < 0 {
 		fatalUsage("-drain-timeout must be ≥ 0, got %v", *drainTimeout)
 	}
+	if *verifySample < 0 || *verifySample > 1 {
+		fatalUsage("-verify-sample must be in [0, 1], got %g", *verifySample)
+	}
+	if *quarStrikes < 1 {
+		fatalUsage("-quarantine-strikes must be ≥ 1, got %d", *quarStrikes)
+	}
+	vp := cluster.VerifyPolicy{QuarantineStrikes: *quarStrikes}
+	switch {
+	case !*verify:
+		vp.Mode = cluster.VerifyOff
+	case *verifySample > 0 && *verifySample < 1:
+		vp.Mode = cluster.VerifySample
+		vp.SampleRate = *verifySample
+	default:
+		vp.Mode = cluster.VerifyAll
+	}
 
 	cfg := cluster.Config{
 		HeartbeatTimeout: *hbTimeout,
 		MaxAttempts:      *maxAttempts,
 		MaxRunning:       *maxRunning,
 		Retry:            cluster.RetryPolicy{Backoff: *retryBackoff, MaxBackoff: *retryBackoffMax},
+		Verify:           vp,
 		Adaptive: cluster.AdaptiveConfig{
 			Enabled:           *adaptive,
 			ChunkTarget:       *chunkTarget,
@@ -141,7 +160,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmserve: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("mmserve: listening on %s (hb-timeout %v)\n", srv.Addr(), *hbTimeout)
+	fmt.Printf("mmserve: listening on %s (hb-timeout %v, verify %s)\n", srv.Addr(), *hbTimeout, vp.Mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -174,6 +193,14 @@ func main() {
 	if st.Speculations > 0 {
 		fmt.Printf("mmserve: straggler re-dispatch: %d duplicates launched, %d won the race\n",
 			st.Speculations, st.SpecWins)
+	}
+	if st.VerifyChecks > 0 || st.TransportFaults > 0 || st.WorkersQuarantined > 0 {
+		fmt.Printf("mmserve: verification: %d tiles checked in %v, %d refused (%d escalated recomputes), %d transport faults, %d workers quarantined\n",
+			st.VerifyChecks, time.Duration(st.VerifyNS).Round(time.Millisecond),
+			st.VerifyFailures, st.TilesRecomputed, st.TransportFaults, st.WorkersQuarantined)
+	}
+	for _, qw := range cl.QuarantinedWorkers() {
+		fmt.Printf("mmserve: worker %s QUARANTINED after %d strikes (%s)\n", qw.ID, qw.Strikes, qw.Reason)
 	}
 	for _, js := range jobs {
 		if js.Quarantined {
@@ -219,6 +246,17 @@ func printWorkerStatus(workers []cluster.WorkerInfo) {
 		}
 		if wi.DirtyBlocks > 0 {
 			line += fmt.Sprintf(" DIRTY=%d", wi.DirtyBlocks)
+		}
+		if wi.TransportFaults > 0 {
+			line += fmt.Sprintf(" crc-faults=%d", wi.TransportFaults)
+		}
+		if wi.Strikes > 0 || wi.VerifyFailures > 0 {
+			line += fmt.Sprintf(" strikes=%d refused-tiles=%d", wi.Strikes, wi.VerifyFailures)
+		}
+		if wi.Quarantined {
+			line += " QUARANTINED"
+		} else if wi.Suspect {
+			line += " suspect"
 		}
 		fmt.Println(line)
 		shipped += wi.BlocksShipped

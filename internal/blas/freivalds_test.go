@@ -1,0 +1,144 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randTile builds old, a, b operands and the honest candidate
+// old + Σ_k a[k]·b[k] (or minus, when subtract) computed through the
+// exact chain every worker path is pinned to.
+func randTile(rng *rand.Rand, q, steps int, subtract bool) (cand, old []float64, a, b [][]float64) {
+	old = make([]float64, q*q)
+	for i := range old {
+		old[i] = rng.NormFloat64()
+	}
+	a = make([][]float64, steps)
+	b = make([][]float64, steps)
+	for k := 0; k < steps; k++ {
+		a[k] = make([]float64, q*q)
+		b[k] = make([]float64, q*q)
+		for i := range a[k] {
+			a[k][i] = rng.NormFloat64()
+			b[k][i] = rng.NormFloat64()
+		}
+	}
+	cand = make([]float64, q*q)
+	work := a
+	if subtract {
+		work = make([][]float64, steps)
+		for k := range a {
+			neg := make([]float64, q*q)
+			for i, v := range a[k] {
+				neg[i] = -v
+			}
+			work[k] = neg
+		}
+	}
+	RecomputeTile(cand, old, work, b, q)
+	return cand, old, a, b
+}
+
+// TestFreivaldsZeroFalseRejects pins the acceptance side of the
+// property: a bit-exact honest tile is never rejected, across shapes,
+// step counts, LU-style subtraction, seeds, and round counts.
+func TestFreivaldsZeroFalseRejects(t *testing.T) {
+	v := NewTileVerifier(7)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		q := 1 + rng.Intn(24)
+		steps := 1 + rng.Intn(6)
+		subtract := rng.Intn(2) == 1
+		cand, old, a, b := randTile(rng, q, steps, subtract)
+		rounds := 1 + rng.Intn(5)
+		if !v.Check(cand, old, a, b, q, subtract, rounds, 0) {
+			t.Fatalf("trial %d: honest tile rejected (q=%d steps=%d subtract=%v rounds=%d)",
+				trial, q, steps, subtract, rounds)
+		}
+	}
+}
+
+// TestFreivaldsCatchesSingleFlip pins the detection side for the fault
+// the harness injects: flipping one exponent bit of one nonzero element
+// is caught by every ±1 probe (a single-element corruption changes
+// exactly one probe coordinate by the corruption itself, which a ±1
+// probe never cancels).
+func TestFreivaldsCatchesSingleFlip(t *testing.T) {
+	v := NewTileVerifier(11)
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		q := 2 + rng.Intn(16)
+		cand, old, a, b := randTile(rng, q, 1+rng.Intn(4), false)
+		i := rng.Intn(q * q)
+		cand[i] = math.Float64frombits(math.Float64bits(cand[i]) ^ (1 << 62))
+		if v.Check(cand, old, a, b, q, false, 1, 0) {
+			t.Fatalf("trial %d: single-flip corruption accepted (q=%d)", trial, q)
+		}
+	}
+}
+
+// falseAcceptRate measures how often an adversarial corruption — two
+// equal-and-opposite perturbations in the same tile row, the pattern a
+// ±1 probe cancels with probability 1/2 per round — survives k rounds.
+func falseAcceptRate(t *testing.T, rounds, trials int) float64 {
+	t.Helper()
+	v := NewTileVerifier(101)
+	rng := rand.New(rand.NewSource(44))
+	accepted := 0
+	for trial := 0; trial < trials; trial++ {
+		q := 8
+		cand, old, a, b := randTile(rng, q, 2, false)
+		row := rng.Intn(q)
+		j1 := rng.Intn(q)
+		j2 := (j1 + 1 + rng.Intn(q-1)) % q
+		d := 1.0 + rng.Float64()
+		cand[row*q+j1] += d
+		cand[row*q+j2] -= d
+		if v.Check(cand, old, a, b, q, false, rounds, 0) {
+			accepted++
+		}
+	}
+	return float64(accepted) / float64(trials)
+}
+
+// TestFreivaldsFalseAcceptShrinksWithRounds pins the 2⁻ᵏ error decay:
+// the adversarial two-element corruption passes one round about half
+// the time, and each extra round halves the survival rate.
+func TestFreivaldsFalseAcceptShrinksWithRounds(t *testing.T) {
+	const trials = 400
+	r1 := falseAcceptRate(t, 1, trials)
+	r3 := falseAcceptRate(t, 3, trials)
+	r5 := falseAcceptRate(t, 5, trials)
+	if r1 < 0.35 || r1 > 0.65 {
+		t.Fatalf("1-round false-accept rate %.3f, want ≈ 0.5", r1)
+	}
+	if r3 < 0.04 || r3 > 0.25 {
+		t.Fatalf("3-round false-accept rate %.3f, want ≈ 0.125", r3)
+	}
+	if r5 > 0.10 {
+		t.Fatalf("5-round false-accept rate %.3f, want ≈ 0.03", r5)
+	}
+	if !(r3 < r1 && r5 < r3) {
+		t.Fatalf("false-accept rate not shrinking with rounds: %.3f, %.3f, %.3f", r1, r3, r5)
+	}
+}
+
+// TestRecomputeTileEscalation pins the exact path: the recomputation
+// matches an honest candidate bit-for-bit and differs on any corrupted
+// one, including a NaN injection == would wave through.
+func TestRecomputeTileEscalation(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	q := 12
+	cand, old, a, b := randTile(rng, q, 3, false)
+	dst := make([]float64, q*q)
+	RecomputeTile(dst, old, a, b, q)
+	if !EqualBits(dst, cand) {
+		t.Fatal("honest tile does not match its exact recomputation")
+	}
+	bad := append([]float64(nil), cand...)
+	bad[5] = math.NaN()
+	if EqualBits(dst, bad) {
+		t.Fatal("NaN-corrupted tile matched the exact recomputation")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/matrix"
@@ -46,6 +47,10 @@ var (
 	// graceful shutdown; resubmitting an already-accepted idempotency key
 	// still attaches.
 	ErrDraining = errors.New("cluster: draining, not accepting new jobs")
+	// ErrWorkerQuarantined refuses a worker whose results failed
+	// verification past the strike threshold; the verdict is journaled,
+	// so it also refuses the worker after a master restart.
+	ErrWorkerQuarantined = errors.New("cluster: worker quarantined for corrupt results")
 )
 
 // RetryPolicy shapes the pause between a task's loss and its next
@@ -104,6 +109,9 @@ type Config struct {
 	// is acknowledged; Recover replays it after a restart. Nil keeps the
 	// control plane in memory only.
 	Log JobLog
+	// Verify tunes Freivalds result verification and worker quarantine.
+	// Zero value (VerifyOff) commits results unchecked.
+	Verify VerifyPolicy
 }
 
 // Stats is a point-in-time summary of the service.
@@ -129,6 +137,21 @@ type Stats struct {
 	// finished first and revoked the other copy.
 	Speculations int
 	SpecWins     int
+	// VerifyChecks counts tiles Freivalds-checked before commit;
+	// VerifyFailures counts tiles refused after the exact-recompute
+	// escalation confirmed corruption; TilesRecomputed counts the
+	// escalations themselves (probe failures, confirmed or not).
+	VerifyChecks    int
+	VerifyFailures  int
+	TilesRecomputed int
+	// VerifyNS is the cumulative wall time spent in verification,
+	// nanoseconds (probes plus escalations).
+	VerifyNS int64
+	// WorkersQuarantined counts workers parked for corrupt results;
+	// TransportFaults counts wire-level CRC faults reported against
+	// workers (suspicion only — no strikes).
+	WorkersQuarantined int
+	TransportFaults    int
 }
 
 // Cluster is the scheduler service. All methods are safe for concurrent
@@ -171,6 +194,18 @@ type Cluster struct {
 	// wakeAt is the earliest armed backoff wake-up (real clock only), so
 	// nextTask does not stack a timer per blocked call.
 	wakeAt time.Time
+
+	// verify is the normalized verification policy; vfy holds the reusable
+	// Freivalds state; quarantined records parked workers by id (worker
+	// records are replaced on rejoin, the verdict must not be).
+	verify          VerifyPolicy
+	vfy             verifyScratch
+	quarantined     map[string]quarantineInfo
+	verifyChecks    int
+	verifyFails     int
+	tilesRecomputed int
+	transportFaults int
+	verifyNS        int64
 }
 
 // New builds a cluster service.
@@ -188,15 +223,19 @@ func New(cfg Config) *Cluster {
 		cfg.Adaptive.ChunkTarget = 250 * time.Millisecond
 	}
 	cl := &Cluster{
-		cfg:   cfg,
-		clock: cfg.Clock,
-		reg:   newRegistry(),
-		jobs:  make(map[JobID]*job),
-		keys:  make(map[uint64]JobID),
-		pool:  engine.NewBlockPool(),
-		est:   stats.NewEstimator(cfg.Adaptive.Alpha),
-		log:   cfg.Log,
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		reg:         newRegistry(),
+		jobs:        make(map[JobID]*job),
+		keys:        make(map[uint64]JobID),
+		pool:        engine.NewBlockPool(),
+		est:         stats.NewEstimator(cfg.Adaptive.Alpha),
+		log:         cfg.Log,
+		verify:      cfg.Verify.normalized(),
+		quarantined: make(map[string]quarantineInfo),
 	}
+	cl.vfy.v = blas.NewTileVerifier(cl.verify.Seed)
+	cl.vfy.sample = cl.verify.Seed ^ 0xa5a5a5a55a5a5a5a
 	cl.cond = sync.NewCond(&cl.mu)
 	return cl
 }
@@ -438,11 +477,17 @@ func (cl *Cluster) ClusterStats() Stats {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	st := Stats{
-		WorkersAlive: cl.reg.alive(),
-		WorkersLost:  cl.reg.lost,
-		Requeues:     cl.requeue,
-		Speculations: cl.specLaunched,
-		SpecWins:     cl.specWon,
+		WorkersAlive:       cl.reg.alive(),
+		WorkersLost:        cl.reg.lost,
+		Requeues:           cl.requeue,
+		Speculations:       cl.specLaunched,
+		SpecWins:           cl.specWon,
+		VerifyChecks:       cl.verifyChecks,
+		VerifyFailures:     cl.verifyFails,
+		TilesRecomputed:    cl.tilesRecomputed,
+		VerifyNS:           cl.verifyNS,
+		WorkersQuarantined: len(cl.quarantined),
+		TransportFaults:    cl.transportFaults,
 	}
 	for _, j := range cl.jobs {
 		switch j.state {
@@ -519,6 +564,9 @@ func (cl *Cluster) JoinWorker(id string, mem, slots int) (uint64, error) {
 	defer cl.mu.Unlock()
 	if cl.closed {
 		return 0, ErrClosed
+	}
+	if _, bad := cl.quarantined[id]; bad {
+		return 0, fmt.Errorf("%w: %q", ErrWorkerQuarantined, id)
 	}
 	if old := cl.reg.workers[id]; old != nil && !old.dead {
 		cl.loseWorkerLocked(old)
@@ -708,6 +756,9 @@ func (cl *Cluster) nextTask(id string, epoch uint64) (*Task, error) {
 	for {
 		if cl.closed {
 			return nil, ErrClosed
+		}
+		if _, bad := cl.quarantined[id]; bad {
+			return nil, ErrWorkerQuarantined
 		}
 		w := cl.reg.workers[id]
 		if w == nil || w.dead || (epoch != 0 && w.epoch != epoch) {
@@ -1033,6 +1084,20 @@ func (cl *Cluster) Complete(id string, t *Task, blocks [][]float64) error {
 		cl.cond.Broadcast()
 		return nil
 	}
+	// Verification gate: the candidate tiles are checked against the
+	// master-owned operands before anything lands in the job matrix. A
+	// confirmed-corrupt task is refused wholesale — requeued and struck —
+	// and reads as accepted to the transport; the speculation latch is
+	// deliberately left alone, since a racing duplicate may yet deliver
+	// the honest value.
+	if cl.shouldVerifyLocked(w) &&
+		!cl.verifyTaskLocked(j, t, w, func(i, jj int) []float64 { return blocks[i*ch.Cols+jj] }) {
+		cl.requeueLocked(t, false)
+		cl.strikeLocked(w, fmt.Sprintf("task %d/%d failed result verification", t.Job, t.Seq))
+		cl.promoteLocked()
+		cl.cond.Broadcast()
+		return nil
+	}
 	// First copy of a speculated seq to finish: revoke the other copies
 	// before accounting, so the losers' late reports all read as stale.
 	cl.resolveSpeculationLocked(j, t)
@@ -1148,6 +1213,14 @@ func (cl *Cluster) CommitFlushEpoch(id string, epoch uint64, ids []uint64, block
 	}
 	w.flushPending = false
 	w.lastSeen = cl.clock.Now()
+	// Verification pre-pass, BEFORE any commit: per-task commits are
+	// atomic, and a mid-loop refusal would leave half a task committed —
+	// the requeued recompute would then double-apply the landed half. A
+	// refused task's tiles leave the dirty-tile tracking here, so the
+	// commit loop below skips them (dt == nil).
+	if cl.verify.Mode != VerifyOff {
+		cl.verifyFlushLocked(w, ids, blocks)
+	}
 	for n, bid := range ids {
 		dt := w.dirtyTiles[bid]
 		if dt == nil {

@@ -203,6 +203,10 @@ type job struct {
 	// cutter has no per-task identity to hang an attempt counter on, so
 	// the retry backoff applies at job level).
 	cutNotBefore time.Time
+	// vcache is the lazily built per-job Freivalds state (probe vectors,
+	// cached B·r products, operand norms); nil until the verification
+	// policy first touches the job, never journaled.
+	vcache *verifyCache
 }
 
 func validateSpec(spec JobSpec) error {

@@ -20,6 +20,8 @@ package cluster
 //     construction — they rerun from the master-owned operands, which a
 //     dirty task never modified, so the recomputation is bit-exact.
 //   - done records the terminal state (including quarantine).
+//   - quarantine records a worker parked for corrupt results, so the
+//     refusal to readmit it survives a master restart.
 //
 // Replay is idempotent: jobs are keyed by id, committed chunks by seq
 // (j.doneSeqs), so replaying a journal twice — or a journal whose tail
@@ -36,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/matrix"
 	"repro/internal/sim"
@@ -67,9 +70,10 @@ func (s storeLog) Replay(fn func(rec []byte, snapshot bool) error) error {
 
 // Event type tags (first byte of every non-snapshot record).
 const (
-	evAccepted byte = 1
-	evChunk    byte = 2
-	evDone     byte = 3
+	evAccepted         byte = 1
+	evChunk            byte = 2
+	evDone             byte = 3
+	evWorkerQuarantine byte = 4
 )
 
 // RecoveryStats summarizes one Recover pass.
@@ -208,6 +212,20 @@ func (cl *Cluster) logDoneLocked(j *job) {
 		msg = j.err.Error()
 	}
 	e.str(msg)
+	cl.appendLogLocked(e.buf) //nolint:errcheck // latched in cl.logErr
+}
+
+// logWorkerQuarantineLocked records a worker quarantined for corrupt
+// results; replay refuses the id on rejoin after a restart.
+func (cl *Cluster) logWorkerQuarantineLocked(id string, strikes int, reason string) {
+	if cl.log == nil {
+		return
+	}
+	e := &recEnc{}
+	e.u8(evWorkerQuarantine)
+	e.str(id)
+	e.u32(uint32(strikes))
+	e.str(reason)
 	cl.appendLogLocked(e.buf) //nolint:errcheck // latched in cl.logErr
 }
 
@@ -417,6 +435,14 @@ func (cl *Cluster) applyEventLocked(rec []byte, rs *RecoveryStats) error {
 		}
 		cl.finishJobLocked(j, state, jerr)
 		cl.promoteLocked()
+	case evWorkerQuarantine:
+		id := d.str()
+		strikes := int(d.u32())
+		reason := d.str()
+		if d.err != nil {
+			return fmt.Errorf("cluster: quarantine record: %w", d.err)
+		}
+		cl.quarantined[id] = quarantineInfo{strikes: strikes, reason: reason}
 	default:
 		return fmt.Errorf("cluster: unknown journal record type %d", rec[0])
 	}
@@ -506,6 +532,20 @@ func (cl *Cluster) encodeSnapshotLocked() []byte {
 				e.u32(uint32(r[3]))
 			}
 		}
+	}
+	// Quarantined-worker table (sorted for deterministic snapshots), so a
+	// compacted journal still refuses the ids after a restart.
+	qids := make([]string, 0, len(cl.quarantined))
+	for id := range cl.quarantined {
+		qids = append(qids, id)
+	}
+	sort.Strings(qids)
+	e.u32(uint32(len(qids)))
+	for _, id := range qids {
+		qi := cl.quarantined[id]
+		e.str(id)
+		e.u32(uint32(qi.strikes))
+		e.str(qi.reason)
 	}
 	return e.buf
 }
@@ -618,6 +658,22 @@ func (cl *Cluster) applySnapshotLocked(rec []byte, rs *RecoveryStats) error {
 			close(j.doneCh)
 		}
 		rs.Jobs++
+	}
+	// Quarantined-worker table. Snapshots written before verification
+	// existed end here; keep accepting them.
+	if d.err != nil || len(d.buf) == 0 {
+		return d.err
+	}
+	cl.quarantined = make(map[string]quarantineInfo)
+	nq := int(d.u32())
+	for i := 0; i < nq; i++ {
+		id := d.str()
+		strikes := int(d.u32())
+		reason := d.str()
+		if d.err != nil {
+			return fmt.Errorf("cluster: snapshot quarantine entry %d: %w", i, d.err)
+		}
+		cl.quarantined[id] = quarantineInfo{strikes: strikes, reason: reason}
 	}
 	return d.err
 }

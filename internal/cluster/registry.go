@@ -49,6 +49,18 @@ type WorkerInfo struct {
 	// Profile is the worker's live speed/bandwidth estimate; zero-valued
 	// (ComputeSamples == 0) until the first timing sample lands.
 	Profile stats.Profile
+
+	// Result-integrity accounting. Strikes counts tasks refused after a
+	// confirmed verification failure; VerifyFailures counts the refused
+	// tiles; TransportFaults counts wire-CRC faults reported against the
+	// worker's connection (suspicion only, no strikes). Suspect marks a
+	// worker the VerifySuspect policy will always check; Quarantined
+	// marks a worker parked past the strike threshold.
+	Strikes         int
+	VerifyFailures  int
+	TransportFaults int
+	Suspect         bool
+	Quarantined     bool
 }
 
 // CacheHitRate returns the fraction of operand blocks the resident
@@ -118,6 +130,13 @@ type workerState struct {
 	// flushed counts C blocks committed via CommitFlush over the
 	// worker's lifetime (carried across incarnations).
 	flushed int64
+	// Result-integrity state, carried across incarnations — a corrupt
+	// worker must not launder its strikes by reconnecting.
+	strikes         int
+	verifyFails     int
+	transportFaults int
+	suspect         bool
+	quarantined     bool
 }
 
 // dirtyBlocks returns the number of C tiles resident on the worker
@@ -163,6 +182,10 @@ func (r *registry) join(id string, mem, slots int, now time.Time) *workerState {
 		w.done = old.done
 		w.flushed = old.flushed
 		w.sessions = old.sessions + 1
+		w.strikes = old.strikes
+		w.verifyFails = old.verifyFails
+		w.transportFaults = old.transportFaults
+		w.suspect = old.suspect
 	}
 	r.workers[id] = w
 	return w
@@ -220,6 +243,11 @@ func (r *registry) snapshot() []WorkerInfo {
 			DirtyBlocks:    w.dirtyBlocks(), FlushedBlocks: w.flushed,
 			WireBytesOut: w.wireOut, WireBytesIn: w.wireIn,
 			SessWireBytesOut: w.sessWireOut, SessWireBytesIn: w.sessWireIn,
+			Strikes:         w.strikes,
+			VerifyFailures:  w.verifyFails,
+			TransportFaults: w.transportFaults,
+			Suspect:         w.suspect,
+			Quarantined:     w.quarantined,
 		})
 	}
 	return out

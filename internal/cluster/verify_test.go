@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/engine"
+	"repro/internal/lu"
+	"repro/internal/matrix"
+)
+
+// honestTask computes a task's candidate tiles exactly as an honest
+// worker would: the master C tile continued with the ascending-k FMA
+// chain over the job's operand panels.
+func honestTask(c, a, b *matrix.Blocked, tk *Task, q int) [][]float64 {
+	ch := tk.Chunk
+	out := make([][]float64, 0, ch.Rows*ch.Cols)
+	for i := 0; i < ch.Rows; i++ {
+		for jj := 0; jj < ch.Cols; jj++ {
+			bi, bj := ch.I0+i, ch.J0+jj
+			av := make([][]float64, tk.Steps)
+			bv := make([][]float64, tk.Steps)
+			for k := 0; k < tk.Steps; k++ {
+				av[k] = a.Block(bi, k).Data
+				bv[k] = b.Block(k, bj).Data
+			}
+			blk := make([]float64, q*q)
+			blas.RecomputeTile(blk, c.Block(bi, bj).Data, av, bv, q)
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// flipBit62 corrupts one element the way a flaky FPU or DIMM would: a
+// high-exponent bit flip that the wire CRC can no longer see because it
+// happened before (or after) framing.
+func flipBit62(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << 62))
+}
+
+// TestVerifyAllHonestJob runs a whole job under VerifyAll with honest
+// local workers: every tile is checked, none fail, nobody is struck,
+// and the result stays bit-exact with the unverified path.
+func TestVerifyAllHonestJob(t *testing.T) {
+	cl, _ := manualCluster(Config{Verify: VerifyPolicy{Mode: VerifyAll}})
+	defer cl.Close()
+	for _, id := range []string{"w1", "w2"} {
+		go RunLocalWorker(cl, LocalWorkerConfig{ID: id, Mem: 64})
+	}
+	c, a, b, ref := blockedInputs(t, 24, 16, 32, 4, 41)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitStatus(t, cl, id); st.State != Done {
+		t.Fatalf("job state = %v (err %v), want done", st.State, st.Err)
+	}
+	if d := c.Assemble().MaxDiff(ref); d > 1e-9 {
+		t.Fatalf("max |C - ref| = %g", d)
+	}
+	st := cl.ClusterStats()
+	if st.VerifyChecks == 0 {
+		t.Fatal("VerifyAll ran no checks")
+	}
+	if st.VerifyFailures != 0 || st.TilesRecomputed != 0 {
+		t.Fatalf("honest job: %d failures, %d recomputes, want 0/0",
+			st.VerifyFailures, st.TilesRecomputed)
+	}
+	if st.WorkersQuarantined != 0 {
+		t.Fatalf("honest job quarantined %d workers", st.WorkersQuarantined)
+	}
+	for _, w := range cl.Workers() {
+		if w.Strikes != 0 || w.Quarantined {
+			t.Fatalf("honest worker %q: strikes=%d quarantined=%v", w.ID, w.Strikes, w.Quarantined)
+		}
+	}
+}
+
+// TestVerifyLUHonestJob pins the LU verification arithmetic (subtract
+// semantics against the non-negated master panels): an honest LU job
+// under VerifyAll must finish with zero failures and zero escalations.
+func TestVerifyLUHonestJob(t *testing.T) {
+	cl, _ := manualCluster(Config{Verify: VerifyPolicy{Mode: VerifyAll}})
+	defer cl.Close()
+	for _, id := range []string{"w1", "w2"} {
+		go RunLocalWorker(cl, LocalWorkerConfig{ID: id, Mem: 64})
+	}
+	const q, r = 8, 5
+	orig := matrix.NewDense(q*r, q*r)
+	lu.DiagonallyDominant(orig, 7)
+	m := matrix.Partition(orig.Clone(), q)
+	id, err := cl.SubmitJob(JobSpec{Kind: LU, M: m, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitStatus(t, cl, id); st.State != Done {
+		t.Fatalf("job state = %v (err %v), want done", st.State, st.Err)
+	}
+	st := cl.ClusterStats()
+	if st.VerifyChecks == 0 {
+		t.Fatal("VerifyAll ran no checks on the LU job")
+	}
+	if st.VerifyFailures != 0 || st.TilesRecomputed != 0 {
+		t.Fatalf("honest LU job: %d failures, %d recomputes, want 0/0",
+			st.VerifyFailures, st.TilesRecomputed)
+	}
+}
+
+// TestVerifyCorruptCompleteQuarantine drives a corrupt worker through
+// the dense completion path by hand: each corrupted task is refused
+// (never committed), requeued, and struck; at the threshold the worker
+// is quarantined, refused further work and refused re-registration —
+// and an honest worker then finishes the job bit-exact.
+func TestVerifyCorruptCompleteQuarantine(t *testing.T) {
+	const strikes = 2
+	cl, _ := manualCluster(Config{
+		MaxAttempts: 10,
+		Verify:      VerifyPolicy{Mode: VerifyAll, QuarantineStrikes: strikes},
+	})
+	defer cl.Close()
+	c, a, b, ref := blockedInputs(t, 16, 16, 16, 4, 42)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.JoinWorker("evil", 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= strikes; s++ {
+		tk, err := cl.NextTask("evil")
+		if err != nil {
+			t.Fatalf("strike %d: NextTask: %v", s, err)
+		}
+		blocks := honestTask(c, a, b, tk, 4)
+		blocks[0][3] = flipBit62(blocks[0][3])
+		if err := cl.Complete("evil", tk, blocks); err != nil {
+			t.Fatalf("strike %d: corrupted completion returned %v, want silent refusal", s, err)
+		}
+	}
+	st := cl.ClusterStats()
+	if st.VerifyFailures != strikes {
+		t.Fatalf("VerifyFailures = %d, want %d", st.VerifyFailures, strikes)
+	}
+	if st.TilesRecomputed != strikes {
+		t.Fatalf("TilesRecomputed = %d, want %d (one escalation per corrupt tile)",
+			st.TilesRecomputed, strikes)
+	}
+	if st.WorkersQuarantined != 1 {
+		t.Fatalf("WorkersQuarantined = %d, want 1", st.WorkersQuarantined)
+	}
+	if st.Requeues != strikes {
+		t.Fatalf("Requeues = %d, want %d (each refused task requeued)", st.Requeues, strikes)
+	}
+	if _, err := cl.NextTask("evil"); !errors.Is(err, ErrWorkerQuarantined) {
+		t.Fatalf("NextTask after quarantine = %v, want ErrWorkerQuarantined", err)
+	}
+	if _, err := cl.JoinWorker("evil", 64, 1); !errors.Is(err, ErrWorkerQuarantined) {
+		t.Fatalf("rejoin after quarantine = %v, want ErrWorkerQuarantined", err)
+	}
+	found := false
+	for _, w := range cl.Workers() {
+		if w.ID != "evil" {
+			continue
+		}
+		found = true
+		if w.Strikes != strikes || !w.Quarantined || !w.Dead {
+			t.Fatalf("evil worker snapshot = strikes %d quarantined %v dead %v, want %d/true/true",
+				w.Strikes, w.Quarantined, w.Dead, strikes)
+		}
+	}
+	if !found {
+		t.Fatal("quarantined worker missing from the registry snapshot")
+	}
+	qs := cl.QuarantinedWorkers()
+	if len(qs) != 1 || qs[0].ID != "evil" || qs[0].Strikes != strikes || qs[0].Reason == "" {
+		t.Fatalf("QuarantinedWorkers = %+v", qs)
+	}
+
+	go RunLocalWorker(cl, LocalWorkerConfig{ID: "honest", Mem: 64})
+	if st := waitStatus(t, cl, id); st.State != Done {
+		t.Fatalf("job state = %v (err %v), want done", st.State, st.Err)
+	}
+	got := c.Assemble()
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			if got.At(i, j) != ref.At(i, j) {
+				t.Fatalf("C(%d,%d) = %g, oracle %g (corrupt tile leaked into the commit)",
+					i, j, got.At(i, j), ref.At(i, j))
+			}
+		}
+	}
+}
+
+// TestVerifyCorruptFlushRefused covers the resident-result path: a
+// corrupted tile inside a flush manifest refuses the whole owning task
+// before anything commits (per-task commits are atomic), requeues it,
+// and strikes the worker; the master matrix is untouched.
+func TestVerifyCorruptFlushRefused(t *testing.T) {
+	cl, _ := manualCluster(Config{
+		MaxAttempts: 10,
+		Verify:      VerifyPolicy{Mode: VerifyAll, QuarantineStrikes: 3},
+	})
+	defer cl.Close()
+	c, a, b, ref := blockedInputs(t, 8, 8, 8, 4, 43)
+	id, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Assemble()
+	if _, err := cl.JoinWorker("evil", 64, 2); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := cl.NextTask("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AckTask("evil", tk); err != nil {
+		t.Fatal(err)
+	}
+	ch := tk.Chunk
+	blocks := honestTask(c, a, b, tk, 4)
+	blocks[len(blocks)-1][0] = flipBit62(blocks[len(blocks)-1][0])
+	var ids []uint64
+	for i := 0; i < ch.Rows; i++ {
+		for jj := 0; jj < ch.Cols; jj++ {
+			ids = append(ids, engine.CBlockID(uint32(tk.Job), ch.I0+i, ch.J0+jj))
+		}
+	}
+	if err := cl.CommitFlush("evil", ids, blocks); err != nil {
+		t.Fatalf("corrupted flush returned %v, want silent refusal", err)
+	}
+	st := cl.ClusterStats()
+	if st.VerifyFailures != 1 || st.FlushedBlocks != 0 {
+		t.Fatalf("failures/flushed = %d/%d, want 1/0 (nothing committed)",
+			st.VerifyFailures, st.FlushedBlocks)
+	}
+	if st.Requeues != 1 {
+		t.Fatalf("Requeues = %d, want 1", st.Requeues)
+	}
+	after := c.Assemble()
+	if d := after.MaxDiff(before); d != 0 {
+		t.Fatalf("master C changed by %g under a refused flush", d)
+	}
+	for _, w := range cl.Workers() {
+		if w.ID == "evil" && (w.Strikes != 1 || w.DirtyBlocks != 0) {
+			t.Fatalf("evil worker = strikes %d dirty %d, want 1/0", w.Strikes, w.DirtyBlocks)
+		}
+	}
+
+	cl.WorkerLost("evil")
+	go RunLocalWorker(cl, LocalWorkerConfig{ID: "honest", Mem: 64})
+	if st := waitStatus(t, cl, id); st.State != Done {
+		t.Fatalf("job state = %v (err %v), want done", st.State, st.Err)
+	}
+	got := c.Assemble()
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			if got.At(i, j) != ref.At(i, j) {
+				t.Fatalf("C(%d,%d) = %g, oracle %g", i, j, got.At(i, j), ref.At(i, j))
+			}
+		}
+	}
+}
+
+// TestVerifySuspectModeGatesOnTransportFault pins the fault taxonomy:
+// under VerifySuspect a clean worker's results are not checked, a
+// reported wire-CRC fault costs no strike but marks the worker suspect,
+// and from then on its results are verified.
+func TestVerifySuspectModeGatesOnTransportFault(t *testing.T) {
+	cl, _ := manualCluster(Config{
+		MaxAttempts: 10,
+		Verify:      VerifyPolicy{Mode: VerifySuspect},
+	})
+	defer cl.Close()
+	c, a, b, _ := blockedInputs(t, 16, 16, 16, 4, 44)
+	if _, err := cl.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.JoinWorker("w", 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Clean worker: even a corrupt completion sails through unchecked
+	// (that is the cost VerifySuspect accepts for zero overhead).
+	tk, err := cl.NextTask("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Complete("w", tk, honestTask(c, a, b, tk, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if st := cl.ClusterStats(); st.VerifyChecks != 0 {
+		t.Fatalf("clean worker was checked %d times under VerifySuspect", st.VerifyChecks)
+	}
+	// A transport fault marks suspicion without striking.
+	cl.ReportTransportFault("w")
+	st := cl.ClusterStats()
+	if st.TransportFaults != 1 || st.WorkersQuarantined != 0 {
+		t.Fatalf("transport fault: faults=%d quarantined=%d, want 1/0",
+			st.TransportFaults, st.WorkersQuarantined)
+	}
+	for _, w := range cl.Workers() {
+		if w.ID == "w" && (!w.Suspect || w.Strikes != 0 || w.TransportFaults != 1) {
+			t.Fatalf("worker after transport fault = %+v, want suspect, 0 strikes, 1 fault", w)
+		}
+	}
+	// Suspect now: results are verified, and a corrupt one is refused.
+	tk, err = cl.NextTask("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := honestTask(c, a, b, tk, 4)
+	blocks[0][0] = flipBit62(blocks[0][0])
+	if err := cl.Complete("w", tk, blocks); err != nil {
+		t.Fatal(err)
+	}
+	st = cl.ClusterStats()
+	if st.VerifyChecks == 0 || st.VerifyFailures != 1 {
+		t.Fatalf("suspect worker: checks=%d failures=%d, want >0/1", st.VerifyChecks, st.VerifyFailures)
+	}
+}
+
+// TestQuarantineSurvivesRestart journals a quarantine, replays the
+// journal into a fresh cluster, and requires the worker to stay refused
+// — both from the event tail and from a compacted snapshot.
+func TestQuarantineSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	jnA, logA := openLog(t, dir)
+	clA, _ := manualCluster(Config{
+		MaxAttempts: 10,
+		Log:         logA,
+		Verify:      VerifyPolicy{Mode: VerifyAll, QuarantineStrikes: 1},
+	})
+	c, a, b, _ := blockedInputs(t, 8, 8, 8, 4, 45)
+	if _, err := clA.SubmitJob(JobSpec{Kind: MatMul, C: c, A: a, B: b, Mu: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clA.JoinWorker("evil", 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := clA.NextTask("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := honestTask(c, a, b, tk, 4)
+	blocks[0][0] = flipBit62(blocks[0][0])
+	if err := clA.Complete("evil", tk, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if st := clA.ClusterStats(); st.WorkersQuarantined != 1 {
+		t.Fatalf("WorkersQuarantined = %d, want 1", st.WorkersQuarantined)
+	}
+	// "Crash": abandon clA without Close so no terminal events land.
+	if err := jnA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jnB, logB := openLog(t, dir)
+	clB, _ := manualCluster(Config{Log: logB})
+	if _, err := clB.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clB.JoinWorker("evil", 64, 1); !errors.Is(err, ErrWorkerQuarantined) {
+		t.Fatalf("rejoin after restart = %v, want ErrWorkerQuarantined", err)
+	}
+	if st := clB.ClusterStats(); st.WorkersQuarantined != 1 {
+		t.Fatalf("recovered WorkersQuarantined = %d, want 1", st.WorkersQuarantined)
+	}
+	// Compact: the verdict must live in the snapshot, not just the tail.
+	if err := clB.CompactLog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, logC := openLog(t, dir)
+	clC, _ := manualCluster(Config{Log: logC})
+	if _, err := clC.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clC.JoinWorker("evil", 64, 1); !errors.Is(err, ErrWorkerQuarantined) {
+		t.Fatalf("rejoin after compaction = %v, want ErrWorkerQuarantined", err)
+	}
+	if qs := clC.QuarantinedWorkers(); len(qs) != 1 || qs[0].ID != "evil" {
+		t.Fatalf("QuarantinedWorkers after compaction = %+v", qs)
+	}
+}
+
+// TestVerifySampleRate sanity-checks the seeded sampling draw: rate 0
+// never verifies, rate 1 always does.
+func TestVerifySampleRate(t *testing.T) {
+	for _, tc := range []struct {
+		rate float64
+		want bool
+	}{{0, false}, {1, true}} {
+		cl, _ := manualCluster(Config{
+			Verify: VerifyPolicy{Mode: VerifySample, SampleRate: tc.rate},
+		})
+		w := &workerState{}
+		cl.mu.Lock()
+		got := false
+		for i := 0; i < 32; i++ {
+			if cl.shouldVerifyLocked(w) {
+				got = true
+			}
+		}
+		cl.mu.Unlock()
+		if got != tc.want {
+			t.Fatalf("rate %g: verified=%v, want %v", tc.rate, got, tc.want)
+		}
+		cl.Close()
+	}
+}

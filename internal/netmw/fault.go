@@ -2,10 +2,11 @@ package netmw
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/sim"
-	"time"
 )
 
 // FaultTransport wraps an engine.Transport with a seeded fault schedule
@@ -38,11 +39,11 @@ func NewFaultTransport(inner engine.Transport, plan *sim.FaultPlan) *FaultTransp
 // errInjectedDrop reports a scheduled connection kill.
 var errInjectedDrop = fmt.Errorf("netmw: injected connection drop (fault plan)")
 
-func (t *FaultTransport) apply(m engine.Msg) (dup bool, err error) {
-	d := t.plan.Next()
+func (t *FaultTransport) apply(m engine.Msg) (d sim.FaultDecision, err error) {
+	d = t.plan.Next()
 	if d.Drop {
 		t.inner.Close()
-		return false, errInjectedDrop
+		return d, errInjectedDrop
 	}
 	if d.Delay > 0 {
 		time.Sleep(d.Delay)
@@ -50,22 +51,33 @@ func (t *FaultTransport) apply(m engine.Msg) (dup bool, err error) {
 	if d.Dup {
 		switch m.(type) {
 		case *engine.Request, engine.Flush, engine.Bye:
-			return true, nil
+		default:
+			d.Dup = false
 		}
 	}
-	return false, nil
+	return d, nil
 }
 
 // Send applies the schedule, then forwards (twice for an honored dup).
+// An operand-corruption verdict flips a bit in an Assign or Set payload
+// before it goes out — poisoned inputs on the way to the worker.
 func (t *FaultTransport) Send(m engine.Msg) error {
-	dup, err := t.apply(m)
+	d, err := t.apply(m)
 	if err != nil {
 		return err
+	}
+	if d.CorruptOperand {
+		// Only Assign payloads are flipped: Set blocks feed the TCP
+		// transport's encode-once broadcast cache, so a flip there would
+		// replay to every worker and destroy per-worker fault attribution.
+		if a, ok := m.(*engine.Assign); ok && corruptBlocks(a.Blocks, d.CorruptPick) {
+			t.plan.CorruptionApplied(false)
+		}
 	}
 	if err := t.inner.Send(m); err != nil {
 		return err
 	}
-	if dup {
+	if d.Dup {
 		return t.inner.Send(m)
 	}
 	return nil
@@ -73,6 +85,10 @@ func (t *FaultTransport) Send(m engine.Msg) error {
 
 // Recv applies drop/delay to the incoming side (duplication would have
 // to re-deliver a buffer the caller already owns, so it is send-only).
+// A result-corruption verdict flips a bit in a Result or FlushResult
+// payload after decode: the wire CRC has already passed, so the flip
+// models a worker whose compute (or RAM) lies — exactly the fault class
+// Freivalds verification, not checksumming, must catch.
 func (t *FaultTransport) Recv() (engine.Msg, error) {
 	m, err := t.inner.Recv()
 	if err != nil {
@@ -86,7 +102,50 @@ func (t *FaultTransport) Recv() (engine.Msg, error) {
 	if d.Delay > 0 {
 		time.Sleep(d.Delay)
 	}
+	if d.CorruptResult {
+		switch r := m.(type) {
+		case *engine.Result:
+			if corruptBlocks(r.Blocks, d.CorruptPick) {
+				t.plan.CorruptionApplied(true)
+			}
+		case *engine.FlushResult:
+			if corruptBlocks(r.Blocks, d.CorruptPick) {
+				t.plan.CorruptionApplied(true)
+			}
+		}
+	}
 	return m, nil
+}
+
+// corruptBlocks flips the top exponent bit of one nonzero element,
+// scanning from a pick-seeded offset (flipping a zero would yield a
+// subnormal no verifier could — or should need to — see, so zeros are
+// skipped). Returns whether a flip landed.
+func corruptBlocks(blocks [][]float64, pick uint64) bool {
+	if len(blocks) == 0 {
+		return false
+	}
+	for n := 0; n < len(blocks); n++ {
+		blk := blocks[(n+int(pick%uint64(len(blocks))))%len(blocks)]
+		if len(blk) == 0 {
+			continue
+		}
+		start := int((pick >> 20) % uint64(len(blk)))
+		for i := 0; i < len(blk); i++ {
+			at := (start + i) % len(blk)
+			if blk[at] != 0 {
+				blk[at] = flipBit62(blk[at])
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// flipBit62 flips the top exponent bit: a numerically massive change on
+// any nonzero value, so the corruption is never lost in rounding noise.
+func flipBit62(v float64) float64 {
+	return math.Float64frombits(math.Float64bits(v) ^ (1 << 62))
 }
 
 // Close closes the wrapped transport.

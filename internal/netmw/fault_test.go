@@ -1,6 +1,7 @@
 package netmw
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -82,7 +83,7 @@ func TestClusterTCPSurvivesInjectedFaults(t *testing.T) {
 	cl := cluster.New(cluster.Config{HeartbeatTimeout: time.Hour})
 	srv, err := ServeCluster(cl, ClusterServerConfig{
 		Addr:          "127.0.0.1:0",
-		WrapTransport: func(tr engine.Transport) engine.Transport { return NewFaultTransport(tr, plan) },
+		WrapTransport: func(name string, tr engine.Transport) engine.Transport { return NewFaultTransport(tr, plan) },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,6 +127,87 @@ func TestClusterTCPSurvivesInjectedFaults(t *testing.T) {
 	}
 	if fc := plan.Counts(); fc.Drops == 0 {
 		t.Fatalf("fault plan injected nothing (%+v) — the harness did not bite", fc)
+	}
+}
+
+// TestClusterTCPCorruptWorkerQuarantine is the end-to-end result-
+// integrity acceptance: a three-worker TCP cluster in which one worker's
+// result payloads are corrupted post-CRC on a seeded schedule (a compute
+// fault, invisible to the wire checksum). Under VerifyAll the job must
+// finish bit-exact against the naive oracle — zero corrupted tiles
+// committed — with the corrupting worker quarantined after exactly the
+// configured number of strikes and refused re-registration, while the
+// honest workers absorb the requeued work.
+func TestClusterTCPCorruptWorkerQuarantine(t *testing.T) {
+	const strikes = 2
+	plan := sim.NewFaultPlan(sim.FaultConfig{Seed: 9, CorruptResultProb: 1.0})
+	cl := cluster.New(cluster.Config{
+		HeartbeatTimeout: time.Hour,
+		MaxAttempts:      50,
+		Verify:           cluster.VerifyPolicy{Mode: cluster.VerifyAll, QuarantineStrikes: strikes},
+	})
+	srv, err := ServeCluster(cl, ClusterServerConfig{
+		Addr: "127.0.0.1:0",
+		WrapTransport: func(name string, tr engine.Transport) engine.Transport {
+			if name == "corrupt" {
+				return NewFaultTransport(tr, plan)
+			}
+			return tr
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer cl.Close()
+	addr := srv.Addr()
+
+	for _, name := range []string{"corrupt", "h1", "h2"} {
+		go RunClusterWorker(ClusterWorkerConfig{
+			Addr: addr, Name: name, Memory: 256, Slots: 2,
+			Reconnect: 50, Backoff: time.Millisecond, BackoffMax: 10 * time.Millisecond,
+		})
+	}
+
+	// 16×16 blocks of q=4, µ=2 → 64 chunks: plenty of dispatch rounds for
+	// the corrupt worker to earn its strikes before the job can finish.
+	c, a, b, ref := matmulInputs(t, 64, 64, 64, 4, 91)
+	opts := SubmitOptions{Retries: 20, Backoff: 5 * time.Millisecond, Timeout: 2 * time.Minute}
+	if err := SubmitMatMulDurable(addr, c, a, b, 2, opts); err != nil {
+		t.Fatalf("job failed under result corruption: %v", err)
+	}
+
+	if d := c.Assemble().MaxDiff(ref); d != 0 {
+		t.Fatalf("max |C - ref| = %g: a corrupted tile reached the commit", d)
+	}
+	if fc := plan.Counts(); fc.ResultFlips < strikes {
+		t.Fatalf("fault plan flipped %d results, want >= %d — the harness did not bite", fc.ResultFlips, strikes)
+	}
+	st := cl.ClusterStats()
+	if st.WorkersQuarantined != 1 {
+		t.Fatalf("WorkersQuarantined = %d, want 1", st.WorkersQuarantined)
+	}
+	if st.VerifyFailures < strikes || st.TilesRecomputed < strikes {
+		t.Fatalf("failures/recomputes = %d/%d, want >= %d each", st.VerifyFailures, st.TilesRecomputed, strikes)
+	}
+	if st.VerifyChecks == 0 {
+		t.Fatal("VerifyAll ran no checks")
+	}
+	for _, w := range cl.Workers() {
+		switch w.ID {
+		case "corrupt":
+			if w.Strikes != strikes || !w.Quarantined {
+				t.Fatalf("corrupt worker = strikes %d quarantined %v, want exactly %d/true",
+					w.Strikes, w.Quarantined, strikes)
+			}
+		default:
+			if w.Strikes != 0 || w.Quarantined {
+				t.Fatalf("honest worker %q = strikes %d quarantined %v", w.ID, w.Strikes, w.Quarantined)
+			}
+		}
+	}
+	if err := cl.Join("corrupt", 256); !errors.Is(err, cluster.ErrWorkerQuarantined) {
+		t.Fatalf("rejoin of quarantined worker = %v, want ErrWorkerQuarantined", err)
 	}
 }
 

@@ -45,9 +45,9 @@ func FuzzDecodeFrame(f *testing.F) {
 }
 
 // encodeSetPayload hand-builds a delta-set payload for seeds: k and cap,
-// the declared nA/nB counts, the (id, flag) manifest, then the raw
-// float payload. Prefix bytes (the fuzz geometry selectors) pass
-// through untouched.
+// the declared nA/nB counts, the (id, flag) manifest, the raw float
+// payload, and the trailing payload CRC the decoder now demands. Prefix
+// bytes (the fuzz geometry selectors) pass through outside the CRC.
 func encodeSetPayload(prefix []byte, k, cacheCap uint32, ids []uint64, flags []byte, nA, nB uint16, payload []float64) []byte {
 	out := append([]byte(nil), prefix...)
 	var w [8]byte
@@ -64,16 +64,16 @@ func encodeSetPayload(prefix []byte, k, cacheCap uint32, ids []uint64, flags []b
 		out = append(out, w[:]...)
 		out = append(out, flags[i])
 	}
-	return putFloats(out, payload)
+	return appendCRC(putFloats(out, payload), len(prefix))
 }
 
 // encodeAssignBody appends the C-flag tail of an assignment frame to a
 // header: the uint16 flag count, the flag bytes, then the payload
 // doubles (the shipped tiles — or, with no flags, the legacy dense
-// body).
+// body) and the payload CRC covering header and tail alike.
 func encodeAssignBody(hdr []byte, flags []byte, payload []float64) []byte {
 	out := appendCFlags(hdr, flags)
-	return putFloats(out, payload)
+	return appendCRC(putFloats(out, payload), 0)
 }
 
 // encodeFlushPayload hand-builds a MsgFlushResult payload for seeds:
@@ -184,8 +184,8 @@ func FuzzDecodeMsg(f *testing.F) {
 	f.Add(append([]byte{4}, encodeSetPayload([]byte{0, 0, 1, 0}, 0, 8,
 		[]uint64{aid, bid}, []byte{1, 1}, 1, 1, []float64{1, 2})...))
 
-	// q-selector (q 2) then one flat result block
-	flat := putFloats([]byte{1}, []float64{1, 2, 3, 4})
+	// q-selector (q 2) then one flat result block (CRC past the selector)
+	flat := appendCRC(putFloats([]byte{1}, []float64{1, 2, 3, 4}), 1)
 	f.Add(append([]byte{7}, flat...))
 
 	trh := TaskResultHeader{Job: 1, Seq: 2, Attempt: 3}
@@ -198,15 +198,19 @@ func FuzzDecodeMsg(f *testing.F) {
 	jd.encode(dp)
 	f.Add(append([]byte{6}, dp...))
 
-	// flush manifests: a well-formed one, then a count overrunning the
-	// bytes, a malformed (non-C) tile id, a zero element count and
-	// trailing garbage after the last block
+	// flush manifests, CRC-sealed so they reach the structural checks: a
+	// well-formed one, then a count overrunning the bytes, a malformed
+	// (non-C) tile id, a zero element count, trailing garbage after the
+	// last block — and one whose CRC itself is stale (corrupted body)
 	cid := engine.CBlockID(1, 0, 0)
-	f.Add(append([]byte{8}, encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}})...))
-	f.Add(append([]byte{8}, encodeFlushPayload(3, []uint64{cid}, [][]float64{{1, 2, 3, 4}})...))
-	f.Add(append([]byte{8}, encodeFlushPayload(1, []uint64{engine.ABlockID(0, 0, 0)}, [][]float64{{1, 2, 3, 4}})...))
-	f.Add(append([]byte{8}, encodeFlushPayload(1, []uint64{cid}, [][]float64{{}})...))
-	f.Add(append([]byte{8}, append(encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}}), 0xee)...))
+	f.Add(append([]byte{8}, appendCRC(encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}}), 0)...))
+	f.Add(append([]byte{8}, appendCRC(encodeFlushPayload(3, []uint64{cid}, [][]float64{{1, 2, 3, 4}}), 0)...))
+	f.Add(append([]byte{8}, appendCRC(encodeFlushPayload(1, []uint64{engine.ABlockID(0, 0, 0)}, [][]float64{{1, 2, 3, 4}}), 0)...))
+	f.Add(append([]byte{8}, appendCRC(encodeFlushPayload(1, []uint64{cid}, [][]float64{{}}), 0)...))
+	f.Add(append([]byte{8}, appendCRC(append(encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}}), 0xee), 0)...))
+	stale := appendCRC(encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}}), 0)
+	stale[4] ^= 0x01
+	f.Add(append([]byte{8}, stale...))
 
 	// hostile geometry: a job header declaring a huge matrix with no data
 	evil := JobHeader{Kind: WireMatMul, R: 1 << 30, T: 1 << 30, S: 1 << 30, Q: 1 << 30, Mu: 1}
@@ -218,11 +222,12 @@ func FuzzDecodeMsg(f *testing.F) {
 	wp := make([]byte, jobHeaderLen)
 	wrap.encode(wp)
 	f.Add(append([]byte{3}, wp...))
-	// and a chunk header doing the same
+	// and a chunk header doing the same (CRC-sealed so the hostile
+	// dimensions reach the geometry checks, not the checksum gate)
 	evilJob := ChunkHeader{Rows: 1 << 31, Cols: 1 << 31, T: 1 << 31, Q: 1 << 31}
 	ejp := make([]byte, chunkHeaderLen)
 	evilJob.encode(ejp)
-	f.Add(append([]byte{0}, ejp...))
+	f.Add(append([]byte{0}, appendCRC(ejp, 0)...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
@@ -252,13 +257,18 @@ func FuzzDecodeMsg(f *testing.F) {
 		}
 		switch sel % 9 {
 		case 0:
-			// the workerTransport MsgJob path: header + flagged block body
+			// the workerTransport MsgJob path: CRC strip, then header +
+			// flagged block body
+			payload, err := splitCRC(payload)
+			if err != nil {
+				return
+			}
 			var hdr ChunkHeader
 			if err := hdr.decode(payload); err != nil {
 				return
 			}
 			as := &engine.Assign{}
-			err := decodeAssignBlocks(as, payload[chunkHeaderLen:],
+			err = decodeAssignBlocks(as, payload[chunkHeaderLen:],
 				int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.T), pool)
 			if err == nil {
 				checkAssign(as, int(hdr.Rows), int(hdr.Cols))
@@ -266,12 +276,16 @@ func FuzzDecodeMsg(f *testing.F) {
 			}
 		case 1:
 			// the clusterWorkerTransport MsgTask path
+			payload, err := splitCRC(payload)
+			if err != nil {
+				return
+			}
 			var hdr TaskHeader
 			if err := hdr.decode(payload); err != nil {
 				return
 			}
 			as := &engine.Assign{}
-			err := decodeAssignBlocks(as, payload[taskHeaderLen:],
+			err = decodeAssignBlocks(as, payload[taskHeaderLen:],
 				int(hdr.Rows), int(hdr.Cols), int(hdr.Q), int(hdr.Steps), pool)
 			if err == nil {
 				checkAssign(as, int(hdr.Rows), int(hdr.Cols))
@@ -341,14 +355,16 @@ func FuzzDecodeMsg(f *testing.F) {
 			var hdr JobDoneHeader
 			hdr.decode(payload)
 		case 7:
-			// the masterTransport MsgResult path: flat blocks cut by the
-			// run's q, plus the one-byte request decoder
+			// the masterTransport MsgResult path: CRC strip then flat blocks
+			// cut by the run's q, plus the one-byte request decoder
 			if len(payload) < 1 {
 				return
 			}
 			q := int(payload[0]%8) + 1
-			if blocks, err := decodeFlatBlocks(nil, payload[1:], q, pool); err == nil {
-				pool.PutAll(blocks)
+			if body, err := splitCRC(payload[1:]); err == nil {
+				if blocks, err := decodeFlatBlocks(nil, body, q, pool); err == nil {
+					pool.PutAll(blocks)
+				}
 			}
 			decodeRequest(payload)
 		case 8:
@@ -371,6 +387,45 @@ func FuzzDecodeMsg(f *testing.F) {
 				}
 			}
 			pool.PutAll(fr.Blocks)
+		}
+	})
+}
+
+// FuzzPayloadCRCRejectsBitFlips pins the checksum's whole point: flip
+// any single bit of a well-formed, CRC-sealed MsgSet or MsgFlushResult
+// payload — body, manifest, or the checksum field itself — and the
+// decoder must reject it (CRC32C detects every 1-bit error) without
+// panicking. This is the wire-corruption half of the integrity story;
+// post-decode corruption is the Freivalds verifier's job.
+func FuzzPayloadCRCRejectsBitFlips(f *testing.F) {
+	f.Add(uint16(0), false)
+	f.Add(uint16(99), false)
+	f.Add(uint16(0), true)
+	f.Add(uint16(201), true)
+	f.Fuzz(func(t *testing.T, pos uint16, isSet bool) {
+		pool := engine.NewBlockPool()
+		var payload []byte
+		if isSet {
+			payload = encodeSetPayload(nil, 3, 8,
+				[]uint64{0, 0}, []byte{1, 1}, 1, 1,
+				[]float64{1, 2, 3, 4, 5, 6, 7, 8})
+		} else {
+			cid := engine.CBlockID(1, 0, 0)
+			payload = appendCRC(encodeFlushPayload(1, []uint64{cid}, [][]float64{{1, 2, 3, 4}}), 0)
+		}
+		bit := int(pos) % (len(payload) * 8)
+		payload[bit/8] ^= 1 << (bit % 8)
+		if isSet {
+			var g geomFIFO
+			g.push(1, 1, 2, 1)
+			if set, err := decodeSetPooled(payload, &g, pool); err == nil {
+				pool.PutAll(set.A)
+				pool.PutAll(set.B)
+				pool.PutSet(set)
+				t.Fatalf("set decoder accepted a payload with bit %d flipped", bit)
+			}
+		} else if _, err := decodeFlushResult(payload, pool); err == nil {
+			t.Fatalf("flush decoder accepted a payload with bit %d flipped", bit)
 		}
 	})
 }

@@ -25,9 +25,10 @@ type ClusterServerConfig struct {
 	MaxSlots int
 	// WrapTransport, when set, wraps every worker session's transport —
 	// the fault-injection seam. The wrapper sees the same engine messages
-	// the feeder exchanges with the worker; tests use it to drop, delay
-	// or duplicate traffic on a seeded schedule.
-	WrapTransport func(engine.Transport) engine.Transport
+	// the feeder exchanges with the worker, keyed by the worker's
+	// registered name so a test can target one machine's traffic; tests
+	// use it to drop, delay, duplicate or corrupt on a seeded schedule.
+	WrapTransport func(name string, tr engine.Transport) engine.Transport
 }
 
 // ClusterServer accepts cluster workers and job submissions over TCP and
@@ -210,12 +211,20 @@ func (s *ClusterServer) workerSession(conn net.Conn, r *bufio.Reader, w *bufio.W
 	tr := newServerTransport(conn, r, w, s.pool, s.enc, func() error { return s.cl.Heartbeat(id) })
 	var link engine.Transport = tr
 	if s.cfg.WrapTransport != nil {
-		link = s.cfg.WrapTransport(tr)
+		link = s.cfg.WrapTransport(id, tr)
 	}
 	began := time.Now()
-	fstats, _ := engine.RunFeeder(link, feed, engine.FeederConfig{
+	fstats, ferr := engine.RunFeeder(link, feed, engine.FeederConfig{
 		Slots: slots, Pool: s.pool, Mem: int(ri.Mem),
 	})
+	// A checksum mismatch on this worker's bulk payloads is transport
+	// corruption, not a compute fault: record it against the connection
+	// (suspicion, not strikes) and let the reconnect/requeue machinery
+	// resend the work. Freivalds failures on CRC-clean tiles are what
+	// strike the worker.
+	if errors.Is(ferr, ErrPayloadCRC) {
+		s.cl.ReportTransportFault(id)
+	}
 	// Fold the session's delta accounting into the worker and job
 	// totals for the server's status output. The epoch pin keeps a stale
 	// session's exit report from landing on the session counters of the

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -141,8 +142,9 @@ func (c *connIO) writeSetFrame(set *engine.Set) error {
 	hdr = append(hdr, word[:2]...)
 
 	// Size the payload arena up front so the per-block slices taken from
-	// it below stay valid (no reallocation mid-gather).
-	need := 0
+	// it below stay valid (no reallocation mid-gather). The extra 4 bytes
+	// hold the trailing payload CRC.
+	need := 4
 	for _, blk := range set.A {
 		need += 8 * len(blk)
 	}
@@ -188,6 +190,20 @@ func (c *connIO) writeSetFrame(set *engine.Set) error {
 			}
 		}
 	}
+	// Payload CRC32C, accumulated over the bytes as they will appear on
+	// the wire (header past the frame bytes, then each gathered block
+	// iovec) and shipped as a trailing 4-byte iovec cut from the arena —
+	// pre-sized above, so this append cannot reallocate the arena out
+	// from under the block slices already in the vector.
+	sum := crc32.Update(0, crcTable, hdr[msgHeaderLen:])
+	for _, bs := range iov[1:] {
+		sum = crc32.Update(sum, crcTable, bs)
+	}
+	crcOff := len(arena)
+	binary.LittleEndian.PutUint32(word[:4], sum)
+	arena = append(arena, word[:4]...)
+	iov = append(iov, arena[crcOff:])
+	payloadBytes += 4
 	c.wpayload = arena
 	c.wbuf = hdr
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(hdr)-5+payloadBytes))
@@ -255,6 +271,7 @@ func (c *connIO) sendFlushResult(fr *engine.FlushResult) error {
 		return fmt.Errorf("netmw: flush manifest has %d ids but %d blocks", len(fr.IDs), len(fr.Blocks))
 	}
 	err := c.writeFrame(MsgFlushResult, func(buf []byte) []byte {
+		off := len(buf)
 		var word [8]byte
 		binary.LittleEndian.PutUint32(word[:4], uint32(len(fr.IDs)))
 		buf = append(buf, word[:4]...)
@@ -267,7 +284,7 @@ func (c *connIO) sendFlushResult(fr *engine.FlushResult) error {
 			buf = append(buf, word[:4]...)
 			buf = putFloats(buf, fr.Blocks[i])
 		}
-		return buf
+		return appendCRC(buf, off)
 	})
 	if err == nil && fr.Owned {
 		c.pool.PutAll(fr.Blocks)
@@ -280,6 +297,10 @@ func (c *connIO) sendFlushResult(fr *engine.FlushResult) error {
 // must be a well-formed C-tile ID and every element count plausible —
 // a mismatch errors before trusting any length for an allocation.
 func decodeFlushResult(payload []byte, pool *engine.BlockPool) (*engine.FlushResult, error) {
+	payload, err := splitCRC(payload)
+	if err != nil {
+		return nil, err
+	}
 	if len(payload) < 12 {
 		return nil, fmt.Errorf("netmw: short flush result payload (%d bytes)", len(payload))
 	}
@@ -357,6 +378,12 @@ func (g *geomFIFO) front() *geomEntry {
 // geometry mismatch errors before any block-sized allocation, and the
 // decoder never reads past the declared entries.
 func decodeSetPooled(payload []byte, g *geomFIFO, pool *engine.BlockPool) (*engine.Set, error) {
+	// Wire integrity first: a checksum mismatch is transport corruption
+	// regardless of what the manifest would have decoded to.
+	payload, err := splitCRC(payload)
+	if err != nil {
+		return nil, err
+	}
 	fr := g.front()
 	if fr == nil {
 		return nil, fmt.Errorf("netmw: update set with no open assignment")
@@ -475,7 +502,8 @@ func (t *masterTransport) Send(m engine.Msg) error {
 			buf = append(buf, make([]byte, chunkHeaderLen)...)
 			hdr.encode(buf[off:])
 			buf = appendCFlags(buf, m.CFlags)
-			return t.appendBlocks(buf, m.Blocks, m.Owned)
+			buf = t.appendBlocks(buf, m.Blocks, m.Owned)
+			return appendCRC(buf, off)
 		})
 		if err == nil {
 			t.pool.PutAssign(m)
@@ -511,6 +539,9 @@ func (t *masterTransport) Recv() (engine.Msg, error) {
 			}
 			return req, nil
 		case MsgResult:
+			if payload, err = splitCRC(payload); err != nil {
+				return nil, err
+			}
 			if len(payload) < 4 {
 				return nil, fmt.Errorf("netmw: short result payload (%d bytes)", len(payload))
 			}
@@ -592,8 +623,10 @@ func (t *workerTransport) Send(m engine.Msg) error {
 		var idb [4]byte
 		binary.LittleEndian.PutUint32(idb[:], m.ID.A)
 		err := t.writeFrame(MsgResult, func(buf []byte) []byte {
+			off := len(buf)
 			buf = append(buf, idb[:]...)
-			return t.appendBlocks(buf, m.Blocks, m.Owned)
+			buf = t.appendBlocks(buf, m.Blocks, m.Owned)
+			return appendCRC(buf, off)
 		})
 		if err == nil {
 			t.pool.PutResult(m)
@@ -617,6 +650,9 @@ func (t *workerTransport) Recv() (engine.Msg, error) {
 	case MsgFlush:
 		return engine.Flush{}, nil
 	case MsgJob:
+		if payload, err = splitCRC(payload); err != nil {
+			return nil, err
+		}
 		var hdr ChunkHeader
 		if err := hdr.decode(payload); err != nil {
 			return nil, err
@@ -689,7 +725,8 @@ func (t *clusterWorkerTransport) Send(m engine.Msg) error {
 			off := len(buf)
 			buf = append(buf, make([]byte, taskResultHeaderLen)...)
 			hdr.encode(buf[off:])
-			return t.appendBlocks(buf, m.Blocks, m.Owned)
+			buf = t.appendBlocks(buf, m.Blocks, m.Owned)
+			return appendCRC(buf, off)
 		})
 		if err == nil {
 			t.pool.PutResult(m)
@@ -713,6 +750,9 @@ func (t *clusterWorkerTransport) Recv() (engine.Msg, error) {
 	case MsgFlush:
 		return engine.Flush{}, nil
 	case MsgTask:
+		if payload, err = splitCRC(payload); err != nil {
+			return nil, err
+		}
 		var hdr TaskHeader
 		if err := hdr.decode(payload); err != nil {
 			return nil, err
@@ -785,7 +825,8 @@ func (t *serverTransport) Send(m engine.Msg) error {
 			buf = append(buf, make([]byte, taskHeaderLen)...)
 			hdr.encode(buf[off:])
 			buf = appendCFlags(buf, m.CFlags)
-			return t.appendBlocks(buf, m.Blocks, m.Owned)
+			buf = t.appendBlocks(buf, m.Blocks, m.Owned)
+			return appendCRC(buf, off)
 		})
 		if err == nil {
 			t.pool.PutAssign(m)
@@ -823,6 +864,9 @@ func (t *serverTransport) Recv() (engine.Msg, error) {
 			}
 			return engine.RequestSet, nil
 		case MsgTaskResult:
+			if payload, err = splitCRC(payload); err != nil {
+				return nil, err
+			}
 			var hdr TaskResultHeader
 			if err := hdr.decode(payload); err != nil {
 				return nil, err

@@ -25,6 +25,15 @@ type FaultConfig struct {
 	// SyncFailEvery makes every Nth durability sync fail (0 = never) —
 	// the disk-side counterpart to the wire faults.
 	SyncFailEvery int
+	// CorruptResultProb flips bits in a result payload (Result or
+	// FlushResult block data) — the lying-worker fault: the corruption
+	// happens after wire decode, so checksums pass and only algorithmic
+	// verification can catch it.
+	CorruptResultProb float64
+	// CorruptOperandProb flips bits in an operand payload (Assign or Set
+	// block data) on the way to a worker — poisoned inputs rather than
+	// poisoned answers.
+	CorruptOperandProb float64
 }
 
 // FaultDecision is the schedule's verdict for one message.
@@ -32,6 +41,13 @@ type FaultDecision struct {
 	Drop  bool
 	Dup   bool
 	Delay time.Duration
+	// CorruptResult / CorruptOperand ask the transport to flip a bit in
+	// the message's result / operand payload (only honored on messages
+	// that carry one). CorruptPick seeds which block and element the
+	// transport targets, so the flip itself is deterministic too.
+	CorruptResult  bool
+	CorruptOperand bool
+	CorruptPick    uint64
 }
 
 // FaultCounts tallies what a plan actually injected.
@@ -42,6 +58,12 @@ type FaultCounts struct {
 	Dups     int
 	Syncs    int // sync calls seen
 	SyncErrs int // sync calls failed
+	Corrupts int // corruption verdicts drawn
+	// ResultFlips / OperandFlips count the corruptions a transport
+	// actually applied (a verdict on a message without a matching
+	// payload is a no-op and is not counted here).
+	ResultFlips  int
+	OperandFlips int
 }
 
 // FaultPlan is a deterministic, seeded fault schedule shared by the
@@ -80,7 +102,34 @@ func (p *FaultPlan) Next() FaultDecision {
 		p.counts.Dups++
 		d.Dup = true
 	}
+	// Corruption draws come last and are gated on their probabilities, so
+	// plans that don't ask for corruption consume exactly the historical
+	// rng stream (seeded tests stay reproducible across this extension).
+	if p.cfg.CorruptResultProb > 0 && p.rng.Float64() < p.cfg.CorruptResultProb {
+		p.counts.Corrupts++
+		d.CorruptResult = true
+		d.CorruptPick = p.rng.Uint64()
+	}
+	if p.cfg.CorruptOperandProb > 0 && p.rng.Float64() < p.cfg.CorruptOperandProb {
+		p.counts.Corrupts++
+		d.CorruptOperand = true
+		if d.CorruptPick == 0 {
+			d.CorruptPick = p.rng.Uint64()
+		}
+	}
 	return d
+}
+
+// CorruptionApplied records that a transport actually flipped a bit in
+// a result (true) or operand (false) payload.
+func (p *FaultPlan) CorruptionApplied(result bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if result {
+		p.counts.ResultFlips++
+	} else {
+		p.counts.OperandFlips++
+	}
 }
 
 // SyncErr implements the durability-fault side: it returns an error on

@@ -191,6 +191,44 @@ func (j *ClusterJournal) Log() ClusterJobLog { return cluster.NewStoreLog(j.jn) 
 // Close flushes and closes the journal. Close the cluster first.
 func (j *ClusterJournal) Close() error { return j.jn.Close() }
 
+// Result integrity: with ClusterConfig.Verify set, the master
+// Freivalds-checks every candidate C tile against its own operand
+// matrices before committing it — a randomized probe whose cost is
+// O(rounds·steps·q²) per q×q tile versus the O(steps·q³) recompute — and
+// escalates probe failures to an exact bit-for-bit recompute. Confirmed-
+// corrupt tasks never commit: they are requeued onto other workers and
+// the offender is struck, then quarantined at the strike threshold
+// (refused work and re-registration, journaled across restarts). Wire
+// corruption is handled a layer below by payload checksums on the TCP
+// transport and classified as a transport fault — reconnect and resend —
+// not a compute fault.
+
+// Verification policy surface (ClusterConfig.Verify).
+type (
+	// ClusterVerifyPolicy tunes result verification and quarantine.
+	ClusterVerifyPolicy = cluster.VerifyPolicy
+	// ClusterVerifyMode selects when tiles are verified.
+	ClusterVerifyMode = cluster.VerifyMode
+	// ClusterQuarantinedWorker is one quarantined worker's record.
+	ClusterQuarantinedWorker = cluster.QuarantinedWorker
+)
+
+// Verification modes.
+const (
+	// VerifyOff commits results unchecked.
+	VerifyOff = cluster.VerifyOff
+	// VerifyAll checks every task's tiles before commit.
+	VerifyAll = cluster.VerifyAll
+	// VerifySample checks a seeded fraction (SampleRate) of tasks.
+	VerifySample = cluster.VerifySample
+	// VerifySuspect checks only workers already under suspicion.
+	VerifySuspect = cluster.VerifySuspect
+)
+
+// ErrClusterWorkerQuarantined: the worker was parked for corrupt
+// results and is refused work and re-registration.
+var ErrClusterWorkerQuarantined = cluster.ErrWorkerQuarantined
+
 // SubmitMatMulDurableTCP is SubmitMatMulTCP with an idempotency key and
 // retry-on-transport-failure: the submission survives connection loss
 // and even a master crash, as long as the master restarts over its

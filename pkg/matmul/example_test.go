@@ -70,6 +70,50 @@ func ExampleMultiplyLocal() {
 	// max error 0
 }
 
+// ExampleClusterVerifyPolicy runs a job with result verification on:
+// the master Freivalds-checks every candidate C tile against its own
+// operand matrices before committing it, escalating probe failures to
+// an exact recompute, and quarantines any worker whose results are
+// confirmed corrupt. Honest workers pass every check, so the result is
+// identical to the unverified run — the policy only adds the O(q²)
+// probe per tile.
+func ExampleClusterVerifyPolicy() {
+	const q, n = 8, 32
+	ad := matmul.NewDense(n, n)
+	bd := matmul.NewDense(n, n)
+	cd := matmul.NewDense(n, n)
+	matmul.DeterministicFill(ad, 1)
+	matmul.DeterministicFill(bd, 2)
+	matmul.DeterministicFill(cd, 3)
+	ref := cd.Clone()
+	matmul.MulReference(ref, ad, bd)
+
+	cl := matmul.NewCluster(matmul.ClusterConfig{
+		Verify: matmul.ClusterVerifyPolicy{
+			Mode:              matmul.VerifyAll,
+			QuarantineStrikes: 3,
+		},
+	})
+	defer cl.Close()
+	go matmul.RunClusterWorkerLocal(cl, "w1", 64)
+
+	c := matmul.Partition(cd, q)
+	id, err := matmul.SubmitMatMul(cl, c, matmul.Partition(ad, q), matmul.Partition(bd, q), 2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := cl.Wait(id); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := cl.ClusterStats()
+	fmt.Printf("max error %.1g, refused %d tiles, quarantined %d workers\n",
+		c.Assemble().MaxDiff(ref), st.VerifyFailures, st.WorkersQuarantined)
+	// Output:
+	// max error 0, refused 0 tiles, quarantined 0 workers
+}
+
 // ExampleSubmitMatMulTCP runs the whole cluster service over loopback
 // TCP: a scheduler, a pipelined multi-slot worker, and a client that
 // submits C ← C + A·B and blocks until the result lands back in c. All
